@@ -1,0 +1,25 @@
+#include "common.h"
+
+namespace d3::bench {
+
+void banner(const std::string& experiment, const std::string& description) {
+  std::cout << "==================================================================\n"
+            << experiment << "\n"
+            << description << "\n"
+            << "==================================================================\n";
+}
+
+void paper_note(const std::string& note) { std::cout << "paper: " << note << "\n\n"; }
+
+sim::MethodResult run(const dnn::Network& net, sim::Method method,
+                      const sim::ExperimentConfig& config) {
+  return sim::run_method(net, method, config);
+}
+
+double speedup(const sim::MethodResult& baseline, const sim::MethodResult& method) {
+  return sim::speedup_over(baseline, method);
+}
+
+std::vector<dnn::Network> models() { return dnn::zoo::paper_models(); }
+
+}  // namespace d3::bench

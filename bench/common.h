@@ -1,0 +1,32 @@
+// Shared scaffolding for the bench binaries that regenerate the paper's tables
+// and figures: method sweeps, speedup helpers and consistent headers that print
+// the paper-reported value next to the measured one.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dnn/model_zoo.h"
+#include "sim/experiment.h"
+#include "util/table.h"
+
+namespace d3::bench {
+
+// Prints the standard bench banner: what the binary reproduces and how to read it.
+void banner(const std::string& experiment, const std::string& description);
+
+// Paper-vs-measured epilogue line.
+void paper_note(const std::string& note);
+
+// Runs one method on one model; thin wrapper so benches share a config style.
+sim::MethodResult run(const dnn::Network& net, sim::Method method,
+                      const sim::ExperimentConfig& config);
+
+// Latency speedup of `method` relative to `baseline` (Figs. 9-12 metric).
+double speedup(const sim::MethodResult& baseline, const sim::MethodResult& method);
+
+// The five paper models in figure order.
+std::vector<dnn::Network> models();
+
+}  // namespace d3::bench

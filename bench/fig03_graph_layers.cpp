@@ -1,0 +1,38 @@
+// Fig. 3: the Inception-v4 grid module as a DAG, and the graph layers Z0..Z6
+// HPA derives from the longest-distance partition (§III-E worked example).
+#include <iostream>
+
+#include "common.h"
+#include "graph/layering.h"
+
+using namespace d3;
+
+int main() {
+  bench::banner("Fig. 3 - grid module DAG and its graph layers",
+                "Vertices v1..v13 mirror Fig. 3b; v0 is the virtual input.");
+  const dnn::Network net = dnn::zoo::grid_module();
+  const graph::Dag dag = net.to_dag();
+
+  util::Table edges({"edge", "from", "to"});
+  int i = 0;
+  for (const auto& [u, v] : dag.edges())
+    edges.row()
+        .cell(std::to_string(++i))
+        .cell("v" + std::to_string(u))
+        .cell("v" + std::to_string(v));
+  edges.print(std::cout, "DAG links (|V|=" + std::to_string(dag.size()) +
+                             ", |L|=" + std::to_string(dag.num_edges()) + ")");
+
+  util::Table layers({"graph layer", "vertices"});
+  const auto zq = graph::graph_layers(dag);
+  for (std::size_t q = 0; q < zq.size(); ++q) {
+    std::string vs;
+    for (const auto v : zq[q]) vs += (vs.empty() ? "" : ", ") + ("v" + std::to_string(v));
+    layers.row().cell("Z" + std::to_string(q)).cell(vs);
+  }
+  layers.print(std::cout, "Longest-distance layering");
+  bench::paper_note(
+      "Z0={v0}, Z1={v1}, Z2={v2..v5}, Z3={v6..v9}, Z4={v10}, Z5={v11,v12}, "
+      "Z6={v13} (7 graph layers).");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 4: per-layer actual vs regression-predicted processing time of AlexNet
+// on the edge CPU (i7-8700) and the cloud GPU (RTX 2080 Ti).
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "profile/profiler.h"
+#include "util/units.h"
+
+using namespace d3;
+
+namespace {
+
+void compare(const dnn::Network& net, const profile::NodeSpec& node) {
+  const profile::LatencyEstimator est = profile::Profiler::profile_node(node);
+  util::Table table({"layer", "actual (ms)", "predicted (ms)", "error %"});
+  double mape = 0;
+  std::size_t rows = 0;
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    const auto kind = net.layer(id).spec.kind;
+    // Fig. 4 plots conv/pool/fc rows.
+    if (kind != dnn::LayerKind::kConv && kind != dnn::LayerKind::kMaxPool &&
+        kind != dnn::LayerKind::kFullyConnected)
+      continue;
+    const profile::LayerCost cost = profile::layer_cost(net, id);
+    const double actual = profile::HardwareModel::expected_latency(cost, node);
+    const double predicted = est.predict(cost);
+    const double err = actual > 0 ? 100.0 * std::abs(predicted - actual) / actual : 0.0;
+    table.row()
+        .cell(net.layer(id).spec.name)
+        .cell(util::ms(actual), 4)
+        .cell(util::ms(predicted), 4)
+        .cell(err, 1);
+    mape += err;
+    ++rows;
+  }
+  table.print(std::cout, net.name() + " on " + node.name);
+  std::cout << "MAPE: " << (rows ? mape / static_cast<double>(rows) : 0.0) << " %\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 4 - regression model accuracy (actual vs predicted)",
+                "Estimator trained on the profiler's noisy calibration workload; "
+                "ground truth from the hardware model.");
+  const dnn::Network net = dnn::zoo::alexnet();
+  compare(net, profile::i7_8700());
+  compare(net, profile::rtx_2080ti_server());
+  bench::paper_note(
+      "Fig. 4 shows predicted and actual per-layer times nearly overlapping on "
+      "both CPU (ms scale, conv2 largest) and GPU (sub-ms, fc1 dominating).");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 10: end-to-end latency speedup of HPA vs Neurosurgeon and DADS under
+// the four network conditions. Neurosurgeon (chain-only) is the 1x baseline on
+// AlexNet/VGG-16; DADS is the baseline for the DAG models it cannot handle.
+#include <iostream>
+
+#include "common.h"
+
+using namespace d3;
+
+int main() {
+  bench::banner("Fig. 10 - HPA vs Neurosurgeon and DADS",
+                "Speedup normalised to the applicable state-of-the-art baseline "
+                "(Neurosurgeon on chains, DADS otherwise).");
+
+  for (const auto& condition : net::paper_conditions()) {
+    sim::ExperimentConfig config;
+    config.condition = condition;
+    util::Table table({"DNN", "Neurosurgeon", "DADS", "HPA"});
+    for (const auto& net : bench::models()) {
+      const auto ns = bench::run(net, sim::Method::kNeurosurgeon, config);
+      const auto dd = bench::run(net, sim::Method::kDads, config);
+      const auto hpa = bench::run(net, sim::Method::kHpa, config);
+      const auto& base = ns.applicable ? ns : dd;
+      table.row()
+          .cell(net.name())
+          .cell(ns.applicable ? std::to_string(bench::speedup(base, ns)).substr(0, 4) : "N.A.")
+          .cell(bench::speedup(base, dd), 2)
+          .cell(bench::speedup(base, hpa), 2);
+    }
+    table.print(std::cout, "(" + condition.name + ")");
+    std::cout << "\n";
+  }
+  bench::paper_note(
+      "Fig. 10: HPA outperforms Neurosurgeon up to 2.33x on chain models and "
+      "DADS up to 2.97x on DAG models; Neurosurgeon is not applicable to "
+      "ResNet-18 / Darknet-53 / Inception-v4.");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Google-benchmark microbenchmarks of the core algorithms: HPA scaling with
+// graph size, Dinic min-cut (DADS), RTC plan construction, the incremental
+// local update, and the region conv kernel.
+#include <benchmark/benchmark.h>
+
+#include "baselines/dads.h"
+#include "core/hpa.h"
+#include "core/vsm.h"
+#include "dnn/model_zoo.h"
+#include "exec/ops.h"
+#include "net/conditions.h"
+#include "profile/hardware_model.h"
+#include "util/rng.h"
+
+namespace d3 {
+namespace {
+
+core::PartitionProblem chain_problem_of_size(std::size_t n) {
+  util::Rng rng(n);
+  core::PartitionProblem p;
+  p.dag = graph::Dag(n);
+  for (graph::VertexId v = 0; v + 1 < n; ++v) p.dag.add_edge(v, v + 1);
+  p.vertex_time.assign(n, core::TierTimes{});
+  p.out_bytes.assign(n, 0);
+  p.in_bytes.assign(n, 0);
+  p.out_bytes[0] = 600'000;
+  for (graph::VertexId v = 1; v < n; ++v) {
+    const double c = rng.uniform(1e-4, 1e-2);
+    p.vertex_time[v] = core::TierTimes{{c * 30, c * 5, c}};
+    p.out_bytes[v] = rng.uniform_int(1'000, 2'000'000);
+    p.in_bytes[v] = p.out_bytes[v - 1];
+  }
+  p.condition = net::wifi();
+  return p;
+}
+
+void BM_HpaChain(benchmark::State& state) {
+  const auto p = chain_problem_of_size(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(core::hpa(p));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HpaChain)->Range(16, 1024)->Complexity(benchmark::oN);
+
+void BM_HpaInceptionV4(benchmark::State& state) {
+  const dnn::Network net = dnn::zoo::inception_v4();
+  const auto p = core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  for (auto _ : state) benchmark::DoNotOptimize(core::hpa(p));
+}
+BENCHMARK(BM_HpaInceptionV4);
+
+void BM_HpaLocalUpdate(benchmark::State& state) {
+  auto p = chain_problem_of_size(256);
+  core::Assignment a = core::hpa(p).assignment;
+  for (auto _ : state) {
+    core::Assignment copy = a;
+    benchmark::DoNotOptimize(core::hpa_local_update(p, copy, 128));
+  }
+}
+BENCHMARK(BM_HpaLocalUpdate);
+
+void BM_DadsMinCut(benchmark::State& state) {
+  const dnn::Network net = dnn::zoo::resnet18();
+  const auto p = core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  for (auto _ : state) benchmark::DoNotOptimize(baselines::dads(p));
+}
+BENCHMARK(BM_DadsMinCut);
+
+void BM_FusedTilePlan(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  std::vector<std::pair<int, dnn::Window>> convs(8, {32, dnn::Window{3, 3, 1, 1, 1, 1}});
+  const dnn::Network net = dnn::zoo::conv_stack("bench", dnn::Shape{16, 64, 64}, convs);
+  std::vector<dnn::LayerId> ids(net.num_layers());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::make_fused_tile_plan(net, ids, grid, grid));
+}
+BENCHMARK(BM_FusedTilePlan)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ConvRegion(benchmark::State& state) {
+  const int hw = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  dnn::Tensor input = exec::random_tensor(dnn::Shape{16, hw, hw}, rng);
+  const dnn::LayerSpec spec = dnn::LayerSpec::conv("c", 16, dnn::Window{3, 3, 1, 1, 1, 1});
+  exec::LayerWeights w;
+  w.weights.resize(16u * 16u * 9u);
+  for (auto& v : w.weights) v = static_cast<float>(rng.uniform(-1, 1));
+  w.bias.assign(16, 0.1f);
+  for (auto _ : state) benchmark::DoNotOptimize(exec::conv2d(input, spec, w));
+  state.SetItemsProcessed(state.iterations() * input.shape().elements());
+}
+BENCHMARK(BM_ConvRegion)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LatencyEstimate(benchmark::State& state) {
+  const dnn::Network net = dnn::zoo::vgg16();
+  const auto node = profile::i7_8700();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(profile::HardwareModel::network_latency(net, node));
+}
+BENCHMARK(BM_LatencyEstimate);
+
+}  // namespace
+}  // namespace d3
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Table I: total latencies of processing a vertex pair (vi, vj) across the six
+// feasible tier placements, with vi's inputs arriving from the device tier.
+// Reproduced analytically for a representative pair: VGG-16's conv2 (vi) and
+// its relu (vj) under the Wi-Fi condition.
+#include <iostream>
+
+#include "common.h"
+#include "core/partition.h"
+#include "profile/hardware_model.h"
+#include "util/units.h"
+
+using namespace d3;
+using core::Tier;
+
+int main() {
+  bench::banner("Table I - total latencies of processing vi and vj",
+                "vi = VGG-16 conv2, vj = its relu; inputs of vi on the device; "
+                "Wi-Fi rates from Table III.");
+
+  const dnn::Network net = dnn::zoo::vgg16();
+  const core::PartitionProblem p =
+      core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  // Layer ids: conv1(0) relu(1) conv2(2) relu(3) ...
+  const graph::VertexId vi = dnn::Network::vertex_of(2);
+  const graph::VertexId vj = dnn::Network::vertex_of(3);
+  const double lambda_in = static_cast<double>(p.in_bytes[vi]);
+  const double lambda_out = static_cast<double>(p.out_bytes[vi]);
+
+  const auto t = [&](graph::VertexId v, Tier tier) { return p.vertex_time[v].at(tier); };
+  const auto tr = [&](double bytes, Tier a, Tier b) {
+    return p.transfer_seconds(static_cast<std::int64_t>(bytes), a, b);
+  };
+
+  struct Row {
+    const char* li;
+    const char* lj;
+    double seconds;
+  };
+  const Row rows[] = {
+      {"device", "device", t(vi, Tier::kDevice) + t(vj, Tier::kDevice)},
+      {"device", "edge",
+       t(vi, Tier::kDevice) + t(vj, Tier::kEdge) + tr(lambda_out, Tier::kDevice, Tier::kEdge)},
+      {"edge", "edge",
+       t(vi, Tier::kEdge) + t(vj, Tier::kEdge) + tr(lambda_in, Tier::kDevice, Tier::kEdge)},
+      {"edge", "cloud",
+       t(vi, Tier::kEdge) + t(vj, Tier::kCloud) + tr(lambda_in, Tier::kDevice, Tier::kEdge) +
+           tr(lambda_out, Tier::kEdge, Tier::kCloud)},
+      {"cloud", "cloud",
+       t(vi, Tier::kCloud) + t(vj, Tier::kCloud) + tr(lambda_in, Tier::kDevice, Tier::kCloud)},
+      {"device", "cloud",
+       t(vi, Tier::kDevice) + t(vj, Tier::kCloud) + tr(lambda_out, Tier::kDevice, Tier::kCloud)},
+  };
+
+  util::Table table({"location of vi", "location of vj", "total latency (ms)"});
+  double best = rows[0].seconds;
+  const Row* winner = &rows[0];
+  for (const Row& r : rows) {
+    table.row().cell(r.li).cell(r.lj).cell(util::ms(r.seconds), 2);
+    if (r.seconds < best) {
+      best = r.seconds;
+      winner = &r;
+    }
+  }
+  table.print(std::cout, "lambda_in = " + std::to_string(lambda_in / 1e6) +
+                             " MB, lambda_out = " + std::to_string(lambda_out / 1e6) + " MB");
+  std::cout << "cheapest placement: vi=" << winner->li << ", vj=" << winner->lj << " ("
+            << util::ms(best) << " ms)\n";
+  bench::paper_note(
+      "Table I enumerates the same six placements symbolically; HPA picks vi's "
+      "tier from the cheapest pair when lambda_in <= lambda_out (§III-E).");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Edge-cluster parallelism: VSM on the paper's Fig. 12 setup.
+//
+// HPA leaves VGG-16's convolutional body on the edge tier (Table II: the edge
+// is the pipeline bottleneck). VSM splits the stack into fused tile stacks, one
+// per edge node; this example sweeps the pool size, reports the speedup and the
+// halo redundancy, and demonstrates numerically — on a scaled-down stack with
+// real tensors — that the tiled result is bit-identical to serial execution.
+#include <iostream>
+#include <numeric>
+
+#include "core/d3.h"
+#include "core/hpa.h"
+#include "core/vsm.h"
+#include "core/vsm_executor.h"
+#include "dnn/model_zoo.h"
+#include "exec/weights.h"
+#include "net/conditions.h"
+#include "profile/profiler.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace d3;
+
+int main() {
+  // --- Plan: VGG-16's edge-resident conv stack across 1..16 nodes ---------
+  const dnn::Network vgg = dnn::zoo::vgg16();
+  const core::PartitionProblem problem =
+      core::make_problem_exact(vgg, profile::paper_testbed(), net::wifi());
+  const core::Assignment assignment = core::hpa(problem).assignment;
+
+  std::vector<dnn::LayerId> edge_layers;
+  for (dnn::LayerId id = 0; id < vgg.num_layers(); ++id)
+    if (assignment.tier[dnn::Network::vertex_of(id)] == core::Tier::kEdge)
+      edge_layers.push_back(id);
+  const auto stack = core::longest_tileable_run(vgg, edge_layers);
+  if (stack.empty()) {
+    std::cout << "HPA left no tileable stack on the edge; nothing to parallelise\n";
+    return 0;
+  }
+
+  const profile::NodeSpec edge_node = profile::i7_8700();
+  const dnn::Shape out = vgg.layer(stack.back()).output_shape;
+  util::Table table({"edge nodes", "grid", "edge stage (ms)", "speedup", "redundancy"});
+  for (const int nodes : {1, 2, 4, 9, 16}) {
+    const auto [rows, cols] = core::choose_tile_grid(nodes, out.h, out.w);
+    const auto plan = core::make_fused_tile_plan(vgg, stack, rows, cols);
+    const double serial = core::serial_stack_latency(vgg, plan, edge_node);
+    const double parallel = core::parallel_stack_latency(vgg, plan, edge_node);
+    table.row()
+        .cell(std::int64_t{nodes})
+        .cell(std::to_string(rows) + "x" + std::to_string(cols))
+        .cell(util::ms(parallel), 1)
+        .cell(serial / parallel, 2)
+        .cell(core::redundancy_factor(vgg, plan), 2);
+  }
+  table.print(std::cout, "VGG-16 conv body (" + std::to_string(stack.size()) +
+                             " fused layers) across an i7-8700 edge pool");
+  std::cout << "Halo overlap grows with the grid: the paper's explanation for the "
+               "edge stage not shrinking 4x on 4 nodes.\n\n";
+
+  // --- Prove losslessness with real arithmetic ----------------------------
+  // Same architecture pattern at 64x64 so the demo runs in milliseconds.
+  dnn::Network small("vgg-block", dnn::Shape{3, 64, 64});
+  dnn::LayerId x = small.conv("c1", dnn::kNetworkInput, 8, 3, 1, 1);
+  x = small.relu("r1", x);
+  x = small.conv("c2", x, 8, 3, 1, 1);
+  x = small.relu("r2", x);
+  x = small.max_pool("p1", x, 2, 2);
+  x = small.conv("c3", x, 16, 3, 1, 1);
+  x = small.relu("r3", x);
+  std::vector<dnn::LayerId> ids(small.num_layers());
+  std::iota(ids.begin(), ids.end(), 0);
+
+  const exec::WeightStore weights = exec::WeightStore::random_for(small, 7);
+  util::Rng rng(8);
+  const dnn::Tensor input = exec::random_tensor(small.input_shape(), rng);
+  const dnn::Tensor serial = core::run_stack_serial(small, weights, input, ids);
+  const auto plan = core::make_fused_tile_plan(small, ids, 2, 2);
+  const dnn::Tensor tiled = core::run_fused_tiles(small, weights, input, plan);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < serial.size(); ++i) mismatches += serial[i] != tiled[i];
+  std::cout << "numerical check on a real " << small.input_shape().to_string()
+            << " tensor: " << serial.size() << " output elements, " << mismatches
+            << " mismatches -> " << (mismatches == 0 ? "LOSSLESS" : "BROKEN") << "\n";
+  return mismatches == 0 ? 0 : 1;
+}

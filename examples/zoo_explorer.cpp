@@ -1,0 +1,51 @@
+// Zoo explorer: architecture and cost summary of the five paper models, plus
+// where HPA places them under each network condition — a quick way to see how
+// the partition frontier reacts to the backbone quality.
+#include <iostream>
+
+#include "core/hpa.h"
+#include "dnn/model_zoo.h"
+#include "net/conditions.h"
+#include "profile/profiler.h"
+#include "util/table.h"
+
+using namespace d3;
+
+int main() {
+  util::Table summary({"model", "layers", "convs", "params (M)", "GFLOPs", "topology"});
+  for (const auto& net : dnn::zoo::paper_models()) {
+    int convs = 0;
+    for (dnn::LayerId id = 0; id < net.num_layers(); ++id)
+      convs += net.layer(id).spec.kind == dnn::LayerKind::kConv;
+    summary.row()
+        .cell(net.name())
+        .cell(net.num_layers())
+        .cell(convs)
+        .cell(static_cast<double>(net.total_params()) / 1e6, 1)
+        .cell(static_cast<double>(net.total_flops()) / 1e9, 2)
+        .cell(net.is_chain() ? "chain" : "DAG");
+  }
+  summary.print(std::cout, "Model zoo (3x224x224 input)");
+  std::cout << "\n";
+
+  const auto estimators = profile::Profiler::profile_tiers(profile::paper_testbed());
+  for (const auto& condition : net::paper_conditions()) {
+    util::Table placement({"model", "device", "edge", "cloud", "theta (ms)"});
+    for (const auto& net : dnn::zoo::paper_models()) {
+      const auto problem = core::make_problem(net, estimators, condition);
+      const auto result = core::hpa(problem);
+      std::size_t counts[3] = {0, 0, 0};
+      for (std::size_t v = 1; v < problem.size(); ++v)
+        ++counts[static_cast<std::size_t>(core::index(result.assignment.tier[v]))];
+      placement.row()
+          .cell(net.name())
+          .cell(counts[0])
+          .cell(counts[1])
+          .cell(counts[2])
+          .cell(result.total_latency_seconds * 1e3, 1);
+    }
+    placement.print(std::cout, "HPA layer placement (" + condition.name + ")");
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "baselines/dads.h"
+
+#include "graph/mincut.h"
+
+namespace d3::baselines {
+
+using core::Assignment;
+using core::Tier;
+
+DadsResult dads(const core::PartitionProblem& problem) {
+  problem.validate();
+  const std::size_t n = problem.size();  // includes v0, which stays on the device
+
+  // Flow nodes: 0..n-1 mirror the DAG vertices (v0 unused), n = source (edge
+  // side), n+1 = sink (cloud side).
+  graph::FlowNetwork flow(n + 2);
+  const std::size_t s = n;
+  const std::size_t t = n + 1;
+
+  for (graph::VertexId v = 1; v < n; ++v) {
+    double cloud_cost = problem.vertex_time[v].at(Tier::kCloud);
+    // Raw-input transfer: vertices fed by v0 additionally pay the edge->cloud
+    // hop for the raw frame when they are placed in the cloud.
+    if (problem.dag.has_edge(0, v))
+      cloud_cost +=
+          problem.transfer_seconds(problem.out_bytes[0], Tier::kEdge, Tier::kCloud);
+    flow.add_edge(s, v, cloud_cost);
+    flow.add_edge(v, t, problem.vertex_time[v].at(Tier::kEdge));
+  }
+  for (const auto& [u, v] : problem.dag.edges()) {
+    if (u == 0) continue;  // raw input handled above
+    flow.add_edge(u, v,
+                  problem.transfer_seconds(problem.out_bytes[u], Tier::kEdge, Tier::kCloud));
+    flow.add_edge(v, u, graph::FlowNetwork::kInfinity);
+  }
+
+  DadsResult result;
+  result.min_cut_value = flow.max_flow(s, t);
+
+  result.assignment.tier.assign(n, Tier::kCloud);
+  result.assignment.tier[0] = Tier::kDevice;
+  for (graph::VertexId v = 1; v < n; ++v)
+    result.assignment.tier[v] = flow.source_side()[v] ? Tier::kEdge : Tier::kCloud;
+
+  result.total_latency_seconds = total_latency(problem, result.assignment);
+  return result;
+}
+
+}  // namespace d3::baselines

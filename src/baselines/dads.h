@@ -1,0 +1,28 @@
+// DADS baseline (Hu et al., INFOCOM'19): optimal two-way split of a DAG DNN
+// between an edge node and a cloud server via s-t min-cut. The device always
+// forwards the raw input to the edge over the LAN first (DADS's deployment
+// model); when the cut offloads everything, the raw input continues edge->cloud.
+//
+// Flow-network construction (per vertex v, for source s = edge side and sink
+// t = cloud side):
+//   cap(v -> t) = t_e(v)            paid when v runs on the edge
+//   cap(s -> v) = t_c(v) [+ raw transfer for input-adjacent vertices]
+//                                   paid when v runs in the cloud
+//   cap(u -> v) = transfer(u out)   paid when the link crosses edge -> cloud
+//   cap(v -> u) = infinity          forbids backward cloud -> edge dataflow
+//                                   (DADS "cannot generalise beyond two parts")
+#pragma once
+
+#include "core/partition.h"
+
+namespace d3::baselines {
+
+struct DadsResult {
+  core::Assignment assignment;  // every vertex kEdge or kCloud; v0 kDevice
+  double min_cut_value = 0;     // objective of the cut (edge+cloud compute + crossing transfer)
+  double total_latency_seconds = 0;  // Θ including the device->edge input hop
+};
+
+DadsResult dads(const core::PartitionProblem& problem);
+
+}  // namespace d3::baselines

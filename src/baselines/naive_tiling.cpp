@@ -1,0 +1,146 @@
+#include "baselines/naive_tiling.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "exec/ops.h"
+
+namespace d3::baselines {
+
+namespace {
+
+// Eq. (4) without the Eq. (5) padding offset: the padding-oblivious mapping.
+exec::Region naive_rtc(const dnn::NetworkLayer& layer, const dnn::Shape& input_shape,
+                       const exec::Region& out) {
+  switch (layer.spec.kind) {
+    case dnn::LayerKind::kReLU:
+    case dnn::LayerKind::kBatchNorm:
+      return out;
+    case dnn::LayerKind::kConv:
+    case dnn::LayerKind::kMaxPool:
+    case dnn::LayerKind::kAvgPool: {
+      const dnn::Window& w = layer.spec.window;
+      exec::Region in;
+      in.x0 = std::max(0, w.stride_w * out.x0);
+      in.y0 = std::max(0, w.stride_h * out.y0);
+      in.x1 = std::min(input_shape.w, w.stride_w * (out.x1 - 1) + w.kernel_w);
+      in.y1 = std::min(input_shape.h, w.stride_h * (out.y1 - 1) + w.kernel_h);
+      if (in.x1 <= in.x0 || in.y1 <= in.y0)
+        throw std::invalid_argument("naive tiling: degenerate region at '" +
+                                    layer.spec.name + "'");
+      return in;
+    }
+    default:
+      throw std::invalid_argument("naive tiling: layer '" + layer.spec.name +
+                                  "' is not tileable");
+  }
+}
+
+dnn::Tensor crop_tensor(const dnn::Tensor& full, const exec::Region& region) {
+  dnn::Tensor out(dnn::Shape{full.shape().c, region.height(), region.width()});
+  for (int c = 0; c < full.shape().c; ++c)
+    for (int y = region.y0; y < region.y1; ++y)
+      for (int x = region.x0; x < region.x1; ++x)
+        out.at(c, y - region.y0, x - region.x0) = full.at(c, y, x);
+  return out;
+}
+
+// Top-left window of a tensor.
+dnn::Tensor crop_top_left(const dnn::Tensor& t, int h, int w, const std::string& layer) {
+  if (t.shape().h < h || t.shape().w < w)
+    throw std::invalid_argument("naive tiling: standalone output smaller than planned at '" +
+                                layer + "' (border clamping)");
+  if (t.shape().h == h && t.shape().w == w) return t;
+  dnn::Tensor out(dnn::Shape{t.shape().c, h, w});
+  for (int c = 0; c < t.shape().c; ++c)
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x) out.at(c, y, x) = t.at(c, y, x);
+  return out;
+}
+
+}  // namespace
+
+NaiveTilePlan make_naive_tile_plan(const dnn::Network& net,
+                                   std::span<const dnn::LayerId> stack, int grid_rows,
+                                   int grid_cols) {
+  if (stack.empty()) throw std::invalid_argument("naive tiling: empty stack");
+  NaiveTilePlan plan;
+  plan.stack.assign(stack.begin(), stack.end());
+  plan.grid_rows = grid_rows;
+  plan.grid_cols = grid_cols;
+  for (const dnn::LayerId id : stack) {
+    if (net.layer(id).inputs.size() != 1)
+      throw std::invalid_argument("naive tiling: stack layer is not single-input");
+    plan.input_shapes.push_back(net.input_shapes(id)[0]);
+  }
+  plan.output_shape = net.layer(stack.back()).output_shape;
+
+  const int out_h = plan.output_shape.h;
+  const int out_w = plan.output_shape.w;
+  if (grid_rows < 1 || grid_cols < 1 || grid_rows > out_h || grid_cols > out_w)
+    throw std::invalid_argument("naive tiling: grid does not fit output");
+
+  for (int a = 0; a < grid_rows; ++a) {
+    for (int b = 0; b < grid_cols; ++b) {
+      NaiveTilePlan::TilePlan tile;
+      tile.output_region = exec::Region{
+          b * out_w / grid_cols, a * out_h / grid_rows,
+          (b + 1) * out_w / grid_cols, (a + 1) * out_h / grid_rows};
+      tile.input_regions.resize(stack.size());
+      exec::Region region = tile.output_region;
+      for (std::size_t j = stack.size(); j-- > 0;) {
+        region = naive_rtc(net.layer(stack[j]), plan.input_shapes[j], region);
+        tile.input_regions[j] = region;
+      }
+      plan.tiles.push_back(std::move(tile));
+    }
+  }
+  return plan;
+}
+
+dnn::Tensor run_naive_tiles(const dnn::Network& net, const exec::WeightStore& weights,
+                            const dnn::Tensor& stack_input, const NaiveTilePlan& plan) {
+  if (!(stack_input.shape() == plan.input_shapes.front()))
+    throw std::invalid_argument("run_naive_tiles: input shape mismatch");
+
+  dnn::Tensor output(plan.output_shape);
+  for (const NaiveTilePlan::TilePlan& tile : plan.tiles) {
+    // Standalone execution: the node treats its crop as a complete image.
+    dnn::Tensor local = crop_tensor(stack_input, tile.input_regions.front());
+    for (std::size_t j = 0; j < plan.stack.size(); ++j) {
+      const dnn::LayerId id = plan.stack[j];
+      const dnn::LayerSpec& spec = net.layer(id).spec;
+      switch (spec.kind) {
+        case dnn::LayerKind::kConv:
+          local = exec::conv2d(local, spec, weights.layer(id));
+          break;
+        case dnn::LayerKind::kMaxPool:
+        case dnn::LayerKind::kAvgPool:
+          local = exec::pool2d(local, spec);
+          break;
+        case dnn::LayerKind::kReLU:
+          local = exec::relu(local);
+          break;
+        case dnn::LayerKind::kBatchNorm:
+          local = exec::batch_norm(local, weights.layer(id));
+          break;
+        default:
+          throw std::logic_error("run_naive_tiles: non-tileable layer");
+      }
+      // Keep only the planned extent for the next layer (local padding can
+      // produce extra rows/columns).
+      const exec::Region& planned = j + 1 < plan.stack.size() ? tile.input_regions[j + 1]
+                                                              : tile.output_region;
+      local = crop_top_left(local, planned.height(), planned.width(), spec.name);
+    }
+    const exec::Region& region = tile.output_region;
+    for (int c = 0; c < output.shape().c; ++c)
+      for (int y = region.y0; y < region.y1; ++y)
+        for (int x = region.x0; x < region.x1; ++x)
+          output.at(c, y, x) = local.at(c, y - region.y0, x - region.x0);
+  }
+  return output;
+}
+
+}  // namespace d3::baselines

@@ -1,0 +1,47 @@
+// Padding-oblivious fused-tile partition, modelling the DeepThings-style scheme
+// the paper criticises (§III-F: "DeepThings does not consider input feature maps
+// with paddings, leading to the precision loss").
+//
+// Tile coordinates are back-propagated with Eq. (4) only — the padding offset of
+// Eq. (5) is ignored — and each edge node runs its tile as a standalone image,
+// applying the layer padding at *all* tile borders. Interior tile borders thus
+// see zeros where the true feature map has neighbour values: for any stack with
+// padding > 0 the gathered output differs from the serial reference, while for
+// valid (padding-free) stacks it is exact. Both facts are asserted by tests;
+// VSM (core/vsm.h) is the lossless fix.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dnn/network.h"
+#include "dnn/tensor.h"
+#include "exec/ops.h"
+#include "exec/weights.h"
+
+namespace d3::baselines {
+
+struct NaiveTilePlan {
+  std::vector<dnn::LayerId> stack;
+  int grid_rows = 0;
+  int grid_cols = 0;
+  struct TilePlan {
+    std::vector<exec::Region> input_regions;  // per layer, padding-oblivious
+    exec::Region output_region;
+  };
+  std::vector<TilePlan> tiles;
+  std::vector<dnn::Shape> input_shapes;
+  dnn::Shape output_shape;
+};
+
+// Throws std::invalid_argument when a tile crop gets clamped so hard at the map
+// border that the standalone execution cannot produce its planned extent.
+NaiveTilePlan make_naive_tile_plan(const dnn::Network& net,
+                                   std::span<const dnn::LayerId> stack, int grid_rows,
+                                   int grid_cols);
+
+// Scatter/standalone-compute/gather with the naive plan.
+dnn::Tensor run_naive_tiles(const dnn::Network& net, const exec::WeightStore& weights,
+                            const dnn::Tensor& stack_input, const NaiveTilePlan& plan);
+
+}  // namespace d3::baselines

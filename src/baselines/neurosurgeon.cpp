@@ -1,0 +1,36 @@
+#include "baselines/neurosurgeon.h"
+
+#include <limits>
+
+namespace d3::baselines {
+
+using core::Assignment;
+using core::Tier;
+
+std::optional<NeurosurgeonResult> neurosurgeon(const core::PartitionProblem& problem) {
+  problem.validate();
+  if (!problem.dag.is_chain()) return std::nullopt;
+
+  // Chain order: v0 -> v1 -> ... -> vn by construction of Network::to_dag, but
+  // derive it from the graph to stay generic.
+  const std::vector<graph::VertexId> order = problem.dag.topological_order();
+
+  NeurosurgeonResult best;
+  best.total_latency_seconds = std::numeric_limits<double>::infinity();
+
+  // Split after position s (0 = offload everything; order.size()-1 = device-only).
+  for (std::size_t s = 0; s + 1 <= order.size(); ++s) {
+    Assignment a;
+    a.tier.assign(problem.size(), Tier::kCloud);
+    for (std::size_t i = 0; i <= s; ++i) a.tier[order[i]] = Tier::kDevice;
+    const double theta = total_latency(problem, a);
+    if (theta < best.total_latency_seconds) {
+      best.total_latency_seconds = theta;
+      best.assignment = a;
+      best.split_vertex = order[s];
+    }
+  }
+  return best;
+}
+
+}  // namespace d3::baselines

@@ -1,0 +1,26 @@
+// Neurosurgeon baseline (Kang et al., ASPLOS'17): splits a *chain-topology* DNN
+// at one layer boundary between the mobile device and the cloud, minimising
+// total latency (prefix on device + uplink transfer + suffix on cloud). The
+// paper's comparison (Fig. 10) notes it is "not applicable for ResNet-18,
+// Darknet-53 and Inception-v4, which are of DAG topology" — reproduced here by
+// returning std::nullopt for non-chain graphs.
+#pragma once
+
+#include <optional>
+
+#include "core/partition.h"
+
+namespace d3::baselines {
+
+struct NeurosurgeonResult {
+  core::Assignment assignment;
+  // Vertices [1, split] run on the device; (split, n] on the cloud. split == 0
+  // means everything offloaded.
+  graph::VertexId split_vertex = 0;
+  double total_latency_seconds = 0;
+};
+
+// std::nullopt when the DAG is not a chain.
+std::optional<NeurosurgeonResult> neurosurgeon(const core::PartitionProblem& problem);
+
+}  // namespace d3::baselines

@@ -1,0 +1,63 @@
+#include "core/adaptive.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace d3::core {
+
+namespace {
+
+bool within(double old_value, double new_value, double threshold) {
+  if (old_value == 0.0) return new_value == 0.0;
+  return std::abs(new_value - old_value) / std::abs(old_value) <= threshold;
+}
+
+}  // namespace
+
+AdaptiveRepartitioner::AdaptiveRepartitioner(PartitionProblem problem, Options options)
+    : problem_(std::move(problem)), options_(options) {
+  problem_.validate();
+  assignment_ = hpa(problem_, options_.hpa).assignment;
+}
+
+std::vector<graph::VertexId> AdaptiveRepartitioner::update_vertex_time(graph::VertexId v,
+                                                                       const TierTimes& times) {
+  if (v == 0 || v >= problem_.size())
+    throw std::invalid_argument("update_vertex_time: bad vertex");
+  bool significant = false;
+  for (const Tier tier : kAllTiers)
+    significant |= !within(problem_.vertex_time[v].at(tier), times.at(tier),
+                           options_.time_threshold);
+  if (!significant) {
+    ++absorbed_updates_;
+    return {};
+  }
+  problem_.vertex_time[v] = times;
+  ++local_updates_;
+  return hpa_local_update(problem_, assignment_, v, options_.hpa);
+}
+
+std::vector<graph::VertexId> AdaptiveRepartitioner::update_condition(
+    const net::NetworkCondition& condition) {
+  const bool significant =
+      !within(problem_.condition.device_edge_mbps, condition.device_edge_mbps,
+              options_.bandwidth_threshold) ||
+      !within(problem_.condition.edge_cloud_mbps, condition.edge_cloud_mbps,
+              options_.bandwidth_threshold) ||
+      !within(problem_.condition.device_cloud_mbps, condition.device_cloud_mbps,
+              options_.bandwidth_threshold);
+  if (!significant) {
+    ++absorbed_updates_;
+    return {};
+  }
+  problem_.condition = condition;
+  ++full_repartitions_;
+  const Assignment fresh = hpa(problem_, options_.hpa).assignment;
+  std::vector<graph::VertexId> changed;
+  for (graph::VertexId v = 0; v < problem_.size(); ++v)
+    if (fresh.tier[v] != assignment_.tier[v]) changed.push_back(v);
+  assignment_ = fresh;
+  return changed;
+}
+
+}  // namespace d3::core

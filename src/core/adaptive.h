@@ -1,0 +1,57 @@
+// Run-time adaptation (paper §III-E, last paragraph): resource changes and
+// network dynamics alter per-layer times and transfer delays; HPA accommodates
+// them by *local* updates instead of re-partitioning the whole DNN, gated by
+// hysteresis thresholds so the partition is not recomputed on every jitter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/hpa.h"
+#include "core/partition.h"
+
+namespace d3::core {
+
+struct AdaptiveOptions {
+  // Relative per-vertex processing-time change below which updates are ignored.
+  double time_threshold = 0.15;
+  // Relative inter-tier bandwidth change below which updates are ignored.
+  double bandwidth_threshold = 0.15;
+  HpaOptions hpa;
+};
+
+class AdaptiveRepartitioner {
+ public:
+  using Options = AdaptiveOptions;
+
+  AdaptiveRepartitioner(PartitionProblem problem, Options options = {});
+
+  const PartitionProblem& problem() const { return problem_; }
+  const Assignment& assignment() const { return assignment_; }
+  double current_latency() const { return total_latency(problem_, assignment_); }
+
+  // New measured processing times for vertex `v`. Below threshold: absorbed
+  // silently. Above: the problem is updated and HPA adjusts v's neighbourhood
+  // locally (hpa_local_update). Returns the vertices whose tier changed.
+  std::vector<graph::VertexId> update_vertex_time(graph::VertexId v, const TierTimes& times);
+
+  // New network condition. Below threshold on every inter-tier rate: absorbed.
+  // Above: link weights are updated; since every link weight changed at once,
+  // this triggers a full HPA re-run (the one situation local updates cannot
+  // bound). Returns the vertices whose tier changed.
+  std::vector<graph::VertexId> update_condition(const net::NetworkCondition& condition);
+
+  std::size_t local_updates() const { return local_updates_; }
+  std::size_t full_repartitions() const { return full_repartitions_; }
+  std::size_t absorbed_updates() const { return absorbed_updates_; }
+
+ private:
+  PartitionProblem problem_;
+  Options options_;
+  Assignment assignment_;
+  std::size_t local_updates_ = 0;
+  std::size_t full_repartitions_ = 0;
+  std::size_t absorbed_updates_ = 0;
+};
+
+}  // namespace d3::core

@@ -1,0 +1,58 @@
+#include "core/d3.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace d3::core {
+
+std::size_t DeploymentPlan::vertices_on(Tier tier) const {
+  return static_cast<std::size_t>(
+      std::count(assignment.tier.begin() + 1, assignment.tier.end(), tier));
+}
+
+std::pair<int, int> choose_tile_grid(int nodes, int out_h, int out_w) {
+  for (int n = std::max(1, nodes); n >= 1; --n) {
+    // Most-square factorisation a x b = n with a <= out_h, b <= out_w.
+    for (int a = static_cast<int>(std::sqrt(static_cast<double>(n))); a >= 1; --a) {
+      if (n % a != 0) continue;
+      const int b = n / a;
+      if (a <= out_h && b <= out_w) return {a, b};
+      if (b <= out_h && a <= out_w) return {b, a};
+    }
+  }
+  return {1, 1};
+}
+
+D3System::D3System(const dnn::Network& net, const profile::TierNodes& nodes,
+                   const D3Options& options)
+    : net_(net),
+      nodes_(nodes),
+      options_(options),
+      estimators_(profile::Profiler::profile_tiers(nodes, options.profiler)) {}
+
+DeploymentPlan D3System::plan(const net::NetworkCondition& condition) const {
+  DeploymentPlan plan;
+  plan.problem = make_problem(net_, estimators_, condition);
+  const HpaResult result = hpa(plan.problem, options_.hpa);
+  plan.assignment = result.assignment;
+  plan.estimated_total_latency = result.total_latency_seconds;
+
+  if (options_.edge_nodes > 1) {
+    // Collect the layers HPA placed on the edge (network order) and tile the
+    // heaviest contiguous convolutional run across the available edge nodes.
+    std::vector<dnn::LayerId> edge_layers;
+    for (dnn::LayerId id = 0; id < net_.num_layers(); ++id)
+      if (plan.assignment.tier[dnn::Network::vertex_of(id)] == Tier::kEdge)
+        edge_layers.push_back(id);
+    const std::vector<dnn::LayerId> stack = longest_tileable_run(net_, edge_layers);
+    if (!stack.empty()) {
+      const dnn::Shape out = net_.layer(stack.back()).output_shape;
+      const auto [rows, cols] = choose_tile_grid(options_.edge_nodes, out.h, out.w);
+      if (rows * cols > 1)
+        plan.vsm = make_fused_tile_plan(net_, stack, rows, cols);
+    }
+  }
+  return plan;
+}
+
+}  // namespace d3::core

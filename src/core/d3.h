@@ -1,0 +1,57 @@
+// The D3 system facade (Fig. 2): profiler -> regression estimators -> offline
+// partition framework (HPA + VSM) -> deployment plan for the online execution
+// engine. This is the public entry point a user of the library calls.
+#pragma once
+
+#include <optional>
+
+#include "core/hpa.h"
+#include "core/partition.h"
+#include "core/vsm.h"
+#include "net/conditions.h"
+#include "profile/profiler.h"
+
+namespace d3::core {
+
+struct D3Options {
+  HpaOptions hpa;
+  // Edge nodes available for VSM fan-out. 1 disables VSM (plain HPA).
+  int edge_nodes = 1;
+  profile::Profiler::Options profiler;
+};
+
+struct DeploymentPlan {
+  Assignment assignment;
+  // The estimated problem the decision was made on (regression-based weights).
+  PartitionProblem problem;
+  // Present when VSM applies: >= 2 edge nodes and a tileable conv stack on the
+  // edge whose output grid fits the node count.
+  std::optional<FusedTilePlan> vsm;
+  double estimated_total_latency = 0;  // Θ under the estimated weights
+
+  std::size_t vertices_on(Tier tier) const;
+};
+
+// Near-square A x B factorisation of `nodes` that fits an out_h x out_w grid;
+// falls back to fewer nodes when the extent is too small. Returns {1,1} for 1.
+std::pair<int, int> choose_tile_grid(int nodes, int out_h, int out_w);
+
+class D3System {
+ public:
+  // Profiles the three tiers of `nodes` once (regression fitting) at
+  // construction; plan() is then cheap and can be called per condition change.
+  D3System(const dnn::Network& net, const profile::TierNodes& nodes,
+           const D3Options& options = {});
+
+  DeploymentPlan plan(const net::NetworkCondition& condition) const;
+
+  const std::array<profile::LatencyEstimator, 3>& estimators() const { return estimators_; }
+
+ private:
+  const dnn::Network& net_;
+  profile::TierNodes nodes_;
+  D3Options options_;
+  std::array<profile::LatencyEstimator, 3> estimators_;
+};
+
+}  // namespace d3::core

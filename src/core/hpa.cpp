@@ -1,0 +1,263 @@
+#include "core/hpa.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/layering.h"
+
+namespace d3::core {
+
+namespace {
+
+// max{lh1..lhm} under the order d ≻ e ≻ c: the most device-ward predecessor tier.
+Tier most_deviceward_pred(const PartitionProblem& problem, const Assignment& assignment,
+                          graph::VertexId v) {
+  Tier m = Tier::kCloud;
+  for (const graph::VertexId p : problem.dag.predecessors(v))
+    if (before(assignment.tier[p], m)) m = assignment.tier[p];
+  return m;
+}
+
+// t_i^{li} + Σ_{vh ∈ Vp_i} t_{hi}^{[lh, li]}  (Eq. (2) cost for one candidate tier).
+double local_cost(const PartitionProblem& problem, const Assignment& assignment,
+                  graph::VertexId v, Tier li) {
+  double cost = problem.vertex_time[v].at(li);
+  for (const graph::VertexId p : problem.dag.predecessors(v))
+    cost += problem.transfer_seconds(problem.out_bytes[p], assignment.tier[p], li);
+  return cost;
+}
+
+// Downstream cost-to-go table. This generalises the paper's Table-I lookahead:
+// instead of enumerating placements of (vi, largest direct successor), a
+// candidate tier li is charged the best-case cost of completing *everything*
+// downstream, computed by a backward dynamic program over the topological
+// order:
+//
+//   F[k][l] = min over tiers l' ⪰ l of
+//             transfer(cut_bytes[k], l -> l') + t(order[k], l') + F[k+1][l']
+//
+// i.e. the remaining vertices run at monotonically cloud-ward tiers, paying
+// each crossing with *every tensor alive across that point of the topological
+// order* (for each vertex u, its output is live from its position until its
+// last consumer — the exact bytes a cut between positions k-1 and k ships, and
+// exactly the per-edge tensor for chain networks). For chains this DP is the
+// exact three-tier split cost; for DAGs the topological suffix stands in for
+// the descendant set. The paper's one-successor horizon degenerates on deep
+// modular networks — on Inception-v4 every stem layer individually looks
+// cheaper on the device than its input transfer, so the partition never escapes
+// the device even though the accumulated device time dwarfs one uplink crossing
+// (see DESIGN.md).
+struct DownstreamCosts {
+  std::vector<std::size_t> position;        // topo position per vertex
+  std::array<std::vector<double>, 3> togo;  // togo[l][k] = F[k][l]
+
+  static DownstreamCosts build(const PartitionProblem& problem) {
+    DownstreamCosts d;
+    const std::vector<graph::VertexId> order = problem.dag.topological_order();
+    const std::size_t n = order.size();
+    d.position.resize(n);
+    for (std::size_t k = 0; k < n; ++k) d.position[order[k]] = k;
+
+    // cut_bytes[k]: bytes of tensors alive across a cut between positions k-1
+    // and k. Vertex u's output lives over (pos(u), max pos of its consumers];
+    // accumulate with a difference array.
+    std::vector<double> diff(n + 2, 0.0);
+    for (graph::VertexId u = 0; u < n; ++u) {
+      std::size_t last = d.position[u];
+      for (const graph::VertexId s : problem.dag.successors(u))
+        last = std::max(last, d.position[s]);
+      if (last > d.position[u]) {
+        diff[d.position[u] + 1] += static_cast<double>(problem.out_bytes[u]);
+        diff[last + 1] -= static_cast<double>(problem.out_bytes[u]);
+      }
+    }
+    std::vector<double> cut_bytes(n + 1, 0.0);
+    for (std::size_t k = 1; k <= n; ++k) cut_bytes[k] = cut_bytes[k - 1] + diff[k];
+
+    for (auto& v : d.togo) v.assign(n + 1, 0.0);
+    for (std::size_t k = n; k-- > 1;) {
+      const graph::VertexId v = order[k];
+      for (const Tier l : kAllTiers) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const Tier l2 : kAllTiers) {
+          if (before(l2, l)) continue;  // Prop. 1: no device-ward moves downstream
+          const double crossing =
+              l2 == l ? 0.0
+                      : problem.transfer_seconds(
+                            static_cast<std::int64_t>(cut_bytes[k]), l, l2);
+          best = std::min(best, crossing + problem.vertex_time[v].at(l2) +
+                                    d.togo[static_cast<std::size_t>(index(l2))][k + 1]);
+        }
+        d.togo[static_cast<std::size_t>(index(l))][k] = best;
+      }
+    }
+    return d;
+  }
+
+  // Best-case cost of completing every vertex after v when v's output is at li.
+  double future(graph::VertexId v, Tier li) const {
+    return togo[static_cast<std::size_t>(index(li))][position[v] + 1];
+  }
+};
+
+// Optimal-tier selection for one vertex whose predecessors are already placed.
+Tier choose_tier(const PartitionProblem& problem, const Assignment& assignment,
+                 graph::VertexId v, const HpaOptions& options, const DownstreamCosts& costs) {
+  const std::vector<Tier> candidates = potential_tiers(problem, assignment, v);
+  if (candidates.size() == 1) return candidates.front();  // Γi = {c} fast path
+
+  // The most device-ward feasible tier keeps the data where it already is;
+  // moving cloud-ward must beat it by the hysteresis margin (the lookahead is
+  // an estimate — without the margin, near-ties cut DAG modules in half and
+  // every severed branch pays its own uplink crossing).
+  const Tier stay_tier = candidates.front();
+  double stay_cost = 0;
+  Tier best_tier = stay_tier;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const Tier li : candidates) {
+    double cost = local_cost(problem, assignment, v, li);
+    if (options.io_heuristic) cost += costs.future(v, li);
+    if (li == stay_tier) stay_cost = cost;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_tier = li;
+    }
+  }
+  if (best_tier != stay_tier && best_cost > (1.0 - options.crossing_hysteresis) * stay_cost)
+    return stay_tier;
+  return best_tier;
+}
+
+// Prop. 2 update over one graph layer: pull SIS vertices that sit strictly
+// device-ward of their sibling forward to the sibling's tier (their inputs are
+// already there, so the move costs no extra transmission).
+void sis_update(const PartitionProblem& problem, Assignment& assignment,
+                const std::vector<graph::VertexId>& layer) {
+  for (const graph::VertexId vi : layer) {
+    for (const graph::VertexId vj : graph::sis_vertices(problem.dag, vi, layer)) {
+      if (before(assignment.tier[vj], assignment.tier[vi]))
+        assignment.tier[vj] = assignment.tier[vi];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Tier> potential_tiers(const PartitionProblem& problem, const Assignment& assignment,
+                                  graph::VertexId v) {
+  if (v == 0) return {Tier::kDevice};
+  if (problem.dag.predecessors(v).empty()) return {Tier::kDevice, Tier::kEdge, Tier::kCloud};
+  const Tier bound = most_deviceward_pred(problem, assignment, v);
+  std::vector<Tier> out;
+  for (const Tier t : kAllTiers)
+    if (before_or_same(bound, t)) out.push_back(t);
+  return out;
+}
+
+HpaResult hpa(const PartitionProblem& problem, const HpaOptions& options) {
+  problem.validate();
+  HpaResult result;
+  result.graph_layers = graph::graph_layers(problem.dag, 0);
+  result.assignment.tier.assign(problem.size(), Tier::kCloud);
+  result.assignment.tier[0] = Tier::kDevice;  // lopt_0 = d
+  const DownstreamCosts costs = DownstreamCosts::build(problem);
+
+  bool first = true;
+  for (const auto& layer : result.graph_layers) {
+    if (first) {  // Z0 = {v0}
+      first = false;
+      continue;
+    }
+    for (const graph::VertexId v : layer)
+      result.assignment.tier[v] = choose_tier(problem, result.assignment, v, options, costs);
+    if (options.sis_update) sis_update(problem, result.assignment, layer);
+  }
+
+  // Plan validation: the offline partition framework never deploys a heuristic
+  // split that loses to a trivial single-tier plan under its own cost model.
+  result.total_latency_seconds = total_latency(problem, result.assignment);
+  for (const Tier tier : kAllTiers) {
+    const Assignment uniform = uniform_assignment(problem, tier);
+    const double theta = total_latency(problem, uniform);
+    if (theta < result.total_latency_seconds) {
+      result.total_latency_seconds = theta;
+      result.assignment = uniform;
+    }
+  }
+  return result;
+}
+
+std::vector<graph::VertexId> hpa_local_update(const PartitionProblem& problem,
+                                              Assignment& assignment, graph::VertexId v,
+                                              const HpaOptions& options) {
+  if (v == 0 || v >= problem.size())
+    throw std::invalid_argument("hpa_local_update: bad vertex");
+
+  const std::vector<int> delta = graph::longest_distance(problem.dag, 0);
+  const auto layers = graph::graph_layers(problem.dag, 0);
+  const auto layer_of = [&](graph::VertexId u) -> const std::vector<graph::VertexId>& {
+    return layers[static_cast<std::size_t>(delta[u])];
+  };
+
+  const DownstreamCosts costs = DownstreamCosts::build(problem);
+  std::vector<graph::VertexId> changed;
+  const auto reassign = [&](graph::VertexId u) {
+    const Tier fresh = choose_tier(problem, assignment, u, options, costs);
+    if (fresh != assignment.tier[u]) {
+      assignment.tier[u] = fresh;
+      changed.push_back(u);
+    }
+  };
+
+  // The paper's neighbourhood: v, its SIS vertices, its direct successors, and
+  // the SIS vertices of those successors.
+  reassign(v);
+  for (const graph::VertexId s : graph::sis_vertices(problem.dag, v, layer_of(v))) reassign(s);
+  for (const graph::VertexId succ : problem.dag.successors(v)) {
+    reassign(succ);
+    for (const graph::VertexId s : graph::sis_vertices(problem.dag, succ, layer_of(succ)))
+      reassign(s);
+  }
+
+  // Repair pass (extension, see DESIGN.md): cloud-ward moves can tighten Prop-1
+  // bounds further downstream; sweep in topological order and re-place any
+  // vertex left infeasible, so the assignment invariant always holds.
+  for (const graph::VertexId u : problem.dag.topological_order()) {
+    if (u == 0 || problem.dag.predecessors(u).empty()) continue;
+    const Tier bound = most_deviceward_pred(problem, assignment, u);
+    if (before(assignment.tier[u], bound)) reassign(u);
+  }
+  return changed;
+}
+
+Assignment brute_force_optimal(const PartitionProblem& problem) {
+  problem.validate();
+  const std::size_t n = problem.size();
+  if (n > 14) throw std::invalid_argument("brute_force_optimal: graph too large");
+
+  Assignment best;
+  double best_theta = std::numeric_limits<double>::infinity();
+  Assignment current;
+  current.tier.assign(n, Tier::kDevice);
+
+  std::size_t total = 1;
+  for (std::size_t i = 1; i < n; ++i) total *= 3;
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    for (std::size_t i = 1; i < n; ++i) {
+      current.tier[i] = static_cast<Tier>(c % 3);
+      c /= 3;
+    }
+    if (!respects_precedence(problem, current)) continue;
+    const double theta = total_latency(problem, current);
+    if (theta < best_theta) {
+      best_theta = theta;
+      best = current;
+    }
+  }
+  if (best.tier.empty()) throw std::logic_error("brute_force_optimal: no feasible assignment");
+  return best;
+}
+
+}  // namespace d3::core

@@ -1,0 +1,70 @@
+// Horizontal Partition Algorithm (paper Algorithm 1, §III-E).
+//
+// HPA splits the DNN DAG into three sub-graphs executed on device, edge and
+// cloud. It walks the longest-distance graph layers Z0..Zn front to back; in
+// each layer it restricts every vertex's candidate tiers to those allowed by
+// Prop. 1 (no vertex strictly device-ward of its most device-ward predecessor),
+// picks the optimal tier by the local rule of Eq. (2) plus a downstream
+// lookahead, then applies the SIS update of Prop. 2. Partition quality is
+// measured by the Θ objective in partition.h.
+//
+// Lookahead note: the paper's §III-E lookahead enumerates Table-I placements of
+// (vi, largest direct successor). That single-step horizon degenerates on deep
+// modular DAGs — on Inception-v4 every stem layer individually looks cheaper on
+// the device than paying its input transfer, so the partition never leaves the
+// device even though the accumulated device time dwarfs one uplink crossing.
+// This implementation generalises the same idea to a suffix lookahead: each
+// candidate tier li is additionally charged the best-case cost of completing
+// all downstream vertices at some tier l' ⪰ li, including one crossing of vi's
+// output (Table I's pairwise rows are the one-successor specialisation of this
+// term). Disable via HpaOptions::io_heuristic to get the bare Eq. (2) greedy.
+//
+// hpa_local_update() implements the paper's dynamic adaptation: when one
+// vertex's conditions change, only its neighbourhood (the vertex, its SIS
+// siblings, its direct successors and their SIS siblings) is recomputed.
+#pragma once
+
+#include <vector>
+
+#include "core/partition.h"
+
+namespace d3::core {
+
+struct HpaOptions {
+  // Apply the SIS update after each graph layer (Prop. 2). Ablatable.
+  bool sis_update = true;
+  // Apply the downstream lookahead (the generalised Table-I heuristic, see
+  // header comment). When false every vertex uses the purely local Eq. (2).
+  // Ablatable.
+  bool io_heuristic = true;
+  // A vertex only moves cloud-ward of its most device-ward feasible tier when
+  // the estimated win exceeds this margin; near-ties would otherwise cut DAG
+  // modules mid-branch (every severed branch pays its own crossing).
+  double crossing_hysteresis = 0.05;
+};
+
+struct HpaResult {
+  Assignment assignment;
+  // The graph layers Zq HPA processed (for introspection and tests).
+  std::vector<std::vector<graph::VertexId>> graph_layers;
+  double total_latency_seconds = 0;  // Θ of the returned assignment
+};
+
+HpaResult hpa(const PartitionProblem& problem, const HpaOptions& options = {});
+
+// Candidate tiers of `v` given its predecessors' current assignment (Prop. 1).
+std::vector<Tier> potential_tiers(const PartitionProblem& problem, const Assignment& assignment,
+                                  graph::VertexId v);
+
+// Recomputes the optimal tiers of v's local neighbourhood after its vertex
+// weights or the link weights changed, leaving the rest of the assignment
+// untouched. Returns the vertices whose tier changed.
+std::vector<graph::VertexId> hpa_local_update(const PartitionProblem& problem,
+                                              Assignment& assignment, graph::VertexId v,
+                                              const HpaOptions& options = {});
+
+// Exhaustive minimiser of Θ subject to Prop. 1 (O(3^n); small graphs only).
+// Used by tests and the ablation bench as the optimality reference.
+Assignment brute_force_optimal(const PartitionProblem& problem);
+
+}  // namespace d3::core

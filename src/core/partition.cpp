@@ -1,0 +1,148 @@
+#include "core/partition.h"
+
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "profile/hardware_model.h"
+
+namespace d3::core {
+
+double PartitionProblem::bandwidth_mbps(Tier a, Tier b) const {
+  if (a == b) return std::numeric_limits<double>::infinity();
+  const int lo = std::min(index(a), index(b));
+  const int hi = std::max(index(a), index(b));
+  if (lo == index(Tier::kDevice) && hi == index(Tier::kEdge)) return condition.device_edge_mbps;
+  if (lo == index(Tier::kEdge) && hi == index(Tier::kCloud)) return condition.edge_cloud_mbps;
+  return condition.device_cloud_mbps;
+}
+
+double PartitionProblem::transfer_seconds(std::int64_t bytes, Tier a, Tier b) const {
+  if (a == b) return 0.0;  // intra-tier transmission is infinitesimal (§III-A)
+  return condition.transfer_seconds(bytes, bandwidth_mbps(a, b));
+}
+
+void PartitionProblem::validate() const {
+  if (dag.size() == 0) throw std::invalid_argument("PartitionProblem: empty dag");
+  if (vertex_time.size() != dag.size() || out_bytes.size() != dag.size() ||
+      in_bytes.size() != dag.size())
+    throw std::invalid_argument("PartitionProblem: vector sizes do not match dag");
+  if (!dag.predecessors(0).empty())
+    throw std::invalid_argument("PartitionProblem: v0 must have no predecessors");
+  for (const double t : vertex_time[0].seconds)
+    if (t != 0.0) throw std::invalid_argument("PartitionProblem: v0 must cost nothing");
+}
+
+double total_latency(const PartitionProblem& problem, const Assignment& assignment) {
+  if (assignment.tier.size() != problem.size())
+    throw std::invalid_argument("total_latency: assignment size mismatch");
+  double theta = 0.0;
+  for (graph::VertexId v = 0; v < problem.size(); ++v)
+    theta += problem.vertex_time[v].at(assignment.tier[v]);
+  for (const auto& [u, v] : problem.dag.edges())
+    theta += problem.transfer_seconds(problem.out_bytes[u], assignment.tier[u],
+                                      assignment.tier[v]);
+  return theta;
+}
+
+bool respects_precedence(const PartitionProblem& problem, const Assignment& assignment) {
+  if (assignment.tier.size() != problem.size()) return false;
+  if (assignment.tier[0] != Tier::kDevice) return false;
+  for (graph::VertexId v = 1; v < problem.size(); ++v) {
+    const auto& preds = problem.dag.predecessors(v);
+    if (preds.empty()) continue;
+    // max under ≻ = most device-ward predecessor tier.
+    Tier most_deviceward = Tier::kCloud;
+    for (const graph::VertexId p : preds)
+      if (before(assignment.tier[p], most_deviceward)) most_deviceward = assignment.tier[p];
+    if (before(assignment.tier[v], most_deviceward)) return false;
+  }
+  return true;
+}
+
+BoundaryTraffic boundary_traffic(const PartitionProblem& problem, const Assignment& assignment) {
+  BoundaryTraffic traffic;
+  for (graph::VertexId u = 0; u < problem.size(); ++u) {
+    std::set<Tier> destinations;
+    for (const graph::VertexId v : problem.dag.successors(u)) {
+      const Tier dst = assignment.tier[v];
+      if (dst != assignment.tier[u]) destinations.insert(dst);
+    }
+    for (const Tier dst : destinations) {
+      const Tier src = assignment.tier[u];
+      const int lo = std::min(index(src), index(dst));
+      const int hi = std::max(index(src), index(dst));
+      if (lo == 0 && hi == 1) traffic.device_edge_bytes += problem.out_bytes[u];
+      else if (lo == 1 && hi == 2) traffic.edge_cloud_bytes += problem.out_bytes[u];
+      else traffic.device_cloud_bytes += problem.out_bytes[u];
+    }
+  }
+  return traffic;
+}
+
+TierLoad tier_load(const PartitionProblem& problem, const Assignment& assignment) {
+  TierLoad load;
+  for (graph::VertexId v = 0; v < problem.size(); ++v)
+    load.seconds[static_cast<std::size_t>(index(assignment.tier[v]))] +=
+        problem.vertex_time[v].at(assignment.tier[v]);
+  return load;
+}
+
+Assignment uniform_assignment(const PartitionProblem& problem, Tier tier) {
+  Assignment a;
+  a.tier.assign(problem.size(), tier);
+  a.tier[0] = Tier::kDevice;
+  return a;
+}
+
+namespace {
+
+PartitionProblem make_problem_shared(const dnn::Network& net,
+                                     const net::NetworkCondition& condition) {
+  PartitionProblem p;
+  p.dag = net.to_dag();
+  p.condition = condition;
+  p.vertex_time.assign(p.dag.size(), TierTimes{});
+  p.out_bytes.assign(p.dag.size(), 0);
+  p.in_bytes.assign(p.dag.size(), 0);
+  p.out_bytes[0] = net.input_shape().bytes();
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    const graph::VertexId v = dnn::Network::vertex_of(id);
+    p.out_bytes[v] = net.lambda_out_bytes(id);
+    p.in_bytes[v] = net.lambda_in_bytes(id);
+  }
+  return p;
+}
+
+}  // namespace
+
+PartitionProblem make_problem(const dnn::Network& net,
+                              const std::array<profile::LatencyEstimator, 3>& estimators,
+                              const net::NetworkCondition& condition) {
+  PartitionProblem p = make_problem_shared(net, condition);
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    const profile::LayerCost cost = profile::layer_cost(net, id);
+    TierTimes& times = p.vertex_time[dnn::Network::vertex_of(id)];
+    for (const Tier tier : kAllTiers)
+      times.at(tier) = estimators[static_cast<std::size_t>(index(tier))].predict(cost);
+  }
+  p.validate();
+  return p;
+}
+
+PartitionProblem make_problem_exact(const dnn::Network& net, const profile::TierNodes& nodes,
+                                    const net::NetworkCondition& condition) {
+  PartitionProblem p = make_problem_shared(net, condition);
+  const profile::NodeSpec* specs[3] = {&nodes.device, &nodes.edge, &nodes.cloud};
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    const profile::LayerCost cost = profile::layer_cost(net, id);
+    TierTimes& times = p.vertex_time[dnn::Network::vertex_of(id)];
+    for (const Tier tier : kAllTiers)
+      times.at(tier) = profile::HardwareModel::expected_latency(
+          cost, *specs[static_cast<std::size_t>(index(tier))]);
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace d3::core

@@ -1,0 +1,93 @@
+// The horizontal-partition problem (§III-C/E): the DAG G=(V,L) with vertex
+// weights Tvi (per-tier processing times) and link weights (transfer delays
+// derived from output sizes and inter-tier bandwidth), plus the assignment
+// representation and the Θ objective HPA minimises.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tier.h"
+#include "dnn/network.h"
+#include "graph/dag.h"
+#include "net/conditions.h"
+#include "profile/node_spec.h"
+#include "profile/regression.h"
+
+namespace d3::core {
+
+struct PartitionProblem {
+  graph::Dag dag;  // vertex 0 = virtual input v0
+  // Per-vertex processing times; vertex_time[0] is all-zero (v0 is virtual).
+  std::vector<TierTimes> vertex_time;
+  // lambda_out per vertex: bytes produced (out_bytes[0] = raw input size).
+  std::vector<std::int64_t> out_bytes;
+  // lambda_in per vertex: bytes consumed (0 for v0).
+  std::vector<std::int64_t> in_bytes;
+  net::NetworkCondition condition;
+
+  std::size_t size() const { return dag.size(); }
+
+  // Uplink bandwidth between two tiers (Mbps); same-tier is infinite.
+  double bandwidth_mbps(Tier a, Tier b) const;
+
+  // Transfer delay of `bytes` between tiers a and b; 0 when a == b (§III-C).
+  double transfer_seconds(std::int64_t bytes, Tier a, Tier b) const;
+
+  // Throws std::invalid_argument if the vectors/dag are inconsistent.
+  void validate() const;
+};
+
+// A tier per vertex. assignment[0] (v0) is always kDevice.
+struct Assignment {
+  std::vector<Tier> tier;
+
+  Tier at(graph::VertexId v) const { return tier.at(v); }
+};
+
+// The paper's objective Θ: sum of per-vertex processing times at their assigned
+// tiers plus per-link transfer delays.
+double total_latency(const PartitionProblem& problem, const Assignment& assignment);
+
+// Prop. 1 feasibility: no vertex sits strictly device-ward of its most
+// device-ward direct predecessor, and v0 is on the device.
+bool respects_precedence(const PartitionProblem& problem, const Assignment& assignment);
+
+// Per-frame traffic crossing tier boundaries. A vertex's output is shipped once
+// per destination tier even when several consumers live there (the online
+// engine multicasts within a node).
+struct BoundaryTraffic {
+  std::int64_t device_edge_bytes = 0;
+  std::int64_t edge_cloud_bytes = 0;
+  std::int64_t device_cloud_bytes = 0;
+
+  // Traffic entering the cloud over the backbone (the Fig. 13 metric).
+  std::int64_t to_cloud_bytes() const { return edge_cloud_bytes + device_cloud_bytes; }
+};
+
+BoundaryTraffic boundary_traffic(const PartitionProblem& problem, const Assignment& assignment);
+
+// Per-frame compute seconds accumulated on each tier.
+struct TierLoad {
+  std::array<double, 3> seconds{0.0, 0.0, 0.0};
+  double at(Tier t) const { return seconds[static_cast<std::size_t>(index(t))]; }
+};
+
+TierLoad tier_load(const PartitionProblem& problem, const Assignment& assignment);
+
+// Single-tier assignments (device-/edge-/cloud-only baselines keep v0 on the
+// device and every layer on `tier`).
+Assignment uniform_assignment(const PartitionProblem& problem, Tier tier);
+
+// Builds the partition problem for a network: vertex weights from a latency
+// source and link weights from activation sizes + `condition`.
+// `estimators` are indexed by Tier (see profile::Profiler::profile_tiers).
+PartitionProblem make_problem(const dnn::Network& net,
+                              const std::array<profile::LatencyEstimator, 3>& estimators,
+                              const net::NetworkCondition& condition);
+
+// Ground-truth variant used by the simulator: exact HardwareModel latencies.
+PartitionProblem make_problem_exact(const dnn::Network& net, const profile::TierNodes& nodes,
+                                    const net::NetworkCondition& condition);
+
+}  // namespace d3::core

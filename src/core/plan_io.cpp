@@ -1,0 +1,103 @@
+#include "core/plan_io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace d3::core {
+
+namespace {
+
+char tier_letter(Tier t) {
+  switch (t) {
+    case Tier::kDevice: return 'd';
+    case Tier::kEdge: return 'e';
+    case Tier::kCloud: return 'c';
+  }
+  return '?';
+}
+
+Tier tier_from_letter(char ch) {
+  switch (ch) {
+    case 'd': return Tier::kDevice;
+    case 'e': return Tier::kEdge;
+    case 'c': return Tier::kCloud;
+    default: throw std::invalid_argument(std::string("plan: unknown tier letter '") + ch + "'");
+  }
+}
+
+}  // namespace
+
+std::string serialize_plan(const SerializablePlan& plan) {
+  std::ostringstream os;
+  os << "d3-plan v1\n";
+  os << "model " << plan.model_name << "\n";
+  os << "tiers";
+  for (const Tier t : plan.assignment.tier) os << ' ' << tier_letter(t);
+  os << "\n";
+  if (plan.vsm) {
+    os << "vsm " << plan.vsm->grid_rows << "x" << plan.vsm->grid_cols << ' ';
+    for (std::size_t j = 0; j < plan.vsm->stack.size(); ++j) {
+      if (j > 0) os << ',';
+      os << plan.vsm->stack[j];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+SerializablePlan parse_plan(const std::string& text, const dnn::Network& net) {
+  std::istringstream is(text);
+  std::string line;
+
+  if (!std::getline(is, line) || line != "d3-plan v1")
+    throw std::invalid_argument("plan: bad header (expected 'd3-plan v1')");
+
+  SerializablePlan plan;
+  if (!std::getline(is, line) || line.rfind("model ", 0) != 0)
+    throw std::invalid_argument("plan: missing 'model' line");
+  plan.model_name = line.substr(6);
+  if (plan.model_name != net.name())
+    throw std::invalid_argument("plan: built for model '" + plan.model_name +
+                                "', applied to '" + net.name() + "'");
+
+  if (!std::getline(is, line) || line.rfind("tiers", 0) != 0)
+    throw std::invalid_argument("plan: missing 'tiers' line");
+  {
+    std::istringstream ts(line.substr(5));
+    std::string token;
+    while (ts >> token) {
+      if (token.size() != 1) throw std::invalid_argument("plan: bad tier token '" + token + "'");
+      plan.assignment.tier.push_back(tier_from_letter(token[0]));
+    }
+  }
+  if (plan.assignment.tier.size() != net.num_layers() + 1)
+    throw std::invalid_argument("plan: " + std::to_string(plan.assignment.tier.size()) +
+                                " tiers for a network of " + std::to_string(net.num_layers()) +
+                                " layers");
+  if (plan.assignment.tier[0] != Tier::kDevice)
+    throw std::invalid_argument("plan: v0 must be on the device");
+
+  if (std::getline(is, line) && !line.empty()) {
+    if (line.rfind("vsm ", 0) != 0) throw std::invalid_argument("plan: unexpected line '" + line + "'");
+    std::istringstream vs(line.substr(4));
+    std::string grid, ids;
+    if (!(vs >> grid >> ids)) throw std::invalid_argument("plan: malformed vsm line");
+    const auto x = grid.find('x');
+    if (x == std::string::npos) throw std::invalid_argument("plan: malformed vsm grid");
+    const int rows = std::stoi(grid.substr(0, x));
+    const int cols = std::stoi(grid.substr(x + 1));
+    std::vector<dnn::LayerId> stack;
+    std::istringstream ls(ids);
+    std::string id;
+    while (std::getline(ls, id, ',')) {
+      const unsigned long value = std::stoul(id);
+      if (value >= net.num_layers()) throw std::invalid_argument("plan: vsm layer id out of range");
+      stack.push_back(value);
+    }
+    // Rebuilds (and thereby validates) the tile geometry from the model.
+    plan.vsm = make_fused_tile_plan(net, stack, rows, cols);
+  }
+  return plan;
+}
+
+}  // namespace d3::core

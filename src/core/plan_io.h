@@ -1,0 +1,38 @@
+// Deployment-plan serialisation: the artefact the offline partition framework
+// ships to the online execution nodes (paper §IV stores partial DNNs as ONNX;
+// here every node holds the shared model, so the wire format carries only the
+// assignment and the VSM grid — each node slices its own partition).
+//
+// Line-oriented, human-readable, versioned:
+//
+//   d3-plan v1
+//   model <name>
+//   tiers d d e e e c c
+//   vsm 2x2 3,4,5,6          (optional: grid rows x cols, stack layer ids)
+//
+// parse_plan() validates against the network it is applied to and rebuilds the
+// fused tile plan geometry locally (it is a pure function of the model), so a
+// corrupted or mismatched plan fails loudly instead of mis-executing.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/partition.h"
+#include "core/vsm.h"
+
+namespace d3::core {
+
+struct SerializablePlan {
+  std::string model_name;
+  Assignment assignment;
+  std::optional<FusedTilePlan> vsm;
+};
+
+std::string serialize_plan(const SerializablePlan& plan);
+
+// Throws std::invalid_argument on malformed input, version mismatch, model-name
+// mismatch, assignment/network size mismatch, or an invalid VSM stack.
+SerializablePlan parse_plan(const std::string& text, const dnn::Network& net);
+
+}  // namespace d3::core

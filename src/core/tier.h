@@ -1,0 +1,39 @@
+// The three computing tiers of the edge paradigm (§III-A) and the order
+// d ≻ e ≻ c used by Prop. 1: data flows device -> edge -> cloud, and a tier is
+// "before" (more device-ward than) another when its enum value is smaller.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace d3::core {
+
+enum class Tier : int { kDevice = 0, kEdge = 1, kCloud = 2 };
+
+inline constexpr std::array<Tier, 3> kAllTiers = {Tier::kDevice, Tier::kEdge, Tier::kCloud};
+
+constexpr int index(Tier t) { return static_cast<int>(t); }
+
+// The paper's order relation: a ≻ b means a is strictly more device-ward.
+constexpr bool before(Tier a, Tier b) { return index(a) < index(b); }
+// a ⪰ b.
+constexpr bool before_or_same(Tier a, Tier b) { return index(a) <= index(b); }
+
+constexpr std::string_view tier_name(Tier t) {
+  switch (t) {
+    case Tier::kDevice: return "device";
+    case Tier::kEdge: return "edge";
+    case Tier::kCloud: return "cloud";
+  }
+  return "?";
+}
+
+// Per-vertex processing times {t_d, t_e, t_c} (the vertex weight Tvi of §III-C).
+struct TierTimes {
+  std::array<double, 3> seconds{0.0, 0.0, 0.0};
+
+  double at(Tier t) const { return seconds[static_cast<std::size_t>(index(t))]; }
+  double& at(Tier t) { return seconds[static_cast<std::size_t>(index(t))]; }
+};
+
+}  // namespace d3::core

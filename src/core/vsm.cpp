@@ -1,0 +1,226 @@
+#include "core/vsm.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "profile/hardware_model.h"
+
+namespace d3::core {
+
+Interval rtc_dimension(Interval out, int kernel, int stride, int pad, int full) {
+  if (out.begin < 0 || out.end <= out.begin)
+    throw std::invalid_argument("rtc_dimension: bad output interval");
+  // Eq. (4): coordinates in the padded input feature map.
+  const int padded_begin = stride * out.begin;
+  const int padded_end = stride * (out.end - 1) + kernel;
+  // Eq. (5): offset the paddings away, clamping into the unpadded map. The
+  // min(full, .) clamp extends the paper's special case to partial border tiles.
+  Interval in;
+  in.begin = std::max(0, padded_begin - pad);
+  in.end = padded_end == full + 2 * pad ? full
+                                        : std::min(full, std::max(0, padded_end - pad));
+  if (in.end <= in.begin)
+    throw std::logic_error("rtc_dimension: degenerate input interval (window exceeds map?)");
+  return in;
+}
+
+namespace {
+
+// Input region of `layer` needed to produce its `out` region. Elementwise
+// layers pass the region through; windowed layers apply RTC per dimension.
+exec::Region rtc_layer(const dnn::NetworkLayer& layer, const dnn::Shape& input_shape,
+                       const exec::Region& out) {
+  switch (layer.spec.kind) {
+    case dnn::LayerKind::kReLU:
+    case dnn::LayerKind::kBatchNorm:
+      return out;
+    case dnn::LayerKind::kConv:
+    case dnn::LayerKind::kMaxPool:
+    case dnn::LayerKind::kAvgPool: {
+      const dnn::Window& w = layer.spec.window;
+      const Interval ix = rtc_dimension(Interval{out.x0, out.x1}, w.kernel_w, w.stride_w,
+                                        w.pad_w, input_shape.w);
+      const Interval iy = rtc_dimension(Interval{out.y0, out.y1}, w.kernel_h, w.stride_h,
+                                        w.pad_h, input_shape.h);
+      return exec::Region{ix.begin, iy.begin, ix.end, iy.end};
+    }
+    default:
+      throw std::invalid_argument("rtc_layer: layer '" + layer.spec.name +
+                                  "' is not VSM-tileable");
+  }
+}
+
+void validate_stack(const dnn::Network& net, std::span<const dnn::LayerId> stack) {
+  if (stack.empty()) throw std::invalid_argument("VSM: empty layer stack");
+  for (std::size_t j = 0; j < stack.size(); ++j) {
+    const dnn::NetworkLayer& layer = net.layer(stack[j]);
+    if (!dnn::is_vsm_tileable(layer.spec.kind))
+      throw std::invalid_argument("VSM: layer '" + layer.spec.name + "' is not tileable");
+    if (layer.inputs.size() != 1)
+      throw std::invalid_argument("VSM: layer '" + layer.spec.name + "' is not single-input");
+    if (j > 0 && layer.inputs[0] != stack[j - 1])
+      throw std::invalid_argument("VSM: stack is not a chain at '" + layer.spec.name + "'");
+  }
+}
+
+}  // namespace
+
+FusedTilePlan make_fused_tile_plan(const dnn::Network& net,
+                                   std::span<const dnn::LayerId> stack, int grid_rows,
+                                   int grid_cols) {
+  validate_stack(net, stack);
+
+  FusedTilePlan plan;
+  plan.stack.assign(stack.begin(), stack.end());
+  plan.grid_rows = grid_rows;
+  plan.grid_cols = grid_cols;
+  for (const dnn::LayerId id : stack) plan.input_shapes.push_back(net.input_shapes(id)[0]);
+  plan.output_shape = net.layer(stack.back()).output_shape;
+
+  const int out_h = plan.output_shape.h;
+  const int out_w = plan.output_shape.w;
+  if (grid_rows < 1 || grid_cols < 1 || grid_rows > out_h || grid_cols > out_w)
+    throw std::invalid_argument("VSM: grid " + std::to_string(grid_rows) + "x" +
+                                std::to_string(grid_cols) + " does not fit output " +
+                                plan.output_shape.to_string());
+
+  for (int a = 0; a < grid_rows; ++a) {
+    for (int b = 0; b < grid_cols; ++b) {
+      FusedTilePlan::TilePlan tile;
+      // Balanced, non-overlapping, exhaustive grid over the output map.
+      tile.output_region = exec::Region{
+          b * out_w / grid_cols, a * out_h / grid_rows,
+          (b + 1) * out_w / grid_cols, (a + 1) * out_h / grid_rows};
+      tile.input_regions.resize(stack.size());
+      // Algorithm 2: RTC from ck back to c1.
+      exec::Region region = tile.output_region;
+      for (std::size_t j = stack.size(); j-- > 0;) {
+        region = rtc_layer(net.layer(stack[j]), plan.input_shapes[j], region);
+        tile.input_regions[j] = region;
+      }
+      plan.tiles.push_back(std::move(tile));
+    }
+  }
+  return plan;
+}
+
+std::vector<dnn::LayerId> longest_tileable_run(const dnn::Network& net,
+                                               std::span<const dnn::LayerId> layer_ids) {
+  // A layer whose output feeds more than one consumer (residual forks) may only
+  // *end* a stack: intermediate tile outputs exist only as fragments on the
+  // edge workers, so nothing outside the stack can read them.
+  std::vector<int> consumers(net.num_layers(), 0);
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id)
+    for (const dnn::LayerId in : net.layer(id).inputs)
+      if (in != dnn::kNetworkInput) ++consumers[in];
+
+  std::vector<dnn::LayerId> best, current;
+  std::int64_t best_flops = 0, current_flops = 0;
+  const auto commit = [&] {
+    if (current_flops > best_flops) {
+      best = current;
+      best_flops = current_flops;
+    }
+    current.clear();
+    current_flops = 0;
+  };
+  for (const dnn::LayerId id : layer_ids) {
+    const dnn::NetworkLayer& layer = net.layer(id);
+    const bool chains = !current.empty() && layer.inputs.size() == 1 &&
+                        layer.inputs[0] == current.back();
+    const bool starts = current.empty();
+    if (!dnn::is_vsm_tileable(layer.spec.kind) || layer.inputs.size() != 1 ||
+        (!starts && !chains)) {
+      commit();
+      if (dnn::is_vsm_tileable(layer.spec.kind) && layer.inputs.size() == 1) {
+        current.push_back(id);
+        current_flops = layer.flops;
+      }
+    } else {
+      current.push_back(id);
+      current_flops += layer.flops;
+    }
+    if (!current.empty() && consumers[current.back()] > 1) commit();
+  }
+  commit();
+  return best;
+}
+
+namespace {
+
+double area(const exec::Region& r) {
+  return static_cast<double>(r.width()) * static_cast<double>(r.height());
+}
+
+// Output region of stack layer j for one tile.
+const exec::Region& tile_out_region(const FusedTilePlan& plan,
+                                    const FusedTilePlan::TilePlan& tile, std::size_t j) {
+  return j + 1 < plan.stack.size() ? tile.input_regions[j + 1] : tile.output_region;
+}
+
+// Full output spatial extent of stack layer j.
+std::pair<int, int> full_out_extent(const FusedTilePlan& plan, std::size_t j) {
+  if (j + 1 < plan.stack.size())
+    return {plan.input_shapes[j + 1].w, plan.input_shapes[j + 1].h};
+  return {plan.output_shape.w, plan.output_shape.h};
+}
+
+// Per-layer cost restricted to one tile: FLOPs and activation bytes scale with
+// the tile's share of the spatial extent; the node holds the full parameters.
+profile::LayerCost tile_layer_cost(const dnn::Network& net, const FusedTilePlan& plan,
+                                   const FusedTilePlan::TilePlan& tile, std::size_t j) {
+  profile::LayerCost full = profile::layer_cost(net, plan.stack[j]);
+  const auto [fw, fh] = full_out_extent(plan, j);
+  const double out_share = area(tile_out_region(plan, tile, j)) /
+                           (static_cast<double>(fw) * static_cast<double>(fh));
+  const double in_share =
+      area(tile.input_regions[j]) /
+      (static_cast<double>(plan.input_shapes[j].w) * static_cast<double>(plan.input_shapes[j].h));
+  full.flops = static_cast<std::int64_t>(static_cast<double>(full.flops) * out_share);
+  full.input_bytes = static_cast<std::int64_t>(static_cast<double>(full.input_bytes) * in_share);
+  full.output_bytes =
+      static_cast<std::int64_t>(static_cast<double>(full.output_bytes) * out_share);
+  return full;
+}
+
+}  // namespace
+
+std::int64_t tile_flops(const dnn::Network& net, const FusedTilePlan& plan,
+                        std::size_t tile_index) {
+  const FusedTilePlan::TilePlan& tile = plan.tiles.at(tile_index);
+  std::int64_t total = 0;
+  for (std::size_t j = 0; j < plan.stack.size(); ++j)
+    total += tile_layer_cost(net, plan, tile, j).flops;
+  return total;
+}
+
+double redundancy_factor(const dnn::Network& net, const FusedTilePlan& plan) {
+  std::int64_t tiled = 0;
+  for (std::size_t t = 0; t < plan.tiles.size(); ++t) tiled += tile_flops(net, plan, t);
+  std::int64_t serial = 0;
+  for (const dnn::LayerId id : plan.stack) serial += net.layer(id).flops;
+  return serial == 0 ? 1.0 : static_cast<double>(tiled) / static_cast<double>(serial);
+}
+
+double serial_stack_latency(const dnn::Network& net, const FusedTilePlan& plan,
+                            const profile::NodeSpec& node) {
+  double total = 0.0;
+  for (const dnn::LayerId id : plan.stack)
+    total += profile::HardwareModel::expected_latency(profile::layer_cost(net, id), node);
+  return total;
+}
+
+double parallel_stack_latency(const dnn::Network& net, const FusedTilePlan& plan,
+                              const profile::NodeSpec& node) {
+  double worst = 0.0;
+  for (const FusedTilePlan::TilePlan& tile : plan.tiles) {
+    double t = 0.0;
+    for (std::size_t j = 0; j < plan.stack.size(); ++j)
+      t += profile::HardwareModel::expected_latency(tile_layer_cost(net, plan, tile, j), node);
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+}  // namespace d3::core

@@ -1,0 +1,93 @@
+// Vertical Separation Module (paper §III-F, Algorithm 2).
+//
+// Given a sequence of correlated convolutional layers c1..ck assigned to the
+// edge tier, VSM grids the *output* feature map of ck into A x B non-overlapping
+// tiles (the tiles of the virtual layer c_{k+1}) and back-propagates each tile's
+// coordinates through the stack with the reverse tile calculation (RTC):
+//
+//   padded coords  (Eq. 4):  α̂ = S·α,  β̂ = S·(β−1) + F        (β exclusive)
+//   remove padding (Eq. 5):  α  = max(0, α̂ − P)
+//                            β  = W      if β̂ = W + 2P
+//                                 min(W, max(0, β̂ − P)) otherwise
+//
+// The min(W, ·) clamp extends the paper's Eq. (5), which only special-cases
+// tiles spanning the full padded extent; partial border tiles with P > 1 need
+// the clamp for exactness (caught by vsm_property_test without it).
+//
+// The resulting fused tile stack contains, per tile, the exact input region of
+// every layer — including the halo that overlapping receptive fields require —
+// so every edge node can compute its output tile *bit-exactly* without talking
+// to its neighbours. Pooling and elementwise layers between convolutions are
+// fused the same way (elementwise regions pass through unchanged).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dnn/network.h"
+#include "exec/ops.h"
+#include "profile/node_spec.h"
+
+namespace d3::core {
+
+// One spatial dimension of RTC: maps the tile's output interval [begin, end)
+// to the input interval it requires, for a window of `kernel`/`stride`/`pad`
+// over a full input extent `full`. Exposed separately for direct unit testing
+// against Eqs. (4)-(5).
+struct Interval {
+  int begin = 0;
+  int end = 0;  // exclusive
+};
+Interval rtc_dimension(Interval out, int kernel, int stride, int pad, int full);
+
+struct FusedTilePlan {
+  std::vector<dnn::LayerId> stack;  // c1..ck, a tileable chain inside the network
+  int grid_rows = 0;                // A
+  int grid_cols = 0;                // B
+
+  struct TilePlan {
+    // input_regions[j]: region of layer stack[j]'s input feature map this tile
+    // needs (with halo). output_region: this tile's slice of ck's output.
+    std::vector<exec::Region> input_regions;
+    exec::Region output_region;
+  };
+  std::vector<TilePlan> tiles;  // row-major (a * grid_cols + b)
+
+  // Full-feature-map geometry, for execution and cost accounting.
+  std::vector<dnn::Shape> input_shapes;  // per stack layer
+  dnn::Shape output_shape;               // ck's full output
+
+  std::size_t num_tiles() const { return tiles.size(); }
+};
+
+// Builds the fused tile plan (Algorithm 2). Requirements: `stack` is non-empty,
+// each layer is VSM-tileable (conv/pool/relu/bn), consecutive layers form a
+// chain (stack[j+1]'s single input is stack[j]), and the A x B grid fits the
+// output extent. Throws std::invalid_argument otherwise.
+FusedTilePlan make_fused_tile_plan(const dnn::Network& net,
+                                   std::span<const dnn::LayerId> stack, int grid_rows,
+                                   int grid_cols);
+
+// Longest contiguous run of tileable layers within `layer_ids` (network order),
+// the candidate stack D3 hands to VSM after HPA assigns layers to the edge.
+std::vector<dnn::LayerId> longest_tileable_run(const dnn::Network& net,
+                                               std::span<const dnn::LayerId> layer_ids);
+
+// FLOPs one tile executes across the stack (halo overlap makes the sum across
+// tiles exceed the serial stack FLOPs; Fig. 12's "computational redundancy").
+std::int64_t tile_flops(const dnn::Network& net, const FusedTilePlan& plan,
+                        std::size_t tile_index);
+
+// Σ tile FLOPs / serial stack FLOPs (>= 1; 1 means no redundancy).
+double redundancy_factor(const dnn::Network& net, const FusedTilePlan& plan);
+
+// Expected wall-clock of the stack executed serially on `node`, and in parallel
+// with one tile per node (the max over tiles; intra-tier transfer is
+// infinitesimal per §III-A).
+double serial_stack_latency(const dnn::Network& net, const FusedTilePlan& plan,
+                            const profile::NodeSpec& node);
+double parallel_stack_latency(const dnn::Network& net, const FusedTilePlan& plan,
+                              const profile::NodeSpec& node);
+
+}  // namespace d3::core

@@ -1,0 +1,100 @@
+#include "core/vsm_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace d3::core {
+
+std::int64_t stack_scatter_bytes(const FusedTilePlan& plan) {
+  const int channels = plan.input_shapes.front().c;
+  std::int64_t total = 0;
+  for (const FusedTilePlan::TilePlan& tile : plan.tiles) {
+    const exec::Region& r = tile.input_regions.front();
+    total += static_cast<std::int64_t>(r.width()) * r.height() * channels * 4;
+  }
+  return total;
+}
+
+std::int64_t stack_gather_bytes(const FusedTilePlan& plan) {
+  // Output tiles are disjoint and exhaustive: exactly the output tensor.
+  return plan.output_shape.bytes();
+}
+
+double stack_sync_seconds(const FusedTilePlan& plan, double lan_mbps) {
+  if (lan_mbps <= 0) return 0.0;  // the paper's infinitesimal intra-tier model
+  return util::transfer_seconds(
+      static_cast<double>(stack_scatter_bytes(plan) + stack_gather_bytes(plan)), lan_mbps);
+}
+
+namespace {
+
+EdgeStackPlan make_plan(const dnn::Network& net, std::span<const dnn::LayerId> run,
+                        const std::vector<std::pair<std::size_t, std::size_t>>& segments,
+                        int rows, int cols, const profile::NodeSpec& node, double lan_mbps) {
+  EdgeStackPlan result;
+  for (const auto& [begin, end] : segments) {
+    FusedTilePlan stack =
+        make_fused_tile_plan(net, run.subspan(begin, end - begin), rows, cols);
+    result.compute_seconds += parallel_stack_latency(net, stack, node);
+    result.sync_seconds += stack_sync_seconds(stack, lan_mbps);
+    result.stacks.push_back(std::move(stack));
+  }
+  return result;
+}
+
+}  // namespace
+
+EdgeStackPlan plan_edge_stacks(const dnn::Network& net, std::span<const dnn::LayerId> run,
+                               int rows, int cols, const profile::NodeSpec& node,
+                               double lan_mbps) {
+  if (run.empty()) throw std::invalid_argument("plan_edge_stacks: empty run");
+
+  const std::size_t n = run.size();
+  // cost[j][i]: time of segment [j, i) as one fused stack (compute + sync);
+  // infinity when the grid does not fit the segment's output extent.
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n + 1, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j + 1; i <= n; ++i) {
+      try {
+        const FusedTilePlan plan = make_fused_tile_plan(net, run.subspan(j, i - j), rows, cols);
+        cost[j][i] = parallel_stack_latency(net, plan, node) + stack_sync_seconds(plan, lan_mbps);
+      } catch (const std::invalid_argument&) {
+        cost[j][i] = std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+
+  // best[i]: minimal total time for the prefix [0, i); split[i]: chosen j.
+  std::vector<double> best(n + 1, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> split(n + 1, 0);
+  best[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double candidate = best[j] + cost[j][i];
+      if (candidate < best[i]) {
+        best[i] = candidate;
+        split[i] = j;
+      }
+    }
+  }
+  if (!std::isfinite(best[n]))
+    throw std::invalid_argument("plan_edge_stacks: grid does not fit any segmentation");
+
+  std::vector<std::pair<std::size_t, std::size_t>> segments;
+  for (std::size_t i = n; i > 0; i = split[i]) segments.emplace_back(split[i], i);
+  std::reverse(segments.begin(), segments.end());
+  return make_plan(net, run, segments, rows, cols, node, lan_mbps);
+}
+
+EdgeStackPlan single_stack_plan(const dnn::Network& net, std::span<const dnn::LayerId> run,
+                                int rows, int cols, const profile::NodeSpec& node,
+                                double lan_mbps) {
+  if (run.empty()) throw std::invalid_argument("single_stack_plan: empty run");
+  return make_plan(net, run, {{0, run.size()}}, rows, cols, node, lan_mbps);
+}
+
+}  // namespace d3::core

@@ -1,0 +1,54 @@
+// Multi-stack VSM planning (extension; the paper's Algorithm 2 fuses the whole
+// edge-resident convolution run into ONE stack, and AOFL — which the paper
+// cites as the tile-optimisation extension — chooses partitions adaptively).
+//
+// Fusing deeper amortises the scatter/gather synchronisation between the edge
+// coordinator and its workers but compounds the halo overlap (recomputed
+// FLOPs); splitting the run into several consecutive fused stacks trades sync
+// traffic for redundancy. With the paper's idealisation (intra-tier transfer
+// cost = 0, `lan_mbps = 0`) single-layer stacks would always win, which is
+// exactly why fused tiles exist — so the planner models the edge LAN
+// explicitly: every stack pays one scatter of its (halo-inflated) input tiles
+// and one gather of its output tiles at `lan_mbps`.
+//
+// plan_edge_stacks() minimises total edge-stage time over all contiguous
+// segmentations of the run by dynamic programming (O(L^2) segment evaluations).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/vsm.h"
+
+namespace d3::core {
+
+struct EdgeStackPlan {
+  std::vector<FusedTilePlan> stacks;  // consecutive segments covering the run
+  double compute_seconds = 0;         // Σ per-stack parallel (max-tile) time
+  double sync_seconds = 0;            // Σ per-stack scatter + gather time
+  double total_seconds() const { return compute_seconds + sync_seconds; }
+};
+
+// Scatter bytes of a fused stack: the (halo-inflated) first-layer input crops
+// of every tile; gather bytes: the disjoint output tiles.
+std::int64_t stack_scatter_bytes(const FusedTilePlan& plan);
+std::int64_t stack_gather_bytes(const FusedTilePlan& plan);
+
+// Scatter+gather wall-clock of one stack on a LAN of `lan_mbps` (coordinator
+// NIC serialises the transfers; 0 disables sync costs — the paper's model).
+double stack_sync_seconds(const FusedTilePlan& plan, double lan_mbps);
+
+// Optimal contiguous segmentation of `run` (a tileable chain, e.g. from
+// longest_tileable_run) into fused stacks executed on `rows x cols` edge nodes.
+// Single-stack (the paper's Algorithm 2) falls out when lan_mbps makes sync
+// expensive; fine-grained splits win on fast LANs.
+EdgeStackPlan plan_edge_stacks(const dnn::Network& net, std::span<const dnn::LayerId> run,
+                               int rows, int cols, const profile::NodeSpec& node,
+                               double lan_mbps);
+
+// The paper's baseline for comparison: the whole run as one fused stack.
+EdgeStackPlan single_stack_plan(const dnn::Network& net, std::span<const dnn::LayerId> run,
+                                int rows, int cols, const profile::NodeSpec& node,
+                                double lan_mbps);
+
+}  // namespace d3::core

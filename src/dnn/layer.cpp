@@ -1,0 +1,245 @@
+#include "dnn/layer.h"
+
+#include <stdexcept>
+
+namespace d3::dnn {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kMaxPool: return "maxpool";
+    case LayerKind::kAvgPool: return "avgpool";
+    case LayerKind::kGlobalAvgPool: return "gap";
+    case LayerKind::kFullyConnected: return "fc";
+    case LayerKind::kReLU: return "relu";
+    case LayerKind::kBatchNorm: return "bn";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kAdd: return "add";
+    case LayerKind::kSoftmax: return "softmax";
+  }
+  return "?";
+}
+
+LayerSpec LayerSpec::conv(std::string name, int out_channels, Window window) {
+  LayerSpec s;
+  s.kind = LayerKind::kConv;
+  s.name = std::move(name);
+  s.out_channels = out_channels;
+  s.window = window;
+  return s;
+}
+
+LayerSpec LayerSpec::max_pool(std::string name, Window window) {
+  LayerSpec s;
+  s.kind = LayerKind::kMaxPool;
+  s.name = std::move(name);
+  s.window = window;
+  return s;
+}
+
+LayerSpec LayerSpec::avg_pool(std::string name, Window window) {
+  LayerSpec s;
+  s.kind = LayerKind::kAvgPool;
+  s.name = std::move(name);
+  s.window = window;
+  return s;
+}
+
+LayerSpec LayerSpec::global_avg_pool(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kGlobalAvgPool;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::fully_connected(std::string name, int out_features) {
+  LayerSpec s;
+  s.kind = LayerKind::kFullyConnected;
+  s.name = std::move(name);
+  s.out_features = out_features;
+  return s;
+}
+
+LayerSpec LayerSpec::relu(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kReLU;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::batch_norm(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kBatchNorm;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::concat(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kConcat;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::add(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kAdd;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::softmax(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kSoftmax;
+  s.name = std::move(name);
+  return s;
+}
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+void require_single_input(const LayerSpec& spec, const std::vector<Shape>& inputs) {
+  require(inputs.size() == 1, std::string(layer_kind_name(spec.kind)) + " layer '" + spec.name +
+                                  "' expects exactly one input, got " +
+                                  std::to_string(inputs.size()));
+}
+
+// Eq. (3) for one spatial dimension; validates divisibility-free floor form.
+int window_out_dim(int in, int kernel, int stride, int pad, const std::string& what) {
+  require(kernel >= 1 && stride >= 1 && pad >= 0, what + ": bad window hyper-parameters");
+  const int padded = in + 2 * pad;
+  require(padded >= kernel, what + ": window " + std::to_string(kernel) +
+                                " larger than padded input " + std::to_string(padded));
+  return (padded - kernel) / stride + 1;
+}
+
+Shape window_out_shape(const Shape& in, const Window& w, int out_channels,
+                       const std::string& what) {
+  Shape out;
+  out.c = out_channels;
+  out.h = window_out_dim(in.h, w.kernel_h, w.stride_h, w.pad_h, what + " (height)");
+  out.w = window_out_dim(in.w, w.kernel_w, w.stride_w, w.pad_w, what + " (width)");
+  return out;
+}
+
+}  // namespace
+
+Shape infer_output_shape(const LayerSpec& spec, const std::vector<Shape>& inputs) {
+  require(!inputs.empty(), "layer '" + spec.name + "' has no inputs");
+  switch (spec.kind) {
+    case LayerKind::kConv: {
+      require_single_input(spec, inputs);
+      require(spec.out_channels > 0, "conv '" + spec.name + "': out_channels must be > 0");
+      return window_out_shape(inputs[0], spec.window, spec.out_channels, "conv '" + spec.name + "'");
+    }
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      require_single_input(spec, inputs);
+      return window_out_shape(inputs[0], spec.window, inputs[0].c, "pool '" + spec.name + "'");
+    }
+    case LayerKind::kGlobalAvgPool: {
+      require_single_input(spec, inputs);
+      return Shape{inputs[0].c, 1, 1};
+    }
+    case LayerKind::kFullyConnected: {
+      require_single_input(spec, inputs);
+      require(spec.out_features > 0, "fc '" + spec.name + "': out_features must be > 0");
+      return Shape{spec.out_features, 1, 1};
+    }
+    case LayerKind::kReLU:
+    case LayerKind::kBatchNorm:
+    case LayerKind::kSoftmax: {
+      require_single_input(spec, inputs);
+      return inputs[0];
+    }
+    case LayerKind::kConcat: {
+      require(inputs.size() >= 2, "concat '" + spec.name + "' expects >= 2 inputs");
+      Shape out = inputs[0];
+      for (std::size_t i = 1; i < inputs.size(); ++i) {
+        require(inputs[i].h == out.h && inputs[i].w == out.w,
+                "concat '" + spec.name + "': spatial mismatch " + out.to_string() + " vs " +
+                    inputs[i].to_string());
+        out.c += inputs[i].c;
+      }
+      return out;
+    }
+    case LayerKind::kAdd: {
+      require(inputs.size() >= 2, "add '" + spec.name + "' expects >= 2 inputs");
+      for (std::size_t i = 1; i < inputs.size(); ++i)
+        require(inputs[i] == inputs[0], "add '" + spec.name + "': shape mismatch " +
+                                            inputs[0].to_string() + " vs " +
+                                            inputs[i].to_string());
+      return inputs[0];
+    }
+  }
+  throw std::logic_error("infer_output_shape: unhandled layer kind");
+}
+
+std::int64_t layer_flops(const LayerSpec& spec, const std::vector<Shape>& inputs,
+                         const Shape& output) {
+  switch (spec.kind) {
+    case LayerKind::kConv: {
+      // 2 FLOPs per MAC; one MAC per filter tap per output element, plus bias add.
+      const std::int64_t taps = static_cast<std::int64_t>(spec.window.kernel_w) *
+                                spec.window.kernel_h * inputs[0].c;
+      return output.elements() * (2 * taps + 1);
+    }
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      const std::int64_t taps =
+          static_cast<std::int64_t>(spec.window.kernel_w) * spec.window.kernel_h;
+      return output.elements() * taps;
+    }
+    case LayerKind::kGlobalAvgPool:
+      return inputs[0].elements();
+    case LayerKind::kFullyConnected:
+      return 2 * inputs[0].elements() * output.elements() + output.elements();
+    case LayerKind::kReLU:
+      return output.elements();
+    case LayerKind::kBatchNorm:
+      return 2 * output.elements();  // folded scale + shift
+    case LayerKind::kSoftmax:
+      return 5 * output.elements();  // exp, sub-max, sum, div (amortised)
+    case LayerKind::kConcat:
+      return 0;  // pure data movement; accounted as memory traffic
+    case LayerKind::kAdd: {
+      return static_cast<std::int64_t>(inputs.size() - 1) * output.elements();
+    }
+  }
+  throw std::logic_error("layer_flops: unhandled layer kind");
+}
+
+std::int64_t layer_params(const LayerSpec& spec, const std::vector<Shape>& inputs) {
+  switch (spec.kind) {
+    case LayerKind::kConv: {
+      const std::int64_t per_filter = static_cast<std::int64_t>(spec.window.kernel_w) *
+                                          spec.window.kernel_h * inputs[0].c +
+                                      1;  // + bias
+      return per_filter * spec.out_channels;
+    }
+    case LayerKind::kFullyConnected:
+      return (inputs[0].elements() + 1) * static_cast<std::int64_t>(spec.out_features);
+    case LayerKind::kBatchNorm:
+      return 2 * static_cast<std::int64_t>(inputs[0].c);  // folded scale/shift per channel
+    default:
+      return 0;
+  }
+}
+
+bool is_vsm_tileable(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv:
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool:
+    case LayerKind::kReLU:
+    case LayerKind::kBatchNorm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace d3::dnn

@@ -1,0 +1,80 @@
+// DNN layer vocabulary: kinds, hyper-parameters, shape inference (paper Eq. (3)),
+// and per-layer cost accounting (FLOPs, parameter bytes, activation bytes) that
+// feeds the latency regression features (§III-D) and the partition link weights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/tensor.h"
+
+namespace d3::dnn {
+
+enum class LayerKind {
+  kConv,
+  kMaxPool,
+  kAvgPool,
+  kGlobalAvgPool,
+  kFullyConnected,
+  kReLU,
+  kBatchNorm,
+  kConcat,   // channel-wise concatenation of >= 2 inputs with equal H, W
+  kAdd,      // elementwise sum of >= 2 equal-shaped inputs (residual connections)
+  kSoftmax,
+};
+
+const char* layer_kind_name(LayerKind kind);
+
+// Spatial window hyper-parameters shared by convolution and pooling
+// (F^w/F^h = kernel, S^w/S^h = stride, P^w/P^h = padding in the paper's notation).
+struct Window {
+  int kernel_w = 1;
+  int kernel_h = 1;
+  int stride_w = 1;
+  int stride_h = 1;
+  int pad_w = 0;
+  int pad_h = 0;
+};
+
+struct LayerSpec {
+  LayerKind kind = LayerKind::kReLU;
+  std::string name;
+  // Optional coarse grouping label used by profiling reports that aggregate
+  // several layers into a "block"/"residual" row as in the paper's Fig. 1.
+  std::string group;
+
+  Window window{};       // conv & pool layers
+  int out_channels = 0;  // conv
+  int out_features = 0;  // fully-connected
+
+  static LayerSpec conv(std::string name, int out_channels, Window window);
+  static LayerSpec max_pool(std::string name, Window window);
+  static LayerSpec avg_pool(std::string name, Window window);
+  static LayerSpec global_avg_pool(std::string name);
+  static LayerSpec fully_connected(std::string name, int out_features);
+  static LayerSpec relu(std::string name);
+  static LayerSpec batch_norm(std::string name);
+  static LayerSpec concat(std::string name);
+  static LayerSpec add(std::string name);
+  static LayerSpec softmax(std::string name);
+};
+
+// Output shape of `spec` applied to `inputs`. Throws std::invalid_argument when
+// the inputs are incompatible with the layer (wrong arity, mismatched shapes,
+// window larger than the padded input, ...). Spatial dims use the floor-division
+// form of Eq. (3): W_out = (W - F + 2P)/S + 1.
+Shape infer_output_shape(const LayerSpec& spec, const std::vector<Shape>& inputs);
+
+// Multiply-accumulate-counted floating point operations (2 * MACs for conv/fc).
+std::int64_t layer_flops(const LayerSpec& spec, const std::vector<Shape>& inputs,
+                         const Shape& output);
+
+// Learnable parameter count (weights + biases; batch-norm folded scale/shift).
+std::int64_t layer_params(const LayerSpec& spec, const std::vector<Shape>& inputs);
+
+// True for the kinds VSM can tile spatially (paper §III-F: conv plus the pooling
+// and per-element layers between convs, which do not change tiling semantics).
+bool is_vsm_tileable(LayerKind kind);
+
+}  // namespace d3::dnn

@@ -1,0 +1,151 @@
+#include "dnn/network.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace d3::dnn {
+
+Network::Network(std::string name, Shape input_shape)
+    : name_(std::move(name)), input_shape_(input_shape) {
+  if (input_shape.c <= 0 || input_shape.h <= 0 || input_shape.w <= 0)
+    throw std::invalid_argument("Network '" + name_ + "': bad input shape " +
+                                input_shape.to_string());
+}
+
+LayerId Network::add(LayerSpec spec, std::vector<LayerId> inputs) {
+  if (inputs.empty())
+    throw std::invalid_argument("layer '" + spec.name + "': needs at least one input");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const LayerId in = inputs[i];
+    if (in != kNetworkInput && in >= layers_.size())
+      throw std::invalid_argument("layer '" + spec.name + "': unknown input id");
+    if (std::count(inputs.begin(), inputs.end(), in) > 1)
+      throw std::invalid_argument("layer '" + spec.name + "': duplicate input");
+  }
+  if (spec.group.empty()) spec.group = spec.name;
+
+  NetworkLayer layer;
+  layer.spec = std::move(spec);
+  layer.inputs = std::move(inputs);
+
+  std::vector<Shape> in_shapes;
+  in_shapes.reserve(layer.inputs.size());
+  for (const LayerId in : layer.inputs)
+    in_shapes.push_back(in == kNetworkInput ? input_shape_ : layers_[in].output_shape);
+
+  layer.output_shape = infer_output_shape(layer.spec, in_shapes);
+  layer.flops = layer_flops(layer.spec, in_shapes, layer.output_shape);
+  layer.params = layer_params(layer.spec, in_shapes);
+  layers_.push_back(std::move(layer));
+  return layers_.size() - 1;
+}
+
+LayerId Network::conv(const std::string& name, LayerId input, int out_channels, int kernel,
+                      int stride, int pad) {
+  return add(LayerSpec::conv(name, out_channels,
+                             Window{kernel, kernel, stride, stride, pad, pad}),
+             {input});
+}
+
+LayerId Network::conv_rect(const std::string& name, LayerId input, int out_channels,
+                           int kernel_w, int kernel_h, int pad_w, int pad_h, int stride) {
+  return add(LayerSpec::conv(name, out_channels,
+                             Window{kernel_w, kernel_h, stride, stride, pad_w, pad_h}),
+             {input});
+}
+
+LayerId Network::conv_bn_relu(const std::string& name, LayerId input, int out_channels,
+                              int kernel, int stride, int pad, const std::string& group) {
+  const std::string g = group.empty() ? name : group;
+  LayerSpec c = LayerSpec::conv(name, out_channels,
+                                Window{kernel, kernel, stride, stride, pad, pad});
+  c.group = g;
+  const LayerId conv_id = add(std::move(c), {input});
+  LayerSpec bn = LayerSpec::batch_norm(name + "_bn");
+  bn.group = g;
+  const LayerId bn_id = add(std::move(bn), {conv_id});
+  LayerSpec act = LayerSpec::relu(name + "_relu");
+  act.group = g;
+  return add(std::move(act), {bn_id});
+}
+
+LayerId Network::max_pool(const std::string& name, LayerId input, int kernel, int stride,
+                          int pad) {
+  return add(LayerSpec::max_pool(name, Window{kernel, kernel, stride, stride, pad, pad}),
+             {input});
+}
+
+LayerId Network::avg_pool(const std::string& name, LayerId input, int kernel, int stride,
+                          int pad) {
+  return add(LayerSpec::avg_pool(name, Window{kernel, kernel, stride, stride, pad, pad}),
+             {input});
+}
+
+LayerId Network::global_avg_pool(const std::string& name, LayerId input) {
+  return add(LayerSpec::global_avg_pool(name), {input});
+}
+
+LayerId Network::fully_connected(const std::string& name, LayerId input, int out_features) {
+  return add(LayerSpec::fully_connected(name, out_features), {input});
+}
+
+LayerId Network::relu(const std::string& name, LayerId input) {
+  return add(LayerSpec::relu(name), {input});
+}
+
+LayerId Network::concat(const std::string& name, std::vector<LayerId> inputs) {
+  return add(LayerSpec::concat(name), std::move(inputs));
+}
+
+LayerId Network::add_residual(const std::string& name, LayerId a, LayerId b) {
+  return add(LayerSpec::add(name), {a, b});
+}
+
+LayerId Network::softmax(const std::string& name, LayerId input) {
+  return add(LayerSpec::softmax(name), {input});
+}
+
+LayerId Network::last() const {
+  if (layers_.empty()) throw std::logic_error("Network '" + name_ + "' is empty");
+  return layers_.size() - 1;
+}
+
+std::vector<Shape> Network::input_shapes(LayerId id) const {
+  const NetworkLayer& layer = layers_.at(id);
+  std::vector<Shape> shapes;
+  shapes.reserve(layer.inputs.size());
+  for (const LayerId in : layer.inputs)
+    shapes.push_back(in == kNetworkInput ? input_shape_ : layers_[in].output_shape);
+  return shapes;
+}
+
+std::int64_t Network::lambda_in_bytes(LayerId id) const {
+  const auto shapes = input_shapes(id);
+  return std::accumulate(shapes.begin(), shapes.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Shape& s) { return acc + s.bytes(); });
+}
+
+std::int64_t Network::lambda_out_bytes(LayerId id) const {
+  return layers_.at(id).output_shape.bytes();
+}
+
+std::int64_t Network::total_flops() const {
+  return std::accumulate(layers_.begin(), layers_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const NetworkLayer& l) { return acc + l.flops; });
+}
+
+std::int64_t Network::total_params() const {
+  return std::accumulate(layers_.begin(), layers_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const NetworkLayer& l) { return acc + l.params; });
+}
+
+graph::Dag Network::to_dag() const {
+  graph::Dag dag(layers_.size() + 1);
+  for (LayerId id = 0; id < layers_.size(); ++id)
+    for (const LayerId in : layers_[id].inputs)
+      dag.add_edge(in == kNetworkInput ? 0 : vertex_of(in), vertex_of(id));
+  return dag;
+}
+
+}  // namespace d3::dnn

@@ -1,0 +1,92 @@
+// A DNN model: layers wired into a DAG, with eager shape inference and cost
+// accounting. This is the object every other subsystem consumes — HPA partitions
+// its graph, the profiler estimates its per-layer latency, the executor runs it.
+//
+// Layers reference their inputs by LayerId; the special id kNetworkInput refers to
+// the model input tensor (the paper's virtual vertex v0). to_dag() exports the
+// graph with vertex 0 = v0 and vertex i+1 = layer i, matching §III-C.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+#include "graph/dag.h"
+
+namespace d3::dnn {
+
+using LayerId = std::size_t;
+inline constexpr LayerId kNetworkInput = std::numeric_limits<LayerId>::max();
+
+struct NetworkLayer {
+  LayerSpec spec;
+  std::vector<LayerId> inputs;  // kNetworkInput or earlier layer ids
+  Shape output_shape;
+  std::int64_t flops = 0;
+  std::int64_t params = 0;
+};
+
+class Network {
+ public:
+  Network(std::string name, Shape input_shape);
+
+  const std::string& name() const { return name_; }
+  const Shape& input_shape() const { return input_shape_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  const NetworkLayer& layer(LayerId id) const { return layers_.at(id); }
+  const std::vector<NetworkLayer>& layers() const { return layers_; }
+
+  // Adds a layer consuming `inputs` (each kNetworkInput or an existing layer id,
+  // duplicates disallowed). Shapes/costs are inferred eagerly; incompatible
+  // layers throw std::invalid_argument at add time. Returns the new layer's id.
+  LayerId add(LayerSpec spec, std::vector<LayerId> inputs);
+
+  // Convenience builders (single input, defaulting to the previous layer via
+  // last()). conv_bn_relu appends conv + batch-norm + relu sharing a group label.
+  LayerId conv(const std::string& name, LayerId input, int out_channels, int kernel,
+               int stride = 1, int pad = 0);
+  LayerId conv_rect(const std::string& name, LayerId input, int out_channels, int kernel_w,
+                    int kernel_h, int pad_w, int pad_h, int stride = 1);
+  LayerId conv_bn_relu(const std::string& name, LayerId input, int out_channels, int kernel,
+                       int stride = 1, int pad = 0, const std::string& group = "");
+  LayerId max_pool(const std::string& name, LayerId input, int kernel, int stride, int pad = 0);
+  LayerId avg_pool(const std::string& name, LayerId input, int kernel, int stride, int pad = 0);
+  LayerId global_avg_pool(const std::string& name, LayerId input);
+  LayerId fully_connected(const std::string& name, LayerId input, int out_features);
+  LayerId relu(const std::string& name, LayerId input);
+  LayerId concat(const std::string& name, std::vector<LayerId> inputs);
+  LayerId add_residual(const std::string& name, LayerId a, LayerId b);
+  LayerId softmax(const std::string& name, LayerId input);
+
+  // Id of the most recently added layer. Throws if the network is empty.
+  LayerId last() const;
+
+  // Input shapes of a layer in declaration order.
+  std::vector<Shape> input_shapes(LayerId id) const;
+
+  // Total input activation bytes (lambda_in) and output bytes (lambda_out).
+  std::int64_t lambda_in_bytes(LayerId id) const;
+  std::int64_t lambda_out_bytes(LayerId id) const;
+
+  std::int64_t total_flops() const;
+  std::int64_t total_params() const;
+
+  // Exports the computation DAG with the virtual input vertex v0 at index 0 and
+  // layer i at vertex i+1. Every layer reading kNetworkInput gets an edge from v0.
+  graph::Dag to_dag() const;
+
+  static constexpr graph::VertexId vertex_of(LayerId id) { return id + 1; }
+  static constexpr LayerId layer_of(graph::VertexId v) { return v - 1; }
+
+  // True iff to_dag() is a simple path (Neurosurgeon's "chain topology").
+  bool is_chain() const { return to_dag().is_chain(); }
+
+ private:
+  std::string name_;
+  Shape input_shape_;
+  std::vector<NetworkLayer> layers_;
+};
+
+}  // namespace d3::dnn

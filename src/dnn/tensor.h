@@ -1,0 +1,66 @@
+// Dense float32 tensor in CHW layout plus the Shape vocabulary used by shape
+// inference, cost accounting, and the reference executor.
+//
+// A Shape is always 3-D (channels, height, width); vector-shaped data such as
+// fully-connected activations use {features, 1, 1}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace d3::dnn {
+
+struct Shape {
+  int c = 0;
+  int h = 0;
+  int w = 0;
+
+  std::int64_t elements() const {
+    return static_cast<std::int64_t>(c) * h * w;
+  }
+  // Activation size in bytes (float32), the lambda quantities of §III-E.
+  std::int64_t bytes() const { return elements() * 4; }
+
+  bool operator==(const Shape&) const = default;
+
+  std::string to_string() const {
+    return std::to_string(c) + "x" + std::to_string(h) + "x" + std::to_string(w);
+  }
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape) : shape_(shape) {
+    if (shape.c <= 0 || shape.h <= 0 || shape.w <= 0)
+      throw std::invalid_argument("Tensor: non-positive shape " + shape.to_string());
+    data_.assign(static_cast<std::size_t>(shape.elements()), 0.0f);
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& at(int c, int y, int x) { return data_[index(c, y, x)]; }
+  float at(int c, int y, int x) const { return data_[index(c, y, x)]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  // Flat access for fully-connected layers.
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  std::size_t index(int c, int y, int x) const {
+    return (static_cast<std::size_t>(c) * shape_.h + static_cast<std::size_t>(y)) * shape_.w +
+           static_cast<std::size_t>(x);
+  }
+
+  Shape shape_{};
+  std::vector<float> data_;
+};
+
+}  // namespace d3::dnn

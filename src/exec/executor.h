@@ -1,0 +1,43 @@
+// Reference executor: runs a Network on real data, layer by layer in topological
+// order. This is the ground truth the VSM tiled executor is checked against, and
+// what the runnable examples use.
+#pragma once
+
+#include <vector>
+
+#include "dnn/network.h"
+#include "dnn/tensor.h"
+#include "exec/weights.h"
+
+namespace d3::exec {
+
+// Executes a single layer on explicit inputs (ordered as the layer declares
+// them). Shared by the reference executor and the online execution engine.
+dnn::Tensor run_layer(const dnn::Network& net, const WeightStore& weights, dnn::LayerId id,
+                      const std::vector<const dnn::Tensor*>& inputs);
+
+class Executor {
+ public:
+  // Both referents must outlive the executor.
+  Executor(const dnn::Network& net, const WeightStore& weights);
+
+  // Runs the whole network; returns the output of the last layer.
+  dnn::Tensor run(const dnn::Tensor& input) const;
+
+  // Runs the whole network; returns every layer's output (indexed by LayerId).
+  std::vector<dnn::Tensor> run_all(const dnn::Tensor& input) const;
+
+  // Runs only layers [first, last] (inclusive), which must form a contiguous
+  // prefix-closed segment: every input of a layer in range is either the segment
+  // input (`input`, replacing kNetworkInput or the output of layer first-1) or
+  // produced inside the range. This executes one horizontal partition's slice of
+  // a *chain* network on one tier. Throws if the range is not self-contained.
+  dnn::Tensor run_segment(const dnn::Tensor& input, dnn::LayerId first,
+                          dnn::LayerId last) const;
+
+ private:
+  const dnn::Network& net_;
+  const WeightStore& weights_;
+};
+
+}  // namespace d3::exec

@@ -1,0 +1,80 @@
+// Reference implementations of the DNN operators, in two forms:
+//
+//  * whole-tensor ops used by the reference executor, and
+//  * region-aware window ops (conv/pool) that compute an arbitrary rectangle of
+//    the output from an input *tile* positioned anywhere in the full feature map.
+//
+// The region form is the primitive the vertical separation module executes on
+// each edge node: the tile carries its global origin, out-of-image coordinates
+// are zero padding (max-pool: -inf), and touching an in-image coordinate that the
+// tile does not cover throws — i.e. an incorrect tile plan fails loudly instead
+// of silently corrupting the output. Whole-tensor ops are the region ops applied
+// to the full extent, so "tiled == full" is exact float equality, not tolerance.
+#pragma once
+
+#include "dnn/layer.h"
+#include "dnn/tensor.h"
+#include "exec/weights.h"
+
+namespace d3::exec {
+
+// Half-open rectangle in global feature-map coordinates.
+struct Region {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;  // exclusive
+  int y1 = 0;  // exclusive
+
+  int width() const { return x1 - x0; }
+  int height() const { return y1 - y0; }
+  bool operator==(const Region&) const = default;
+};
+
+// A tile: tensor data plus where it sits in the full feature map.
+struct Tile {
+  dnn::Tensor data;
+  int origin_x = 0;
+  int origin_y = 0;
+  // Spatial extent of the *full* feature map this tile was cut from.
+  int full_w = 0;
+  int full_h = 0;
+
+  static Tile whole(dnn::Tensor t) {
+    const int h = t.shape().h;
+    const int w = t.shape().w;
+    return Tile{std::move(t), 0, 0, w, h};
+  }
+};
+
+// --- Region-aware window ops -------------------------------------------------
+
+// Convolution: computes output rows/cols `out` (global output coordinates) of a
+// conv layer whose full output spatial size is out_full_w x out_full_h. Reads the
+// input tile; padding per spec.window. Result tile origin = (out.x0, out.y0).
+Tile conv2d_region(const Tile& input, const dnn::LayerSpec& spec, const LayerWeights& w,
+                   Region out, int out_full_w, int out_full_h);
+
+// Max/avg pooling over a region (avg divides by the full window area including
+// padding, position-independently).
+Tile pool_region(const Tile& input, const dnn::LayerSpec& spec, Region out, int out_full_w,
+                 int out_full_h);
+
+// Elementwise ops keep the tile geometry.
+Tile relu_region(Tile input);
+Tile batch_norm_region(Tile input, const LayerWeights& w);
+
+// --- Whole-tensor ops (reference executor) -----------------------------------
+
+dnn::Tensor conv2d(const dnn::Tensor& input, const dnn::LayerSpec& spec,
+                   const LayerWeights& w);
+dnn::Tensor pool2d(const dnn::Tensor& input, const dnn::LayerSpec& spec);
+dnn::Tensor global_avg_pool(const dnn::Tensor& input);
+dnn::Tensor fully_connected(const dnn::Tensor& input, const dnn::LayerSpec& spec,
+                            const LayerWeights& w);
+dnn::Tensor relu(const dnn::Tensor& input);
+dnn::Tensor batch_norm(const dnn::Tensor& input, const LayerWeights& w);
+dnn::Tensor concat(const std::vector<const dnn::Tensor*>& inputs);
+dnn::Tensor add(const std::vector<const dnn::Tensor*>& inputs);
+dnn::Tensor softmax(const dnn::Tensor& input);
+
+}  // namespace d3::exec

@@ -1,0 +1,55 @@
+#include "exec/weights.h"
+
+#include <cmath>
+
+namespace d3::exec {
+
+WeightStore WeightStore::random_for(const dnn::Network& net, std::uint64_t seed) {
+  util::Rng rng(seed);
+  WeightStore store;
+  store.per_layer_.resize(net.num_layers());
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    const dnn::NetworkLayer& layer = net.layer(id);
+    const auto in_shapes = net.input_shapes(id);
+    LayerWeights& w = store.per_layer_[id];
+    switch (layer.spec.kind) {
+      case dnn::LayerKind::kConv: {
+        const int in_c = in_shapes[0].c;
+        const int taps = layer.spec.window.kernel_w * layer.spec.window.kernel_h * in_c;
+        const double scale = std::sqrt(2.0 / taps);
+        w.weights.resize(static_cast<std::size_t>(layer.spec.out_channels) * taps);
+        for (auto& v : w.weights) v = static_cast<float>(rng.normal(0.0, scale));
+        w.bias.resize(static_cast<std::size_t>(layer.spec.out_channels));
+        for (auto& v : w.bias) v = static_cast<float>(rng.uniform(-0.1, 0.1));
+        break;
+      }
+      case dnn::LayerKind::kFullyConnected: {
+        const std::int64_t in_n = in_shapes[0].elements();
+        const double scale = std::sqrt(2.0 / static_cast<double>(in_n));
+        w.weights.resize(static_cast<std::size_t>(layer.spec.out_features * in_n));
+        for (auto& v : w.weights) v = static_cast<float>(rng.normal(0.0, scale));
+        w.bias.resize(static_cast<std::size_t>(layer.spec.out_features));
+        for (auto& v : w.bias) v = static_cast<float>(rng.uniform(-0.1, 0.1));
+        break;
+      }
+      case dnn::LayerKind::kBatchNorm: {
+        w.bn_scale.resize(static_cast<std::size_t>(in_shapes[0].c));
+        w.bn_shift.resize(static_cast<std::size_t>(in_shapes[0].c));
+        for (auto& v : w.bn_scale) v = static_cast<float>(rng.uniform(0.5, 1.5));
+        for (auto& v : w.bn_shift) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+        break;
+      }
+      default:
+        break;  // no parameters
+    }
+  }
+  return store;
+}
+
+dnn::Tensor random_tensor(const dnn::Shape& shape, util::Rng& rng) {
+  dnn::Tensor t(shape);
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+}  // namespace d3::exec

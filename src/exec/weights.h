@@ -1,0 +1,45 @@
+// Learnable parameters for executable networks, and synthetic initialisation.
+//
+// The paper runs pre-trained ImageNet models; trained weights are unavailable
+// offline, and VSM losslessness (the property under test) is a numerical identity
+// that holds for *any* weights, so tests and examples use seeded random weights
+// (see DESIGN.md, substitutions table).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/network.h"
+#include "dnn/tensor.h"
+#include "util/rng.h"
+
+namespace d3::exec {
+
+struct LayerWeights {
+  // Conv: OIHW layout, size out_channels * in_channels * kh * kw.
+  // Fully-connected: row-major [out_features][in_features].
+  std::vector<float> weights;
+  std::vector<float> bias;      // conv / fc, size = outputs
+  std::vector<float> bn_scale;  // batch-norm folded scale, size = channels
+  std::vector<float> bn_shift;  // batch-norm folded shift, size = channels
+};
+
+class WeightStore {
+ public:
+  WeightStore() = default;
+
+  const LayerWeights& layer(dnn::LayerId id) const { return per_layer_.at(id); }
+
+  // He-style random initialisation for every parameterised layer of `net`.
+  // Deterministic in `seed`.
+  static WeightStore random_for(const dnn::Network& net, std::uint64_t seed);
+
+ private:
+  std::vector<LayerWeights> per_layer_;
+};
+
+// Uniform [-1, 1) tensor, deterministic in `rng` state. Stands in for ImageNet
+// input frames.
+dnn::Tensor random_tensor(const dnn::Shape& shape, util::Rng& rng);
+
+}  // namespace d3::exec

@@ -1,0 +1,81 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace d3::graph {
+
+void Dag::add_edge(VertexId from, VertexId to) {
+  if (from >= size() || to >= size()) throw std::out_of_range("Dag::add_edge: bad vertex id");
+  if (from == to) throw std::invalid_argument("Dag::add_edge: self-loop");
+  if (has_edge(from, to)) throw std::invalid_argument("Dag::add_edge: duplicate edge");
+  succs_[from].push_back(to);
+  preds_[to].push_back(from);
+  ++num_edges_;
+}
+
+bool Dag::has_edge(VertexId from, VertexId to) const {
+  const auto& s = succs_.at(from);
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+std::vector<std::pair<VertexId, VertexId>> Dag::edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(num_edges_);
+  for (VertexId v = 0; v < size(); ++v)
+    for (const VertexId s : succs_[v]) out.emplace_back(v, s);
+  return out;
+}
+
+std::vector<VertexId> Dag::topological_order() const {
+  std::vector<std::size_t> indeg(size());
+  for (VertexId v = 0; v < size(); ++v) indeg[v] = preds_[v].size();
+
+  std::queue<VertexId> ready;
+  for (VertexId v = 0; v < size(); ++v)
+    if (indeg[v] == 0) ready.push(v);
+
+  std::vector<VertexId> order;
+  order.reserve(size());
+  while (!ready.empty()) {
+    const VertexId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (const VertexId s : succs_[v])
+      if (--indeg[s] == 0) ready.push(s);
+  }
+  if (order.size() != size()) throw std::logic_error("Dag::topological_order: graph has a cycle");
+  return order;
+}
+
+bool Dag::is_acyclic() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+std::vector<VertexId> Dag::sources() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < size(); ++v)
+    if (preds_[v].empty()) out.push_back(v);
+  return out;
+}
+
+std::vector<VertexId> Dag::sinks() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < size(); ++v)
+    if (succs_[v].empty()) out.push_back(v);
+  return out;
+}
+
+bool Dag::is_chain() const {
+  for (VertexId v = 0; v < size(); ++v)
+    if (in_degree(v) > 1 || out_degree(v) > 1) return false;
+  return true;
+}
+
+}  // namespace d3::graph

@@ -1,0 +1,71 @@
+// Directed acyclic graph used to model DNN computation graphs (paper §III-C).
+//
+// Vertices are dense integer ids 0..size()-1 so that algorithm state can live in
+// flat vectors. Vertex 0 is, by convention throughout the repository, the paper's
+// virtual input vertex v0 (dnn::Network::to_dag inserts it).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace d3::graph {
+
+using VertexId = std::size_t;
+
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(std::size_t num_vertices) { resize(num_vertices); }
+
+  void resize(std::size_t num_vertices) {
+    succs_.resize(num_vertices);
+    preds_.resize(num_vertices);
+  }
+
+  VertexId add_vertex() {
+    succs_.emplace_back();
+    preds_.emplace_back();
+    return succs_.size() - 1;
+  }
+
+  // Adds the directed link (from, to). Throws std::out_of_range for bad ids and
+  // std::invalid_argument for self-loops or duplicate edges.
+  void add_edge(VertexId from, VertexId to);
+
+  bool has_edge(VertexId from, VertexId to) const;
+
+  std::size_t size() const { return succs_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  const std::vector<VertexId>& successors(VertexId v) const { return succs_.at(v); }
+  const std::vector<VertexId>& predecessors(VertexId v) const { return preds_.at(v); }
+
+  std::size_t in_degree(VertexId v) const { return preds_.at(v).size(); }
+  std::size_t out_degree(VertexId v) const { return succs_.at(v).size(); }
+
+  // All (from, to) pairs, ordered by `from` then insertion order.
+  std::vector<std::pair<VertexId, VertexId>> edges() const;
+
+  // Kahn topological order. Throws std::logic_error if the graph has a cycle
+  // (i.e. it is not actually a DAG).
+  std::vector<VertexId> topological_order() const;
+
+  // True iff edge set is acyclic.
+  bool is_acyclic() const;
+
+  // Vertices with no predecessors / no successors.
+  std::vector<VertexId> sources() const;
+  std::vector<VertexId> sinks() const;
+
+  // True iff every vertex has in-degree <= 1 and out-degree <= 1 (a path),
+  // which is the "chain topology" Neurosurgeon requires.
+  bool is_chain() const;
+
+ private:
+  std::vector<std::vector<VertexId>> succs_;
+  std::vector<std::vector<VertexId>> preds_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace d3::graph

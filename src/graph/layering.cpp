@@ -1,0 +1,47 @@
+#include "graph/layering.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace d3::graph {
+
+std::vector<int> longest_distance(const Dag& dag, VertexId root) {
+  if (root >= dag.size()) throw std::out_of_range("longest_distance: bad root");
+  std::vector<int> delta(dag.size(), -1);
+  delta[root] = 0;
+  for (const VertexId v : dag.topological_order()) {
+    if (delta[v] < 0) continue;  // unreachable from root
+    for (const VertexId s : dag.successors(v))
+      delta[s] = std::max(delta[s], delta[v] + 1);
+  }
+  return delta;
+}
+
+std::vector<std::vector<VertexId>> graph_layers(const Dag& dag, VertexId root) {
+  const std::vector<int> delta = longest_distance(dag, root);
+  const int max_delta = delta.empty() ? -1 : *std::max_element(delta.begin(), delta.end());
+  std::vector<std::vector<VertexId>> layers(static_cast<std::size_t>(max_delta + 1));
+  for (VertexId v = 0; v < dag.size(); ++v)
+    if (delta[v] >= 0) layers[static_cast<std::size_t>(delta[v])].push_back(v);
+  return layers;
+}
+
+bool is_sis_vertex(const Dag& dag, VertexId vi, VertexId vj) {
+  if (vi == vj) return false;
+  const auto& pi = dag.predecessors(vi);
+  const auto& pj = dag.predecessors(vj);
+  if (pj.empty() || pj.size() >= pi.size()) return false;  // proper subset needs |Vpj| < |Vpi|
+  return std::all_of(pj.begin(), pj.end(), [&](VertexId p) {
+    return std::find(pi.begin(), pi.end(), p) != pi.end();
+  });
+}
+
+std::vector<VertexId> sis_vertices(const Dag& dag, VertexId vi,
+                                   const std::vector<VertexId>& candidates) {
+  std::vector<VertexId> out;
+  for (const VertexId vj : candidates)
+    if (is_sis_vertex(dag, vi, vj)) out.push_back(vj);
+  return out;
+}
+
+}  // namespace d3::graph

@@ -1,0 +1,34 @@
+// Longest-distance layering (paper §III-E).
+//
+// HPA assigns every vertex vi the longest distance delta(vi) from the virtual input
+// v0 (measured in edges), computed by dynamic programming over a topological order
+// in O(|V| + |L|). The partition Zq := { vi : delta(vi) = q } groups vertices into
+// "graph layers" processed front to back by HPA. Also provides the subset-input-
+// sibling (SIS) relation used by the SIS update step (Prop. 2).
+#pragma once
+
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace d3::graph {
+
+// delta(v) for every vertex: the number of edges on the longest path from `root`.
+// Vertices unreachable from `root` get delta = -1 (never the case for DNN graphs,
+// where v0 reaches everything, but kept well-defined for generic DAGs).
+std::vector<int> longest_distance(const Dag& dag, VertexId root = 0);
+
+// Graph layers Z0..Zmax: layers()[q] lists the vertices with delta == q, in
+// ascending id order. Unreachable vertices are omitted.
+std::vector<std::vector<VertexId>> graph_layers(const Dag& dag, VertexId root = 0);
+
+// True iff vj is a subset-input-sibling (SIS) vertex of vi: Vp(vj) is a
+// *proper, non-empty* subset of Vp(vi). (paper §III-E, Fig. 6: v6 is the SIS
+// vertex of v5 because Vp6 ⊂ Vp5; v7 is not because Vp7 ⊄ Vp5.)
+bool is_sis_vertex(const Dag& dag, VertexId vi, VertexId vj);
+
+// All SIS vertices of vi within the candidate set, preserving candidate order.
+std::vector<VertexId> sis_vertices(const Dag& dag, VertexId vi,
+                                   const std::vector<VertexId>& candidates);
+
+}  // namespace d3::graph

@@ -1,0 +1,117 @@
+#include "graph/mincut.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace d3::graph {
+
+namespace {
+// Tolerance for treating residual capacity as exhausted; capacities here are
+// latencies in seconds, so 1e-15 is far below any meaningful quantity.
+constexpr double kEps = 1e-15;
+}  // namespace
+
+FlowNetwork::FlowNetwork(std::size_t num_nodes)
+    : adj_(num_nodes), level_(num_nodes), iter_(num_nodes), source_side_(num_nodes, false) {}
+
+std::size_t FlowNetwork::add_edge(std::size_t from, std::size_t to, double capacity) {
+  if (from >= size() || to >= size()) throw std::out_of_range("FlowNetwork::add_edge: bad node");
+  if (capacity < 0) throw std::invalid_argument("FlowNetwork::add_edge: negative capacity");
+  adj_[from].push_back(Edge{to, capacity, adj_[to].size(), capacity});
+  adj_[to].push_back(Edge{from, 0.0, adj_[from].size() - 1, 0.0});
+  edge_index_.emplace_back(from, adj_[from].size() - 1);
+  return edge_index_.size() - 1;
+}
+
+bool FlowNetwork::bfs_levels(std::size_t s, std::size_t t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<std::size_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const std::size_t v = q.front();
+    q.pop();
+    for (const Edge& e : adj_[v]) {
+      if (e.capacity > kEps && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double FlowNetwork::dfs_augment(std::size_t v, std::size_t t, double pushed) {
+  if (v == t) return pushed;
+  for (std::size_t& i = iter_[v]; i < adj_[v].size(); ++i) {
+    Edge& e = adj_[v][i];
+    if (e.capacity <= kEps || level_[e.to] != level_[v] + 1) continue;
+    const double got = dfs_augment(e.to, t, std::min(pushed, e.capacity));
+    if (got > kEps) {
+      e.capacity -= got;
+      adj_[e.to][e.rev].capacity += got;
+      return got;
+    }
+  }
+  return 0.0;
+}
+
+double FlowNetwork::max_flow(std::size_t s, std::size_t t) {
+  if (solved_) throw std::logic_error("FlowNetwork::max_flow: already solved");
+  if (s >= size() || t >= size() || s == t)
+    throw std::invalid_argument("FlowNetwork::max_flow: bad terminals");
+  double total = 0.0;
+  while (bfs_levels(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const double pushed = dfs_augment(s, t, kInfinity);
+      if (pushed <= kEps) break;
+      total += pushed;
+    }
+  }
+  compute_source_side(s);
+  solved_ = true;
+  return total;
+}
+
+void FlowNetwork::compute_source_side(std::size_t s) {
+  std::fill(source_side_.begin(), source_side_.end(), false);
+  std::queue<std::size_t> q;
+  source_side_[s] = true;
+  q.push(s);
+  while (!q.empty()) {
+    const std::size_t v = q.front();
+    q.pop();
+    for (const Edge& e : adj_[v]) {
+      if (e.capacity > kEps && !source_side_[e.to]) {
+        source_side_[e.to] = true;
+        q.push(e.to);
+      }
+    }
+  }
+}
+
+double FlowNetwork::flow_on(std::size_t edge_index) const {
+  if (!solved_) throw std::logic_error("FlowNetwork::flow_on: call max_flow first");
+  const auto [node, offset] = edge_index_.at(edge_index);
+  const Edge& e = adj_[node][offset];
+  return e.original_capacity - e.capacity;
+}
+
+std::vector<std::tuple<std::size_t, std::size_t, double>> FlowNetwork::cut_edges() const {
+  if (!solved_) throw std::logic_error("FlowNetwork::cut_edges: call max_flow first");
+  std::vector<std::tuple<std::size_t, std::size_t, double>> out;
+  for (std::size_t v = 0; v < size(); ++v) {
+    if (!source_side_[v]) continue;
+    for (const Edge& e : adj_[v]) {
+      // Forward edges only (reverse edges have original_capacity == 0).
+      if (e.original_capacity > 0.0 && !source_side_[e.to])
+        out.emplace_back(v, e.to, e.original_capacity);
+    }
+  }
+  return out;
+}
+
+}  // namespace d3::graph

@@ -1,0 +1,60 @@
+// Dinic max-flow / min-cut on a directed flow network.
+//
+// Substrate for the DADS baseline (Hu et al., INFOCOM'19), which finds the optimal
+// two-way DNN split as an s-t min-cut over a transformed computation graph. Kept
+// generic: capacities are doubles, kInfinity marks uncuttable edges (DADS uses them
+// to forbid backward cloud->edge data flow).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace d3::graph {
+
+class FlowNetwork {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  explicit FlowNetwork(std::size_t num_nodes);
+
+  std::size_t size() const { return adj_.size(); }
+
+  // Adds a directed edge with the given capacity (>= 0 or kInfinity).
+  // Returns the edge index, usable with flow_on().
+  std::size_t add_edge(std::size_t from, std::size_t to, double capacity);
+
+  // Runs Dinic from s to t; returns the max-flow value. May be called once.
+  double max_flow(std::size_t s, std::size_t t);
+
+  // After max_flow(): true for nodes reachable from s in the residual graph
+  // (the "source side" of the min cut).
+  const std::vector<bool>& source_side() const { return source_side_; }
+
+  // After max_flow(): flow routed through the edge returned by add_edge().
+  double flow_on(std::size_t edge_index) const;
+
+  // After max_flow(): the saturated edges crossing the cut, as (from, to, capacity).
+  std::vector<std::tuple<std::size_t, std::size_t, double>> cut_edges() const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double capacity;  // residual capacity
+    std::size_t rev;  // index of reverse edge in adj_[to]
+    double original_capacity;
+  };
+
+  bool bfs_levels(std::size_t s, std::size_t t);
+  double dfs_augment(std::size_t v, std::size_t t, double pushed);
+  void compute_source_side(std::size_t s);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // (node, offset)
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<bool> source_side_;
+  bool solved_ = false;
+};
+
+}  // namespace d3::graph

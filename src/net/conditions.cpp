@@ -1,0 +1,31 @@
+#include "net/conditions.h"
+
+#include <stdexcept>
+
+namespace d3::net {
+
+namespace {
+constexpr double kLanWifiMbps = 84.95;  // device <-> edge, Table III
+}
+
+NetworkCondition wifi() { return {"Wi-Fi", kLanWifiMbps, 31.53, 18.75, 0}; }
+NetworkCondition lte_4g() { return {"4G", kLanWifiMbps, 13.79, 6.12, 0}; }
+NetworkCondition nr_5g() { return {"5G", kLanWifiMbps, 22.75, 11.64, 0}; }
+// Device reaches the cloud via the 5 GHz Wi-Fi when the edge uses optical backhaul.
+NetworkCondition optical() { return {"Optical Network", kLanWifiMbps, 50.23, 18.75, 0}; }
+
+std::vector<NetworkCondition> paper_conditions() {
+  return {wifi(), lte_4g(), nr_5g(), optical()};
+}
+
+NetworkCondition with_cloud_uplink(const NetworkCondition& base, double edge_cloud_mbps) {
+  if (edge_cloud_mbps <= 0) throw std::invalid_argument("with_cloud_uplink: bad bandwidth");
+  NetworkCondition c = base;
+  const double scale = edge_cloud_mbps / base.edge_cloud_mbps;
+  c.edge_cloud_mbps = edge_cloud_mbps;
+  c.device_cloud_mbps = base.device_cloud_mbps * scale;
+  c.name = base.name + "@" + std::to_string(edge_cloud_mbps) + "Mbps";
+  return c;
+}
+
+}  // namespace d3::net

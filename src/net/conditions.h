@@ -1,0 +1,45 @@
+// Inter-tier network conditions.
+//
+// Encodes Table III of the paper verbatim: the average uplink rate between the
+// device/edge LAN and the cloud under Wi-Fi, 4G, 5G and optical backhaul. The
+// device<->edge link is always the 5 GHz Wi-Fi LAN (84.95 Mbps); when the edge
+// uses the optical network the device reaches the cloud via Wi-Fi (18.75 Mbps).
+// Intra-tier transmission is assumed infinitesimal (paper §III-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace d3::net {
+
+struct NetworkCondition {
+  std::string name;
+  double device_edge_mbps = 0;
+  double edge_cloud_mbps = 0;
+  double device_cloud_mbps = 0;
+  // One-way propagation delay added per transfer (0 reproduces the paper's
+  // pure size/bandwidth model; available for sensitivity studies).
+  double rtt_seconds = 0;
+
+  double transfer_seconds(std::int64_t bytes, double mbps) const {
+    return util::transfer_seconds(static_cast<double>(bytes), mbps) + rtt_seconds;
+  }
+};
+
+// Table III presets.
+NetworkCondition wifi();
+NetworkCondition lte_4g();
+NetworkCondition nr_5g();
+NetworkCondition optical();
+
+// The four conditions in the order the paper's figures sweep them.
+std::vector<NetworkCondition> paper_conditions();
+
+// A copy of `base` with the LAN->cloud uplink overridden (both edge->cloud and
+// device->cloud scaled by the same factor), used for the Fig. 11 bandwidth sweep.
+NetworkCondition with_cloud_uplink(const NetworkCondition& base, double edge_cloud_mbps);
+
+}  // namespace d3::net

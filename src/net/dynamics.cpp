@@ -1,0 +1,50 @@
+#include "net/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace d3::net {
+
+BandwidthTrace::BandwidthTrace(std::vector<Step> steps) : steps_(std::move(steps)) {
+  if (steps_.empty()) throw std::invalid_argument("BandwidthTrace: empty");
+  if (steps_.front().start_seconds != 0.0)
+    throw std::invalid_argument("BandwidthTrace: must start at t=0");
+  for (std::size_t i = 1; i < steps_.size(); ++i)
+    if (steps_[i].start_seconds <= steps_[i - 1].start_seconds)
+      throw std::invalid_argument("BandwidthTrace: steps must be strictly time-ordered");
+  for (const Step& s : steps_)
+    if (s.edge_cloud_mbps <= 0) throw std::invalid_argument("BandwidthTrace: bad bandwidth");
+}
+
+BandwidthTrace BandwidthTrace::random_walk(const NetworkCondition& base,
+                                           double duration_seconds, double interval_seconds,
+                                           double sigma, double lo_factor, double hi_factor,
+                                           util::Rng& rng) {
+  if (interval_seconds <= 0 || duration_seconds <= 0)
+    throw std::invalid_argument("BandwidthTrace::random_walk: bad duration/interval");
+  std::vector<Step> steps;
+  double mbps = base.edge_cloud_mbps;
+  for (double t = 0; t < duration_seconds; t += interval_seconds) {
+    steps.push_back({t, mbps});
+    mbps *= std::exp(rng.normal(0.0, sigma));
+    mbps = std::clamp(mbps, base.edge_cloud_mbps * lo_factor, base.edge_cloud_mbps * hi_factor);
+  }
+  return BandwidthTrace(std::move(steps));
+}
+
+double BandwidthTrace::mbps_at(double t_seconds) const {
+  // Last step with start <= t; before t=0 clamp to the first step.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t_seconds,
+      [](double t, const Step& s) { return t < s.start_seconds; });
+  if (it == steps_.begin()) return steps_.front().edge_cloud_mbps;
+  return std::prev(it)->edge_cloud_mbps;
+}
+
+NetworkCondition BandwidthTrace::condition_at(const NetworkCondition& base,
+                                              double t_seconds) const {
+  return with_cloud_uplink(base, mbps_at(t_seconds));
+}
+
+}  // namespace d3::net

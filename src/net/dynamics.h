@@ -1,0 +1,42 @@
+// Bandwidth dynamics for the "dynamic" part of D3: traces that perturb a
+// NetworkCondition over time, driving the adaptive re-partitioning experiments
+// (resource changes and network dynamics, paper §III-E last paragraph).
+#pragma once
+
+#include <vector>
+
+#include "net/conditions.h"
+#include "util/rng.h"
+
+namespace d3::net {
+
+// Piecewise-constant bandwidth trace for the LAN->cloud uplink.
+class BandwidthTrace {
+ public:
+  struct Step {
+    double start_seconds;
+    double edge_cloud_mbps;
+  };
+
+  // Steps must be time-ordered and start at t=0.
+  explicit BandwidthTrace(std::vector<Step> steps);
+
+  // Bounded random walk around base.edge_cloud_mbps: every `interval` seconds
+  // the rate multiplies by exp(N(0, sigma)), clamped to [lo, hi] x base.
+  static BandwidthTrace random_walk(const NetworkCondition& base, double duration_seconds,
+                                    double interval_seconds, double sigma, double lo_factor,
+                                    double hi_factor, util::Rng& rng);
+
+  double mbps_at(double t_seconds) const;
+
+  // The full condition at time t (device-edge LAN unchanged; device->cloud scaled
+  // with the uplink as in with_cloud_uplink).
+  NetworkCondition condition_at(const NetworkCondition& base, double t_seconds) const;
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace d3::net

@@ -1,0 +1,52 @@
+// Synthetic hardware: the "ground truth" latency oracle standing in for running
+// layers on physical RPi/Jetson/i7/2080-Ti nodes (DESIGN.md substitutions).
+//
+// Roofline-style model: a layer costs the max of its compute time
+// (FLOPs / effective throughput, kind-dependent utilisation) and its memory time
+// ((activations + parameters) / bandwidth, with a cache-cliff derate once the
+// working set spills), plus a fixed dispatch overhead. measure() adds
+// multiplicative noise — the profiler trains its regression on noisy samples,
+// exactly like measuring on real silicon; expected_latency() is the noiseless
+// value the simulator uses.
+#pragma once
+
+#include <cstdint>
+
+#include "dnn/network.h"
+#include "profile/node_spec.h"
+#include "util/rng.h"
+
+namespace d3::profile {
+
+// Cost-relevant summary of one layer execution (inputs to the latency model and
+// the regression features).
+struct LayerCost {
+  dnn::LayerKind kind;
+  std::int64_t flops = 0;
+  std::int64_t input_bytes = 0;   // lambda_in
+  std::int64_t output_bytes = 0;  // lambda_out
+  std::int64_t param_bytes = 0;
+  // Input channel count for convolutions (0 otherwise). Conv kernels vectorise
+  // over input channels; shallow inputs (conv1's 3 channels) run far below peak
+  // throughput — the dominant effect behind Fig. 1a's conv1 ≈ 0.2 s on the RPi.
+  int in_channels = 0;
+};
+
+LayerCost layer_cost(const dnn::Network& net, dnn::LayerId id);
+
+class HardwareModel {
+ public:
+  // Relative noise of a single measurement (sigma of the multiplicative factor).
+  static constexpr double kMeasurementNoise = 0.04;
+
+  // Deterministic expected execution latency of `cost` on `node`, in seconds.
+  static double expected_latency(const LayerCost& cost, const NodeSpec& node);
+
+  // One noisy "measurement", as a real profiler would observe.
+  static double measure(const LayerCost& cost, const NodeSpec& node, util::Rng& rng);
+
+  // Sum of expected per-layer latencies of the whole network on one node.
+  static double network_latency(const dnn::Network& net, const NodeSpec& node);
+};
+
+}  // namespace d3::profile

@@ -1,0 +1,67 @@
+#include "profile/node_spec.h"
+
+namespace d3::profile {
+
+NodeSpec raspberry_pi_4b() {
+  return NodeSpec{
+      .name = "raspberry-pi-4b",
+      .compute = ComputeKind::kCpu,
+      .effective_gflops = 5.5,        // NEON fp32 conv kernels on 4x Cortex-A72
+      .memory_bandwidth_gbps = 3.2,   // LPDDR4 sustained
+      .layer_overhead_seconds = 60e-6,
+      .memory_gb = 4.0,
+      .cache_bytes = 1.0 * 1024 * 1024,  // 1 MB shared L2
+  };
+}
+
+NodeSpec jetson_nano_2gb() {
+  return NodeSpec{
+      .name = "jetson-nano-2gb",
+      .compute = ComputeKind::kGpu,
+      // 128-core Maxwell: 236 GFLOPS fp32 peak, ~30 sustained by framework
+      // kernels on the 2 GB model (memory-starved).
+      .effective_gflops = 30.0,
+      .memory_bandwidth_gbps = 8.0,  // LPDDR4 shared with the GPU
+      .layer_overhead_seconds = 120e-6,
+      .memory_gb = 2.0,
+      .cache_bytes = 0.5 * 1024 * 1024,
+  };
+}
+
+NodeSpec i7_8700() {
+  return NodeSpec{
+      .name = "i7-8700",
+      .compute = ComputeKind::kCpu,
+      .effective_gflops = 210.0,      // 6 cores x AVX2 FMA, MKL-DNN-class kernels
+      // Sustained by framework GEMV/elementwise kernels, well under the DDR4
+      // STREAM peak (framework tensors are strided and temporary-heavy). This
+      // is what makes VGG's fc tail cheaper on the cloud GPU than on the edge
+      // CPU despite the uplink crossing — the Table II split shape.
+      .memory_bandwidth_gbps = 12.0,
+      .layer_overhead_seconds = 15e-6,
+      .memory_gb = 8.0,
+      .cache_bytes = 12.0 * 1024 * 1024,  // 12 MB L3
+  };
+}
+
+NodeSpec rtx_2080ti_server() {
+  return NodeSpec{
+      .name = "rtx-2080ti-server",
+      .compute = ComputeKind::kGpu,
+      .effective_gflops = 9000.0,      // fp32 conv kernels (13.4 TFLOPS peak)
+      .memory_bandwidth_gbps = 450.0,  // GDDR6 sustained
+      .layer_overhead_seconds = 18e-6, // CUDA kernel launch
+      .memory_gb = 256.0,
+      .cache_bytes = 5.5 * 1024 * 1024,
+  };
+}
+
+TierNodes paper_testbed() {
+  return TierNodes{raspberry_pi_4b(), i7_8700(), rtx_2080ti_server()};
+}
+
+TierNodes table2_testbed() {
+  return TierNodes{jetson_nano_2gb(), i7_8700(), rtx_2080ti_server()};
+}
+
+}  // namespace d3::profile

@@ -1,0 +1,57 @@
+// Computation-node descriptions (the "CPU info / GPU info / memory size" inputs
+// of the paper's regression model, Fig. 2).
+//
+// The presets correspond to the paper's testbed (§IV and Table II): Raspberry Pi
+// 4B and Jetson Nano 2GB at the device tier, an i7-8700 Linux box at the edge,
+// and an RTX-2080-Ti server at the cloud. Effective throughput numbers are
+// calibrated so that per-layer latencies land in the ranges of Fig. 1/Table II
+// (see DESIGN.md, substitutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace d3::profile {
+
+enum class ComputeKind { kCpu, kGpu };
+
+struct NodeSpec {
+  std::string name;
+  ComputeKind compute = ComputeKind::kCpu;
+  // Effective dense-arithmetic throughput (GFLOP/s) achievable by convolution
+  // kernels; well below datasheet peaks, as measured throughput always is.
+  double effective_gflops = 1.0;
+  // Sustained memory bandwidth (GB/s); memory-bound layers (fc, pooling,
+  // elementwise) are limited by this.
+  double memory_bandwidth_gbps = 1.0;
+  // Fixed per-layer dispatch overhead (seconds): interpreter/driver cost on
+  // CPUs, kernel-launch latency on GPUs.
+  double layer_overhead_seconds = 0.0;
+  // System memory (GB); informational (capacity checks in deployment planning).
+  double memory_gb = 1.0;
+  // Working-set size beyond which the memory system falls off its peak
+  // (cache-cliff nonlinearity that keeps the latency regression honest).
+  double cache_bytes = 1.0;
+};
+
+// Device tier.
+NodeSpec raspberry_pi_4b();
+NodeSpec jetson_nano_2gb();
+// Edge tier.
+NodeSpec i7_8700();
+// Cloud tier.
+NodeSpec rtx_2080ti_server();
+
+// The device/edge/cloud node triple used by an experiment.
+struct TierNodes {
+  NodeSpec device;
+  NodeSpec edge;
+  NodeSpec cloud;
+};
+
+// The paper's §IV testbed: RPi-4B device, i7-8700 edge, 2080-Ti cloud.
+TierNodes paper_testbed();
+// The Table II measurement setup (Jetson Nano device).
+TierNodes table2_testbed();
+
+}  // namespace d3::profile

@@ -1,0 +1,86 @@
+#include "profile/profiler.h"
+
+#include "dnn/layer.h"
+#include "util/rng.h"
+
+namespace d3::profile {
+
+namespace {
+
+LayerCost cost_of(const dnn::LayerSpec& spec, const dnn::Shape& input) {
+  const dnn::Shape out = dnn::infer_output_shape(spec, {input});
+  LayerCost c;
+  c.kind = spec.kind;
+  c.flops = dnn::layer_flops(spec, {input}, out);
+  c.input_bytes = input.bytes();
+  c.output_bytes = out.bytes();
+  c.param_bytes = dnn::layer_params(spec, {input}) * 4;
+  if (spec.kind == dnn::LayerKind::kConv) c.in_channels = input.c;
+  return c;
+}
+
+}  // namespace
+
+std::vector<LayerCost> Profiler::calibration_workload(const Options& options) {
+  util::Rng rng(options.seed);
+  std::vector<LayerCost> workload;
+  workload.reserve(static_cast<std::size_t>(options.samples_per_class) * 4);
+
+  const int kernels[] = {1, 3, 5, 7, 11};
+  // Categorical channel choices over-sample the shallow regime: real networks
+  // have exactly one 3-channel conv but its latency anchors the device tier.
+  const int channel_choices[] = {3, 4, 8, 12, 16, 24, 32, 64, 128, 256, 384, 512};
+  for (int i = 0; i < options.samples_per_class; ++i) {
+    // Conv: channels and spatial extents spanning early/late classifier stages.
+    const int in_c = channel_choices[rng.uniform_int(0, 11)];
+    const int out_c = static_cast<int>(rng.uniform_int(16, 512));
+    const int k = kernels[rng.uniform_int(0, 4)];
+    const int stride = rng.chance(0.3) ? 2 : 1;
+    const int pad = k / 2;
+    const int hw = static_cast<int>(rng.uniform_int(7, 224));
+    if (hw + 2 * pad >= k) {
+      workload.push_back(cost_of(
+          dnn::LayerSpec::conv("cal", out_c, dnn::Window{k, k, stride, stride, pad, pad}),
+          dnn::Shape{in_c, hw, hw}));
+    }
+
+    // Fully connected.
+    const int in_f = static_cast<int>(rng.uniform_int(256, 25088));
+    const int out_f = static_cast<int>(rng.uniform_int(10, 4096));
+    workload.push_back(
+        cost_of(dnn::LayerSpec::fully_connected("cal", out_f), dnn::Shape{in_f, 1, 1}));
+
+    // Pooling.
+    const int pk = rng.chance(0.5) ? 2 : 3;
+    const int ps = rng.chance(0.5) ? 2 : 1;
+    const int pc = static_cast<int>(rng.uniform_int(16, 512));
+    const int phw = static_cast<int>(rng.uniform_int(7, 224));
+    workload.push_back(cost_of(
+        dnn::LayerSpec::max_pool("cal", dnn::Window{pk, pk, ps, ps, 0, 0}),
+        dnn::Shape{pc, phw, phw}));
+
+    // Elementwise.
+    const int ec = static_cast<int>(rng.uniform_int(16, 512));
+    const int ehw = static_cast<int>(rng.uniform_int(7, 224));
+    workload.push_back(cost_of(dnn::LayerSpec::relu("cal"), dnn::Shape{ec, ehw, ehw}));
+  }
+  return workload;
+}
+
+LatencyEstimator Profiler::profile_node(const NodeSpec& node, const Options& options) {
+  util::Rng rng(options.seed ^ std::hash<std::string>{}(node.name));
+  const std::vector<LayerCost> workload = calibration_workload(options);
+  std::vector<TrainingSample> samples;
+  samples.reserve(workload.size());
+  for (const LayerCost& cost : workload)
+    samples.push_back({cost, HardwareModel::measure(cost, node, rng)});
+  return LatencyEstimator::fit(samples);
+}
+
+std::array<LatencyEstimator, 3> Profiler::profile_tiers(const TierNodes& nodes,
+                                                        const Options& options) {
+  return {profile_node(nodes.device, options), profile_node(nodes.edge, options),
+          profile_node(nodes.cloud, options)};
+}
+
+}  // namespace d3::profile

@@ -1,0 +1,40 @@
+// The profiler of Fig. 2: collects operating-condition measurements from the
+// computation nodes of each tier and trains the regression-based latency
+// estimators the offline partition framework consumes.
+//
+// Training data is a synthetic workload of layer configurations spanning the
+// ranges found in real classifiers (conv channels/kernels/strides, fc widths,
+// pooling windows, elementwise sizes), "measured" through the HardwareModel
+// noise path — the same procedure a real deployment would run once per node.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "profile/node_spec.h"
+#include "profile/regression.h"
+
+namespace d3::profile {
+
+struct ProfilerOptions {
+  int samples_per_class = 160;
+  std::uint64_t seed = 0xd3d3d3;
+};
+
+class Profiler {
+ public:
+  using Options = ProfilerOptions;
+
+  // Builds the synthetic calibration workload (deterministic in seed).
+  static std::vector<LayerCost> calibration_workload(const Options& options);
+
+  // Measures the workload on `node` and fits the per-class regression.
+  static LatencyEstimator profile_node(const NodeSpec& node, const Options& options = {});
+
+  // Estimators for device/edge/cloud, indexed by core::Tier order.
+  static std::array<LatencyEstimator, 3> profile_tiers(const TierNodes& nodes,
+                                                       const Options& options = {});
+};
+
+}  // namespace d3::profile

@@ -1,0 +1,151 @@
+#include "profile/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace d3::profile {
+
+namespace {
+
+// Solves the symmetric positive-definite system A x = b with Gaussian
+// elimination and partial pivoting; dimensions here are tiny (<= 5).
+std::vector<double> solve_linear(std::vector<std::vector<double>> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-30)
+      throw std::runtime_error("solve_linear: singular system");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a[ri][c] * x[c];
+    x[ri] = acc / a[ri][ri];
+  }
+  return x;
+}
+
+}  // namespace
+
+RidgeRegression RidgeRegression::fit(const std::vector<std::vector<double>>& rows,
+                                     const std::vector<double>& targets, double l2) {
+  if (rows.empty() || rows.size() != targets.size())
+    throw std::invalid_argument("RidgeRegression::fit: empty or mismatched data");
+  const std::size_t dim = rows.front().size();
+  for (const auto& r : rows)
+    if (r.size() != dim) throw std::invalid_argument("RidgeRegression::fit: ragged rows");
+
+  // Normal equations: (X^T X + l2 I) beta = X^T y.
+  std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> xty(dim, 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t a = 0; a < dim; ++a) {
+      xty[a] += rows[i][a] * targets[i];
+      for (std::size_t b = 0; b < dim; ++b) xtx[a][b] += rows[i][a] * rows[i][b];
+    }
+  }
+  for (std::size_t a = 0; a < dim; ++a) xtx[a][a] += l2;
+
+  RidgeRegression model;
+  model.beta_ = solve_linear(std::move(xtx), std::move(xty));
+  return model;
+}
+
+double RidgeRegression::predict(std::span<const double> features) const {
+  if (features.size() != beta_.size())
+    throw std::invalid_argument("RidgeRegression::predict: feature dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < beta_.size(); ++i) acc += beta_[i] * features[i];
+  return acc;
+}
+
+LayerClass classify_layer(dnn::LayerKind kind) {
+  switch (kind) {
+    case dnn::LayerKind::kConv:
+      return LayerClass::kConv;
+    case dnn::LayerKind::kFullyConnected:
+      return LayerClass::kFullyConnected;
+    case dnn::LayerKind::kMaxPool:
+    case dnn::LayerKind::kAvgPool:
+    case dnn::LayerKind::kGlobalAvgPool:
+      return LayerClass::kWindowed;
+    default:
+      return LayerClass::kElementwise;
+  }
+}
+
+std::vector<double> layer_features(const LayerCost& cost) {
+  // "Excess GFLOPs" models the shallow-channel utilisation ramp of conv
+  // kernels: below ~16 input channels (the vector width of typical conv
+  // kernels) sustained throughput drops proportionally, so the extra time is
+  // linear in gflops * (16/in_c - 1). Zero for deep-channel and non-conv
+  // layers, which keeps the feature orthogonal to plain GFLOPs.
+  const double gflops = static_cast<double>(cost.flops) / 1e9;
+  const double excess_gflops =
+      cost.in_channels > 0 ? gflops * std::max(0.0, 16.0 / cost.in_channels - 1.0) : 0.0;
+  return {
+      1.0,
+      gflops,
+      static_cast<double>(cost.input_bytes + cost.output_bytes) / 1e6,
+      static_cast<double>(cost.param_bytes) / 1e6,
+      excess_gflops,
+  };
+}
+
+LatencyEstimator LatencyEstimator::fit(std::span<const TrainingSample> samples) {
+  std::array<std::vector<std::vector<double>>, kNumLayerClasses> rows;
+  std::array<std::vector<double>, kNumLayerClasses> targets;
+  for (const TrainingSample& s : samples) {
+    const auto cls = static_cast<std::size_t>(classify_layer(s.cost.kind));
+    // Weighted least squares with weight 1/target^2: layer latencies span five
+    // orders of magnitude, and an unweighted fit sacrifices the microsecond
+    // layers (negative predictions) to shave error off the second-scale ones.
+    // Scaling row and target by 1/target makes the fit minimise *relative*
+    // error, which is what Fig. 4 (and HPA's tier choices) need.
+    const double w = 1.0 / std::max(s.seconds, 1e-7);
+    auto features = layer_features(s.cost);
+    for (double& f : features) f *= w;
+    rows[cls].push_back(std::move(features));
+    targets[cls].push_back(s.seconds * w);
+  }
+  LatencyEstimator est;
+  for (int cls = 0; cls < kNumLayerClasses; ++cls) {
+    if (rows[static_cast<std::size_t>(cls)].empty())
+      throw std::invalid_argument("LatencyEstimator::fit: no samples for layer class " +
+                                  std::to_string(cls));
+    est.models_[static_cast<std::size_t>(cls)] = RidgeRegression::fit(
+        rows[static_cast<std::size_t>(cls)], targets[static_cast<std::size_t>(cls)]);
+  }
+  return est;
+}
+
+double LatencyEstimator::predict(const LayerCost& cost) const {
+  const auto cls = static_cast<std::size_t>(classify_layer(cost.kind));
+  const auto features = layer_features(cost);
+  return std::max(0.0, models_[cls].predict(features));
+}
+
+double LatencyEstimator::mape_on(const dnn::Network& net, const NodeSpec& node) const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    const LayerCost cost = layer_cost(net, id);
+    const double truth = HardwareModel::expected_latency(cost, node);
+    if (truth <= 0) continue;
+    total += std::abs(predict(cost) - truth) / truth;
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace d3::profile

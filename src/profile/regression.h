@@ -1,0 +1,65 @@
+// The latency regression model of §III-D: predicts per-layer execution time on a
+// node from computation-resource and layer-configuration features, so that HPA
+// never has to run every layer on every tier (paper: executing layers on the
+// spot is "impractical and time-consuming").
+//
+// One ridge-regression model per coarse layer class (conv / fc / windowed /
+// elementwise), with features [1, GFLOPs, activation MB, parameter MB]. Trained
+// on noisy measurements (profiler.h); evaluated against ground truth in Fig. 4.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "profile/hardware_model.h"
+
+namespace d3::profile {
+
+// Closed-form ridge regression (normal equations) for the small feature spaces
+// used here.
+class RidgeRegression {
+ public:
+  // Fits beta minimising ||X beta - y||^2 + l2 * ||beta||^2. Each row of `rows`
+  // must have the same dimension. Throws on empty/ragged input.
+  static RidgeRegression fit(const std::vector<std::vector<double>>& rows,
+                             const std::vector<double>& targets, double l2 = 1e-9);
+
+  double predict(std::span<const double> features) const;
+
+  const std::vector<double>& coefficients() const { return beta_; }
+
+ private:
+  std::vector<double> beta_;
+};
+
+enum class LayerClass { kConv = 0, kFullyConnected = 1, kWindowed = 2, kElementwise = 3 };
+inline constexpr int kNumLayerClasses = 4;
+
+LayerClass classify_layer(dnn::LayerKind kind);
+
+// Feature vector of a layer execution: [1, GFLOPs, activation MB, parameter MB].
+std::vector<double> layer_features(const LayerCost& cost);
+
+struct TrainingSample {
+  LayerCost cost;
+  double seconds = 0;
+};
+
+// Per-node latency estimator: a fitted RidgeRegression per layer class.
+class LatencyEstimator {
+ public:
+  // Every layer class must be represented in `samples`.
+  static LatencyEstimator fit(std::span<const TrainingSample> samples);
+
+  // Predicted execution latency in seconds (clamped to >= 0).
+  double predict(const LayerCost& cost) const;
+
+  // Mean absolute percentage error against expected ground truth on a network.
+  double mape_on(const dnn::Network& net, const NodeSpec& node) const;
+
+ private:
+  std::array<RidgeRegression, kNumLayerClasses> models_;
+};
+
+}  // namespace d3::profile

@@ -1,0 +1,169 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/vsm_executor.h"
+#include "exec/executor.h"
+
+namespace d3::runtime {
+
+namespace {
+
+const char* node_of(core::Tier tier) {
+  switch (tier) {
+    case core::Tier::kDevice: return "device0";
+    case core::Tier::kEdge: return "edge0";
+    case core::Tier::kCloud: return "cloud0";
+  }
+  return "?";
+}
+
+}  // namespace
+
+OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& weights,
+                           core::Assignment assignment,
+                           std::optional<core::FusedTilePlan> vsm)
+    : net_(net), weights_(weights), assignment_(std::move(assignment)), vsm_(std::move(vsm)) {
+  if (assignment_.tier.size() != net_.num_layers() + 1)
+    throw std::invalid_argument("OnlineEngine: assignment size does not match network");
+  if (assignment_.tier[0] != core::Tier::kDevice)
+    throw std::invalid_argument("OnlineEngine: v0 must be on the device");
+  // Prop.-1 feasibility: no layer strictly device-ward of its most device-ward input.
+  for (dnn::LayerId id = 0; id < net_.num_layers(); ++id) {
+    core::Tier bound = core::Tier::kCloud;
+    for (const dnn::LayerId in : net_.layer(id).inputs) {
+      const core::Tier t =
+          in == dnn::kNetworkInput ? core::Tier::kDevice
+                                   : assignment_.tier[dnn::Network::vertex_of(in)];
+      if (core::before(t, bound)) bound = t;
+    }
+    if (core::before(assignment_.tier[dnn::Network::vertex_of(id)], bound))
+      throw std::invalid_argument("OnlineEngine: plan violates dataflow precedence at '" +
+                                  net_.layer(id).spec.name + "'");
+  }
+  if (vsm_) {
+    if (vsm_->stack.empty()) throw std::invalid_argument("OnlineEngine: empty VSM stack");
+    for (const dnn::LayerId id : vsm_->stack)
+      if (assignment_.tier[dnn::Network::vertex_of(id)] != core::Tier::kEdge)
+        throw std::invalid_argument("OnlineEngine: VSM stack layer '" +
+                                    net_.layer(id).spec.name + "' is not on the edge");
+    // Intermediate stack outputs exist only as tiles on the workers; no layer
+    // outside the stack may consume them.
+    for (std::size_t j = 0; j + 1 < vsm_->stack.size(); ++j) {
+      for (dnn::LayerId other = 0; other < net_.num_layers(); ++other) {
+        if (other == vsm_->stack[j + 1]) continue;
+        const auto& ins = net_.layer(other).inputs;
+        if (std::find(ins.begin(), ins.end(), vsm_->stack[j]) != ins.end())
+          throw std::invalid_argument(
+              "OnlineEngine: layer outside the VSM stack consumes an intermediate tile ('" +
+              net_.layer(vsm_->stack[j]).spec.name + "')");
+      }
+    }
+  }
+}
+
+InferenceResult OnlineEngine::infer(const dnn::Tensor& input) const {
+  if (!(input.shape() == net_.input_shape()))
+    throw std::invalid_argument("OnlineEngine::infer: input shape mismatch");
+
+  InferenceResult result;
+  std::vector<dnn::Tensor> outputs(net_.num_layers());
+  std::vector<bool> computed(net_.num_layers(), false);
+
+  // sent[producer index][tier]: producer's tensor already shipped to that tier.
+  // Index 0 is the raw input; producer layer id is offset by one.
+  std::vector<std::array<bool, 3>> sent(net_.num_layers() + 1, {false, false, false});
+
+  const auto record = [&](const std::string& from, const std::string& to,
+                          const std::string& payload, core::Tier from_tier,
+                          core::Tier to_tier, std::int64_t bytes) {
+    result.messages.push_back({from, to, payload, from_tier, to_tier, bytes});
+    const int lo = std::min(core::index(from_tier), core::index(to_tier));
+    const int hi = std::max(core::index(from_tier), core::index(to_tier));
+    if (lo == 0 && hi == 1) result.device_edge_bytes += bytes;
+    else if (lo == 1 && hi == 2) result.edge_cloud_bytes += bytes;
+    else if (lo == 0 && hi == 2) result.device_cloud_bytes += bytes;
+  };
+
+  // Ensures `producer`'s tensor is present at `tier`, shipping it (once) if not.
+  const auto deliver = [&](dnn::LayerId producer, core::Tier tier) {
+    const bool is_input = producer == dnn::kNetworkInput;
+    const core::Tier from = is_input ? core::Tier::kDevice
+                                     : assignment_.tier[dnn::Network::vertex_of(producer)];
+    if (from == tier) return;
+    auto& flags = sent[is_input ? 0 : producer + 1];
+    if (flags[static_cast<std::size_t>(core::index(tier))]) return;
+    flags[static_cast<std::size_t>(core::index(tier))] = true;
+    const std::int64_t bytes =
+        is_input ? net_.input_shape().bytes() : net_.lambda_out_bytes(producer);
+    record(node_of(from), node_of(tier),
+           is_input ? "raw input" : net_.layer(producer).spec.name, from, tier, bytes);
+  };
+
+  const auto run_vsm_stack = [&] {
+    const core::FusedTilePlan& plan = *vsm_;
+    const dnn::LayerId first = plan.stack.front();
+    const dnn::LayerId in_id = net_.layer(first).inputs[0];
+    const dnn::Tensor& stack_input =
+        in_id == dnn::kNetworkInput ? input : outputs[in_id];
+
+    dnn::Tensor assembled(plan.output_shape);
+    for (std::size_t t = 0; t < plan.num_tiles(); ++t) {
+      const exec::Tile tile_in = core::extract_tile_input(stack_input, plan, t);
+      const std::string worker = "edge" + std::to_string(t + 1);
+      const std::string tile_name = "tile(" + std::to_string(t) + ")";
+      // Scatter (intra-edge; not tier-boundary traffic).
+      const std::int64_t in_bytes = tile_in.data.shape().bytes();
+      result.messages.push_back({"edge0", worker, tile_name + " input", core::Tier::kEdge,
+                                 core::Tier::kEdge, in_bytes});
+      result.vsm_scatter_bytes += in_bytes;
+
+      const exec::Tile tile_out = core::run_single_tile(net_, weights_, tile_in, plan, t);
+
+      // Gather.
+      const std::int64_t out_bytes = tile_out.data.shape().bytes();
+      result.messages.push_back({worker, "edge0", tile_name + " output", core::Tier::kEdge,
+                                 core::Tier::kEdge, out_bytes});
+      result.vsm_gather_bytes += out_bytes;
+
+      const exec::Region& region = plan.tiles[t].output_region;
+      for (int c = 0; c < assembled.shape().c; ++c)
+        for (int y = region.y0; y < region.y1; ++y)
+          for (int x = region.x0; x < region.x1; ++x)
+            assembled.at(c, y, x) = tile_out.data.at(c, y - region.y0, x - region.x0);
+    }
+    outputs[plan.stack.back()] = std::move(assembled);
+    for (const dnn::LayerId id : plan.stack) {
+      computed[id] = true;
+      ++result.layers_executed[static_cast<std::size_t>(core::index(core::Tier::kEdge))];
+    }
+  };
+
+  for (dnn::LayerId id = 0; id < net_.num_layers(); ++id) {
+    if (computed[id]) continue;  // interior of an executed VSM stack
+    const core::Tier tier = assignment_.tier[dnn::Network::vertex_of(id)];
+
+    if (vsm_ && id == vsm_->stack.front()) {
+      // The stack input must be present on the edge coordinator first.
+      deliver(net_.layer(id).inputs[0], core::Tier::kEdge);
+      run_vsm_stack();
+      continue;
+    }
+
+    std::vector<const dnn::Tensor*> ins;
+    ins.reserve(net_.layer(id).inputs.size());
+    for (const dnn::LayerId in : net_.layer(id).inputs) {
+      deliver(in, tier);
+      ins.push_back(in == dnn::kNetworkInput ? &input : &outputs[in]);
+    }
+    outputs[id] = exec::run_layer(net_, weights_, id, ins);
+    computed[id] = true;
+    ++result.layers_executed[static_cast<std::size_t>(core::index(tier))];
+  }
+
+  result.output = std::move(outputs.back());
+  return result;
+}
+
+}  // namespace d3::runtime

@@ -1,0 +1,73 @@
+// Online execution engine (paper Fig. 2): executes a deployment plan on *real*
+// tensors across the computation nodes of the three tiers, orchestrating the
+// distributed and parallel processing and the communication among partitions.
+//
+// Nodes are modelled as in-process actors executed deterministically by the
+// engine: the device node runs its layers and ships boundary tensors to the
+// edge/cloud; the edge coordinator scatters VSM fused-tile inputs to its worker
+// nodes, gathers their output tiles, and forwards intermediate results to the
+// cloud; the cloud node finishes the inference. Every inter-node tensor is
+// recorded as a message, so tests can assert both losslessness (the distributed
+// output equals the single-node reference bitwise) and traffic accounting (the
+// bytes on each tier boundary match core::boundary_traffic).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/vsm.h"
+#include "dnn/network.h"
+#include "dnn/tensor.h"
+#include "exec/weights.h"
+
+namespace d3::runtime {
+
+struct MessageRecord {
+  std::string from_node;
+  std::string to_node;
+  // What the tensor is: a layer's output, the raw input, or a VSM tile.
+  std::string payload;
+  core::Tier from_tier;
+  core::Tier to_tier;
+  std::int64_t bytes = 0;
+};
+
+struct InferenceResult {
+  dnn::Tensor output;
+  std::vector<MessageRecord> messages;
+  // Bytes crossing each tier boundary (intra-tier messages excluded).
+  std::int64_t device_edge_bytes = 0;
+  std::int64_t edge_cloud_bytes = 0;
+  std::int64_t device_cloud_bytes = 0;
+  // Layers executed per tier (VSM tile work counts once, on the coordinator).
+  std::array<std::size_t, 3> layers_executed{0, 0, 0};
+  // Intra-edge scatter/gather traffic of the VSM stage, if one ran.
+  std::int64_t vsm_scatter_bytes = 0;
+  std::int64_t vsm_gather_bytes = 0;
+};
+
+class OnlineEngine {
+ public:
+  // `net` and `weights` must outlive the engine. The assignment must be
+  // Prop.-1 feasible; `vsm` (optional) must cover edge-assigned layers only.
+  // Throws std::invalid_argument on inconsistent plans.
+  OnlineEngine(const dnn::Network& net, const exec::WeightStore& weights,
+               core::Assignment assignment,
+               std::optional<core::FusedTilePlan> vsm = std::nullopt);
+
+  // Runs one synergistic inference: the device node ingests `input`, the plan's
+  // tiers execute their partitions, and the final layer's output is returned
+  // together with the full message transcript.
+  InferenceResult infer(const dnn::Tensor& input) const;
+
+ private:
+  const dnn::Network& net_;
+  const exec::WeightStore& weights_;
+  core::Assignment assignment_;
+  std::optional<core::FusedTilePlan> vsm_;
+};
+
+}  // namespace d3::runtime

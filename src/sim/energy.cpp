@@ -1,0 +1,25 @@
+#include "sim/energy.h"
+
+namespace d3::sim {
+
+PowerSpec raspberry_pi_4b_power() {
+  return PowerSpec{.active_watts = 6.0, .idle_watts = 2.7, .tx_nj_per_byte = 60.0};
+}
+
+PowerSpec jetson_nano_2gb_power() {
+  return PowerSpec{.active_watts = 10.0, .idle_watts = 1.5, .tx_nj_per_byte = 60.0};
+}
+
+FrameEnergy device_energy_per_frame(const sim::PipelinePlan& plan, const PowerSpec& power) {
+  FrameEnergy e;
+  e.compute_joules = plan.device_seconds * power.active_watts;
+  const double tx_bytes = static_cast<double>(plan.de_bytes + plan.dc_bytes);
+  e.radio_joules = tx_bytes * power.tx_nj_per_byte * 1e-9;
+  const double frame = plan.frame_latency_seconds();
+  const double tx_seconds = plan.de_seconds() + plan.dc_seconds();
+  const double busy = plan.device_seconds + tx_seconds;
+  e.idle_joules = (frame > busy ? frame - busy : 0.0) * power.idle_watts;
+  return e;
+}
+
+}  // namespace d3::sim

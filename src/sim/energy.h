@@ -1,0 +1,35 @@
+// Energy accounting (extension). Neurosurgeon — the system HPA generalises —
+// optimises mobile *energy* as well as latency; the paper's introduction cites
+// the device's restricted energy as a core motivation. This module provides the
+// per-frame energy breakdown of a deployed pipeline so the benches can report
+// the battery cost of each partitioning strategy on the device tier.
+#pragma once
+
+#include "sim/pipeline.h"
+
+namespace d3::sim {
+
+// Electrical characteristics of a computation node / its radio.
+struct PowerSpec {
+  double active_watts = 0;   // busy compute power draw
+  double idle_watts = 0;     // draw while waiting in the pipeline
+  double tx_nj_per_byte = 0; // radio transmit energy (uplink)
+};
+
+// Device-tier presets (the battery-powered tier whose energy matters).
+PowerSpec raspberry_pi_4b_power();   // ~6 W busy, ~2.7 W idle, Wi-Fi radio
+PowerSpec jetson_nano_2gb_power();   // ~10 W busy, ~1.5 W idle
+
+struct FrameEnergy {
+  double compute_joules = 0;  // device compute
+  double radio_joules = 0;    // device uplink transmissions
+  double idle_joules = 0;     // device idle while edge/cloud work
+  double total_joules() const { return compute_joules + radio_joules + idle_joules; }
+};
+
+// Device energy spent per frame under `plan`: active draw during the device
+// stage, radio energy for the bytes the device transmits (d->e and d->c), and
+// idle draw for the remainder of the frame latency.
+FrameEnergy device_energy_per_frame(const sim::PipelinePlan& plan, const PowerSpec& power);
+
+}  // namespace d3::sim

@@ -1,0 +1,99 @@
+#include "sim/experiment.h"
+
+#include <stdexcept>
+
+#include "baselines/dads.h"
+#include "baselines/neurosurgeon.h"
+#include "core/hpa.h"
+#include "core/vsm.h"
+#include "profile/profiler.h"
+
+namespace d3::sim {
+
+const char* method_name(Method method) {
+  switch (method) {
+    case Method::kDeviceOnly: return "Device-only";
+    case Method::kEdgeOnly: return "Edge-only";
+    case Method::kCloudOnly: return "Cloud-only";
+    case Method::kNeurosurgeon: return "Neurosurgeon";
+    case Method::kDads: return "DADS";
+    case Method::kHpa: return "HPA";
+    case Method::kHpaVsm: return "HPA+VSM";
+  }
+  return "?";
+}
+
+MethodResult run_method(const dnn::Network& net, Method method,
+                        const ExperimentConfig& config) {
+  MethodResult result;
+  result.method = method;
+
+  // Decision inputs: regression-estimated per-layer times (what a deployed
+  // system knows). Evaluation inputs: ground-truth hardware latencies.
+  const auto estimators = profile::Profiler::profile_tiers(config.nodes, config.profiler);
+  const core::PartitionProblem estimated =
+      core::make_problem(net, estimators, config.condition);
+  const core::PartitionProblem exact =
+      core::make_problem_exact(net, config.nodes, config.condition);
+
+  std::optional<core::FusedTilePlan> vsm;
+  switch (method) {
+    case Method::kDeviceOnly:
+      result.assignment = core::uniform_assignment(estimated, core::Tier::kDevice);
+      break;
+    case Method::kEdgeOnly:
+      result.assignment = core::uniform_assignment(estimated, core::Tier::kEdge);
+      break;
+    case Method::kCloudOnly:
+      result.assignment = core::uniform_assignment(estimated, core::Tier::kCloud);
+      break;
+    case Method::kNeurosurgeon: {
+      const auto split = baselines::neurosurgeon(estimated);
+      if (!split) {
+        result.applicable = false;
+        return result;
+      }
+      result.assignment = split->assignment;
+      break;
+    }
+    case Method::kDads:
+      result.assignment = baselines::dads(estimated).assignment;
+      break;
+    case Method::kHpa:
+      result.assignment = core::hpa(estimated, config.hpa).assignment;
+      break;
+    case Method::kHpaVsm: {
+      result.assignment = core::hpa(estimated, config.hpa).assignment;
+      std::vector<dnn::LayerId> edge_layers;
+      for (dnn::LayerId id = 0; id < net.num_layers(); ++id)
+        if (result.assignment.tier[dnn::Network::vertex_of(id)] == core::Tier::kEdge)
+          edge_layers.push_back(id);
+      const auto stack = core::longest_tileable_run(net, edge_layers);
+      if (!stack.empty()) {
+        const dnn::Shape out = net.layer(stack.back()).output_shape;
+        const auto [rows, cols] = core::choose_tile_grid(config.vsm_edge_nodes, out.h, out.w);
+        if (rows * cols > 1) vsm = core::make_fused_tile_plan(net, stack, rows, cols);
+      }
+      break;
+    }
+  }
+
+  result.pipeline = vsm ? build_pipeline_vsm(exact, result.assignment, net, *vsm,
+                                             config.nodes.edge)
+                        : build_pipeline(exact, result.assignment);
+  if (vsm) result.vsm_redundancy = core::redundancy_factor(net, *vsm);
+  result.stream = simulate_stream(result.pipeline, config.stream);
+  result.frame_latency_seconds = result.pipeline.frame_latency_seconds();
+  result.traffic = core::boundary_traffic(exact, result.assignment);
+  return result;
+}
+
+double speedup_over(const MethodResult& baseline, const MethodResult& method) {
+  if (!baseline.applicable || !method.applicable)
+    throw std::invalid_argument("speedup_over: method not applicable");
+  if (method.frame_latency_seconds <= 0)
+    throw std::invalid_argument("speedup_over: degenerate latency");
+  return baseline.frame_latency_seconds / method.frame_latency_seconds;
+}
+
+}  // namespace d3::sim

@@ -1,0 +1,61 @@
+// Shared experiment harness used by every bench binary: runs one inference
+// method (D3 or a baseline) on one network under one network condition, and
+// reports the per-image latency / traffic metrics the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/d3.h"
+#include "core/partition.h"
+#include "net/conditions.h"
+#include "profile/node_spec.h"
+#include "sim/pipeline.h"
+
+namespace d3::sim {
+
+enum class Method {
+  kDeviceOnly,
+  kEdgeOnly,
+  kCloudOnly,
+  kNeurosurgeon,
+  kDads,
+  kHpa,
+  kHpaVsm,
+};
+
+const char* method_name(Method method);
+
+struct ExperimentConfig {
+  profile::TierNodes nodes = profile::paper_testbed();
+  net::NetworkCondition condition = net::wifi();
+  // Edge nodes available to VSM (Fig. 12 uses four i7 machines).
+  int vsm_edge_nodes = 4;
+  core::HpaOptions hpa;
+  StreamOptions stream;
+  profile::Profiler::Options profiler;
+};
+
+struct MethodResult {
+  Method method = Method::kHpa;
+  // Neurosurgeon is chain-only; inapplicable methods report applicable = false.
+  bool applicable = true;
+  core::Assignment assignment;
+  PipelinePlan pipeline;
+  StreamResult stream;
+  // Closed-form single-frame latency (the speedup metric of Figs. 9-12).
+  double frame_latency_seconds = 0;
+  core::BoundaryTraffic traffic;
+  std::optional<double> vsm_redundancy;  // HPA+VSM only
+};
+
+// Decides the partition with regression-estimated weights (as D3 does), then
+// evaluates it on ground-truth hardware latencies and the stream simulator.
+MethodResult run_method(const dnn::Network& net, Method method,
+                        const ExperimentConfig& config);
+
+// latency(baseline) / latency(method) on the single-frame metric.
+double speedup_over(const MethodResult& baseline, const MethodResult& method);
+
+}  // namespace d3::sim

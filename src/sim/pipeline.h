@@ -1,0 +1,94 @@
+// Online execution engine model: turns a partition into a per-frame pipeline
+// (tier compute stages + inter-tier transfer links) and simulates a frame
+// stream through it.
+//
+// The paper's measurement (§IV): frames fed at 30 FPS for 100 s, per-image
+// average end-to-end latency. Stages are FIFO servers with deterministic service
+// times; the frame source uses a depth-1 drop-oldest queue (a slow pipeline
+// drops frames rather than queueing unboundedly, as a real camera pipeline
+// does — see DESIGN.md). A queueing mode without drops is available for
+// throughput studies.
+#pragma once
+
+#include <cstdint>
+
+#include "core/partition.h"
+#include "core/vsm.h"
+#include "net/conditions.h"
+#include "profile/node_spec.h"
+
+namespace d3::sim {
+
+struct PipelinePlan {
+  // Per-frame compute seconds on each tier (ground-truth hardware latencies).
+  double device_seconds = 0;
+  double edge_seconds = 0;
+  double cloud_seconds = 0;
+  // Per-frame boundary traffic.
+  std::int64_t de_bytes = 0;
+  std::int64_t ec_bytes = 0;
+  std::int64_t dc_bytes = 0;
+  // Which tiers participate (controls pipeline wiring).
+  bool edge_used = false;
+  bool cloud_used = false;
+  net::NetworkCondition condition;
+
+  double de_seconds() const {
+    return de_bytes == 0 ? 0.0 : condition.transfer_seconds(de_bytes, condition.device_edge_mbps);
+  }
+  double ec_seconds() const {
+    return ec_bytes == 0 ? 0.0 : condition.transfer_seconds(ec_bytes, condition.edge_cloud_mbps);
+  }
+  double dc_seconds() const {
+    return dc_bytes == 0 ? 0.0 : condition.transfer_seconds(dc_bytes, condition.device_cloud_mbps);
+  }
+
+  // Closed-form latency of one isolated frame: device stage, then the edge path
+  // (d->e transfer, edge compute, e->c transfer) in parallel with the direct
+  // d->c transfer, then the cloud stage.
+  double frame_latency_seconds() const;
+
+  // The slowest stage: the pipeline's throughput limit (frames complete at most
+  // every bottleneck_stage_seconds once saturated).
+  double bottleneck_stage_seconds() const;
+
+  // Per-frame bytes crossing the Internet backbone into the cloud (Fig. 13).
+  std::int64_t backbone_bytes() const { return ec_bytes + dc_bytes; }
+};
+
+// Builds the pipeline for `assignment` using ground-truth stage times from
+// `exact` (a problem built with make_problem_exact).
+PipelinePlan build_pipeline(const core::PartitionProblem& exact,
+                            const core::Assignment& assignment);
+
+// VSM variant: the tiled stack's serial time on the edge is replaced by the
+// parallel (max-tile) time across the edge node pool (intra-tier scatter/gather
+// is infinitesimal, §III-A).
+PipelinePlan build_pipeline_vsm(const core::PartitionProblem& exact,
+                                const core::Assignment& assignment, const dnn::Network& net,
+                                const core::FusedTilePlan& vsm,
+                                const profile::NodeSpec& edge_node);
+
+struct StreamOptions {
+  double fps = 30.0;
+  double duration_seconds = 100.0;
+  // true: drop the frame when the device stage is still busy (depth-1 queue).
+  // false: queue every frame (unbounded FIFO).
+  bool drop_when_busy = true;
+};
+
+struct StreamResult {
+  std::size_t frames_offered = 0;
+  std::size_t frames_completed = 0;
+  std::size_t frames_dropped = 0;
+  double avg_latency_seconds = 0;
+  double p50_latency_seconds = 0;
+  double p99_latency_seconds = 0;
+  double max_latency_seconds = 0;
+  double throughput_fps = 0;
+  double backbone_megabits_per_frame = 0;
+};
+
+StreamResult simulate_stream(const PipelinePlan& plan, const StreamOptions& options = {});
+
+}  // namespace d3::sim

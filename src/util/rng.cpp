@@ -1,0 +1,17 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace d3::util {
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; reject the exact-zero sample so log() is defined.
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace d3::util

@@ -1,0 +1,39 @@
+// Fixed-width console table printer used by every bench binary so that the
+// regenerated tables/figures read like the paper's, plus a CSV mirror for
+// downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace d3::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  Table& cell(std::size_t value) { return cell(static_cast<std::int64_t>(value)); }
+
+  // Render with aligned columns. `title` prints above the table when non-empty.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  // Comma-separated mirror of the same data (header row first).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace d3::util

@@ -1,0 +1,32 @@
+// Unit helpers. All internal computation uses SI base units: seconds for time,
+// bytes for data sizes, bits-per-second for link rates. These helpers make the
+// conversion sites explicit and grep-able.
+#pragma once
+
+#include <cstdint>
+
+namespace d3::util {
+
+constexpr double kBitsPerByte = 8.0;
+
+constexpr double mbps_to_bytes_per_sec(double mbps) {
+  return mbps * 1e6 / kBitsPerByte;
+}
+
+constexpr double bytes_to_megabits(double bytes) {
+  return bytes * kBitsPerByte / 1e6;
+}
+
+constexpr double ms(double seconds) { return seconds * 1e3; }
+constexpr double us(double seconds) { return seconds * 1e6; }
+
+constexpr double from_ms(double milliseconds) { return milliseconds * 1e-3; }
+
+constexpr double mib(double bytes) { return bytes / (1024.0 * 1024.0); }
+
+// Time to push `bytes` through a link of `mbps` megabits per second.
+constexpr double transfer_seconds(double bytes, double mbps) {
+  return bytes / mbps_to_bytes_per_sec(mbps);
+}
+
+}  // namespace d3::util

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "dnn/model_zoo.h"
+#include "net/conditions.h"
+#include "profile/profiler.h"
+
+namespace d3::core {
+namespace {
+
+PartitionProblem sample_problem() {
+  const dnn::Network net = dnn::zoo::resnet18();
+  return make_problem_exact(net, profile::paper_testbed(), net::wifi());
+}
+
+TEST(Adaptive, InitialAssignmentIsHpa) {
+  const PartitionProblem p = sample_problem();
+  AdaptiveRepartitioner rep(p);
+  const Assignment fresh = hpa(p).assignment;
+  EXPECT_EQ(rep.assignment().tier, fresh.tier);
+  EXPECT_EQ(rep.local_updates(), 0u);
+  EXPECT_EQ(rep.full_repartitions(), 0u);
+}
+
+TEST(Adaptive, SmallTimeJitterAbsorbed) {
+  AdaptiveRepartitioner rep(sample_problem());
+  const Assignment before = rep.assignment();
+  TierTimes t = rep.problem().vertex_time[5];
+  for (const Tier tier : kAllTiers) t.at(tier) *= 1.05;  // 5% < 15% threshold
+  EXPECT_TRUE(rep.update_vertex_time(5, t).empty());
+  EXPECT_EQ(rep.assignment().tier, before.tier);
+  EXPECT_EQ(rep.absorbed_updates(), 1u);
+  EXPECT_EQ(rep.local_updates(), 0u);
+}
+
+TEST(Adaptive, LargeTimeChangeTriggersLocalUpdate) {
+  AdaptiveRepartitioner rep(sample_problem());
+  // Pick a non-cloud vertex (edge node contention scenario) and make its
+  // current tier catastrophic; the repartitioner must move it locally.
+  graph::VertexId victim = 0;
+  for (graph::VertexId v = 1; v < rep.problem().size(); ++v)
+    if (rep.assignment().tier[v] != Tier::kCloud) {
+      victim = v;
+      break;
+    }
+  ASSERT_NE(victim, 0u);
+  const Tier old_tier = rep.assignment().tier[victim];
+  TierTimes t = rep.problem().vertex_time[victim];
+  t.at(old_tier) *= 1e5;
+  rep.update_vertex_time(victim, t);
+  EXPECT_EQ(rep.local_updates(), 1u);
+  EXPECT_NE(rep.assignment().tier[victim], old_tier);
+  EXPECT_TRUE(respects_precedence(rep.problem(), rep.assignment()));
+}
+
+TEST(Adaptive, SmallBandwidthJitterAbsorbed) {
+  AdaptiveRepartitioner rep(sample_problem());
+  net::NetworkCondition c = net::wifi();
+  c.edge_cloud_mbps *= 1.1;  // 10% < 15%
+  EXPECT_TRUE(rep.update_condition(c).empty());
+  EXPECT_EQ(rep.full_repartitions(), 0u);
+}
+
+TEST(Adaptive, BandwidthCollapseRepartitions) {
+  AdaptiveRepartitioner rep(sample_problem());
+  net::NetworkCondition collapsed = net::wifi();
+  collapsed.edge_cloud_mbps = 0.5;
+  collapsed.device_cloud_mbps = 0.25;
+  rep.update_condition(collapsed);
+  EXPECT_EQ(rep.full_repartitions(), 1u);
+  EXPECT_TRUE(respects_precedence(rep.problem(), rep.assignment()));
+  // With a collapsed backbone nothing heavy should sit in the cloud.
+  const TierLoad load = tier_load(rep.problem(), rep.assignment());
+  EXPECT_LT(load.at(Tier::kCloud), 0.01);
+}
+
+TEST(Adaptive, RepartitionMatchesFreshHpa) {
+  AdaptiveRepartitioner rep(sample_problem());
+  const net::NetworkCondition c = net::lte_4g();
+  rep.update_condition(c);
+  PartitionProblem fresh = sample_problem();
+  fresh.condition = c;
+  EXPECT_EQ(rep.assignment().tier, hpa(fresh).assignment.tier);
+}
+
+TEST(Adaptive, ThresholdsConfigurable) {
+  AdaptiveOptions opts;
+  opts.time_threshold = 0.0;  // every change significant
+  AdaptiveRepartitioner rep(sample_problem(), opts);
+  TierTimes t = rep.problem().vertex_time[3];
+  t.at(Tier::kDevice) *= 1.01;
+  rep.update_vertex_time(3, t);
+  EXPECT_EQ(rep.local_updates(), 1u);
+  EXPECT_EQ(rep.absorbed_updates(), 0u);
+}
+
+TEST(Adaptive, RejectsBadVertex) {
+  AdaptiveRepartitioner rep(sample_problem());
+  EXPECT_THROW(rep.update_vertex_time(0, TierTimes{}), std::invalid_argument);
+  EXPECT_THROW(rep.update_vertex_time(99999, TierTimes{}), std::invalid_argument);
+}
+
+TEST(Adaptive, CurrentLatencyTracksProblem) {
+  AdaptiveRepartitioner rep(sample_problem());
+  EXPECT_NEAR(rep.current_latency(), total_latency(rep.problem(), rep.assignment()), 1e-12);
+}
+
+}  // namespace
+}  // namespace d3::core

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dads.h"
+#include "baselines/neurosurgeon.h"
+#include "core/hpa.h"
+#include "dnn/model_zoo.h"
+#include "net/conditions.h"
+#include "profile/profiler.h"
+#include "util/rng.h"
+
+namespace d3::baselines {
+namespace {
+
+using core::Assignment;
+using core::PartitionProblem;
+using core::Tier;
+using core::TierTimes;
+
+PartitionProblem chain_problem(std::vector<TierTimes> times, std::vector<std::int64_t> bytes,
+                               net::NetworkCondition condition) {
+  PartitionProblem p;
+  p.dag = graph::Dag(times.size());
+  for (graph::VertexId v = 0; v + 1 < times.size(); ++v) p.dag.add_edge(v, v + 1);
+  p.vertex_time = std::move(times);
+  p.out_bytes = std::move(bytes);
+  p.in_bytes.assign(p.out_bytes.size(), 0);
+  for (graph::VertexId v = 1; v < p.dag.size(); ++v) p.in_bytes[v] = p.out_bytes[v - 1];
+  p.condition = std::move(condition);
+  return p;
+}
+
+TEST(Neurosurgeon, FindsOptimalChainSplit) {
+  // Exhaustively verifiable 3-vertex chain.
+  auto p = chain_problem(
+      {TierTimes{}, TierTimes{{0.05, 0.0, 0.001}}, TierTimes{{0.5, 0.0, 0.002}},
+       TierTimes{{0.5, 0.0, 0.002}}},
+      {600'000, 50'000, 400'000, 4'000}, net::wifi());
+  const auto result = neurosurgeon(p);
+  ASSERT_TRUE(result.has_value());
+  // Compare against brute force restricted to device/cloud prefix splits.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < 4; ++s) {
+    Assignment a;
+    a.tier.assign(4, Tier::kCloud);
+    for (std::size_t i = 0; i <= s; ++i) a.tier[i] = Tier::kDevice;
+    best = std::min(best, total_latency(p, a));
+  }
+  EXPECT_NEAR(result->total_latency_seconds, best, 1e-12);
+  EXPECT_TRUE(respects_precedence(p, result->assignment));
+}
+
+TEST(Neurosurgeon, PrefersDeviceWhenUplinkTerrible) {
+  auto p = chain_problem(
+      {TierTimes{}, TierTimes{{0.01, 0.0, 0.001}}, TierTimes{{0.01, 0.0, 0.001}}},
+      {10'000'000, 10'000'000, 100},
+      net::NetworkCondition{"bad", 0.01, 0.01, 0.01, 0});
+  const auto result = neurosurgeon(p);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->assignment.tier[1], Tier::kDevice);
+  EXPECT_EQ(result->assignment.tier[2], Tier::kDevice);
+}
+
+TEST(Neurosurgeon, UsesOnlyDeviceAndCloud) {
+  const dnn::Network net = dnn::zoo::vgg16();
+  const auto p = core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  const auto result = neurosurgeon(p);
+  ASSERT_TRUE(result.has_value());
+  for (const Tier t : result->assignment.tier) EXPECT_NE(t, Tier::kEdge);
+}
+
+TEST(Neurosurgeon, RejectsDagTopologies) {
+  // Fig. 10: "not applicable for ResNet-18, Darknet-53, Inception-v4".
+  for (const auto& net : {dnn::zoo::resnet18(), dnn::zoo::darknet53()}) {
+    const auto p = core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+    EXPECT_FALSE(neurosurgeon(p).has_value()) << net.name();
+  }
+}
+
+TEST(Neurosurgeon, AcceptsChainTopologies) {
+  for (const auto& net : {dnn::zoo::alexnet(), dnn::zoo::vgg16()}) {
+    const auto p = core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+    EXPECT_TRUE(neurosurgeon(p).has_value()) << net.name();
+  }
+}
+
+// DADS's objective on a two-way edge/cloud split with forward-only dataflow.
+double dads_objective(const PartitionProblem& p, const std::vector<bool>& on_edge) {
+  double cost = 0;
+  for (graph::VertexId v = 1; v < p.size(); ++v) {
+    cost += on_edge[v] ? p.vertex_time[v].at(Tier::kEdge) : p.vertex_time[v].at(Tier::kCloud);
+    if (!on_edge[v] && p.dag.has_edge(0, v))
+      cost += p.transfer_seconds(p.out_bytes[0], Tier::kEdge, Tier::kCloud);
+  }
+  for (const auto& [u, v] : p.dag.edges()) {
+    if (u == 0) continue;
+    if (on_edge[u] && !on_edge[v])
+      cost += p.transfer_seconds(p.out_bytes[u], Tier::kEdge, Tier::kCloud);
+    if (!on_edge[u] && on_edge[v]) return std::numeric_limits<double>::infinity();
+  }
+  return cost;
+}
+
+class DadsVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(DadsVsBruteForce, MinCutMatchesExhaustiveSearch) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  PartitionProblem p;
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(4, 9));
+  p.dag = graph::Dag(n);
+  for (graph::VertexId v = 1; v < n; ++v) {
+    const auto preds = rng.uniform_int(1, std::min<std::int64_t>(2, static_cast<std::int64_t>(v)));
+    std::vector<graph::VertexId> chosen;
+    while (chosen.size() < static_cast<std::size_t>(preds)) {
+      const auto c = static_cast<graph::VertexId>(rng.uniform_int(0, static_cast<std::int64_t>(v) - 1));
+      if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) chosen.push_back(c);
+    }
+    for (const auto u : chosen) p.dag.add_edge(u, v);
+  }
+  p.vertex_time.assign(n, TierTimes{});
+  p.out_bytes.assign(n, 0);
+  p.in_bytes.assign(n, 0);
+  p.out_bytes[0] = 600'000;
+  for (graph::VertexId v = 1; v < n; ++v) {
+    const double cloud = rng.uniform(0.001, 0.02);
+    p.vertex_time[v] = TierTimes{{1.0, cloud * rng.uniform(2.0, 20.0), cloud}};
+    p.out_bytes[v] = rng.uniform_int(1'000, 1'500'000);
+  }
+  p.condition = net::wifi();
+
+  const DadsResult result = dads(p);
+
+  // Exhaustive search over all 2^(n-1) feasible splits.
+  double best = std::numeric_limits<double>::infinity();
+  const std::size_t total = std::size_t{1} << (n - 1);
+  for (std::size_t code = 0; code < total; ++code) {
+    std::vector<bool> on_edge(n, false);
+    for (std::size_t v = 1; v < n; ++v) on_edge[v] = (code >> (v - 1)) & 1;
+    best = std::min(best, dads_objective(p, on_edge));
+  }
+  EXPECT_NEAR(result.min_cut_value, best, 1e-9);
+
+  // The extracted assignment achieves the cut objective.
+  std::vector<bool> on_edge(n, false);
+  for (graph::VertexId v = 1; v < n; ++v) on_edge[v] = result.assignment.tier[v] == Tier::kEdge;
+  EXPECT_NEAR(dads_objective(p, on_edge), result.min_cut_value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DadsVsBruteForce, ::testing::Range(1, 16));
+
+TEST(Dads, UsesOnlyEdgeAndCloud) {
+  const dnn::Network net = dnn::zoo::resnet18();
+  const auto p = core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  const DadsResult result = dads(p);
+  EXPECT_EQ(result.assignment.tier[0], Tier::kDevice);
+  for (graph::VertexId v = 1; v < p.size(); ++v)
+    EXPECT_NE(result.assignment.tier[v], Tier::kDevice);
+  EXPECT_TRUE(respects_precedence(p, result.assignment));
+}
+
+TEST(Dads, NeverSendsDataBackward) {
+  // Forward-only: no edge vertex may consume a cloud vertex's output.
+  const dnn::Network net = dnn::zoo::inception_v4();
+  const auto p = core::make_problem_exact(net, profile::paper_testbed(), net::lte_4g());
+  const DadsResult result = dads(p);
+  for (const auto& [u, v] : p.dag.edges()) {
+    if (u == 0) continue;
+    EXPECT_FALSE(result.assignment.tier[u] == Tier::kCloud &&
+                 result.assignment.tier[v] == Tier::kEdge);
+  }
+}
+
+TEST(Dads, HpaMatchesOrBeatsDadsWhenDeviceUseless) {
+  // With a device that cannot compute, HPA's three-way freedom degenerates to
+  // DADS's two tiers; HPA should not be substantially worse.
+  const dnn::Network net = dnn::zoo::resnet18();
+  auto p = core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  for (graph::VertexId v = 1; v < p.size(); ++v)
+    p.vertex_time[v].at(Tier::kDevice) = 1e6;  // device unusable
+  const double hpa_theta = core::hpa(p).total_latency_seconds;
+  const double dads_theta = dads(p).total_latency_seconds;
+  EXPECT_LT(hpa_theta, dads_theta * 1.5);
+}
+
+}  // namespace
+}  // namespace d3::baselines

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/d3.h"
+#include "dnn/model_zoo.h"
+#include "net/conditions.h"
+
+namespace d3::core {
+namespace {
+
+TEST(D3System, PlanPartitionsEveryVertex) {
+  const dnn::Network net = dnn::zoo::alexnet();
+  const D3System system(net, profile::paper_testbed());
+  const DeploymentPlan plan = system.plan(net::wifi());
+  EXPECT_EQ(plan.assignment.tier.size(), net.num_layers() + 1);
+  EXPECT_TRUE(respects_precedence(plan.problem, plan.assignment));
+  EXPECT_GT(plan.estimated_total_latency, 0.0);
+  EXPECT_EQ(plan.vertices_on(Tier::kDevice) + plan.vertices_on(Tier::kEdge) +
+                plan.vertices_on(Tier::kCloud),
+            net.num_layers());
+}
+
+TEST(D3System, SingleEdgeNodeDisablesVsm) {
+  const dnn::Network net = dnn::zoo::vgg16();
+  D3Options opts;
+  opts.edge_nodes = 1;
+  const D3System system(net, profile::paper_testbed(), opts);
+  EXPECT_FALSE(system.plan(net::wifi()).vsm.has_value());
+}
+
+TEST(D3System, VsmPlanCoversEdgeStack) {
+  const dnn::Network net = dnn::zoo::vgg16();
+  D3Options opts;
+  opts.edge_nodes = 4;
+  const D3System system(net, profile::paper_testbed(), opts);
+  const DeploymentPlan plan = system.plan(net::wifi());
+  if (!plan.vsm.has_value()) GTEST_SKIP() << "HPA placed no conv stack on the edge";
+  EXPECT_EQ(plan.vsm->num_tiles(), 4u);
+  // Every stack layer is an edge-assigned conv-family layer.
+  for (const dnn::LayerId id : plan.vsm->stack) {
+    EXPECT_EQ(plan.assignment.tier[dnn::Network::vertex_of(id)], Tier::kEdge);
+    EXPECT_TRUE(dnn::is_vsm_tileable(net.layer(id).spec.kind));
+  }
+}
+
+TEST(D3System, PlansAdaptToConditions) {
+  // 4G's weak backbone must push work off the cloud relative to optical.
+  const dnn::Network net = dnn::zoo::darknet53();
+  const D3System system(net, profile::paper_testbed());
+  const DeploymentPlan slow = system.plan(net::lte_4g());
+  const DeploymentPlan fast = system.plan(net::optical());
+  EXPECT_GE(fast.vertices_on(Tier::kCloud), slow.vertices_on(Tier::kCloud));
+}
+
+TEST(D3System, EstimatorsSharedAcrossPlans) {
+  const dnn::Network net = dnn::zoo::alexnet();
+  const D3System system(net, profile::paper_testbed());
+  // Same condition twice: identical (deterministic) plans.
+  const DeploymentPlan a = system.plan(net::wifi());
+  const DeploymentPlan b = system.plan(net::wifi());
+  EXPECT_EQ(a.assignment.tier, b.assignment.tier);
+}
+
+}  // namespace
+}  // namespace d3::core

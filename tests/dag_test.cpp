@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "graph/dag.h"
+
+namespace d3::graph {
+namespace {
+
+Dag diamond() {
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  return d;
+}
+
+TEST(Dag, AddEdgeUpdatesAdjacency) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.num_edges(), 4u);
+  EXPECT_TRUE(d.has_edge(0, 1));
+  EXPECT_FALSE(d.has_edge(1, 0));
+  EXPECT_EQ(d.successors(0).size(), 2u);
+  EXPECT_EQ(d.predecessors(3).size(), 2u);
+  EXPECT_EQ(d.in_degree(0), 0u);
+  EXPECT_EQ(d.out_degree(3), 0u);
+}
+
+TEST(Dag, RejectsBadEdges) {
+  Dag d(2);
+  EXPECT_THROW(d.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(d.add_edge(1, 1), std::invalid_argument);
+  d.add_edge(0, 1);
+  EXPECT_THROW(d.add_edge(0, 1), std::invalid_argument);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Dag d = diamond();
+  const auto order = d.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& [u, v] : d.edges()) EXPECT_LT(pos[u], pos[v]);
+}
+
+TEST(Dag, CycleDetection) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_TRUE(d.is_acyclic());
+  d.add_edge(2, 0);
+  EXPECT_FALSE(d.is_acyclic());
+  EXPECT_THROW(d.topological_order(), std::logic_error);
+}
+
+TEST(Dag, SourcesAndSinks) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.sources(), std::vector<VertexId>{0});
+  EXPECT_EQ(d.sinks(), std::vector<VertexId>{3});
+}
+
+TEST(Dag, ChainDetection) {
+  Dag chain(3);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  EXPECT_TRUE(chain.is_chain());
+  EXPECT_FALSE(diamond().is_chain());
+}
+
+TEST(Dag, EdgesEnumeration) {
+  const Dag d = diamond();
+  const auto edges = d.edges();
+  EXPECT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges.front(), (std::pair<VertexId, VertexId>{0, 1}));
+}
+
+TEST(Dag, AddVertexGrows) {
+  Dag d;
+  EXPECT_EQ(d.add_vertex(), 0u);
+  EXPECT_EQ(d.add_vertex(), 1u);
+  d.add_edge(0, 1);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+}  // namespace
+}  // namespace d3::graph

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "sim/energy.h"
+#include "sim/experiment.h"
+
+namespace d3::sim {
+namespace {
+
+PipelinePlan device_only_plan(double seconds) {
+  PipelinePlan p;
+  p.device_seconds = seconds;
+  p.condition = net::wifi();
+  return p;
+}
+
+TEST(Energy, DeviceOnlyIsPureComputeDraw) {
+  const auto power = raspberry_pi_4b_power();
+  const FrameEnergy e = device_energy_per_frame(device_only_plan(0.5), power);
+  EXPECT_DOUBLE_EQ(e.compute_joules, 0.5 * power.active_watts);
+  EXPECT_DOUBLE_EQ(e.radio_joules, 0.0);
+  EXPECT_DOUBLE_EQ(e.idle_joules, 0.0);
+}
+
+TEST(Energy, RadioCostScalesWithTransmittedBytes) {
+  PipelinePlan p = device_only_plan(0.01);
+  p.edge_used = true;
+  p.edge_seconds = 0.1;
+  p.de_bytes = 1'000'000;
+  const auto power = raspberry_pi_4b_power();
+  const FrameEnergy e = device_energy_per_frame(p, power);
+  EXPECT_DOUBLE_EQ(e.radio_joules, 1e6 * power.tx_nj_per_byte * 1e-9);
+  // While the edge works, the device idles.
+  EXPECT_GT(e.idle_joules, 0.0);
+}
+
+TEST(Energy, OffloadingSavesDeviceEnergyForHeavyModels) {
+  // The Neurosurgeon argument: shipping VGG-16 off the RPi costs far less
+  // battery than computing it locally.
+  ExperimentConfig config;
+  config.stream.duration_seconds = 5;
+  const dnn::Network net = dnn::zoo::vgg16();
+  const auto device = run_method(net, Method::kDeviceOnly, config);
+  const auto hpa = run_method(net, Method::kHpa, config);
+  const auto power = raspberry_pi_4b_power();
+  const double device_j = device_energy_per_frame(device.pipeline, power).total_joules();
+  const double hpa_j = device_energy_per_frame(hpa.pipeline, power).total_joules();
+  EXPECT_LT(hpa_j, device_j / 5.0);
+}
+
+TEST(Energy, IdleNeverNegative) {
+  // Busy time can exceed the closed-form frame latency only through rounding;
+  // idle is clamped at zero.
+  PipelinePlan p = device_only_plan(1.0);
+  p.dc_bytes = 1;  // negligible transfer
+  p.cloud_used = true;
+  const FrameEnergy e = device_energy_per_frame(p, jetson_nano_2gb_power());
+  EXPECT_GE(e.idle_joules, 0.0);
+}
+
+TEST(Energy, PresetsAreSane) {
+  const auto rpi = raspberry_pi_4b_power();
+  const auto jetson = jetson_nano_2gb_power();
+  EXPECT_GT(rpi.active_watts, rpi.idle_watts);
+  EXPECT_GT(jetson.active_watts, jetson.idle_watts);
+  EXPECT_GT(rpi.tx_nj_per_byte, 0.0);
+}
+
+}  // namespace
+}  // namespace d3::sim

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "exec/executor.h"
+#include "exec/weights.h"
+#include "util/rng.h"
+
+namespace d3::exec {
+namespace {
+
+TEST(Weights, DeterministicInSeed) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const WeightStore a = WeightStore::random_for(net, 7);
+  const WeightStore b = WeightStore::random_for(net, 7);
+  const WeightStore c = WeightStore::random_for(net, 8);
+  EXPECT_EQ(a.layer(0).weights, b.layer(0).weights);
+  EXPECT_NE(a.layer(0).weights, c.layer(0).weights);
+}
+
+TEST(Weights, SizesMatchSpecs) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const WeightStore w = WeightStore::random_for(net, 1);
+  // conv1: 8 filters x 3x3x3 taps.
+  EXPECT_EQ(w.layer(0).weights.size(), 8u * 27u);
+  EXPECT_EQ(w.layer(0).bias.size(), 8u);
+  // relu has no parameters.
+  EXPECT_TRUE(w.layer(1).weights.empty());
+}
+
+TEST(Executor, RunAllProducesDeclaredShapes) {
+  const dnn::Network net = dnn::zoo::tiny_branch();
+  const WeightStore w = WeightStore::random_for(net, 2);
+  util::Rng rng(5);
+  const dnn::Tensor input = random_tensor(net.input_shape(), rng);
+  const auto outputs = Executor(net, w).run_all(input);
+  ASSERT_EQ(outputs.size(), net.num_layers());
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id)
+    EXPECT_EQ(outputs[id].shape(), net.layer(id).output_shape) << net.layer(id).spec.name;
+}
+
+TEST(Executor, SoftmaxOutputIsDistribution) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const WeightStore w = WeightStore::random_for(net, 3);
+  util::Rng rng(6);
+  const dnn::Tensor out = Executor(net, w).run(random_tensor(net.input_shape(), rng));
+  float sum = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out[i], 0.0f);
+    sum += out[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Executor, DeterministicAcrossRuns) {
+  const dnn::Network net = dnn::zoo::tiny_branch();
+  const WeightStore w = WeightStore::random_for(net, 4);
+  util::Rng rng(7);
+  const dnn::Tensor input = random_tensor(net.input_shape(), rng);
+  const Executor exec(net, w);
+  const dnn::Tensor a = exec.run(input);
+  const dnn::Tensor b = exec.run(input);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Executor, InputShapeChecked) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const WeightStore w = WeightStore::random_for(net, 5);
+  EXPECT_THROW(Executor(net, w).run(dnn::Tensor(dnn::Shape{1, 8, 8})), std::invalid_argument);
+}
+
+TEST(Executor, SegmentedChainEqualsWhole) {
+  // Split tiny_chain at every boundary: prefix then suffix must reproduce the
+  // full result exactly (what the horizontal partition executes across tiers).
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const WeightStore w = WeightStore::random_for(net, 6);
+  util::Rng rng(8);
+  const dnn::Tensor input = random_tensor(net.input_shape(), rng);
+  const Executor exec(net, w);
+  const dnn::Tensor whole = exec.run(input);
+
+  for (dnn::LayerId split = 0; split + 1 < net.num_layers(); ++split) {
+    const dnn::Tensor mid = exec.run_segment(input, 0, split);
+    const dnn::Tensor out = exec.run_segment(mid, split + 1, net.num_layers() - 1);
+    ASSERT_EQ(out.size(), whole.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], whole[i]) << "split after layer " << split;
+  }
+}
+
+TEST(Executor, SegmentRangeValidation) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const WeightStore w = WeightStore::random_for(net, 9);
+  util::Rng rng(9);
+  const dnn::Tensor input = random_tensor(net.input_shape(), rng);
+  const Executor exec(net, w);
+  EXPECT_THROW(exec.run_segment(input, 3, 2), std::invalid_argument);
+  EXPECT_THROW(exec.run_segment(input, 0, 99), std::invalid_argument);
+}
+
+TEST(Executor, SegmentRejectsCrossBoundaryReads) {
+  // tiny_branch's concat reads two earlier layers; a segment starting between
+  // them cannot be self-contained.
+  const dnn::Network net = dnn::zoo::tiny_branch();
+  const WeightStore w = WeightStore::random_for(net, 10);
+  util::Rng rng(10);
+  // Layer ids: stem(0) stem_relu(1) branch_a(2) branch_b1(3) branch_b2(4) concat(5)...
+  const dnn::Tensor mid = Executor(net, w).run_segment(random_tensor(net.input_shape(), rng), 0, 2);
+  EXPECT_THROW(Executor(net, w).run_segment(mid, 3, 5), std::invalid_argument);
+}
+
+TEST(Executor, GridModuleRuns) {
+  // The Fig. 3 grid module is executable end to end.
+  const dnn::Network net = dnn::zoo::grid_module(4, 4);
+  const WeightStore w = WeightStore::random_for(net, 11);
+  util::Rng rng(11);
+  const dnn::Tensor out = Executor(net, w).run(random_tensor(net.input_shape(), rng));
+  EXPECT_EQ(out.shape(), (dnn::Shape{1536, 4, 4}));
+}
+
+}  // namespace
+}  // namespace d3::exec

@@ -1,0 +1,133 @@
+// Integration tests across the whole stack: profiler -> partitioners ->
+// pipeline simulation, checking the qualitative relations the paper's
+// evaluation (Figs. 9-13) rests on.
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "sim/experiment.h"
+
+namespace d3::sim {
+namespace {
+
+ExperimentConfig quick_config() {
+  ExperimentConfig cfg;
+  cfg.stream.duration_seconds = 10;  // keep integration tests fast
+  return cfg;
+}
+
+TEST(Experiment, MethodNames) {
+  EXPECT_STREQ(method_name(Method::kHpa), "HPA");
+  EXPECT_STREQ(method_name(Method::kDeviceOnly), "Device-only");
+  EXPECT_STREQ(method_name(Method::kHpaVsm), "HPA+VSM");
+}
+
+TEST(Experiment, HpaBeatsOrMatchesEverySingleTier) {
+  const auto cfg = quick_config();
+  for (const auto& net : {dnn::zoo::alexnet(), dnn::zoo::resnet18()}) {
+    const MethodResult hpa = run_method(net, Method::kHpa, cfg);
+    for (const Method single :
+         {Method::kDeviceOnly, Method::kEdgeOnly, Method::kCloudOnly}) {
+      const MethodResult base = run_method(net, single, cfg);
+      // Decisions use noisy estimates; allow a small tolerance.
+      EXPECT_LE(hpa.frame_latency_seconds, base.frame_latency_seconds * 1.05)
+          << net.name() << " vs " << method_name(single);
+    }
+  }
+}
+
+TEST(Experiment, NeurosurgeonOnlyOnChains) {
+  const auto cfg = quick_config();
+  EXPECT_TRUE(run_method(dnn::zoo::alexnet(), Method::kNeurosurgeon, cfg).applicable);
+  EXPECT_TRUE(run_method(dnn::zoo::vgg16(), Method::kNeurosurgeon, cfg).applicable);
+  EXPECT_FALSE(run_method(dnn::zoo::resnet18(), Method::kNeurosurgeon, cfg).applicable);
+}
+
+TEST(Experiment, HpaCompetitiveWithTwoTierBaselines) {
+  // The headline of Fig. 10: three-tier HPA is at least as good as two-tier
+  // splits (up to estimate noise).
+  const auto cfg = quick_config();
+  const dnn::Network vgg = dnn::zoo::vgg16();
+  const MethodResult hpa = run_method(vgg, Method::kHpa, cfg);
+  const MethodResult ns = run_method(vgg, Method::kNeurosurgeon, cfg);
+  const MethodResult dd = run_method(vgg, Method::kDads, cfg);
+  EXPECT_LE(hpa.frame_latency_seconds, ns.frame_latency_seconds * 1.1);
+  EXPECT_LE(hpa.frame_latency_seconds, dd.frame_latency_seconds * 1.1);
+}
+
+TEST(Experiment, VsmNeverSlowsThePipeline) {
+  const auto cfg = quick_config();
+  for (const auto& net : {dnn::zoo::vgg16(), dnn::zoo::darknet53()}) {
+    const MethodResult hpa = run_method(net, Method::kHpa, cfg);
+    const MethodResult vsm = run_method(net, Method::kHpaVsm, cfg);
+    EXPECT_LE(vsm.pipeline.edge_seconds, hpa.pipeline.edge_seconds + 1e-9) << net.name();
+    EXPECT_LE(vsm.frame_latency_seconds, hpa.frame_latency_seconds + 1e-9) << net.name();
+  }
+}
+
+TEST(Experiment, VsmRedundancyReported) {
+  const auto cfg = quick_config();
+  const MethodResult vsm = run_method(dnn::zoo::vgg16(), Method::kHpaVsm, cfg);
+  if (vsm.vsm_redundancy) {
+    EXPECT_GE(*vsm.vsm_redundancy, 1.0);
+    EXPECT_LT(*vsm.vsm_redundancy, 4.0);  // far below the 4x worst case
+  }
+}
+
+TEST(Experiment, CloudOnlyShipsRawFrame) {
+  // Fig. 13 anchor: cloud-only sends the full 3x224x224 fp32 frame (4.82 Mb).
+  const auto cfg = quick_config();
+  const MethodResult cloud = run_method(dnn::zoo::alexnet(), Method::kCloudOnly, cfg);
+  EXPECT_EQ(cloud.traffic.to_cloud_bytes(), 602112);
+  EXPECT_NEAR(cloud.stream.backbone_megabits_per_frame, 4.82, 0.01);
+}
+
+TEST(Experiment, D3ReducesBackboneTraffic) {
+  // Fig. 13: D3 ships intermediate tensors, smaller than the raw frame.
+  const auto cfg = quick_config();
+  for (const auto& net : dnn::zoo::paper_models()) {
+    const MethodResult cloud = run_method(net, Method::kCloudOnly, cfg);
+    const MethodResult hpa = run_method(net, Method::kHpa, cfg);
+    EXPECT_LE(hpa.traffic.to_cloud_bytes(), cloud.traffic.to_cloud_bytes()) << net.name();
+  }
+}
+
+TEST(Experiment, BandwidthSweepMonotoneOffload) {
+  // Fig. 11 trend: more LAN->cloud bandwidth, more layers offloaded.
+  ExperimentConfig lo = quick_config();
+  lo.condition = net::with_cloud_uplink(net::wifi(), 5.0);
+  ExperimentConfig hi = quick_config();
+  hi.condition = net::with_cloud_uplink(net::wifi(), 200.0);
+  const dnn::Network net = dnn::zoo::inception_v4();
+  const MethodResult slow = run_method(net, Method::kHpa, lo);
+  const MethodResult fast = run_method(net, Method::kHpa, hi);
+  const auto cloud_count = [](const MethodResult& r) {
+    std::size_t n = 0;
+    for (const auto t : r.assignment.tier) n += t == core::Tier::kCloud;
+    return n;
+  };
+  EXPECT_GE(cloud_count(fast), cloud_count(slow));
+  EXPECT_LE(fast.frame_latency_seconds, slow.frame_latency_seconds);
+}
+
+TEST(Experiment, StreamAndClosedFormAgreeWhenUnsaturated) {
+  const auto cfg = quick_config();
+  const MethodResult hpa = run_method(dnn::zoo::alexnet(), Method::kHpa, cfg);
+  if (hpa.pipeline.bottleneck_stage_seconds() < 1.0 / cfg.stream.fps) {
+    EXPECT_NEAR(hpa.stream.avg_latency_seconds, hpa.frame_latency_seconds, 1e-6);
+  }
+}
+
+TEST(Experiment, SpeedupHelper) {
+  const auto cfg = quick_config();
+  const dnn::Network net = dnn::zoo::alexnet();
+  const MethodResult dev = run_method(net, Method::kDeviceOnly, cfg);
+  const MethodResult hpa = run_method(net, Method::kHpa, cfg);
+  EXPECT_NEAR(speedup_over(dev, hpa),
+              dev.frame_latency_seconds / hpa.frame_latency_seconds, 1e-12);
+  MethodResult na;
+  na.applicable = false;
+  EXPECT_THROW(speedup_over(dev, na), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace d3::sim

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "profile/hardware_model.h"
+#include "util/units.h"
+
+namespace d3::profile {
+namespace {
+
+// The n-th conv layer of VGG-16 (0-based). n=0 is the shallow 3-channel conv1;
+// n=1 is the deep-channel conv2 where kernels run at full utilisation.
+LayerCost sample_conv(int n = 1) {
+  const dnn::Network net = dnn::zoo::vgg16();
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id)
+    if (net.layer(id).spec.kind == dnn::LayerKind::kConv && n-- == 0)
+      return layer_cost(net, id);
+  throw std::logic_error("no conv");
+}
+
+LayerCost sample_fc() {
+  const dnn::Network net = dnn::zoo::vgg16();
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id)
+    if (net.layer(id).spec.kind == dnn::LayerKind::kFullyConnected) return layer_cost(net, id);
+  throw std::logic_error("no fc");
+}
+
+TEST(HardwareModel, FasterNodesAreFaster) {
+  const LayerCost conv = sample_conv();
+  const double rpi = HardwareModel::expected_latency(conv, raspberry_pi_4b());
+  const double i7 = HardwareModel::expected_latency(conv, i7_8700());
+  const double gpu = HardwareModel::expected_latency(conv, rtx_2080ti_server());
+  EXPECT_GT(rpi, i7);
+  EXPECT_GT(i7, gpu);
+}
+
+TEST(HardwareModel, LatencyIsPositiveAndIncludesOverhead) {
+  const LayerCost tiny{dnn::LayerKind::kReLU, 10, 40, 40, 0};
+  const NodeSpec node = i7_8700();
+  EXPECT_GE(HardwareModel::expected_latency(tiny, node), node.layer_overhead_seconds);
+}
+
+TEST(HardwareModel, ConvComputeBoundOnDevice) {
+  // Deep-channel VGG conv layers on the RPi must be compute-limited: latency
+  // scales with FLOPs, roughly FLOPs / effective_gflops.
+  const LayerCost conv = sample_conv(1);
+  const NodeSpec rpi = raspberry_pi_4b();
+  const double t = HardwareModel::expected_latency(conv, rpi);
+  const double compute_floor = static_cast<double>(conv.flops) / (rpi.effective_gflops * 1e9);
+  EXPECT_GE(t, compute_floor * 0.99);
+  EXPECT_LE(t, compute_floor * 1.5);
+}
+
+TEST(HardwareModel, ShallowChannelConvRunsBelowPeak) {
+  // Fig. 1a: conv1 (3 input channels) is several times slower than its FLOPs
+  // alone suggest — the vector lanes cannot fill.
+  const LayerCost conv1 = sample_conv(0);
+  const NodeSpec rpi = raspberry_pi_4b();
+  const double t = HardwareModel::expected_latency(conv1, rpi);
+  const double compute_floor =
+      static_cast<double>(conv1.flops) / (rpi.effective_gflops * 1e9);
+  EXPECT_GT(t, compute_floor * 3.0);
+  EXPECT_LT(t, compute_floor * 8.0);
+}
+
+TEST(HardwareModel, FcMemoryBoundOnGpu) {
+  // VGG fc1 has 103M parameters; on the 2080 Ti its time must be dominated by
+  // parameter traffic, not arithmetic.
+  const LayerCost fc = sample_fc();
+  const NodeSpec gpu = rtx_2080ti_server();
+  const double t = HardwareModel::expected_latency(fc, gpu);
+  const double mem_floor = static_cast<double>(fc.param_bytes) /
+                           (gpu.memory_bandwidth_gbps * 1e9);
+  EXPECT_GE(t, mem_floor * 0.9);
+  const double pure_compute = static_cast<double>(fc.flops) / (gpu.effective_gflops * 1e9);
+  EXPECT_GT(t, pure_compute);  // memory wall, not FLOPs
+}
+
+TEST(HardwareModel, MeasurementNoiseIsBoundedAndCentred) {
+  const LayerCost conv = sample_conv();
+  const NodeSpec node = i7_8700();
+  const double expected = HardwareModel::expected_latency(conv, node);
+  util::Rng rng(21);
+  double sum = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double m = HardwareModel::measure(conv, node, rng);
+    EXPECT_GT(m, expected * 0.7);
+    EXPECT_LT(m, expected * 1.4);
+    sum += m;
+  }
+  EXPECT_NEAR(sum / 500.0, expected, expected * 0.02);
+}
+
+TEST(HardwareModel, NetworkLatencyOrdersTestbedTiers) {
+  const dnn::Network net = dnn::zoo::alexnet();
+  const TierNodes nodes = paper_testbed();
+  const double device = HardwareModel::network_latency(net, nodes.device);
+  const double edge = HardwareModel::network_latency(net, nodes.edge);
+  const double cloud = HardwareModel::network_latency(net, nodes.cloud);
+  // t_d > t_e > t_c (§III-C "typically").
+  EXPECT_GT(device, edge);
+  EXPECT_GT(edge, cloud);
+}
+
+TEST(HardwareModel, Fig1ScaleSanity) {
+  // Fig. 1a: VGG-16 conv layers on an RPi-class device run in the 0.05..1 s
+  // range; total network latency is seconds, not milliseconds.
+  const dnn::Network net = dnn::zoo::vgg16();
+  const NodeSpec rpi = raspberry_pi_4b();
+  const double total = HardwareModel::network_latency(net, rpi);
+  EXPECT_GT(total, 1.0);
+  EXPECT_LT(total, 30.0);
+  // And on the cloud GPU the same network is multiple orders faster.
+  EXPECT_LT(HardwareModel::network_latency(net, rtx_2080ti_server()), total / 100.0);
+}
+
+TEST(HardwareModel, LayerCostPullsNetworkQuantities) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const LayerCost c = layer_cost(net, 0);  // conv1
+  EXPECT_EQ(c.kind, dnn::LayerKind::kConv);
+  EXPECT_EQ(c.flops, net.layer(0).flops);
+  EXPECT_EQ(c.input_bytes, net.lambda_in_bytes(0));
+  EXPECT_EQ(c.output_bytes, net.lambda_out_bytes(0));
+  EXPECT_EQ(c.param_bytes, net.layer(0).params * 4);
+}
+
+TEST(HardwareModel, CacheCliffSlowsLargeWorkingSets) {
+  // Same FLOPs, working set below vs far above cache: the spilled one is slower.
+  const NodeSpec node = i7_8700();
+  LayerCost small{dnn::LayerKind::kReLU, 1000, 1 << 18, 1 << 18, 0};
+  LayerCost large = small;
+  large.input_bytes = 1 << 28;
+  large.output_bytes = 1 << 28;
+  const double t_small = HardwareModel::expected_latency(small, node);
+  const double t_large = HardwareModel::expected_latency(large, node);
+  const double naive_ratio = static_cast<double>(large.input_bytes + large.output_bytes) /
+                             static_cast<double>(small.input_bytes + small.output_bytes);
+  // Slower than pure linear scaling because bandwidth derates.
+  EXPECT_GT((t_large - node.layer_overhead_seconds) /
+                (t_small - node.layer_overhead_seconds),
+            naive_ratio);
+}
+
+}  // namespace
+}  // namespace d3::profile

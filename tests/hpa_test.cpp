@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "core/hpa.h"
+#include "dnn/model_zoo.h"
+#include "graph/layering.h"
+#include "net/conditions.h"
+#include "profile/profiler.h"
+#include "util/rng.h"
+
+namespace d3::core {
+namespace {
+
+PartitionProblem chain_problem(std::vector<TierTimes> times, std::vector<std::int64_t> bytes,
+                               net::NetworkCondition condition) {
+  PartitionProblem p;
+  p.dag = graph::Dag(times.size());
+  for (graph::VertexId v = 0; v + 1 < times.size(); ++v) p.dag.add_edge(v, v + 1);
+  p.vertex_time = std::move(times);
+  p.out_bytes = std::move(bytes);
+  p.in_bytes.assign(p.out_bytes.size(), 0);
+  for (graph::VertexId v = 1; v < p.dag.size(); ++v) p.in_bytes[v] = p.out_bytes[v - 1];
+  p.condition = std::move(condition);
+  p.validate();
+  return p;
+}
+
+TEST(PotentialTiers, FollowsProposition1) {
+  PartitionProblem p;
+  p.dag = graph::Dag(4);
+  p.dag.add_edge(0, 1);
+  p.dag.add_edge(1, 2);
+  p.dag.add_edge(1, 3);
+  p.vertex_time.assign(4, TierTimes{});
+  p.out_bytes.assign(4, 100);
+  p.in_bytes.assign(4, 100);
+  p.condition = net::wifi();
+
+  Assignment a;
+  a.tier = {Tier::kDevice, Tier::kDevice, Tier::kCloud, Tier::kCloud};
+  // v0 is pinned to the device.
+  EXPECT_EQ(potential_tiers(p, a, 0), std::vector<Tier>{Tier::kDevice});
+  // Predecessor on device: all three tiers allowed.
+  EXPECT_EQ(potential_tiers(p, a, 1),
+            (std::vector<Tier>{Tier::kDevice, Tier::kEdge, Tier::kCloud}));
+  a.tier[1] = Tier::kEdge;
+  EXPECT_EQ(potential_tiers(p, a, 2), (std::vector<Tier>{Tier::kEdge, Tier::kCloud}));
+  a.tier[1] = Tier::kCloud;
+  EXPECT_EQ(potential_tiers(p, a, 2), std::vector<Tier>{Tier::kCloud});
+}
+
+TEST(PotentialTiers, MixedPredecessorsBoundByMostDeviceward) {
+  // Preds at {edge, cloud}: max under d≻e≻c is edge, so Γ = {edge, cloud}
+  // (the proof of Prop. 1 walks exactly this case).
+  PartitionProblem p;
+  p.dag = graph::Dag(4);
+  p.dag.add_edge(0, 1);
+  p.dag.add_edge(0, 2);
+  p.dag.add_edge(1, 3);
+  p.dag.add_edge(2, 3);
+  p.vertex_time.assign(4, TierTimes{});
+  p.out_bytes.assign(4, 100);
+  p.in_bytes.assign(4, 100);
+  p.condition = net::wifi();
+  Assignment a;
+  a.tier = {Tier::kDevice, Tier::kEdge, Tier::kCloud, Tier::kCloud};
+  EXPECT_EQ(potential_tiers(p, a, 3), (std::vector<Tier>{Tier::kEdge, Tier::kCloud}));
+}
+
+TEST(Hpa, AllCloudWhenCloudFreeAndLinksFast) {
+  auto p = chain_problem(
+      {TierTimes{}, TierTimes{{1.0, 0.5, 1e-6}}, TierTimes{{1.0, 0.5, 1e-6}}},
+      {1000, 1000, 1000}, net::NetworkCondition{"fast", 1e6, 1e6, 1e6, 0});
+  const HpaResult r = hpa(p);
+  EXPECT_EQ(r.assignment.tier[1], Tier::kCloud);
+  EXPECT_EQ(r.assignment.tier[2], Tier::kCloud);
+}
+
+TEST(Hpa, AllDeviceWhenLinksAreTerrible) {
+  auto p = chain_problem(
+      {TierTimes{}, TierTimes{{0.01, 0.005, 0.001}}, TierTimes{{0.01, 0.005, 0.001}}},
+      {10'000'000, 10'000'000, 10'000'000},
+      net::NetworkCondition{"awful", 0.01, 0.01, 0.01, 0});
+  const HpaResult r = hpa(p);
+  EXPECT_EQ(r.assignment.tier[1], Tier::kDevice);
+  EXPECT_EQ(r.assignment.tier[2], Tier::kDevice);
+}
+
+TEST(Hpa, ResultReportsThetaAndLayers) {
+  auto p = chain_problem({TierTimes{}, TierTimes{{0.1, 0.05, 0.01}}}, {1000, 10},
+                         net::wifi());
+  const HpaResult r = hpa(p);
+  EXPECT_NEAR(r.total_latency_seconds, total_latency(p, r.assignment), 1e-12);
+  EXPECT_EQ(r.graph_layers, graph::graph_layers(p.dag, 0));
+}
+
+TEST(Hpa, SisUpdatePullsSiblingForward) {
+  // v3 (preds {v1,v2}) lands on the edge; v4 (preds {v1} ⊂ {v1,v2}) locally
+  // prefers the device but is a SIS vertex of v3, so the SIS update moves it.
+  PartitionProblem p;
+  p.dag = graph::Dag(5);
+  p.dag.add_edge(0, 1);
+  p.dag.add_edge(0, 2);
+  p.dag.add_edge(1, 3);
+  p.dag.add_edge(2, 3);
+  p.dag.add_edge(1, 4);
+  p.vertex_time = {TierTimes{},
+                   TierTimes{{0.01, 10.0, 10.0}},   // v1: stays on device
+                   TierTimes{{0.01, 10.0, 10.0}},   // v2: stays on device
+                   TierTimes{{10.0, 0.01, 5.0}},    // v3: edge wins
+                   TierTimes{{0.01, 0.02, 5.0}}};   // v4: device wins locally
+  p.out_bytes = {1'000'000, 1'000, 1'000, 100, 100};
+  p.in_bytes = {0, 1'000'000, 1'000'000, 2'000, 1'000};
+  p.condition = net::wifi();
+
+  HpaOptions with_sis;
+  const HpaResult sis_on = hpa(p, with_sis);
+  EXPECT_EQ(sis_on.assignment.tier[3], Tier::kEdge);
+  EXPECT_EQ(sis_on.assignment.tier[4], Tier::kEdge);  // pulled by SIS update
+
+  HpaOptions no_sis;
+  no_sis.sis_update = false;
+  const HpaResult sis_off = hpa(p, no_sis);
+  EXPECT_EQ(sis_off.assignment.tier[4], Tier::kDevice);
+}
+
+// HPA must produce Prop-1-feasible partitions on every paper model under every
+// paper network condition.
+class HpaFeasibility : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HpaFeasibility, RespectsPrecedenceOnPaperModels) {
+  const auto [model_index, condition_index] = GetParam();
+  const dnn::Network net = dnn::zoo::paper_models()[static_cast<std::size_t>(model_index)];
+  const auto condition = net::paper_conditions()[static_cast<std::size_t>(condition_index)];
+  const PartitionProblem p = make_problem_exact(net, profile::paper_testbed(), condition);
+  const HpaResult r = hpa(p);
+  EXPECT_TRUE(respects_precedence(p, r.assignment));
+  EXPECT_GT(r.total_latency_seconds, 0.0);
+  // HPA never loses to the worst single-tier placement.
+  double worst_single = 0.0;
+  for (const Tier t : kAllTiers)
+    worst_single = std::max(worst_single, total_latency(p, uniform_assignment(p, t)));
+  EXPECT_LE(r.total_latency_seconds, worst_single);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelsTimesConditions, HpaFeasibility,
+                         ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 4)));
+
+// Randomised comparison against the exhaustive optimum on small DAGs.
+class HpaVsOptimal : public ::testing::TestWithParam<int> {};
+
+TEST_P(HpaVsOptimal, WithinFactorOfBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  PartitionProblem p;
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(5, 8));
+  p.dag = graph::Dag(n);
+  // Random forward DAG: each vertex gets 1-2 predecessors among earlier ones.
+  for (graph::VertexId v = 1; v < n; ++v) {
+    const auto preds = rng.uniform_int(1, std::min<std::int64_t>(2, static_cast<std::int64_t>(v)));
+    std::vector<graph::VertexId> chosen;
+    while (chosen.size() < static_cast<std::size_t>(preds)) {
+      const auto cand = static_cast<graph::VertexId>(rng.uniform_int(0, static_cast<std::int64_t>(v) - 1));
+      if (std::find(chosen.begin(), chosen.end(), cand) == chosen.end()) chosen.push_back(cand);
+    }
+    for (const auto u : chosen) p.dag.add_edge(u, v);
+  }
+  p.vertex_time.assign(n, TierTimes{});
+  p.out_bytes.assign(n, 0);
+  p.in_bytes.assign(n, 0);
+  p.out_bytes[0] = 600'000;
+  for (graph::VertexId v = 1; v < n; ++v) {
+    const double cloud = rng.uniform(0.0005, 0.01);
+    const double edge = cloud * rng.uniform(2.0, 10.0);
+    const double device = edge * rng.uniform(2.0, 10.0);
+    p.vertex_time[v] = TierTimes{{device, edge, cloud}};
+    p.out_bytes[v] = rng.uniform_int(10'000, 2'000'000);
+  }
+  for (graph::VertexId v = 1; v < n; ++v)
+    for (const auto u : p.dag.predecessors(v)) p.in_bytes[v] += p.out_bytes[u];
+  p.condition = net::wifi();
+
+  const HpaResult r = hpa(p);
+  EXPECT_TRUE(respects_precedence(p, r.assignment));
+  const Assignment best = brute_force_optimal(p);
+  EXPECT_GE(r.total_latency_seconds, total_latency(p, best) - 1e-12);
+  // Heuristic quality bound on these instances.
+  EXPECT_LE(r.total_latency_seconds, total_latency(p, best) * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HpaVsOptimal, ::testing::Range(1, 21));
+
+TEST(HpaLocalUpdate, MovesVertexWhenTimesShift) {
+  auto p = chain_problem(
+      {TierTimes{}, TierTimes{{0.001, 0.1, 0.2}}, TierTimes{{0.001, 0.1, 0.2}}},
+      {600'000, 1'000, 1'000}, net::wifi());
+  Assignment a = hpa(p).assignment;
+  ASSERT_EQ(a.tier[2], Tier::kDevice);
+  // v2 becomes catastrophically slow on the device: local update must move it.
+  p.vertex_time[2] = TierTimes{{50.0, 0.001, 0.0005}};
+  const auto changed = hpa_local_update(p, a, 2);
+  EXPECT_FALSE(changed.empty());
+  EXPECT_NE(a.tier[2], Tier::kDevice);
+  EXPECT_TRUE(respects_precedence(p, a));
+}
+
+TEST(HpaLocalUpdate, NoChangeReturnsEmpty) {
+  auto p = chain_problem(
+      {TierTimes{}, TierTimes{{0.001, 0.1, 0.2}}, TierTimes{{0.001, 0.1, 0.2}}},
+      {600'000, 1'000, 1'000}, net::wifi());
+  Assignment a = hpa(p).assignment;
+  const Assignment before = a;
+  const auto changed = hpa_local_update(p, a, 1);
+  EXPECT_TRUE(changed.empty());
+  EXPECT_EQ(a.tier, before.tier);
+}
+
+TEST(HpaLocalUpdate, RepairsDownstreamFeasibility) {
+  // Chain v0->v1->v2->v3; v1 moves to the cloud, dragging v2/v3 with it
+  // (Prop. 1 leaves {cloud} as their only option).
+  auto p = chain_problem({TierTimes{}, TierTimes{{0.001, 0.01, 0.1}},
+                          TierTimes{{0.002, 0.01, 0.1}}, TierTimes{{0.002, 0.01, 0.1}}},
+                         {600'000, 1'000, 1'000, 1'000}, net::wifi());
+  Assignment a = hpa(p).assignment;
+  ASSERT_EQ(a.tier[1], Tier::kDevice);
+  p.vertex_time[1] = TierTimes{{100.0, 50.0, 0.0001}};
+  hpa_local_update(p, a, 1);
+  EXPECT_EQ(a.tier[1], Tier::kCloud);
+  EXPECT_TRUE(respects_precedence(p, a));
+}
+
+TEST(HpaLocalUpdate, RejectsBadVertex) {
+  auto p = chain_problem({TierTimes{}, TierTimes{{0.1, 0.05, 0.01}}}, {100, 10}, net::wifi());
+  Assignment a = hpa(p).assignment;
+  EXPECT_THROW(hpa_local_update(p, a, 0), std::invalid_argument);
+  EXPECT_THROW(hpa_local_update(p, a, 99), std::invalid_argument);
+}
+
+TEST(BruteForce, MatchesObviousOptimum) {
+  // Cloud free, links free: optimal is everything on the cloud.
+  auto p = chain_problem(
+      {TierTimes{}, TierTimes{{1.0, 0.5, 0.0}}, TierTimes{{1.0, 0.5, 0.0}}},
+      {10, 10, 10}, net::NetworkCondition{"fast", 1e9, 1e9, 1e9, 0});
+  const Assignment best = brute_force_optimal(p);
+  EXPECT_EQ(best.tier[1], Tier::kCloud);
+  EXPECT_EQ(best.tier[2], Tier::kCloud);
+}
+
+TEST(BruteForce, RefusesLargeGraphs) {
+  PartitionProblem p;
+  p.dag = graph::Dag(20);
+  for (graph::VertexId v = 0; v + 1 < 20; ++v) p.dag.add_edge(v, v + 1);
+  p.vertex_time.assign(20, TierTimes{});
+  p.out_bytes.assign(20, 1);
+  p.in_bytes.assign(20, 1);
+  p.condition = net::wifi();
+  EXPECT_THROW(brute_force_optimal(p), std::invalid_argument);
+}
+
+TEST(Hpa, IoHeuristicAblationChangesNothingStructural) {
+  // With the pairwise heuristic disabled HPA still yields a feasible partition.
+  const dnn::Network net = dnn::zoo::resnet18();
+  const PartitionProblem p = make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  HpaOptions opts;
+  opts.io_heuristic = false;
+  const HpaResult r = hpa(p, opts);
+  EXPECT_TRUE(respects_precedence(p, r.assignment));
+}
+
+}  // namespace
+}  // namespace d3::core

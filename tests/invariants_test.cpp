@@ -1,0 +1,130 @@
+// Cross-cutting invariants over the full model x condition matrix — the
+// relations every figure of the paper rests on, asserted exhaustively rather
+// than on the quick subsets the per-module tests use.
+#include <gtest/gtest.h>
+
+#include "baselines/dads.h"
+#include "baselines/neurosurgeon.h"
+#include "core/hpa.h"
+#include "dnn/model_zoo.h"
+#include "net/conditions.h"
+#include "profile/profiler.h"
+#include "sim/experiment.h"
+
+namespace d3 {
+namespace {
+
+class FullMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  dnn::Network net() const {
+    return dnn::zoo::paper_models()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  }
+  net::NetworkCondition condition() const {
+    return net::paper_conditions()[static_cast<std::size_t>(std::get<1>(GetParam()))];
+  }
+};
+
+TEST_P(FullMatrix, HpaThetaNeverLosesToSingleTiers) {
+  const auto model = net();
+  const auto problem = core::make_problem_exact(model, profile::paper_testbed(), condition());
+  const core::HpaResult result = core::hpa(problem);
+  for (const core::Tier tier : core::kAllTiers) {
+    const double uniform = core::total_latency(problem, core::uniform_assignment(problem, tier));
+    EXPECT_LE(result.total_latency_seconds, uniform + 1e-12)
+        << model.name() << " vs uniform " << core::tier_name(tier);
+  }
+}
+
+TEST_P(FullMatrix, HpaThetaNeverLosesToTwoTierBaselines) {
+  const auto model = net();
+  const auto problem = core::make_problem_exact(model, profile::paper_testbed(), condition());
+  const double hpa_theta = core::hpa(problem).total_latency_seconds;
+  const double dads_theta = baselines::dads(problem).total_latency_seconds;
+  EXPECT_LE(hpa_theta, dads_theta + 1e-9) << model.name();
+  if (const auto ns = baselines::neurosurgeon(problem)) {
+    EXPECT_LE(hpa_theta, ns->total_latency_seconds + 1e-9) << model.name();
+  }
+}
+
+TEST_P(FullMatrix, BackboneTrafficNeverExceedsRawFrame) {
+  // Fig. 13's upper bound: no partition ships more to the cloud than the raw
+  // input (HPA crossings happen at tensors smaller than what cloud-only ships).
+  const auto model = net();
+  const auto problem = core::make_problem_exact(model, profile::paper_testbed(), condition());
+  const core::Assignment assignment = core::hpa(problem).assignment;
+  const core::BoundaryTraffic traffic = core::boundary_traffic(problem, assignment);
+  EXPECT_LE(traffic.to_cloud_bytes(), model.input_shape().bytes()) << model.name();
+}
+
+TEST_P(FullMatrix, StreamSimulatorConsistentWithClosedForm) {
+  sim::ExperimentConfig config;
+  config.condition = condition();
+  config.stream.duration_seconds = 5;
+  const sim::MethodResult hpa = sim::run_method(net(), sim::Method::kHpa, config);
+  if (hpa.pipeline.bottleneck_stage_seconds() < 1.0 / config.stream.fps) {
+    // Unsaturated pipeline: every frame completes with the closed-form latency.
+    EXPECT_EQ(hpa.stream.frames_dropped, 0u);
+    EXPECT_NEAR(hpa.stream.avg_latency_seconds, hpa.frame_latency_seconds, 1e-6);
+  } else {
+    // Saturated: the drop policy sheds load, completed frames keep the
+    // closed-form latency (no queueing inflation).
+    EXPECT_GT(hpa.stream.frames_dropped, 0u);
+    EXPECT_NEAR(hpa.stream.avg_latency_seconds, hpa.frame_latency_seconds,
+                hpa.frame_latency_seconds * 0.01);
+  }
+}
+
+TEST_P(FullMatrix, LocalUpdateKeepsFeasibilityUnderPerturbations) {
+  // Fuzz the adaptive path: random vertex-time perturbations must never leave
+  // the assignment Prop.-1 infeasible.
+  auto problem = core::make_problem_exact(net(), profile::paper_testbed(), condition());
+  core::Assignment assignment = core::hpa(problem).assignment;
+  util::Rng rng(std::get<0>(GetParam()) * 17u + std::get<1>(GetParam()));
+  for (int round = 0; round < 10; ++round) {
+    const auto v = static_cast<graph::VertexId>(
+        rng.uniform_int(1, static_cast<std::int64_t>(problem.size()) - 1));
+    for (const core::Tier t : core::kAllTiers)
+      problem.vertex_time[v].at(t) *= rng.uniform(0.2, 5.0);
+    core::hpa_local_update(problem, assignment, v);
+    ASSERT_TRUE(core::respects_precedence(problem, assignment))
+        << net().name() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelsTimesConditions, FullMatrix,
+                         ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 4)));
+
+TEST(Invariants, VsmPipelineNeverSlowerAcrossModels) {
+  sim::ExperimentConfig config;
+  config.stream.duration_seconds = 5;
+  for (const auto& model : dnn::zoo::paper_models()) {
+    const auto hpa = sim::run_method(model, sim::Method::kHpa, config);
+    const auto vsm = sim::run_method(model, sim::Method::kHpaVsm, config);
+    EXPECT_LE(vsm.frame_latency_seconds, hpa.frame_latency_seconds + 1e-9) << model.name();
+    if (vsm.vsm_redundancy) {
+      EXPECT_GE(*vsm.vsm_redundancy, 1.0) << model.name();
+    }
+  }
+}
+
+TEST(Invariants, ConditionsOrderCloudAttractiveness) {
+  // Faster backhaul can only move vertices cloud-ward in aggregate: the cloud
+  // load under optical must be >= the cloud load under 4G for every model.
+  for (const auto& model : dnn::zoo::paper_models()) {
+    const auto slow =
+        core::make_problem_exact(model, profile::paper_testbed(), net::lte_4g());
+    const auto fast =
+        core::make_problem_exact(model, profile::paper_testbed(), net::optical());
+    const auto count_cloud = [](const core::Assignment& a) {
+      std::size_t n = 0;
+      for (const auto t : a.tier) n += t == core::Tier::kCloud;
+      return n;
+    };
+    EXPECT_GE(count_cloud(core::hpa(fast).assignment),
+              count_cloud(core::hpa(slow).assignment))
+        << model.name();
+  }
+}
+
+}  // namespace
+}  // namespace d3

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "dnn/layer.h"
+
+namespace d3::dnn {
+namespace {
+
+TEST(ShapeInference, ConvFollowsEq3) {
+  // AlexNet conv1: 3x224x224, 96 filters 11x11, stride 4, pad 2 -> 96x55x55.
+  const LayerSpec conv = LayerSpec::conv("c", 96, Window{11, 11, 4, 4, 2, 2});
+  EXPECT_EQ(infer_output_shape(conv, {Shape{3, 224, 224}}), (Shape{96, 55, 55}));
+}
+
+TEST(ShapeInference, ConvSamePadding) {
+  const LayerSpec conv = LayerSpec::conv("c", 64, Window{3, 3, 1, 1, 1, 1});
+  EXPECT_EQ(infer_output_shape(conv, {Shape{3, 224, 224}}), (Shape{64, 224, 224}));
+}
+
+TEST(ShapeInference, RectangularConv) {
+  // 1x7 conv (kernel_w=7, kernel_h=1, pad_w=3) preserves shape.
+  const LayerSpec conv = LayerSpec::conv("c", 64, Window{7, 1, 1, 1, 3, 0});
+  EXPECT_EQ(infer_output_shape(conv, {Shape{64, 17, 17}}), (Shape{64, 17, 17}));
+}
+
+TEST(ShapeInference, FloorDivision) {
+  // (224 - 3) / 2 + 1 = 111 (floor).
+  const LayerSpec conv = LayerSpec::conv("c", 32, Window{3, 3, 2, 2, 0, 0});
+  EXPECT_EQ(infer_output_shape(conv, {Shape{3, 224, 224}}), (Shape{32, 111, 111}));
+}
+
+TEST(ShapeInference, PoolKeepsChannels) {
+  const LayerSpec pool = LayerSpec::max_pool("p", Window{3, 3, 2, 2, 0, 0});
+  EXPECT_EQ(infer_output_shape(pool, {Shape{96, 55, 55}}), (Shape{96, 27, 27}));
+}
+
+TEST(ShapeInference, GlobalAvgPool) {
+  const LayerSpec gap = LayerSpec::global_avg_pool("g");
+  EXPECT_EQ(infer_output_shape(gap, {Shape{512, 7, 7}}), (Shape{512, 1, 1}));
+}
+
+TEST(ShapeInference, FullyConnectedFlattens) {
+  const LayerSpec fc = LayerSpec::fully_connected("f", 4096);
+  EXPECT_EQ(infer_output_shape(fc, {Shape{256, 6, 6}}), (Shape{4096, 1, 1}));
+}
+
+TEST(ShapeInference, ConcatSumsChannels) {
+  const LayerSpec cat = LayerSpec::concat("c");
+  EXPECT_EQ(infer_output_shape(cat, {Shape{96, 14, 14}, Shape{64, 14, 14}, Shape{32, 14, 14}}),
+            (Shape{192, 14, 14}));
+}
+
+TEST(ShapeInference, ConcatRejectsSpatialMismatch) {
+  const LayerSpec cat = LayerSpec::concat("c");
+  EXPECT_THROW(infer_output_shape(cat, {Shape{3, 4, 4}, Shape{3, 5, 4}}),
+               std::invalid_argument);
+}
+
+TEST(ShapeInference, AddRequiresEqualShapes) {
+  const LayerSpec add = LayerSpec::add("a");
+  EXPECT_EQ(infer_output_shape(add, {Shape{8, 4, 4}, Shape{8, 4, 4}}), (Shape{8, 4, 4}));
+  EXPECT_THROW(infer_output_shape(add, {Shape{8, 4, 4}, Shape{4, 4, 4}}),
+               std::invalid_argument);
+}
+
+TEST(ShapeInference, WindowLargerThanInputThrows) {
+  const LayerSpec pool = LayerSpec::max_pool("p", Window{5, 5, 1, 1, 0, 0});
+  EXPECT_THROW(infer_output_shape(pool, {Shape{3, 4, 4}}), std::invalid_argument);
+}
+
+TEST(ShapeInference, WrongArityThrows) {
+  const LayerSpec relu = LayerSpec::relu("r");
+  EXPECT_THROW(infer_output_shape(relu, {Shape{1, 2, 2}, Shape{1, 2, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW(infer_output_shape(LayerSpec::concat("c"), {Shape{1, 2, 2}}),
+               std::invalid_argument);
+}
+
+TEST(LayerCosting, ConvFlopsAndParams) {
+  // conv: 2*MACs + bias-add per output element.
+  const LayerSpec conv = LayerSpec::conv("c", 96, Window{11, 11, 4, 4, 2, 2});
+  const Shape in{3, 224, 224};
+  const Shape out = infer_output_shape(conv, {in});
+  const std::int64_t taps = 11 * 11 * 3;
+  EXPECT_EQ(layer_flops(conv, {in}, out), out.elements() * (2 * taps + 1));
+  EXPECT_EQ(layer_params(conv, {in}), (taps + 1) * 96);  // 34,944 in AlexNet
+  EXPECT_EQ(layer_params(conv, {in}), 34944);
+}
+
+TEST(LayerCosting, FcParamsMatchAlexNetFc1) {
+  const LayerSpec fc = LayerSpec::fully_connected("f", 4096);
+  EXPECT_EQ(layer_params(fc, {Shape{256, 6, 6}}), 37752832);
+}
+
+TEST(LayerCosting, ElementwiseCosts) {
+  const Shape s{16, 8, 8};
+  EXPECT_EQ(layer_flops(LayerSpec::relu("r"), {s}, s), s.elements());
+  EXPECT_EQ(layer_flops(LayerSpec::batch_norm("b"), {s}, s), 2 * s.elements());
+  EXPECT_EQ(layer_flops(LayerSpec::add("a"), {s, s}, s), s.elements());
+  EXPECT_EQ(layer_flops(LayerSpec::concat("c"), {s, s}, Shape{32, 8, 8}), 0);
+  EXPECT_EQ(layer_params(LayerSpec::batch_norm("b"), {s}), 32);
+}
+
+TEST(LayerCosting, ShapeBytes) {
+  EXPECT_EQ((Shape{3, 224, 224}).bytes(), 602112);  // the 4.82 Mb raw frame of Fig. 13
+}
+
+TEST(Tileability, OnlySpatialKindsAreTileable) {
+  EXPECT_TRUE(is_vsm_tileable(LayerKind::kConv));
+  EXPECT_TRUE(is_vsm_tileable(LayerKind::kMaxPool));
+  EXPECT_TRUE(is_vsm_tileable(LayerKind::kAvgPool));
+  EXPECT_TRUE(is_vsm_tileable(LayerKind::kReLU));
+  EXPECT_TRUE(is_vsm_tileable(LayerKind::kBatchNorm));
+  EXPECT_FALSE(is_vsm_tileable(LayerKind::kFullyConnected));
+  EXPECT_FALSE(is_vsm_tileable(LayerKind::kConcat));
+  EXPECT_FALSE(is_vsm_tileable(LayerKind::kAdd));
+  EXPECT_FALSE(is_vsm_tileable(LayerKind::kGlobalAvgPool));
+  EXPECT_FALSE(is_vsm_tileable(LayerKind::kSoftmax));
+}
+
+}  // namespace
+}  // namespace d3::dnn

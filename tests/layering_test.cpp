@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "graph/layering.h"
+
+namespace d3::graph {
+namespace {
+
+// The Fig. 6 example: v5 has predecessors {v1..v4}, v6 has a proper subset of
+// them, v7 has a predecessor outside Vp5.
+Dag fig6() {
+  Dag d(9);
+  for (VertexId v = 1; v <= 4; ++v) d.add_edge(0, v);
+  d.add_edge(0, 8);  // the extra predecessor feeding v7
+  d.add_edge(1, 5);
+  d.add_edge(2, 5);
+  d.add_edge(3, 5);
+  d.add_edge(4, 5);
+  d.add_edge(1, 6);
+  d.add_edge(2, 6);
+  d.add_edge(1, 7);
+  d.add_edge(8, 7);
+  return d;
+}
+
+TEST(Layering, LongestDistanceOnChain) {
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  EXPECT_EQ(longest_distance(d), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Layering, LongestDistancePicksLongerPath) {
+  // 0 -> 3 directly but also 0 -> 1 -> 2 -> 3: delta(3) must be 3.
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  d.add_edge(0, 3);
+  EXPECT_EQ(longest_distance(d)[3], 3);
+}
+
+TEST(Layering, UnreachableVertexGetsMinusOne) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  EXPECT_EQ(longest_distance(d)[2], -1);
+}
+
+TEST(Layering, GraphLayersPartitionVertices) {
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  const auto layers = graph_layers(d);
+  ASSERT_EQ(layers.size(), 3u);
+  EXPECT_EQ(layers[0], std::vector<VertexId>{0});
+  EXPECT_EQ(layers[1], (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(layers[2], std::vector<VertexId>{3});
+}
+
+// §III-E worked example: the Inception-v4 grid module has 7 graph layers
+// Z0={v0}, Z1={v1}, Z2={v2..v5}, Z3={v6..v9}, Z4={v10}, Z5={v11,v12}, Z6={v13}.
+TEST(Layering, GridModuleMatchesPaperFig3) {
+  const dnn::Network net = dnn::zoo::grid_module();
+  const auto layers = graph_layers(net.to_dag());
+  ASSERT_EQ(layers.size(), 7u);
+  EXPECT_EQ(layers[0], std::vector<VertexId>{0});
+  EXPECT_EQ(layers[1], std::vector<VertexId>{1});
+  EXPECT_EQ(layers[2], (std::vector<VertexId>{2, 3, 4, 5}));
+  EXPECT_EQ(layers[3], (std::vector<VertexId>{6, 7, 8, 9}));
+  EXPECT_EQ(layers[4], std::vector<VertexId>{10});
+  EXPECT_EQ(layers[5], (std::vector<VertexId>{11, 12}));
+  EXPECT_EQ(layers[6], std::vector<VertexId>{13});
+}
+
+TEST(Sis, PaperFig6Example) {
+  const Dag d = fig6();
+  // Vp6 = {1,2} ⊂ Vp5 = {1,2,3,4}: v6 is a SIS vertex of v5.
+  EXPECT_TRUE(is_sis_vertex(d, 5, 6));
+  // Vp7 = {1,8} ⊄ Vp5: v7 is not.
+  EXPECT_FALSE(is_sis_vertex(d, 5, 7));
+}
+
+TEST(Sis, RequiresProperSubset) {
+  const Dag d = fig6();
+  // A vertex is not its own SIS vertex, and equal predecessor sets don't count.
+  EXPECT_FALSE(is_sis_vertex(d, 5, 5));
+  Dag e(4);
+  e.add_edge(0, 1);
+  e.add_edge(0, 2);
+  e.add_edge(1, 3);
+  e.add_edge(2, 3);
+  // Vp(3) = {1,2}; a sibling with identical preds is not a *proper* subset.
+  Dag f(5);
+  f.add_edge(0, 1);
+  f.add_edge(0, 2);
+  f.add_edge(1, 3);
+  f.add_edge(2, 3);
+  f.add_edge(1, 4);
+  f.add_edge(2, 4);
+  EXPECT_FALSE(is_sis_vertex(f, 3, 4));
+}
+
+TEST(Sis, EmptyPredecessorSetNeverSis) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  // Vp(0) = {} is not a SIS of anything.
+  EXPECT_FALSE(is_sis_vertex(d, 1, 0));
+}
+
+TEST(Sis, FilterCandidates) {
+  const Dag d = fig6();
+  const auto sis = sis_vertices(d, 5, {5, 6, 7});
+  EXPECT_EQ(sis, std::vector<VertexId>{6});
+}
+
+}  // namespace
+}  // namespace d3::graph

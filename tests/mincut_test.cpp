@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "graph/mincut.h"
+
+namespace d3::graph {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  FlowNetwork f(2);
+  f.add_edge(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 1), 5.0);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  FlowNetwork f(3);
+  f.add_edge(0, 1, 5.0);
+  f.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 2), 3.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  FlowNetwork f(4);
+  f.add_edge(0, 1, 2.0);
+  f.add_edge(1, 3, 2.0);
+  f.add_edge(0, 2, 3.0);
+  f.add_edge(2, 3, 1.5);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 3), 3.5);
+}
+
+TEST(MaxFlow, ClassicCrossNetwork) {
+  // CLRS-style example with a cross edge; max flow = 19... use a known small one:
+  //   s->a 10, s->b 10, a->b 2, a->t 4, b->t 9, a->c 8, c->t 10
+  FlowNetwork f(5);
+  const std::size_t s = 0, a = 1, b = 2, c = 3, t = 4;
+  f.add_edge(s, a, 10);
+  f.add_edge(s, b, 10);
+  f.add_edge(a, b, 2);
+  f.add_edge(a, t, 4);
+  f.add_edge(b, t, 9);
+  f.add_edge(a, c, 8);
+  f.add_edge(c, t, 10);
+  EXPECT_DOUBLE_EQ(f.max_flow(s, t), 19.0);
+}
+
+TEST(MaxFlow, SourceSideIsMinCut) {
+  FlowNetwork f(4);
+  f.add_edge(0, 1, 10.0);
+  f.add_edge(1, 2, 1.0);  // bottleneck
+  f.add_edge(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 3), 1.0);
+  EXPECT_TRUE(f.source_side()[0]);
+  EXPECT_TRUE(f.source_side()[1]);
+  EXPECT_FALSE(f.source_side()[2]);
+  EXPECT_FALSE(f.source_side()[3]);
+  const auto cut = f.cut_edges();
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_EQ(std::get<0>(cut[0]), 1u);
+  EXPECT_EQ(std::get<1>(cut[0]), 2u);
+}
+
+TEST(MaxFlow, CutCapacityEqualsFlow) {
+  FlowNetwork f(6);
+  f.add_edge(0, 1, 7.0);
+  f.add_edge(0, 2, 4.0);
+  f.add_edge(1, 3, 5.0);
+  f.add_edge(2, 3, 3.0);
+  f.add_edge(1, 4, 3.0);
+  f.add_edge(3, 5, 8.0);
+  f.add_edge(4, 5, 5.0);
+  const double flow = f.max_flow(0, 5);
+  double cut_cap = 0;
+  for (const auto& [u, v, cap] : f.cut_edges()) cut_cap += cap;
+  EXPECT_NEAR(flow, cut_cap, 1e-12);
+}
+
+TEST(MaxFlow, InfiniteEdgeNeverCut) {
+  FlowNetwork f(3);
+  f.add_edge(0, 1, FlowNetwork::kInfinity);
+  f.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 2), 2.0);
+  for (const auto& [u, v, cap] : f.cut_edges()) EXPECT_NE(cap, FlowNetwork::kInfinity);
+}
+
+TEST(MaxFlow, FlowOnReportsPerEdge) {
+  FlowNetwork f(3);
+  const auto e01 = f.add_edge(0, 1, 4.0);
+  const auto e12 = f.add_edge(1, 2, 9.0);
+  f.max_flow(0, 2);
+  EXPECT_DOUBLE_EQ(f.flow_on(e01), 4.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(e12), 4.0);
+}
+
+TEST(MaxFlow, ApiMisuseThrows) {
+  FlowNetwork f(2);
+  f.add_edge(0, 1, 1.0);
+  EXPECT_THROW(f.flow_on(0), std::logic_error);  // before max_flow
+  EXPECT_THROW(f.max_flow(0, 0), std::invalid_argument);
+  f.max_flow(0, 1);
+  EXPECT_THROW(f.max_flow(0, 1), std::logic_error);  // already solved
+  FlowNetwork g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  FlowNetwork f(3);
+  f.add_edge(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 2), 0.0);
+  EXPECT_TRUE(f.source_side()[1]);
+  EXPECT_FALSE(f.source_side()[2]);
+}
+
+}  // namespace
+}  // namespace d3::graph

@@ -1,0 +1,148 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+
+namespace d3::dnn::zoo {
+namespace {
+
+std::int64_t conv_fc_params(const Network& net) {
+  std::int64_t total = 0;
+  for (LayerId id = 0; id < net.num_layers(); ++id) {
+    const auto kind = net.layer(id).spec.kind;
+    if (kind == LayerKind::kConv || kind == LayerKind::kFullyConnected)
+      total += net.layer(id).params;
+  }
+  return total;
+}
+
+Shape final_shape(const Network& net) { return net.layer(net.last()).output_shape; }
+
+TEST(Zoo, AlexNetMatchesReference) {
+  const Network net = alexnet();
+  // Classic AlexNet (96/256/384/384/256 convs): 62,378,344 parameters.
+  EXPECT_EQ(conv_fc_params(net), 62378344);
+  EXPECT_EQ(final_shape(net), (Shape{1000, 1, 1}));
+  EXPECT_TRUE(net.is_chain());
+  // ~2.3 GFLOPs total (2 FLOPs per MAC; ungrouped 96/256/384/384/256 convs).
+  EXPECT_GT(net.total_flops(), static_cast<std::int64_t>(2.0e9));
+  EXPECT_LT(net.total_flops(), static_cast<std::int64_t>(2.6e9));
+}
+
+TEST(Zoo, Vgg16MatchesReference) {
+  const Network net = vgg16();
+  EXPECT_EQ(conv_fc_params(net), 138357544);  // torchvision VGG-16
+  EXPECT_EQ(final_shape(net), (Shape{1000, 1, 1}));
+  EXPECT_TRUE(net.is_chain());
+  // ~31 GFLOPs (2 FLOPs per MAC, 15.5 GMACs).
+  EXPECT_GT(net.total_flops(), static_cast<std::int64_t>(28e9));
+  EXPECT_LT(net.total_flops(), static_cast<std::int64_t>(34e9));
+}
+
+TEST(Zoo, Vgg16HasThirteenConvGroups) {
+  const Network net = vgg16();
+  std::set<std::string> conv_groups;
+  for (LayerId id = 0; id < net.num_layers(); ++id)
+    if (net.layer(id).spec.kind == LayerKind::kConv) conv_groups.insert(net.layer(id).spec.group);
+  EXPECT_EQ(conv_groups.size(), 13u);
+}
+
+TEST(Zoo, ResNet18MatchesReference) {
+  const Network net = resnet18();
+  // torchvision resnet18: 11,689,512 params (conv bias-free); our convs carry
+  // biases, so allow a small positive delta.
+  EXPECT_GT(conv_fc_params(net), static_cast<std::int64_t>(11.6e6));
+  EXPECT_LT(conv_fc_params(net), static_cast<std::int64_t>(11.8e6));
+  EXPECT_EQ(final_shape(net), (Shape{1000, 1, 1}));
+  EXPECT_FALSE(net.is_chain());  // residual adds make it a DAG
+  // ~3.6 GFLOPs.
+  EXPECT_GT(net.total_flops(), static_cast<std::int64_t>(3.2e9));
+  EXPECT_LT(net.total_flops(), static_cast<std::int64_t>(4.2e9));
+}
+
+TEST(Zoo, ResNet18HasEightBlocks) {
+  const Network net = resnet18();
+  std::set<std::string> groups;
+  for (LayerId id = 0; id < net.num_layers(); ++id) groups.insert(net.layer(id).spec.group);
+  for (int b = 1; b <= 8; ++b)
+    EXPECT_TRUE(groups.count("block" + std::to_string(b))) << "missing block" << b;
+}
+
+TEST(Zoo, Darknet53MatchesReference) {
+  const Network net = darknet53();
+  // Darknet-53 classifier: ~41.6M params.
+  EXPECT_GT(conv_fc_params(net), static_cast<std::int64_t>(40e6));
+  EXPECT_LT(conv_fc_params(net), static_cast<std::int64_t>(43e6));
+  EXPECT_EQ(final_shape(net), (Shape{1000, 1, 1}));
+  EXPECT_FALSE(net.is_chain());
+  // 52 convs + fc = "53"; count the convs.
+  int convs = 0;
+  for (LayerId id = 0; id < net.num_layers(); ++id)
+    convs += net.layer(id).spec.kind == LayerKind::kConv;
+  EXPECT_EQ(convs, 52);
+}
+
+TEST(Zoo, Darknet53GroupsFollowFig1) {
+  const Network net = darknet53();
+  std::set<std::string> groups;
+  for (LayerId id = 0; id < net.num_layers(); ++id) groups.insert(net.layer(id).spec.group);
+  for (const char* g : {"conv1", "conv2", "residual1", "conv3", "residual2", "conv4",
+                        "residual3", "conv5", "residual4", "conv6", "residual5", "fc"})
+    EXPECT_TRUE(groups.count(g)) << "missing group " << g;
+}
+
+TEST(Zoo, InceptionV4Structure) {
+  const Network net = inception_v4();
+  EXPECT_EQ(final_shape(net), (Shape{1000, 1, 1}));
+  EXPECT_FALSE(net.is_chain());
+  // Conv+fc parameters land near the official ~42.7M.
+  EXPECT_GT(conv_fc_params(net), static_cast<std::int64_t>(38e6));
+  EXPECT_LT(conv_fc_params(net), static_cast<std::int64_t>(46e6));
+  // Inception-C concat output is 1536 channels before global pooling.
+  for (LayerId id = 0; id < net.num_layers(); ++id) {
+    if (net.layer(id).spec.kind == LayerKind::kGlobalAvgPool) {
+      EXPECT_EQ(net.input_shapes(id)[0].c, 1536);
+    }
+  }
+}
+
+TEST(Zoo, InceptionV4IsLargeDag) {
+  const Network net = inception_v4();
+  EXPECT_GT(net.num_layers(), 400u);  // conv+bn+relu triples across 145 convs
+  const graph::Dag dag = net.to_dag();
+  EXPECT_TRUE(dag.is_acyclic());
+  // Concats have fan-in > 1 (true multi-branch DAG).
+  bool found_fan_in = false;
+  for (graph::VertexId v = 1; v < dag.size(); ++v) found_fan_in |= dag.in_degree(v) > 2;
+  EXPECT_TRUE(found_fan_in);
+}
+
+TEST(Zoo, PaperModelsComeInPaperOrder) {
+  const auto models = paper_models();
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models[0].name(), "AlexNet");
+  EXPECT_EQ(models[1].name(), "VGG-16");
+  EXPECT_EQ(models[2].name(), "ResNet-18");
+  EXPECT_EQ(models[3].name(), "Darknet-53");
+  EXPECT_EQ(models[4].name(), "Inception-v4");
+  for (const auto& m : models) EXPECT_EQ(m.input_shape(), (Shape{3, 224, 224}));
+}
+
+TEST(Zoo, GridModuleShapesMatchInceptionC) {
+  const Network net = grid_module(8, 8);
+  // Concat2 output: 256 + 256 + 256 + 256 + 256 + 256 = 1536 channels.
+  EXPECT_EQ(final_shape(net), (Shape{1536, 8, 8}));
+  EXPECT_EQ(net.num_layers(), 13u);  // v1..v13
+}
+
+TEST(Zoo, ConvStackBuilds) {
+  const Network net = conv_stack("s", Shape{3, 16, 16},
+                                 {{8, Window{3, 3, 1, 1, 1, 1}}, {16, Window{3, 3, 2, 2, 0, 0}}});
+  EXPECT_EQ(net.num_layers(), 2u);
+  EXPECT_EQ(final_shape(net), (Shape{16, 7, 7}));
+  EXPECT_THROW(conv_stack("bad", Shape{3, 8, 8}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace d3::dnn::zoo

@@ -1,0 +1,118 @@
+// The motivation for VSM (§III-F): DeepThings-style padding-oblivious tiling
+// corrupts the output whenever a layer uses padding, while VSM stays exact.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "baselines/naive_tiling.h"
+#include "core/vsm.h"
+#include "core/vsm_executor.h"
+#include "dnn/model_zoo.h"
+#include "util/rng.h"
+
+namespace d3::baselines {
+namespace {
+
+using dnn::Shape;
+using dnn::Window;
+
+std::vector<dnn::LayerId> all_layers(const dnn::Network& net) {
+  std::vector<dnn::LayerId> ids(net.num_layers());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+double max_abs_diff(const dnn::Tensor& a, const dnn::Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, static_cast<double>(std::abs(a[i] - b[i])));
+  return worst;
+}
+
+struct Outputs {
+  dnn::Tensor reference;
+  dnn::Tensor naive;
+};
+
+Outputs run_both(const dnn::Network& net, int rows, int cols, std::uint64_t seed) {
+  const auto ids = all_layers(net);
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, seed);
+  util::Rng rng(seed + 1);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const NaiveTilePlan plan = make_naive_tile_plan(net, ids, rows, cols);
+  return Outputs{core::run_stack_serial(net, weights, input, ids),
+             run_naive_tiles(net, weights, input, plan)};
+}
+
+TEST(NaiveTiling, ExactForValidConvolutions) {
+  // With no padding anywhere the padding-oblivious scheme is exact.
+  const dnn::Network net = dnn::zoo::conv_stack(
+      "valid", Shape{3, 20, 20},
+      {{6, Window{3, 3, 1, 1, 0, 0}}, {6, Window{3, 3, 1, 1, 0, 0}}});
+  const Outputs r = run_both(net, 2, 2, 60);
+  EXPECT_EQ(max_abs_diff(r.reference, r.naive), 0.0);
+}
+
+TEST(NaiveTiling, LosesPrecisionWithPadding) {
+  // One padded conv is enough: interior tile borders see zero padding where the
+  // true map has neighbour values.
+  const dnn::Network net = dnn::zoo::conv_stack(
+      "padded", Shape{3, 20, 20},
+      {{6, Window{3, 3, 1, 1, 1, 1}}, {6, Window{3, 3, 1, 1, 1, 1}}});
+  const Outputs r = run_both(net, 2, 2, 61);
+  EXPECT_GT(max_abs_diff(r.reference, r.naive), 1e-3);
+}
+
+TEST(NaiveTiling, ErrorGrowsWithDepth) {
+  // Deeper padded stacks corrupt a wider band around each tile border.
+  const Window w{3, 3, 1, 1, 1, 1};
+  const dnn::Network shallow =
+      dnn::zoo::conv_stack("shallow", Shape{3, 24, 24}, {{4, w}});
+  const dnn::Network deep =
+      dnn::zoo::conv_stack("deep", Shape{3, 24, 24}, {{4, w}, {4, w}, {4, w}});
+
+  const auto wrong_fraction = [](const Outputs& r) {
+    std::size_t wrong = 0;
+    for (std::size_t i = 0; i < r.reference.size(); ++i)
+      wrong += std::abs(r.reference[i] - r.naive[i]) > 1e-5f;
+    return static_cast<double>(wrong) / static_cast<double>(r.reference.size());
+  };
+  const double shallow_wrong = wrong_fraction(run_both(shallow, 2, 2, 62));
+  const double deep_wrong = wrong_fraction(run_both(deep, 2, 2, 62));
+  EXPECT_GT(shallow_wrong, 0.0);
+  EXPECT_GT(deep_wrong, shallow_wrong);
+}
+
+TEST(NaiveTiling, VsmIsExactOnTheSameStack) {
+  // Side-by-side on the identical padded workload: naive diverges, VSM does not.
+  const dnn::Network net = dnn::zoo::conv_stack(
+      "both", Shape{3, 20, 20},
+      {{6, Window{3, 3, 1, 1, 1, 1}}, {6, Window{3, 3, 1, 1, 1, 1}}});
+  const auto ids = all_layers(net);
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 63);
+  util::Rng rng(64);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = core::run_stack_serial(net, weights, input, ids);
+
+  const core::FusedTilePlan vsm_plan = core::make_fused_tile_plan(net, ids, 2, 2);
+  const dnn::Tensor vsm_out = core::run_fused_tiles(net, weights, input, vsm_plan);
+  EXPECT_EQ(max_abs_diff(reference, vsm_out), 0.0);
+
+  const NaiveTilePlan naive_plan = make_naive_tile_plan(net, ids, 2, 2);
+  const dnn::Tensor naive_out = run_naive_tiles(net, weights, input, naive_plan);
+  EXPECT_GT(max_abs_diff(reference, naive_out), 1e-3);
+}
+
+TEST(NaiveTiling, PlanValidation) {
+  const dnn::Network net = dnn::zoo::conv_stack(
+      "v", Shape{3, 8, 8}, {{4, Window{3, 3, 1, 1, 1, 1}}});
+  EXPECT_THROW(make_naive_tile_plan(net, std::vector<dnn::LayerId>{}, 2, 2),
+               std::invalid_argument);
+  EXPECT_THROW(make_naive_tile_plan(net, all_layers(net), 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_naive_tile_plan(net, all_layers(net), 99, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace d3::baselines

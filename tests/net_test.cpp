@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "net/conditions.h"
+#include "net/dynamics.h"
+#include "util/rng.h"
+
+namespace d3::net {
+namespace {
+
+TEST(Conditions, TableThreeValuesVerbatim) {
+  const NetworkCondition w = wifi();
+  EXPECT_DOUBLE_EQ(w.device_edge_mbps, 84.95);
+  EXPECT_DOUBLE_EQ(w.edge_cloud_mbps, 31.53);
+  EXPECT_DOUBLE_EQ(w.device_cloud_mbps, 18.75);
+
+  const NetworkCondition g4 = lte_4g();
+  EXPECT_DOUBLE_EQ(g4.edge_cloud_mbps, 13.79);
+  EXPECT_DOUBLE_EQ(g4.device_cloud_mbps, 6.12);
+
+  const NetworkCondition g5 = nr_5g();
+  EXPECT_DOUBLE_EQ(g5.edge_cloud_mbps, 22.75);
+  EXPECT_DOUBLE_EQ(g5.device_cloud_mbps, 11.64);
+
+  const NetworkCondition opt = optical();
+  EXPECT_DOUBLE_EQ(opt.edge_cloud_mbps, 50.23);
+  // Device reaches the cloud over Wi-Fi when the edge is on optical backhaul.
+  EXPECT_DOUBLE_EQ(opt.device_cloud_mbps, 18.75);
+}
+
+TEST(Conditions, LanIsAlwaysWifi) {
+  for (const auto& c : paper_conditions()) EXPECT_DOUBLE_EQ(c.device_edge_mbps, 84.95);
+}
+
+TEST(Conditions, PaperOrder) {
+  const auto cs = paper_conditions();
+  ASSERT_EQ(cs.size(), 4u);
+  EXPECT_EQ(cs[0].name, "Wi-Fi");
+  EXPECT_EQ(cs[1].name, "4G");
+  EXPECT_EQ(cs[2].name, "5G");
+  EXPECT_EQ(cs[3].name, "Optical Network");
+}
+
+TEST(Conditions, TransferSecondsMatchesSizeOverBandwidth) {
+  const NetworkCondition w = wifi();
+  // 1 MB over 31.53 Mbps.
+  EXPECT_NEAR(w.transfer_seconds(1'000'000, w.edge_cloud_mbps), 8.0 / 31.53, 1e-9);
+}
+
+TEST(Conditions, RttAddsConstant) {
+  NetworkCondition w = wifi();
+  w.rtt_seconds = 0.02;
+  EXPECT_NEAR(w.transfer_seconds(1'000'000, 8.0), 1.0 + 0.02, 1e-12);
+}
+
+TEST(Conditions, WithCloudUplinkScalesBothPaths) {
+  const NetworkCondition base = wifi();
+  const NetworkCondition doubled = with_cloud_uplink(base, base.edge_cloud_mbps * 2);
+  EXPECT_DOUBLE_EQ(doubled.edge_cloud_mbps, base.edge_cloud_mbps * 2);
+  EXPECT_DOUBLE_EQ(doubled.device_cloud_mbps, base.device_cloud_mbps * 2);
+  EXPECT_DOUBLE_EQ(doubled.device_edge_mbps, base.device_edge_mbps);
+  EXPECT_THROW(with_cloud_uplink(base, 0), std::invalid_argument);
+}
+
+TEST(Dynamics, TraceLookup) {
+  const BandwidthTrace trace({{0.0, 10.0}, {5.0, 20.0}, {9.0, 5.0}});
+  EXPECT_DOUBLE_EQ(trace.mbps_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.mbps_at(4.999), 10.0);
+  EXPECT_DOUBLE_EQ(trace.mbps_at(5.0), 20.0);
+  EXPECT_DOUBLE_EQ(trace.mbps_at(100.0), 5.0);
+}
+
+TEST(Dynamics, TraceValidation) {
+  EXPECT_THROW(BandwidthTrace({}), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({{1.0, 5.0}}), std::invalid_argument);        // not t=0
+  EXPECT_THROW(BandwidthTrace({{0.0, 5.0}, {0.0, 6.0}}), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({{0.0, -5.0}}), std::invalid_argument);
+}
+
+TEST(Dynamics, RandomWalkStaysInBounds) {
+  util::Rng rng(41);
+  const NetworkCondition base = wifi();
+  const BandwidthTrace trace =
+      BandwidthTrace::random_walk(base, 100.0, 1.0, 0.3, 0.25, 4.0, rng);
+  EXPECT_EQ(trace.steps().size(), 100u);
+  for (const auto& step : trace.steps()) {
+    EXPECT_GE(step.edge_cloud_mbps, base.edge_cloud_mbps * 0.25 - 1e-9);
+    EXPECT_LE(step.edge_cloud_mbps, base.edge_cloud_mbps * 4.0 + 1e-9);
+  }
+}
+
+TEST(Dynamics, ConditionAtScalesUplink) {
+  const NetworkCondition base = wifi();
+  const BandwidthTrace trace({{0.0, base.edge_cloud_mbps}, {10.0, base.edge_cloud_mbps / 2}});
+  const NetworkCondition late = trace.condition_at(base, 50.0);
+  EXPECT_NEAR(late.edge_cloud_mbps, base.edge_cloud_mbps / 2, 1e-9);
+  EXPECT_NEAR(late.device_cloud_mbps, base.device_cloud_mbps / 2, 1e-9);
+}
+
+}  // namespace
+}  // namespace d3::net

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "dnn/network.h"
+
+namespace d3::dnn {
+namespace {
+
+TEST(Network, BuilderInfersShapesEagerly) {
+  Network net("t", Shape{3, 32, 32});
+  const LayerId c1 = net.conv("c1", kNetworkInput, 8, 3, 1, 1);
+  EXPECT_EQ(net.layer(c1).output_shape, (Shape{8, 32, 32}));
+  const LayerId p = net.max_pool("p", c1, 2, 2);
+  EXPECT_EQ(net.layer(p).output_shape, (Shape{8, 16, 16}));
+}
+
+TEST(Network, RejectsBadInputs) {
+  Network net("t", Shape{3, 8, 8});
+  EXPECT_THROW(net.add(LayerSpec::relu("r"), {}), std::invalid_argument);
+  EXPECT_THROW(net.add(LayerSpec::relu("r"), {5}), std::invalid_argument);
+  const LayerId c = net.conv("c", kNetworkInput, 4, 3, 1, 1);
+  EXPECT_THROW(net.add(LayerSpec::add("a"), {c, c}), std::invalid_argument);  // duplicate
+  EXPECT_THROW(Network("bad", Shape{0, 8, 8}), std::invalid_argument);
+}
+
+TEST(Network, LambdaBytes) {
+  Network net("t", Shape{3, 8, 8});
+  const LayerId c = net.conv("c", kNetworkInput, 4, 3, 1, 1);
+  EXPECT_EQ(net.lambda_in_bytes(c), 3 * 8 * 8 * 4);
+  EXPECT_EQ(net.lambda_out_bytes(c), 4 * 8 * 8 * 4);
+  const LayerId c2 = net.conv("c2", c, 4, 3, 1, 1);
+  const LayerId cat = net.concat("cat", {c, c2});
+  // Concat consumes both inputs: lambda_in sums them.
+  EXPECT_EQ(net.lambda_in_bytes(cat), 2 * 4 * 8 * 8 * 4);
+}
+
+TEST(Network, ToDagAddsVirtualInput) {
+  const Network net = zoo::tiny_branch();
+  const graph::Dag dag = net.to_dag();
+  EXPECT_EQ(dag.size(), net.num_layers() + 1);
+  // v0 feeds exactly the layers that consume the network input.
+  EXPECT_EQ(dag.successors(0).size(), 1u);
+  EXPECT_TRUE(dag.is_acyclic());
+}
+
+TEST(Network, VertexLayerMapping) {
+  EXPECT_EQ(Network::vertex_of(0), 1u);
+  EXPECT_EQ(Network::layer_of(1), 0u);
+  EXPECT_EQ(Network::layer_of(Network::vertex_of(41)), 41u);
+}
+
+TEST(Network, ChainDetection) {
+  EXPECT_TRUE(zoo::tiny_chain().is_chain());
+  EXPECT_FALSE(zoo::tiny_branch().is_chain());
+}
+
+TEST(Network, TotalsAccumulate) {
+  const Network net = zoo::tiny_chain();
+  std::int64_t flops = 0, params = 0;
+  for (LayerId id = 0; id < net.num_layers(); ++id) {
+    flops += net.layer(id).flops;
+    params += net.layer(id).params;
+  }
+  EXPECT_EQ(net.total_flops(), flops);
+  EXPECT_EQ(net.total_params(), params);
+  EXPECT_GT(flops, 0);
+  EXPECT_GT(params, 0);
+}
+
+TEST(Network, LastThrowsWhenEmpty) {
+  Network net("t", Shape{1, 2, 2});
+  EXPECT_THROW(net.last(), std::logic_error);
+}
+
+TEST(Network, GroupDefaultsToName) {
+  Network net("t", Shape{3, 8, 8});
+  const LayerId c = net.conv("conv_a", kNetworkInput, 4, 3);
+  EXPECT_EQ(net.layer(c).spec.group, "conv_a");
+}
+
+}  // namespace
+}  // namespace d3::dnn

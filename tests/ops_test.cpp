@@ -1,0 +1,241 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "exec/ops.h"
+#include "util/rng.h"
+
+namespace d3::exec {
+namespace {
+
+using dnn::LayerSpec;
+using dnn::Shape;
+using dnn::Tensor;
+using dnn::Window;
+
+LayerWeights identity_conv_1x1() {
+  LayerWeights w;
+  w.weights = {1.0f};
+  w.bias = {0.0f};
+  return w;
+}
+
+TEST(Ops, Conv1x1IdentityPassesThrough) {
+  Tensor in(Shape{1, 2, 2});
+  in.at(0, 0, 0) = 1;
+  in.at(0, 0, 1) = 2;
+  in.at(0, 1, 0) = 3;
+  in.at(0, 1, 1) = 4;
+  const LayerSpec spec = LayerSpec::conv("c", 1, Window{1, 1, 1, 1, 0, 0});
+  const Tensor out = conv2d(in, spec, identity_conv_1x1());
+  EXPECT_EQ(out.shape(), in.shape());
+  for (int y = 0; y < 2; ++y)
+    for (int x = 0; x < 2; ++x) EXPECT_FLOAT_EQ(out.at(0, y, x), in.at(0, y, x));
+}
+
+TEST(Ops, Conv3x3HandComputed) {
+  // 3x3 all-ones filter over a 3x3 ramp with pad 1: centre output = sum of all.
+  Tensor in(Shape{1, 3, 3});
+  float v = 1;
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 3; ++x) in.at(0, y, x) = v++;
+  LayerWeights w;
+  w.weights.assign(9, 1.0f);
+  w.bias = {0.5f};
+  const LayerSpec spec = LayerSpec::conv("c", 1, Window{3, 3, 1, 1, 1, 1});
+  const Tensor out = conv2d(in, spec, w);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 45.0f + 0.5f);
+  // Top-left: only the 2x2 block {1,2,4,5} is inside the image.
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1 + 2 + 4 + 5 + 0.5f);
+}
+
+TEST(Ops, ConvStrideSkips) {
+  Tensor in(Shape{1, 4, 4});
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) in.at(0, y, x) = static_cast<float>(y * 4 + x);
+  const LayerSpec spec = LayerSpec::conv("c", 1, Window{1, 1, 2, 2, 0, 0});
+  const Tensor out = conv2d(in, spec, identity_conv_1x1());
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0), 8.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 10.0f);
+}
+
+TEST(Ops, ConvMultiChannelAccumulates) {
+  Tensor in(Shape{2, 1, 1});
+  in.at(0, 0, 0) = 3;
+  in.at(1, 0, 0) = 5;
+  LayerWeights w;
+  w.weights = {2.0f, 10.0f};  // one filter over both channels
+  w.bias = {1.0f};
+  const LayerSpec spec = LayerSpec::conv("c", 1, Window{1, 1, 1, 1, 0, 0});
+  const Tensor out = conv2d(in, spec, w);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3 * 2 + 5 * 10 + 1);
+}
+
+TEST(Ops, MaxPoolPaddingIsNeutral) {
+  // With padding, border windows must ignore the pad entries (-inf), not treat
+  // them as zeros (matters for all-negative inputs).
+  Tensor in(Shape{1, 2, 2});
+  in.at(0, 0, 0) = -5;
+  in.at(0, 0, 1) = -3;
+  in.at(0, 1, 0) = -2;
+  in.at(0, 1, 1) = -7;
+  const LayerSpec spec = LayerSpec::max_pool("p", Window{3, 3, 1, 1, 1, 1});
+  const Tensor out = pool2d(in, spec);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), -2.0f);  // max of the visible window
+}
+
+TEST(Ops, AvgPoolDividesByFullWindow) {
+  Tensor in(Shape{1, 2, 2});
+  in.at(0, 0, 0) = 4;
+  const LayerSpec spec = LayerSpec::avg_pool("p", Window{2, 2, 1, 1, 1, 1});
+  const Tensor out = pool2d(in, spec);
+  // Top-left window covers only in(0,0): average over the full 2x2 window
+  // (count_include_pad semantics) = 4/4 = 1.
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+}
+
+TEST(Ops, GlobalAvgPool) {
+  Tensor in(Shape{2, 2, 2});
+  for (int c = 0; c < 2; ++c)
+    for (int y = 0; y < 2; ++y)
+      for (int x = 0; x < 2; ++x) in.at(c, y, x) = static_cast<float>(c + 1);
+  const Tensor out = global_avg_pool(in);
+  EXPECT_EQ(out.shape(), (Shape{2, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 2.0f);
+}
+
+TEST(Ops, FullyConnected) {
+  Tensor in(Shape{3, 1, 1});
+  in[0] = 1;
+  in[1] = 2;
+  in[2] = 3;
+  LayerWeights w;
+  w.weights = {1, 0, 0, /*row2*/ 1, 1, 1};
+  w.bias = {0.5f, -0.5f};
+  const LayerSpec spec = LayerSpec::fully_connected("f", 2);
+  const Tensor out = fully_connected(in, spec, w);
+  EXPECT_FLOAT_EQ(out[0], 1.5f);
+  EXPECT_FLOAT_EQ(out[1], 5.5f);
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  Tensor in(Shape{1, 1, 3});
+  in[0] = -1;
+  in[1] = 0;
+  in[2] = 2;
+  const Tensor out = relu(in);
+  EXPECT_FLOAT_EQ(out[0], 0);
+  EXPECT_FLOAT_EQ(out[1], 0);
+  EXPECT_FLOAT_EQ(out[2], 2);
+}
+
+TEST(Ops, BatchNormAppliesScaleShift) {
+  Tensor in(Shape{2, 1, 1});
+  in.at(0, 0, 0) = 2;
+  in.at(1, 0, 0) = 3;
+  LayerWeights w;
+  w.bn_scale = {2.0f, 0.5f};
+  w.bn_shift = {1.0f, -1.0f};
+  const Tensor out = batch_norm(in, w);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 0.5f);
+}
+
+TEST(Ops, ConcatStacksChannels) {
+  Tensor a(Shape{1, 1, 2}), b(Shape{2, 1, 2});
+  a.at(0, 0, 0) = 1;
+  b.at(1, 0, 1) = 7;
+  const Tensor out = concat({&a, &b});
+  EXPECT_EQ(out.shape(), (Shape{3, 1, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1);
+  EXPECT_FLOAT_EQ(out.at(2, 0, 1), 7);
+}
+
+TEST(Ops, AddSums) {
+  Tensor a(Shape{1, 1, 2}), b(Shape{1, 1, 2});
+  a[0] = 1;
+  a[1] = 2;
+  b[0] = 10;
+  b[1] = 20;
+  const Tensor out = add({&a, &b});
+  EXPECT_FLOAT_EQ(out[0], 11);
+  EXPECT_FLOAT_EQ(out[1], 22);
+}
+
+TEST(Ops, SoftmaxNormalises) {
+  Tensor in(Shape{3, 1, 1});
+  in[0] = 1;
+  in[1] = 2;
+  in[2] = 3;
+  const Tensor out = softmax(in);
+  float sum = 0;
+  for (int i = 0; i < 3; ++i) sum += out[i];
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(out[2], out[1]);
+  EXPECT_GT(out[1], out[0]);
+}
+
+TEST(RegionOps, RegionEqualsWholeRestriction) {
+  util::Rng rng(3);
+  Tensor in = random_tensor(Shape{3, 9, 9}, rng);
+  const LayerSpec spec = LayerSpec::conv("c", 4, Window{3, 3, 1, 1, 1, 1});
+  LayerWeights w;
+  w.weights.resize(4 * 3 * 3 * 3);
+  for (auto& x : w.weights) x = static_cast<float>(rng.uniform(-1, 1));
+  w.bias.resize(4);
+  for (auto& x : w.bias) x = static_cast<float>(rng.uniform(-1, 1));
+
+  const Tensor full = conv2d(in, spec, w);
+  const Region region{2, 3, 7, 8};
+  const Tile tile = conv2d_region(Tile::whole(in), spec, w, region, 9, 9);
+  for (int c = 0; c < 4; ++c)
+    for (int y = region.y0; y < region.y1; ++y)
+      for (int x = region.x0; x < region.x1; ++x)
+        EXPECT_FLOAT_EQ(tile.data.at(c, y - region.y0, x - region.x0), full.at(c, y, x));
+}
+
+TEST(RegionOps, MissingHaloThrows) {
+  // A tile that does not include the receptive field of the requested output
+  // region must fail loudly.
+  util::Rng rng(4);
+  Tensor in = random_tensor(Shape{1, 8, 8}, rng);
+  const LayerSpec spec = LayerSpec::conv("c", 1, Window{3, 3, 1, 1, 0, 0});
+  LayerWeights w;
+  w.weights.assign(9, 1.0f);
+  w.bias = {0.0f};
+  // Tile covering input columns [0,4) but asking for output column 4 (needs
+  // input columns 4..6).
+  Tile tile;
+  tile.data = Tensor(Shape{1, 8, 4});
+  tile.origin_x = 0;
+  tile.origin_y = 0;
+  tile.full_w = 8;
+  tile.full_h = 8;
+  EXPECT_THROW(conv2d_region(tile, spec, w, Region{4, 0, 5, 1}, 6, 6), std::logic_error);
+}
+
+TEST(RegionOps, BadRegionThrows) {
+  Tensor in(Shape{1, 4, 4});
+  const LayerSpec spec = LayerSpec::conv("c", 1, Window{1, 1, 1, 1, 0, 0});
+  EXPECT_THROW(
+      conv2d_region(Tile::whole(in), spec, identity_conv_1x1(), Region{0, 0, 0, 0}, 4, 4),
+      std::invalid_argument);
+  EXPECT_THROW(
+      conv2d_region(Tile::whole(in), spec, identity_conv_1x1(), Region{0, 0, 5, 5}, 4, 4),
+      std::invalid_argument);
+}
+
+TEST(RegionOps, WeightSizeValidated) {
+  Tensor in(Shape{2, 4, 4});
+  const LayerSpec spec = LayerSpec::conv("c", 1, Window{3, 3, 1, 1, 1, 1});
+  LayerWeights w;  // empty
+  EXPECT_THROW(conv2d(in, spec, w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace d3::exec

@@ -1,0 +1,152 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "dnn/model_zoo.h"
+#include "profile/profiler.h"
+
+namespace d3::core {
+namespace {
+
+// v0 -> v1 -> v2 chain with easily hand-checked weights.
+PartitionProblem tiny_chain_problem() {
+  PartitionProblem p;
+  p.dag = graph::Dag(3);
+  p.dag.add_edge(0, 1);
+  p.dag.add_edge(1, 2);
+  p.vertex_time = {TierTimes{}, TierTimes{{0.9, 0.3, 0.1}}, TierTimes{{0.8, 0.4, 0.05}}};
+  p.out_bytes = {1'000'000, 500'000, 1'000};
+  p.in_bytes = {0, 1'000'000, 500'000};
+  p.condition = net::NetworkCondition{"test", 80.0, 20.0, 10.0, 0.0};
+  return p;
+}
+
+TEST(Partition, TierOrderRelation) {
+  EXPECT_TRUE(before(Tier::kDevice, Tier::kEdge));
+  EXPECT_TRUE(before(Tier::kEdge, Tier::kCloud));
+  EXPECT_FALSE(before(Tier::kCloud, Tier::kDevice));
+  EXPECT_TRUE(before_or_same(Tier::kEdge, Tier::kEdge));
+  EXPECT_EQ(tier_name(Tier::kDevice), "device");
+}
+
+TEST(Partition, BandwidthLookup) {
+  const PartitionProblem p = tiny_chain_problem();
+  EXPECT_DOUBLE_EQ(p.bandwidth_mbps(Tier::kDevice, Tier::kEdge), 80.0);
+  EXPECT_DOUBLE_EQ(p.bandwidth_mbps(Tier::kEdge, Tier::kDevice), 80.0);  // symmetric
+  EXPECT_DOUBLE_EQ(p.bandwidth_mbps(Tier::kEdge, Tier::kCloud), 20.0);
+  EXPECT_DOUBLE_EQ(p.bandwidth_mbps(Tier::kDevice, Tier::kCloud), 10.0);
+  EXPECT_TRUE(std::isinf(p.bandwidth_mbps(Tier::kEdge, Tier::kEdge)));
+}
+
+TEST(Partition, IntraTierTransferIsFree) {
+  const PartitionProblem p = tiny_chain_problem();
+  EXPECT_DOUBLE_EQ(p.transfer_seconds(123456, Tier::kEdge, Tier::kEdge), 0.0);
+}
+
+TEST(Partition, TotalLatencyHandComputed) {
+  const PartitionProblem p = tiny_chain_problem();
+  // v1 on edge, v2 on cloud: t_e(v1) + t_c(v2) + 1MB over 80Mbps + 0.5MB over 20Mbps.
+  Assignment a;
+  a.tier = {Tier::kDevice, Tier::kEdge, Tier::kCloud};
+  const double expected = 0.3 + 0.05 + (1e6 * 8 / 80e6) + (5e5 * 8 / 20e6);
+  EXPECT_NEAR(total_latency(p, a), expected, 1e-12);
+}
+
+TEST(Partition, UniformAssignmentsKeepV0OnDevice) {
+  const PartitionProblem p = tiny_chain_problem();
+  for (const Tier t : kAllTiers) {
+    const Assignment a = uniform_assignment(p, t);
+    EXPECT_EQ(a.tier[0], Tier::kDevice);
+    EXPECT_EQ(a.tier[1], t);
+    EXPECT_TRUE(respects_precedence(p, a));
+  }
+}
+
+TEST(Partition, PrecedenceViolationDetected) {
+  const PartitionProblem p = tiny_chain_problem();
+  Assignment a;
+  a.tier = {Tier::kDevice, Tier::kCloud, Tier::kEdge};  // v2 device-ward of v1
+  EXPECT_FALSE(respects_precedence(p, a));
+  a.tier = {Tier::kEdge, Tier::kEdge, Tier::kEdge};  // v0 off the device
+  EXPECT_FALSE(respects_precedence(p, a));
+}
+
+TEST(Partition, BoundaryTrafficBuckets) {
+  const PartitionProblem p = tiny_chain_problem();
+  Assignment a;
+  a.tier = {Tier::kDevice, Tier::kEdge, Tier::kCloud};
+  const BoundaryTraffic t = boundary_traffic(p, a);
+  EXPECT_EQ(t.device_edge_bytes, 1'000'000);
+  EXPECT_EQ(t.edge_cloud_bytes, 500'000);
+  EXPECT_EQ(t.device_cloud_bytes, 0);
+  EXPECT_EQ(t.to_cloud_bytes(), 500'000);
+}
+
+TEST(Partition, BoundaryTrafficDedupsPerDestinationTier) {
+  // v1 fans out to v2 and v3, both on the cloud: the tensor ships once.
+  PartitionProblem p;
+  p.dag = graph::Dag(4);
+  p.dag.add_edge(0, 1);
+  p.dag.add_edge(1, 2);
+  p.dag.add_edge(1, 3);
+  p.vertex_time.assign(4, TierTimes{});
+  p.out_bytes = {10, 1000, 1, 1};
+  p.in_bytes = {0, 10, 1000, 1000};
+  p.condition = net::wifi();
+  Assignment a;
+  a.tier = {Tier::kDevice, Tier::kDevice, Tier::kCloud, Tier::kCloud};
+  EXPECT_EQ(boundary_traffic(p, a).device_cloud_bytes, 1000);
+}
+
+TEST(Partition, TierLoadAccumulates) {
+  const PartitionProblem p = tiny_chain_problem();
+  Assignment a;
+  a.tier = {Tier::kDevice, Tier::kEdge, Tier::kEdge};
+  const TierLoad load = tier_load(p, a);
+  EXPECT_DOUBLE_EQ(load.at(Tier::kDevice), 0.0);
+  EXPECT_DOUBLE_EQ(load.at(Tier::kEdge), 0.3 + 0.4);
+  EXPECT_DOUBLE_EQ(load.at(Tier::kCloud), 0.0);
+}
+
+TEST(Partition, ValidationCatchesInconsistency) {
+  PartitionProblem p = tiny_chain_problem();
+  p.vertex_time.pop_back();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  PartitionProblem q = tiny_chain_problem();
+  q.vertex_time[0].at(Tier::kDevice) = 1.0;  // v0 must cost nothing
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+}
+
+TEST(Partition, MakeProblemExactMirrorsNetwork) {
+  const dnn::Network net = dnn::zoo::tiny_branch();
+  const PartitionProblem p = make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  EXPECT_EQ(p.size(), net.num_layers() + 1);
+  EXPECT_EQ(p.out_bytes[0], net.input_shape().bytes());
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    const auto v = dnn::Network::vertex_of(id);
+    EXPECT_EQ(p.out_bytes[v], net.lambda_out_bytes(id));
+    EXPECT_EQ(p.in_bytes[v], net.lambda_in_bytes(id));
+    // Device slower than cloud for every layer on this testbed.
+    EXPECT_GE(p.vertex_time[v].at(Tier::kDevice), p.vertex_time[v].at(Tier::kCloud));
+  }
+}
+
+TEST(Partition, MakeProblemUsesEstimators) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const auto estimators = profile::Profiler::profile_tiers(profile::paper_testbed());
+  const PartitionProblem est = make_problem(net, estimators, net::wifi());
+  const PartitionProblem exact = make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  ASSERT_EQ(est.size(), exact.size());
+  // Estimated and exact vertex weights agree within a loose factor.
+  for (graph::VertexId v = 1; v < est.size(); ++v) {
+    for (const Tier t : kAllTiers) {
+      if (exact.vertex_time[v].at(t) > 1e-5) {
+        EXPECT_LT(est.vertex_time[v].at(t) / exact.vertex_time[v].at(t), 10.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace d3::core

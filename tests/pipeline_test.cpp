@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "sim/pipeline.h"
+
+namespace d3::sim {
+namespace {
+
+PipelinePlan three_tier_plan() {
+  PipelinePlan p;
+  p.device_seconds = 0.002;
+  p.edge_seconds = 0.010;
+  p.cloud_seconds = 0.001;
+  p.de_bytes = 1'000'000;
+  p.ec_bytes = 250'000;
+  p.dc_bytes = 0;
+  p.edge_used = true;
+  p.cloud_used = true;
+  p.condition = net::NetworkCondition{"t", 80.0, 20.0, 10.0, 0};
+  return p;
+}
+
+TEST(Pipeline, TransferTimesFromBytes) {
+  const PipelinePlan p = three_tier_plan();
+  EXPECT_NEAR(p.de_seconds(), 1e6 * 8 / 80e6, 1e-12);
+  EXPECT_NEAR(p.ec_seconds(), 2.5e5 * 8 / 20e6, 1e-12);
+  EXPECT_DOUBLE_EQ(p.dc_seconds(), 0.0);
+}
+
+TEST(Pipeline, FrameLatencyClosedForm) {
+  const PipelinePlan p = three_tier_plan();
+  const double expected = 0.002 + (p.de_seconds() + 0.010 + p.ec_seconds()) + 0.001;
+  EXPECT_NEAR(p.frame_latency_seconds(), expected, 1e-12);
+}
+
+TEST(Pipeline, DirectPathOverlapsEdgePath) {
+  PipelinePlan p = three_tier_plan();
+  p.dc_bytes = 4'000'000;  // 3.2 s on 10 Mbps, slower than the edge path
+  const double edge_path = p.de_seconds() + p.edge_seconds + p.ec_seconds();
+  EXPECT_GT(p.dc_seconds(), edge_path);
+  EXPECT_NEAR(p.frame_latency_seconds(), p.device_seconds + p.dc_seconds() + p.cloud_seconds,
+              1e-12);
+}
+
+TEST(Pipeline, DeviceOnlyLatency) {
+  PipelinePlan p;
+  p.device_seconds = 0.5;
+  p.condition = net::wifi();
+  EXPECT_DOUBLE_EQ(p.frame_latency_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(p.bottleneck_stage_seconds(), 0.5);
+}
+
+TEST(Pipeline, BottleneckIsSlowestStage) {
+  const PipelinePlan p = three_tier_plan();
+  EXPECT_NEAR(p.bottleneck_stage_seconds(), p.de_seconds(), 1e-12);  // 0.1 s link
+}
+
+TEST(Stream, FastPipelineCompletesEverything) {
+  PipelinePlan p;
+  p.device_seconds = 0.001;
+  p.condition = net::wifi();
+  StreamOptions opts;
+  opts.fps = 30;
+  opts.duration_seconds = 10;
+  const StreamResult r = simulate_stream(p, opts);
+  EXPECT_EQ(r.frames_offered, 300u);
+  EXPECT_EQ(r.frames_completed, 300u);
+  EXPECT_EQ(r.frames_dropped, 0u);
+  EXPECT_NEAR(r.avg_latency_seconds, 0.001, 1e-9);
+  EXPECT_NEAR(r.throughput_fps, 30.0, 0.2);
+}
+
+TEST(Stream, SlowDeviceDropsFrames) {
+  PipelinePlan p;
+  p.device_seconds = 0.1;  // 10 fps capacity vs 30 fps offered
+  p.condition = net::wifi();
+  StreamOptions opts;
+  opts.fps = 30;
+  opts.duration_seconds = 10;
+  const StreamResult r = simulate_stream(p, opts);
+  EXPECT_GT(r.frames_dropped, 150u);
+  EXPECT_NEAR(r.throughput_fps, 10.0, 1.0);
+  // Dropped-frame policy keeps per-frame latency at the pipeline traversal time.
+  EXPECT_NEAR(r.avg_latency_seconds, 0.1, 1e-6);
+}
+
+TEST(Stream, QueueModeGrowsLatency) {
+  PipelinePlan p;
+  p.device_seconds = 0.05;  // 20 fps capacity vs 30 offered
+  p.condition = net::wifi();
+  StreamOptions opts;
+  opts.fps = 30;
+  opts.duration_seconds = 10;
+  opts.drop_when_busy = false;
+  const StreamResult r = simulate_stream(p, opts);
+  EXPECT_EQ(r.frames_dropped, 0u);
+  EXPECT_EQ(r.frames_completed, 300u);
+  // Unbounded queue: average latency far exceeds the isolated frame latency.
+  EXPECT_GT(r.avg_latency_seconds, 10 * p.frame_latency_seconds());
+  EXPECT_GT(r.p99_latency_seconds, r.p50_latency_seconds);
+}
+
+TEST(Stream, PipeliningOverlapsStages) {
+  // Two-stage pipeline where each stage alone is under the frame interval:
+  // all frames complete even though the total latency exceeds the interval.
+  PipelinePlan p;
+  p.device_seconds = 0.02;
+  p.edge_seconds = 0.02;
+  p.de_bytes = 10'000;
+  p.edge_used = true;
+  p.condition = net::NetworkCondition{"fast", 1000.0, 1000.0, 1000.0, 0};
+  StreamOptions opts;
+  opts.fps = 30;
+  opts.duration_seconds = 5;
+  const StreamResult r = simulate_stream(p, opts);
+  EXPECT_GT(p.frame_latency_seconds(), 1.0 / 30);
+  EXPECT_EQ(r.frames_dropped, 0u);
+  EXPECT_NEAR(r.avg_latency_seconds, p.frame_latency_seconds(), 1e-6);
+}
+
+TEST(Stream, BackboneBytesReported) {
+  PipelinePlan p = three_tier_plan();
+  p.dc_bytes = 100'000;
+  const StreamResult r = simulate_stream(p);
+  EXPECT_NEAR(r.backbone_megabits_per_frame, (250'000 + 100'000) * 8.0 / 1e6, 1e-9);
+}
+
+TEST(Stream, OptionValidation) {
+  PipelinePlan p;
+  p.condition = net::wifi();
+  StreamOptions bad;
+  bad.fps = 0;
+  EXPECT_THROW(simulate_stream(p, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace d3::sim

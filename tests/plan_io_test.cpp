@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/plan_io.h"
+#include "dnn/model_zoo.h"
+
+namespace d3::core {
+namespace {
+
+SerializablePlan sample_plan(const dnn::Network& net) {
+  SerializablePlan plan;
+  plan.model_name = net.name();
+  plan.assignment.tier.assign(net.num_layers() + 1, Tier::kCloud);
+  plan.assignment.tier[0] = Tier::kDevice;
+  for (graph::VertexId v = 1; v <= 3; ++v) plan.assignment.tier[v] = Tier::kDevice;
+  for (graph::VertexId v = 4; v <= 6; ++v) plan.assignment.tier[v] = Tier::kEdge;
+  return plan;
+}
+
+TEST(PlanIo, RoundTripWithoutVsm) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const SerializablePlan original = sample_plan(net);
+  const SerializablePlan parsed = parse_plan(serialize_plan(original), net);
+  EXPECT_EQ(parsed.model_name, original.model_name);
+  EXPECT_EQ(parsed.assignment.tier, original.assignment.tier);
+  EXPECT_FALSE(parsed.vsm.has_value());
+}
+
+TEST(PlanIo, RoundTripWithVsm) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  SerializablePlan original = sample_plan(net);
+  const std::vector<dnn::LayerId> stack = {3, 4, 5};
+  original.vsm = make_fused_tile_plan(net, stack, 2, 2);
+  const SerializablePlan parsed = parse_plan(serialize_plan(original), net);
+  ASSERT_TRUE(parsed.vsm.has_value());
+  EXPECT_EQ(parsed.vsm->stack, stack);
+  EXPECT_EQ(parsed.vsm->grid_rows, 2);
+  EXPECT_EQ(parsed.vsm->grid_cols, 2);
+  // Full geometry is rebuilt identically.
+  ASSERT_EQ(parsed.vsm->tiles.size(), original.vsm->tiles.size());
+  for (std::size_t t = 0; t < parsed.vsm->tiles.size(); ++t) {
+    EXPECT_EQ(parsed.vsm->tiles[t].output_region, original.vsm->tiles[t].output_region);
+    EXPECT_EQ(parsed.vsm->tiles[t].input_regions, original.vsm->tiles[t].input_regions);
+  }
+}
+
+TEST(PlanIo, FormatIsStable) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  SerializablePlan plan = sample_plan(net);
+  plan.vsm = make_fused_tile_plan(net, std::vector<dnn::LayerId>{3, 4, 5}, 2, 2);
+  EXPECT_EQ(serialize_plan(plan),
+            "d3-plan v1\n"
+            "model tiny-chain\n"
+            "tiers d d d d e e e c c c c\n"
+            "vsm 2x2 3,4,5\n");
+}
+
+TEST(PlanIo, RejectsMalformedInput) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  EXPECT_THROW(parse_plan("", net), std::invalid_argument);
+  EXPECT_THROW(parse_plan("d3-plan v2\nmodel tiny-chain\ntiers d\n", net),
+               std::invalid_argument);
+  EXPECT_THROW(parse_plan("d3-plan v1\ntiers d d\n", net), std::invalid_argument);
+  // Wrong tier count.
+  EXPECT_THROW(parse_plan("d3-plan v1\nmodel tiny-chain\ntiers d e c\n", net),
+               std::invalid_argument);
+  // Unknown tier letter.
+  std::string bad = "d3-plan v1\nmodel tiny-chain\ntiers d";
+  for (std::size_t i = 0; i < net.num_layers(); ++i) bad += " x";
+  EXPECT_THROW(parse_plan(bad + "\n", net), std::invalid_argument);
+}
+
+TEST(PlanIo, RejectsModelMismatch) {
+  const dnn::Network chain = dnn::zoo::tiny_chain();
+  const dnn::Network branch = dnn::zoo::tiny_branch();
+  const std::string text = serialize_plan(sample_plan(chain));
+  EXPECT_THROW(parse_plan(text, branch), std::invalid_argument);
+}
+
+TEST(PlanIo, RejectsV0OffDevice) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  std::string text = "d3-plan v1\nmodel tiny-chain\ntiers e";
+  for (std::size_t i = 0; i < net.num_layers(); ++i) text += " e";
+  EXPECT_THROW(parse_plan(text + "\n", net), std::invalid_argument);
+}
+
+TEST(PlanIo, RejectsBadVsmStack) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const std::string base = serialize_plan(sample_plan(net));
+  // Out-of-range layer id.
+  EXPECT_THROW(parse_plan(base + "vsm 2x2 98,99\n", net), std::invalid_argument);
+  // Non-tileable stack (fc layer id 6).
+  EXPECT_THROW(parse_plan(base + "vsm 2x2 6\n", net), std::invalid_argument);
+  // Malformed grid.
+  EXPECT_THROW(parse_plan(base + "vsm 22 3,4\n", net), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace d3::core

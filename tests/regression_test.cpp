@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "profile/profiler.h"
+#include "profile/regression.h"
+#include "util/rng.h"
+
+namespace d3::profile {
+namespace {
+
+TEST(Ridge, RecoversExactLinearModel) {
+  // y = 2 + 3a - 5b, no noise: ridge with tiny l2 must recover coefficients.
+  util::Rng rng(31);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(-10, 10);
+    const double b = rng.uniform(-10, 10);
+    rows.push_back({1.0, a, b});
+    targets.push_back(2.0 + 3.0 * a - 5.0 * b);
+  }
+  const RidgeRegression model = RidgeRegression::fit(rows, targets);
+  ASSERT_EQ(model.coefficients().size(), 3u);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 1e-6);
+  EXPECT_NEAR(model.coefficients()[1], 3.0, 1e-6);
+  EXPECT_NEAR(model.coefficients()[2], -5.0, 1e-6);
+  EXPECT_NEAR(model.predict(std::vector<double>{1.0, 1.0, 1.0}), 0.0, 1e-6);
+}
+
+TEST(Ridge, RejectsBadInput) {
+  EXPECT_THROW(RidgeRegression::fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(RidgeRegression::fit({{1.0}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(RidgeRegression::fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}), std::invalid_argument);
+  const RidgeRegression m = RidgeRegression::fit({{1.0, 2.0}}, {1.0});
+  EXPECT_THROW(m.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Regression, LayerClassification) {
+  EXPECT_EQ(classify_layer(dnn::LayerKind::kConv), LayerClass::kConv);
+  EXPECT_EQ(classify_layer(dnn::LayerKind::kFullyConnected), LayerClass::kFullyConnected);
+  EXPECT_EQ(classify_layer(dnn::LayerKind::kMaxPool), LayerClass::kWindowed);
+  EXPECT_EQ(classify_layer(dnn::LayerKind::kAvgPool), LayerClass::kWindowed);
+  EXPECT_EQ(classify_layer(dnn::LayerKind::kGlobalAvgPool), LayerClass::kWindowed);
+  EXPECT_EQ(classify_layer(dnn::LayerKind::kReLU), LayerClass::kElementwise);
+  EXPECT_EQ(classify_layer(dnn::LayerKind::kConcat), LayerClass::kElementwise);
+}
+
+TEST(Regression, FeaturesScaleSanely) {
+  LayerCost cost{dnn::LayerKind::kConv, 2'000'000'000, 1'000'000, 3'000'000, 5'000'000, 4};
+  const auto f = layer_features(cost);
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 2.0);  // GFLOPs
+  EXPECT_DOUBLE_EQ(f[2], 4.0);  // activation MB
+  EXPECT_DOUBLE_EQ(f[3], 5.0);  // parameter MB
+  EXPECT_DOUBLE_EQ(f[4], 6.0);  // excess GFLOPs: 2 * (16/4 - 1)
+  LayerCost fc{dnn::LayerKind::kFullyConnected, 1'000'000'000, 1, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(layer_features(fc)[4], 0.0);
+}
+
+TEST(Profiler, CalibrationWorkloadCoversAllClasses) {
+  const auto workload = Profiler::calibration_workload({});
+  int per_class[kNumLayerClasses] = {};
+  for (const auto& cost : workload) ++per_class[static_cast<int>(classify_layer(cost.kind))];
+  for (int c = 0; c < kNumLayerClasses; ++c) EXPECT_GT(per_class[c], 50) << "class " << c;
+}
+
+TEST(Profiler, WorkloadDeterministicInSeed) {
+  const auto a = Profiler::calibration_workload({});
+  const auto b = Profiler::calibration_workload({});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].flops, b[i].flops);
+}
+
+TEST(Estimator, RequiresAllClasses) {
+  std::vector<TrainingSample> only_conv = {
+      {LayerCost{dnn::LayerKind::kConv, 1000, 100, 100, 100}, 1e-3}};
+  EXPECT_THROW(LatencyEstimator::fit(only_conv), std::invalid_argument);
+}
+
+// Fig. 4: the fitted regression tracks the actual per-layer time closely.
+class EstimatorAccuracy : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EstimatorAccuracy, Fig4MapeWithinBounds) {
+  const std::string which = GetParam();
+  const NodeSpec node = which == "cpu" ? i7_8700() : rtx_2080ti_server();
+  const LatencyEstimator est = Profiler::profile_node(node);
+  const dnn::Network alexnet = dnn::zoo::alexnet();
+  // Mean absolute percentage error under 35% across AlexNet layers; per-layer
+  // prediction is within 3x everywhere (no gross misprediction).
+  EXPECT_LT(est.mape_on(alexnet, node), 0.35);
+  for (dnn::LayerId id = 0; id < alexnet.num_layers(); ++id) {
+    const LayerCost cost = layer_cost(alexnet, id);
+    const double truth = HardwareModel::expected_latency(cost, node);
+    const double pred = est.predict(cost);
+    EXPECT_LT(pred, truth * 3.0) << alexnet.layer(id).spec.name;
+    EXPECT_GT(pred, truth / 3.0) << alexnet.layer(id).spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CpuGpu, EstimatorAccuracy, ::testing::Values("cpu", "gpu"));
+
+TEST(Estimator, PreservesDeviceEdgeCloudOrdering) {
+  // Predictions must preserve the tier ordering HPA relies on for heavy layers.
+  const auto estimators = Profiler::profile_tiers(paper_testbed());
+  const dnn::Network net = dnn::zoo::vgg16();
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    const LayerCost cost = layer_cost(net, id);
+    if (cost.kind != dnn::LayerKind::kConv) continue;
+    const double d = estimators[0].predict(cost);
+    const double e = estimators[1].predict(cost);
+    EXPECT_GT(d, e) << net.layer(id).spec.name;
+  }
+}
+
+TEST(Estimator, PredictionsNonNegative) {
+  const LatencyEstimator est = Profiler::profile_node(rtx_2080ti_server());
+  // A degenerate micro-layer must not yield a negative prediction.
+  LayerCost tiny{dnn::LayerKind::kReLU, 1, 4, 4, 0};
+  EXPECT_GE(est.predict(tiny), 0.0);
+}
+
+}  // namespace
+}  // namespace d3::profile

@@ -1,0 +1,174 @@
+// Property sweep over the distributed runtime: randomised networks, randomised
+// feasible plans, randomised VSM grids — the distributed output must equal the
+// single-node reference bitwise in every case, and the transcript's boundary
+// bytes must match the analytical accounting. Plus failure-injection scenarios
+// for the adaptive path (link outage -> repartition -> recovery).
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "core/hpa.h"
+#include "core/vsm.h"
+#include "dnn/model_zoo.h"
+#include "exec/executor.h"
+#include "net/conditions.h"
+#include "profile/profiler.h"
+#include "runtime/engine.h"
+#include "util/rng.h"
+
+namespace d3::runtime {
+namespace {
+
+// Random small CNN: conv/relu/pool chain with an optional two-branch fork.
+dnn::Network random_network(util::Rng& rng) {
+  const int size = static_cast<int>(rng.uniform_int(12, 24));
+  dnn::Network net("rand", dnn::Shape{3, size, size});
+  dnn::LayerId x = net.conv("c0", dnn::kNetworkInput, 4, 3, 1, 1);
+  const int body = static_cast<int>(rng.uniform_int(1, 3));
+  for (int j = 0; j < body; ++j) {
+    x = net.relu("r" + std::to_string(j), x);
+    x = net.conv("c" + std::to_string(j + 1), x, 4, 3, 1, 1);
+  }
+  if (rng.chance(0.5)) {
+    const dnn::LayerId a = net.conv("fork_a", x, 4, 1);
+    const dnn::LayerId b = net.conv("fork_b", x, 4, 3, 1, 1);
+    x = net.concat("cat", {a, b});
+  }
+  x = net.global_avg_pool("gap", x);
+  x = net.fully_connected("fc", x, 8);
+  net.softmax("sm", x);
+  return net;
+}
+
+// Random Prop.-1-feasible assignment: walk the layers in order, never moving
+// device-ward of the most device-ward input.
+core::Assignment random_feasible_plan(const dnn::Network& net, util::Rng& rng) {
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kDevice);
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    core::Tier bound = core::Tier::kCloud;
+    for (const dnn::LayerId in : net.layer(id).inputs) {
+      const core::Tier t = in == dnn::kNetworkInput
+                               ? core::Tier::kDevice
+                               : a.tier[dnn::Network::vertex_of(in)];
+      if (core::before(t, bound)) bound = t;
+    }
+    const int lo = core::index(bound);
+    a.tier[dnn::Network::vertex_of(id)] =
+        static_cast<core::Tier>(rng.uniform_int(lo, 2));
+  }
+  return a;
+}
+
+class RuntimeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuntimeFuzz, DistributedAlwaysMatchesReference) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151);
+  const dnn::Network net = random_network(rng);
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, GetParam());
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+
+  const core::Assignment plan = random_feasible_plan(net, rng);
+  const InferenceResult result = OnlineEngine(net, weights, plan).infer(input);
+
+  ASSERT_EQ(result.output.shape(), reference.shape());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_EQ(result.output[i], reference[i]);
+
+  // Boundary bytes match the analytical accounting for the same plan.
+  const auto problem =
+      core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  const core::BoundaryTraffic traffic = core::boundary_traffic(problem, plan);
+  EXPECT_EQ(result.device_edge_bytes, traffic.device_edge_bytes);
+  EXPECT_EQ(result.edge_cloud_bytes, traffic.edge_cloud_bytes);
+  EXPECT_EQ(result.device_cloud_bytes, traffic.device_cloud_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeFuzz, ::testing::Range(1, 21));
+
+class RuntimeVsmFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuntimeVsmFuzz, TiledEdgeStackAlwaysLossless) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7877);
+  const dnn::Network net = random_network(rng);
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, GetParam() + 100);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+
+  // Everything on the edge except the tail on the cloud; tile the heaviest run.
+  core::Assignment plan;
+  plan.tier.assign(net.num_layers() + 1, core::Tier::kEdge);
+  plan.tier[0] = core::Tier::kDevice;
+  plan.tier.back() = core::Tier::kCloud;
+
+  std::vector<dnn::LayerId> edge_layers;
+  for (dnn::LayerId id = 0; id + 1 < net.num_layers(); ++id) edge_layers.push_back(id);
+  const auto run = core::longest_tileable_run(net, edge_layers);
+  if (run.empty()) GTEST_SKIP() << "no tileable run";
+  const dnn::Shape out = net.layer(run.back()).output_shape;
+  const int rows = static_cast<int>(rng.uniform_int(1, std::min(3, out.h)));
+  const int cols = static_cast<int>(rng.uniform_int(1, std::min(3, out.w)));
+  if (rows * cols < 2) GTEST_SKIP() << "degenerate grid";
+  const auto vsm = core::make_fused_tile_plan(net, run, rows, cols);
+
+  const InferenceResult result = OnlineEngine(net, weights, plan, vsm).infer(input);
+  ASSERT_EQ(result.output.shape(), reference.shape());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_EQ(result.output[i], reference[i]);
+  EXPECT_GT(result.vsm_scatter_bytes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeVsmFuzz, ::testing::Range(1, 16));
+
+TEST(FailureInjection, BackhaulOutageAndRecovery) {
+  // The backbone collapses to near-zero, then recovers: the adaptive
+  // repartitioner must evacuate the cloud during the outage and use it again
+  // afterwards, staying feasible throughout.
+  const dnn::Network net = dnn::zoo::vgg16();
+  const auto estimators = profile::Profiler::profile_tiers(profile::paper_testbed());
+  core::AdaptiveRepartitioner rep(
+      core::make_problem(net, estimators, net::optical()));
+
+  const auto cloud_load = [&] {
+    return core::tier_load(rep.problem(), rep.assignment()).at(core::Tier::kCloud);
+  };
+  const double healthy_cloud = cloud_load();
+  EXPECT_GT(healthy_cloud, 0.0);  // optical backhaul: the fc tail runs in the cloud
+
+  net::NetworkCondition outage = net::optical();
+  outage.edge_cloud_mbps = 0.05;
+  outage.device_cloud_mbps = 0.05;
+  rep.update_condition(outage);
+  EXPECT_TRUE(core::respects_precedence(rep.problem(), rep.assignment()));
+  EXPECT_LT(cloud_load(), 1e-6);  // nothing heavy left behind the dead link
+
+  rep.update_condition(net::optical());
+  EXPECT_TRUE(core::respects_precedence(rep.problem(), rep.assignment()));
+  EXPECT_NEAR(cloud_load(), healthy_cloud, 1e-9);  // full recovery
+  EXPECT_EQ(rep.full_repartitions(), 2u);
+}
+
+TEST(FailureInjection, EdgeDegradationShiftsWorkOffTheEdge) {
+  // An overloaded edge node (e.g. a co-tenant burst) slows every edge layer
+  // 50x; vertex-by-vertex updates must drain the edge without ever producing
+  // an infeasible plan.
+  const dnn::Network net = dnn::zoo::resnet18();
+  const auto estimators = profile::Profiler::profile_tiers(profile::paper_testbed());
+  core::AdaptiveRepartitioner rep(core::make_problem(net, estimators, net::wifi()));
+  const double before = core::tier_load(rep.problem(), rep.assignment()).at(core::Tier::kEdge);
+  ASSERT_GT(before, 0.0);
+
+  for (graph::VertexId v = 1; v < rep.problem().size(); ++v) {
+    core::TierTimes t = rep.problem().vertex_time[v];
+    t.at(core::Tier::kEdge) *= 50.0;
+    rep.update_vertex_time(v, t);
+    ASSERT_TRUE(core::respects_precedence(rep.problem(), rep.assignment()));
+  }
+  const double after = core::tier_load(rep.problem(), rep.assignment()).at(core::Tier::kEdge);
+  EXPECT_LT(after, before * 50.0 * 0.2);  // most edge work moved away
+}
+
+}  // namespace
+}  // namespace d3::runtime

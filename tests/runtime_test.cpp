@@ -1,0 +1,225 @@
+// End-to-end tests of the online execution engine: the distributed inference
+// must be bitwise-identical to the single-node reference for every plan shape,
+// and its message transcript must match the analytical traffic accounting.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/hpa.h"
+#include "core/vsm.h"
+#include "dnn/model_zoo.h"
+#include "exec/executor.h"
+#include "net/conditions.h"
+#include "profile/profiler.h"
+#include "runtime/engine.h"
+#include "util/rng.h"
+
+namespace d3::runtime {
+namespace {
+
+struct Fixture {
+  dnn::Network net;
+  exec::WeightStore weights;
+  dnn::Tensor input;
+  dnn::Tensor reference;
+
+  explicit Fixture(dnn::Network n, std::uint64_t seed = 77)
+      : net(std::move(n)), weights(exec::WeightStore::random_for(net, seed)) {
+    util::Rng rng(seed + 1);
+    input = exec::random_tensor(net.input_shape(), rng);
+    reference = exec::Executor(net, weights).run(input);
+  }
+};
+
+void expect_identical(const dnn::Tensor& a, const dnn::Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+core::Assignment uniform(const dnn::Network& net, core::Tier tier) {
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, tier);
+  a.tier[0] = core::Tier::kDevice;
+  return a;
+}
+
+// Distributed output == reference for every uniform plan, on chain and DAG nets.
+class RuntimeUniform
+    : public ::testing::TestWithParam<std::tuple<const char*, core::Tier>> {};
+
+TEST_P(RuntimeUniform, LosslessOnEveryTier) {
+  const auto [which, tier] = GetParam();
+  Fixture f(std::string(which) == "chain" ? dnn::zoo::tiny_chain() : dnn::zoo::tiny_branch());
+  const OnlineEngine engine(f.net, f.weights, uniform(f.net, tier));
+  const InferenceResult result = engine.infer(f.input);
+  expect_identical(result.output, f.reference);
+  // All compute landed on the planned tier.
+  EXPECT_EQ(result.layers_executed[static_cast<std::size_t>(core::index(tier))],
+            f.net.num_layers());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, RuntimeUniform,
+    ::testing::Combine(::testing::Values("chain", "branch"),
+                       ::testing::Values(core::Tier::kDevice, core::Tier::kEdge,
+                                         core::Tier::kCloud)));
+
+TEST(Runtime, RawInputShipsOnceForOffloadedPlans) {
+  Fixture f(dnn::zoo::tiny_branch());
+  const OnlineEngine engine(f.net, f.weights, uniform(f.net, core::Tier::kEdge));
+  const InferenceResult result = engine.infer(f.input);
+  // Exactly one boundary message: the raw frame, device -> edge.
+  ASSERT_EQ(result.messages.size(), 1u);
+  EXPECT_EQ(result.messages[0].payload, "raw input");
+  EXPECT_EQ(result.device_edge_bytes, f.net.input_shape().bytes());
+  EXPECT_EQ(result.edge_cloud_bytes, 0);
+}
+
+TEST(Runtime, HpaPlanLosslessAndTrafficMatchesAnalysis) {
+  Fixture f(dnn::zoo::tiny_branch());
+  const auto estimators = profile::Profiler::profile_tiers(profile::paper_testbed());
+  const auto problem = core::make_problem(f.net, estimators, net::wifi());
+  const core::Assignment assignment = core::hpa(problem).assignment;
+
+  const OnlineEngine engine(f.net, f.weights, assignment);
+  const InferenceResult result = engine.infer(f.input);
+  expect_identical(result.output, f.reference);
+
+  const core::BoundaryTraffic traffic = core::boundary_traffic(problem, assignment);
+  EXPECT_EQ(result.device_edge_bytes, traffic.device_edge_bytes);
+  EXPECT_EQ(result.edge_cloud_bytes, traffic.edge_cloud_bytes);
+  EXPECT_EQ(result.device_cloud_bytes, traffic.device_cloud_bytes);
+}
+
+TEST(Runtime, FanOutToSameTierShipsOnce) {
+  // tiny_branch: the stem relu feeds two branches; if both land on the cloud
+  // the tensor must cross the boundary once.
+  Fixture f(dnn::zoo::tiny_branch());
+  core::Assignment a = uniform(f.net, core::Tier::kCloud);
+  const InferenceResult result = OnlineEngine(f.net, f.weights, a).infer(f.input);
+  expect_identical(result.output, f.reference);
+  ASSERT_EQ(result.messages.size(), 1u);  // only the raw frame crosses
+}
+
+TEST(Runtime, VsmScatterGatherLossless) {
+  // Three-tier plan with a 2x2 VSM stack on the edge.
+  Fixture f(dnn::zoo::tiny_chain());
+  core::Assignment a;
+  a.tier.assign(f.net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  // conv1(0) relu1(1) pool1(2) conv2(3) relu2(4) pool2(5) on the edge.
+  std::vector<dnn::LayerId> stack = {0, 1, 2, 3, 4, 5};
+  for (const dnn::LayerId id : stack) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+
+  const auto plan = core::make_fused_tile_plan(f.net, stack, 2, 2);
+  const OnlineEngine engine(f.net, f.weights, a, plan);
+  const InferenceResult result = engine.infer(f.input);
+  expect_identical(result.output, f.reference);
+
+  // 4 scatter + 4 gather intra-edge messages, plus raw input and the
+  // edge->cloud boundary tensor.
+  std::size_t scatter = 0, gather = 0;
+  for (const auto& m : result.messages) {
+    scatter += m.payload.find("input") != std::string::npos && m.from_node == "edge0";
+    gather += m.payload.find("output") != std::string::npos && m.to_node == "edge0";
+  }
+  EXPECT_EQ(scatter, 4u);  // one tile input per edge worker
+  EXPECT_EQ(gather, 4u);
+  EXPECT_GT(result.vsm_scatter_bytes, 0);
+  EXPECT_GT(result.vsm_gather_bytes, 0);
+  // Scatter ships halos: more bytes than the gathered (disjoint) outputs cover.
+  EXPECT_GT(result.vsm_scatter_bytes, f.net.layer(0).output_shape.bytes() / 4);
+}
+
+TEST(Runtime, VsmTrafficStillMatchesBoundaryAnalysis) {
+  // VSM is intra-edge: tier-boundary bytes must be unaffected by tiling.
+  Fixture f(dnn::zoo::tiny_chain());
+  core::Assignment a = uniform(f.net, core::Tier::kCloud);
+  std::vector<dnn::LayerId> stack = {0, 1, 2, 3, 4, 5};
+  for (const dnn::LayerId id : stack) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+
+  const auto plan = core::make_fused_tile_plan(f.net, stack, 2, 2);
+  const InferenceResult tiled = OnlineEngine(f.net, f.weights, a, plan).infer(f.input);
+  const InferenceResult plain = OnlineEngine(f.net, f.weights, a).infer(f.input);
+  EXPECT_EQ(tiled.device_edge_bytes, plain.device_edge_bytes);
+  EXPECT_EQ(tiled.edge_cloud_bytes, plain.edge_cloud_bytes);
+  expect_identical(tiled.output, plain.output);
+}
+
+TEST(Runtime, RejectsInvalidPlans) {
+  Fixture f(dnn::zoo::tiny_chain());
+  // Wrong size.
+  core::Assignment bad;
+  bad.tier.assign(3, core::Tier::kDevice);
+  EXPECT_THROW(OnlineEngine(f.net, f.weights, bad), std::invalid_argument);
+  // v0 off-device.
+  core::Assignment off = uniform(f.net, core::Tier::kEdge);
+  off.tier[0] = core::Tier::kEdge;
+  EXPECT_THROW(OnlineEngine(f.net, f.weights, off), std::invalid_argument);
+  // Precedence violation: consumer device-ward of its producer.
+  core::Assignment prec = uniform(f.net, core::Tier::kCloud);
+  prec.tier[dnn::Network::vertex_of(3)] = core::Tier::kDevice;
+  EXPECT_THROW(OnlineEngine(f.net, f.weights, prec), std::invalid_argument);
+}
+
+TEST(Runtime, RejectsVsmStackOffEdgeOrLeakyIntermediates) {
+  Fixture f(dnn::zoo::tiny_chain());
+  const std::vector<dnn::LayerId> stack = {0, 1, 2};
+  const auto plan = core::make_fused_tile_plan(f.net, stack, 2, 2);
+  // Stack assigned to the cloud: invalid.
+  EXPECT_THROW(OnlineEngine(f.net, f.weights, uniform(f.net, core::Tier::kCloud), plan),
+               std::invalid_argument);
+
+  // Intermediate consumed outside the stack: tiny_branch's stem feeds two
+  // branches; a stack ending inside the fork must be rejected.
+  Fixture b(dnn::zoo::tiny_branch());
+  core::Assignment a = uniform(b.net, core::Tier::kEdge);
+  // stem(0), stem_relu(1): stem_relu feeds branch_a(2) and branch_b1(3).
+  const auto leaky =
+      core::make_fused_tile_plan(b.net, std::vector<dnn::LayerId>{0, 1}, 2, 2);
+  // Stack ends at the fork layer itself: fine (output is assembled centrally).
+  EXPECT_NO_THROW(OnlineEngine(b.net, b.weights, a, leaky));
+  const auto mid =
+      core::make_fused_tile_plan(b.net, std::vector<dnn::LayerId>{0}, 2, 2);
+  // Stack {0}: layer 0's only consumer is layer 1 — also fine.
+  EXPECT_NO_THROW(OnlineEngine(b.net, b.weights, a, mid));
+}
+
+TEST(Runtime, WrongInputShapeThrows) {
+  Fixture f(dnn::zoo::tiny_chain());
+  const OnlineEngine engine(f.net, f.weights, uniform(f.net, core::Tier::kDevice));
+  EXPECT_THROW(engine.infer(dnn::Tensor(dnn::Shape{1, 4, 4})), std::invalid_argument);
+}
+
+TEST(Runtime, GridModuleDistributedLossless) {
+  // The Fig. 3 grid module across all three tiers.
+  Fixture f(dnn::zoo::grid_module(4, 4), 123);
+  core::Assignment a;
+  a.tier.assign(f.net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  // v1 (relu) on device, the four branch heads on the edge, the rest cloud.
+  a.tier[1] = core::Tier::kDevice;
+  for (graph::VertexId v = 2; v <= 5; ++v) a.tier[v] = core::Tier::kEdge;
+  const InferenceResult result = OnlineEngine(f.net, f.weights, a).infer(f.input);
+  expect_identical(result.output, f.reference);
+  EXPECT_GT(result.edge_cloud_bytes, 0);
+}
+
+TEST(LongestTileableRun, BreaksAtResidualForks) {
+  // In Darknet-53 the downsampling conv's relu output feeds both the residual
+  // body and the add: it may end a stack but never sit inside one.
+  const dnn::Network net = dnn::zoo::darknet53();
+  std::vector<dnn::LayerId> ids(net.num_layers());
+  std::iota(ids.begin(), ids.end(), 0);
+  const auto run = core::longest_tileable_run(net, ids);
+  ASSERT_FALSE(run.empty());
+  std::vector<int> consumers(net.num_layers(), 0);
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id)
+    for (const dnn::LayerId in : net.layer(id).inputs)
+      if (in != dnn::kNetworkInput) ++consumers[in];
+  for (std::size_t j = 0; j + 1 < run.size(); ++j)
+    EXPECT_LE(consumers[run[j]], 1) << net.layer(run[j]).spec.name;
+}
+
+}  // namespace
+}  // namespace d3::runtime

@@ -1,0 +1,124 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/vsm_executor.h"
+#include "core/vsm_planner.h"
+#include "dnn/model_zoo.h"
+#include "exec/weights.h"
+#include "profile/node_spec.h"
+#include "util/rng.h"
+
+namespace d3::core {
+namespace {
+
+using dnn::Shape;
+using dnn::Window;
+
+dnn::Network deep_stack() {
+  std::vector<std::pair<int, Window>> convs(8, {16, Window{3, 3, 1, 1, 1, 1}});
+  return dnn::zoo::conv_stack("deep", Shape{8, 32, 32}, convs);
+}
+
+std::vector<dnn::LayerId> all_layers(const dnn::Network& net) {
+  std::vector<dnn::LayerId> ids(net.num_layers());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+TEST(VsmPlanner, SyncBytesAccounting) {
+  const dnn::Network net = deep_stack();
+  const auto plan = make_fused_tile_plan(net, all_layers(net), 2, 2);
+  // Gather bytes = the exact output tensor; scatter >= the input tensor
+  // (halo inflation).
+  EXPECT_EQ(stack_gather_bytes(plan), plan.output_shape.bytes());
+  EXPECT_GE(stack_scatter_bytes(plan), plan.input_shapes.front().bytes());
+  // Zero-rate LAN reproduces the paper's free-intra-tier idealisation.
+  EXPECT_DOUBLE_EQ(stack_sync_seconds(plan, 0.0), 0.0);
+  EXPECT_GT(stack_sync_seconds(plan, 1000.0), 0.0);
+}
+
+TEST(VsmPlanner, SegmentsCoverRunInOrder) {
+  const dnn::Network net = deep_stack();
+  const auto ids = all_layers(net);
+  const EdgeStackPlan plan =
+      plan_edge_stacks(net, ids, 2, 2, profile::i7_8700(), 1000.0);
+  std::vector<dnn::LayerId> covered;
+  for (const auto& stack : plan.stacks)
+    covered.insert(covered.end(), stack.stack.begin(), stack.stack.end());
+  EXPECT_EQ(covered, ids);
+}
+
+TEST(VsmPlanner, FreeLanPrefersFineSplits) {
+  // With free sync, splitting removes halo redundancy: the optimum uses many
+  // stacks and costs no more than the single fused stack.
+  const dnn::Network net = deep_stack();
+  const auto ids = all_layers(net);
+  const auto node = profile::i7_8700();
+  const EdgeStackPlan optimal = plan_edge_stacks(net, ids, 2, 2, node, 0.0);
+  const EdgeStackPlan single = single_stack_plan(net, ids, 2, 2, node, 0.0);
+  EXPECT_GT(optimal.stacks.size(), 1u);
+  EXPECT_LE(optimal.total_seconds(), single.total_seconds() + 1e-12);
+}
+
+TEST(VsmPlanner, SlowLanPrefersDeepFusion) {
+  // On a very slow LAN every sync costs more than any recompute: one stack.
+  const dnn::Network net = deep_stack();
+  const auto ids = all_layers(net);
+  const auto node = profile::i7_8700();
+  const EdgeStackPlan plan = plan_edge_stacks(net, ids, 2, 2, node, 0.5);
+  EXPECT_EQ(plan.stacks.size(), 1u);
+}
+
+TEST(VsmPlanner, OptimalNeverWorseThanSingleStack) {
+  const dnn::Network net = deep_stack();
+  const auto ids = all_layers(net);
+  const auto node = profile::i7_8700();
+  for (const double lan : {0.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    const EdgeStackPlan optimal = plan_edge_stacks(net, ids, 2, 2, node, lan);
+    const EdgeStackPlan single = single_stack_plan(net, ids, 2, 2, node, lan);
+    EXPECT_LE(optimal.total_seconds(), single.total_seconds() + 1e-12) << "lan=" << lan;
+  }
+}
+
+TEST(VsmPlanner, MultiStackExecutionStaysLossless) {
+  // Chaining the per-stack tiled executions reproduces serial execution.
+  const dnn::Network net = deep_stack();
+  const auto ids = all_layers(net);
+  const EdgeStackPlan plan =
+      plan_edge_stacks(net, ids, 2, 2, profile::i7_8700(), 1000.0);
+
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 91);
+  util::Rng rng(92);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor serial = run_stack_serial(net, weights, input, ids);
+
+  dnn::Tensor current = input;
+  for (const auto& stack : plan.stacks)
+    current = run_fused_tiles(net, weights, current, stack);
+  ASSERT_EQ(current.shape(), serial.shape());
+  for (std::size_t i = 0; i < current.size(); ++i) ASSERT_EQ(current[i], serial[i]);
+}
+
+TEST(VsmPlanner, RejectsEmptyRun) {
+  const dnn::Network net = deep_stack();
+  EXPECT_THROW(plan_edge_stacks(net, std::vector<dnn::LayerId>{}, 2, 2,
+                                profile::i7_8700(), 0.0),
+               std::invalid_argument);
+}
+
+TEST(VsmPlanner, DownsampledRunSplitsWhereGridFits) {
+  // A run whose tail shrinks below the grid must still be plannable: the DP
+  // may place the tail in a segment whose output fits, or fail loudly if no
+  // segmentation fits.
+  dnn::Network net("shrink", Shape{4, 16, 16});
+  dnn::LayerId x = net.conv("c1", dnn::kNetworkInput, 8, 3, 1, 1);
+  x = net.conv("c2", x, 8, 3, 2, 1);   // 8x8
+  x = net.conv("c3", x, 8, 3, 2, 1);   // 4x4
+  net.conv("c4", x, 8, 3, 2, 1);       // 2x2 — fits a 2x2 grid exactly
+  const auto plan = plan_edge_stacks(net, all_layers(net), 2, 2, profile::i7_8700(), 100.0);
+  EXPECT_FALSE(plan.stacks.empty());
+}
+
+}  // namespace
+}  // namespace d3::core

@@ -1,0 +1,193 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/d3.h"
+#include "core/vsm.h"
+#include "dnn/model_zoo.h"
+#include "profile/node_spec.h"
+
+namespace d3::core {
+namespace {
+
+using dnn::Shape;
+using dnn::Window;
+
+TEST(Rtc, FullExtentRoundTrips) {
+  // A tile covering the whole output maps to the whole input: Eq. (5)'s special
+  // case β̂ = W + 2P ⇒ β = W. Conv 3x3, stride 1, pad 1 on W=8: out W=8.
+  const Interval in = rtc_dimension(Interval{0, 8}, 3, 1, 1, 8);
+  EXPECT_EQ(in.begin, 0);
+  EXPECT_EQ(in.end, 8);
+}
+
+TEST(Rtc, InteriorTileGrowsByHalo) {
+  // Output columns [2,4) of a 3x3/s1/p1 conv need inputs [1,5).
+  const Interval in = rtc_dimension(Interval{2, 4}, 3, 1, 1, 8);
+  EXPECT_EQ(in.begin, 1);
+  EXPECT_EQ(in.end, 5);
+}
+
+TEST(Rtc, LeftBorderClampsToZero) {
+  // Output [0,2): padded coords start at 0, minus pad 1 clamps to 0.
+  const Interval in = rtc_dimension(Interval{0, 2}, 3, 1, 1, 8);
+  EXPECT_EQ(in.begin, 0);
+  EXPECT_EQ(in.end, 3);
+}
+
+TEST(Rtc, StrideScalesCoordinates) {
+  // Conv 3x3 stride 2 pad 0 on W=9 (out W=4): output [1,3) needs inputs [2,7).
+  const Interval in = rtc_dimension(Interval{1, 3}, 3, 2, 0, 9);
+  EXPECT_EQ(in.begin, 2);
+  EXPECT_EQ(in.end, 7);
+}
+
+TEST(Rtc, PartialBorderTileNeedsClamp) {
+  // The case the paper's Eq. (5) misses: pad 2, output tile ending one short of
+  // the full extent. β̂ = 1*(6-1)+5 = 10 < W+2P = 12, so β = β̂-P = 8 > W = 8?
+  // Here exactly W; push further: W=8, P=3, F=7, out [0,7) of 8: β̂ = 13,
+  // β̂-P = 10 > 8 ⇒ must clamp to 8.
+  const Interval in = rtc_dimension(Interval{0, 7}, 7, 1, 3, 8);
+  EXPECT_EQ(in.begin, 0);
+  EXPECT_EQ(in.end, 8);
+}
+
+TEST(Rtc, RejectsBadIntervals) {
+  EXPECT_THROW(rtc_dimension(Interval{2, 2}, 3, 1, 1, 8), std::invalid_argument);
+  EXPECT_THROW(rtc_dimension(Interval{-1, 2}, 3, 1, 1, 8), std::invalid_argument);
+}
+
+dnn::Network three_conv_stack() {
+  return dnn::zoo::conv_stack("s", Shape{3, 16, 16},
+                              {{8, Window{3, 3, 1, 1, 1, 1}},
+                               {8, Window{3, 3, 1, 1, 1, 1}},
+                               {8, Window{3, 3, 1, 1, 1, 1}}});
+}
+
+std::vector<dnn::LayerId> all_layers(const dnn::Network& net) {
+  std::vector<dnn::LayerId> ids(net.num_layers());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+TEST(FusedTilePlan, OutputTilesPartitionTheMap) {
+  const dnn::Network net = three_conv_stack();
+  const auto ids = all_layers(net);
+  const FusedTilePlan plan = make_fused_tile_plan(net, ids, 2, 2);
+  ASSERT_EQ(plan.num_tiles(), 4u);
+  // Non-overlapping cover: areas sum to the full map, bounds within extent.
+  std::int64_t covered = 0;
+  for (const auto& tile : plan.tiles) {
+    const auto& r = tile.output_region;
+    EXPECT_GE(r.x0, 0);
+    EXPECT_GE(r.y0, 0);
+    EXPECT_LE(r.x1, plan.output_shape.w);
+    EXPECT_LE(r.y1, plan.output_shape.h);
+    covered += static_cast<std::int64_t>(r.width()) * r.height();
+  }
+  EXPECT_EQ(covered,
+            static_cast<std::int64_t>(plan.output_shape.w) * plan.output_shape.h);
+}
+
+TEST(FusedTilePlan, InputRegionsIncludeHalo) {
+  const dnn::Network net = three_conv_stack();
+  const FusedTilePlan plan = make_fused_tile_plan(net, all_layers(net), 2, 2);
+  // Tile (0,0): output [0,8)x[0,8); after three 3x3/p1 layers the input region
+  // must extend 3 halo columns/rows beyond the tile: [0,11)x[0,11).
+  const auto& tile = plan.tiles[0];
+  EXPECT_EQ(tile.output_region, (exec::Region{0, 0, 8, 8}));
+  EXPECT_EQ(tile.input_regions.front(), (exec::Region{0, 0, 11, 11}));
+}
+
+TEST(FusedTilePlan, Fig7WalkThrough) {
+  // Fig. 7: layer c_{i-1} with 3x3 filter, stride 1, pad 1 whose output (input
+  // of c_i) is 2x2, split into 2x2 tiles of one entry each. Each padded tile
+  // maps back to the whole 2x2 unpadded input (clamped at the borders).
+  const dnn::Network net =
+      dnn::zoo::conv_stack("fig7", Shape{3, 2, 2}, {{3, Window{3, 3, 1, 1, 1, 1}}});
+  const FusedTilePlan plan = make_fused_tile_plan(net, all_layers(net), 2, 2);
+  for (const auto& tile : plan.tiles) {
+    EXPECT_EQ(tile.input_regions[0].width(), 2);
+    EXPECT_EQ(tile.input_regions[0].height(), 2);
+  }
+}
+
+TEST(FusedTilePlan, ValidatesInput) {
+  const dnn::Network net = three_conv_stack();
+  const auto ids = all_layers(net);
+  EXPECT_THROW(make_fused_tile_plan(net, std::vector<dnn::LayerId>{}, 2, 2),
+               std::invalid_argument);
+  EXPECT_THROW(make_fused_tile_plan(net, ids, 0, 2), std::invalid_argument);
+  EXPECT_THROW(make_fused_tile_plan(net, ids, 2, 999), std::invalid_argument);
+  // Non-chain stack (skipping the middle layer) is rejected.
+  EXPECT_THROW(make_fused_tile_plan(net, std::vector<dnn::LayerId>{0, 2}, 2, 2),
+               std::invalid_argument);
+  // Non-tileable layer is rejected.
+  const dnn::Network chain = dnn::zoo::tiny_chain();
+  EXPECT_THROW(make_fused_tile_plan(chain, std::vector<dnn::LayerId>{6}, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(FusedTilePlan, RedundancyAtLeastOneAndGrowsWithGrid) {
+  const dnn::Network net = three_conv_stack();
+  const auto ids = all_layers(net);
+  const double r1 = redundancy_factor(net, make_fused_tile_plan(net, ids, 1, 1));
+  const double r2 = redundancy_factor(net, make_fused_tile_plan(net, ids, 2, 2));
+  const double r4 = redundancy_factor(net, make_fused_tile_plan(net, ids, 4, 4));
+  EXPECT_NEAR(r1, 1.0, 0.05);
+  EXPECT_GT(r2, 1.0);
+  EXPECT_GT(r4, r2);  // finer grids overlap more (Fig. 12 discussion)
+}
+
+TEST(FusedTilePlan, ParallelBeatsSerialDespiteRedundancy) {
+  // Big enough stack that 4-way tiling wins even with halo recompute.
+  const dnn::Network net = dnn::zoo::conv_stack(
+      "big", Shape{32, 64, 64},
+      {{64, Window{3, 3, 1, 1, 1, 1}}, {64, Window{3, 3, 1, 1, 1, 1}}});
+  const FusedTilePlan plan = make_fused_tile_plan(net, all_layers(net), 2, 2);
+  const profile::NodeSpec edge = profile::i7_8700();
+  const double serial = serial_stack_latency(net, plan, edge);
+  const double parallel = parallel_stack_latency(net, plan, edge);
+  EXPECT_LT(parallel, serial);
+  EXPECT_GT(parallel, serial / 4.0);  // redundancy prevents a perfect 4x
+}
+
+TEST(LongestTileableRun, FindsConvRunInChain) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  // Layers: conv relu pool conv relu pool fc relu fc softmax -> the tileable
+  // prefix 0..5 is the longest run.
+  const auto run = longest_tileable_run(net, all_layers(net));
+  EXPECT_EQ(run, (std::vector<dnn::LayerId>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(LongestTileableRun, BreaksAtNonChainOrNonTileable) {
+  const dnn::Network net = dnn::zoo::tiny_branch();
+  const auto run = longest_tileable_run(net, all_layers(net));
+  // Runs break at the two-input concat; the winner is a contiguous chain.
+  for (std::size_t j = 1; j < run.size(); ++j) {
+    ASSERT_EQ(net.layer(run[j]).inputs.size(), 1u);
+    EXPECT_EQ(net.layer(run[j]).inputs[0], run[j - 1]);
+  }
+  EXPECT_FALSE(run.empty());
+}
+
+TEST(LongestTileableRun, EmptyInputGivesEmptyRun) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  EXPECT_TRUE(longest_tileable_run(net, std::vector<dnn::LayerId>{}).empty());
+}
+
+TEST(ChooseTileGrid, NearSquareFactorisations) {
+  EXPECT_EQ(choose_tile_grid(4, 100, 100), (std::pair<int, int>{2, 2}));
+  EXPECT_EQ(choose_tile_grid(6, 100, 100), (std::pair<int, int>{2, 3}));
+  EXPECT_EQ(choose_tile_grid(1, 100, 100), (std::pair<int, int>{1, 1}));
+  // Prime counts use 1xN when it fits.
+  EXPECT_EQ(choose_tile_grid(7, 100, 100), (std::pair<int, int>{1, 7}));
+  // Falls back to fewer nodes when the extent cannot host the grid.
+  const auto [r, c] = choose_tile_grid(9, 2, 2);
+  EXPECT_LE(r, 2);
+  EXPECT_LE(c, 2);
+  EXPECT_GT(r * c, 1);
+}
+
+}  // namespace
+}  // namespace d3::core
