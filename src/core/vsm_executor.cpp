@@ -1,6 +1,7 @@
 #include "core/vsm_executor.h"
 
 #include <stdexcept>
+#include <vector>
 
 #include "exec/ops.h"
 
@@ -79,18 +80,29 @@ exec::Tile run_single_tile(const dnn::Network& net, const exec::WeightStore& wei
 }
 
 dnn::Tensor run_fused_tiles(const dnn::Network& net, const exec::WeightStore& weights,
-                            const dnn::Tensor& stack_input, const FusedTilePlan& plan) {
+                            const dnn::Tensor& stack_input, const FusedTilePlan& plan,
+                            const TileParallelFor& parallel_for) {
+  std::vector<exec::Tile> out_tiles(plan.num_tiles());
+  const auto compute = [&](std::size_t t) {
+    const exec::Tile input = extract_tile_input(stack_input, plan, t);
+    out_tiles[t] = run_single_tile(net, weights, input, plan, t);
+  };
+  if (parallel_for) {
+    parallel_for(plan.num_tiles(), compute);
+  } else {
+    for (std::size_t t = 0; t < plan.num_tiles(); ++t) compute(t);
+  }
+
   dnn::Tensor output(plan.output_shape);
   for (std::size_t t = 0; t < plan.num_tiles(); ++t) {
-    const exec::Tile input = extract_tile_input(stack_input, plan, t);
-    const exec::Tile out_tile = run_single_tile(net, weights, input, plan, t);
     const exec::Region& region = plan.tiles[t].output_region;
-    if (out_tile.data.shape().h != region.height() || out_tile.data.shape().w != region.width())
+    if (out_tiles[t].data.shape().h != region.height() ||
+        out_tiles[t].data.shape().w != region.width())
       throw std::logic_error("run_fused_tiles: tile output does not match its region");
     for (int c = 0; c < output.shape().c; ++c)
       for (int y = region.y0; y < region.y1; ++y)
         for (int x = region.x0; x < region.x1; ++x)
-          output.at(c, y, x) = out_tile.data.at(c, y - region.y0, x - region.x0);
+          output.at(c, y, x) = out_tiles[t].data.at(c, y - region.y0, x - region.x0);
   }
   return output;
 }

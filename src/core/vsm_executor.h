@@ -8,11 +8,21 @@
 // test suite asserts.
 #pragma once
 
+#include <functional>
+
 #include "core/vsm.h"
 #include "dnn/tensor.h"
 #include "exec/weights.h"
 
 namespace d3::core {
+
+// Parallelism hook for tile execution: invoked as parallel_for(n, body) and
+// expected to run body(0..n-1) (in any order, possibly concurrently) and
+// return only when all calls finished. runtime::ThreadPool::parallel_for
+// satisfies this contract; an empty function means a serial loop. Keeping the
+// hook a plain std::function lets core stay independent of the runtime layer.
+using TileParallelFor =
+    std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
 
 // Extracts the input crop one edge node needs for `tile_index` (what the
 // online engine would scatter to that node).
@@ -25,9 +35,13 @@ exec::Tile run_single_tile(const dnn::Network& net, const exec::WeightStore& wei
                            std::size_t tile_index);
 
 // Scatter + per-tile execution + gather: the full output feature map of ck.
-// `stack_input` must match the stack's first-layer input shape.
+// `stack_input` must match the stack's first-layer input shape. When
+// `parallel_for` is non-empty the per-tile stacks run under it (each tile
+// writes only its own slot, so any schedule is race-free); the gathered result
+// is bitwise-identical either way because assembly is always in tile order.
 dnn::Tensor run_fused_tiles(const dnn::Network& net, const exec::WeightStore& weights,
-                            const dnn::Tensor& stack_input, const FusedTilePlan& plan);
+                            const dnn::Tensor& stack_input, const FusedTilePlan& plan,
+                            const TileParallelFor& parallel_for = {});
 
 // Serial reference: the same stack run on the whole input (no tiling).
 dnn::Tensor run_stack_serial(const dnn::Network& net, const exec::WeightStore& weights,

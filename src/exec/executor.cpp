@@ -52,6 +52,13 @@ dnn::Tensor Executor::run(const dnn::Tensor& input) const {
   return std::move(outputs.back());
 }
 
+std::vector<dnn::Tensor> Executor::run_batch(const std::vector<dnn::Tensor>& inputs) const {
+  std::vector<dnn::Tensor> outputs;
+  outputs.reserve(inputs.size());
+  for (const dnn::Tensor& input : inputs) outputs.push_back(run(input));
+  return outputs;
+}
+
 dnn::Tensor Executor::run_segment(const dnn::Tensor& input, dnn::LayerId first,
                                   dnn::LayerId last) const {
   if (first > last || last >= net_.num_layers())

@@ -21,8 +21,15 @@ class Executor {
   // Both referents must outlive the executor.
   Executor(const dnn::Network& net, const WeightStore& weights);
 
-  // Runs the whole network; returns the output of the last layer.
+  // Runs the whole network; returns the output of the last layer. All run*
+  // methods are const and touch no shared mutable state, so one Executor may
+  // serve concurrent callers (the concurrency tests rely on this to produce
+  // reference outputs from many threads at once).
   dnn::Tensor run(const dnn::Tensor& input) const;
+
+  // Reference outputs for a batch of requests, in order (the single-node
+  // ground truth the batched/pipelined runtime is checked against).
+  std::vector<dnn::Tensor> run_batch(const std::vector<dnn::Tensor>& inputs) const;
 
   // Runs the whole network; returns every layer's output (indexed by LayerId).
   std::vector<dnn::Tensor> run_all(const dnn::Tensor& input) const;

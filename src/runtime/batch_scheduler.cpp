@@ -1,0 +1,127 @@
+#include "runtime/batch_scheduler.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace d3::runtime {
+
+namespace {
+constexpr core::Tier kStageTier[3] = {core::Tier::kDevice, core::Tier::kEdge,
+                                      core::Tier::kCloud};
+}  // namespace
+
+BatchScheduler::BatchScheduler(const OnlineEngine& engine) : engine_(engine) {
+  stages_.reserve(3);
+  for (std::size_t s = 0; s < 3; ++s) stages_.emplace_back([this, s] { stage_loop(s); });
+}
+
+BatchScheduler::~BatchScheduler() {
+  {
+    // Honour the "pending requests are completed first" contract: wait for
+    // every admitted request to clear the cloud stage before stopping the
+    // stage threads — stopping earlier would strand requests queued between
+    // stages (downstream threads exit while upstream ones still feed them).
+    std::unique_lock<std::mutex> lock(mutex_);
+    request_done_.wait(lock, [&] { return completed_ == requests_.size(); });
+    stopping_ = true;
+  }
+  for (auto& cv : stage_work_) cv.notify_all();
+  for (std::thread& t : stages_) t.join();
+}
+
+std::size_t BatchScheduler::submit(const dnn::Tensor& input) {
+  // begin() validates the shape on the caller's thread, so a bad submit fails
+  // fast and never occupies a stage.
+  auto state = engine_.begin(input);
+  std::size_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::logic_error("BatchScheduler: submit after shutdown began");
+    id = requests_.size();
+    auto request = std::make_unique<Request>();
+    request->state = std::move(state);
+    requests_.push_back(std::move(request));
+    stage_queue_[0].push_back(id);
+  }
+  stage_work_[0].notify_one();
+  return id;
+}
+
+void BatchScheduler::stage_loop(std::size_t stage) {
+  for (;;) {
+    std::size_t id = 0;
+    Request* request_ptr = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stage_work_[stage].wait(
+          lock, [&] { return stopping_ || !stage_queue_[stage].empty(); });
+      if (stage_queue_[stage].empty()) return;  // stopping_ and nothing queued
+      id = stage_queue_[stage].front();
+      stage_queue_[stage].pop_front();
+      // Resolve the element pointer under the lock: submit() may reallocate
+      // requests_'s buffer, but the pointed-to Request never moves.
+      request_ptr = requests_[id].get();
+    }
+
+    Request& request = *request_ptr;
+    if (!request.error) {
+      try {
+        engine_.run_tier(*request.state, kStageTier[stage]);
+      } catch (...) {
+        request.error = std::current_exception();
+      }
+    }
+
+    if (stage + 1 < 3) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stage_queue_[stage + 1].push_back(id);
+      }
+      stage_work_[stage + 1].notify_one();
+    } else {
+      if (!request.error) request.result = engine_.finish(std::move(request.state));
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        request.done = true;
+        ++completed_;
+      }
+      request_done_.notify_all();
+    }
+  }
+}
+
+InferenceResult BatchScheduler::wait(std::size_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (id >= requests_.size()) throw std::out_of_range("BatchScheduler: unknown request id");
+  request_done_.wait(lock, [&] { return requests_[id]->done; });
+  Request& request = *requests_[id];
+  if (request.collected)
+    throw std::logic_error("BatchScheduler: result already collected");
+  request.collected = true;
+  if (request.error) std::rethrow_exception(request.error);
+  return std::move(request.result);
+}
+
+std::vector<InferenceResult> BatchScheduler::drain() {
+  std::size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count = requests_.size();
+  }
+  std::vector<InferenceResult> results;
+  results.reserve(count);
+  for (std::size_t id = 0; id < count; ++id) results.push_back(wait(id));
+  return results;
+}
+
+std::size_t BatchScheduler::submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requests_.size();
+}
+
+std::size_t BatchScheduler::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+}  // namespace d3::runtime

@@ -1,0 +1,81 @@
+// Pipelined admission of multiple in-flight inference requests across the
+// device / edge / cloud tiers (the ROADMAP's "batching + async" direction).
+//
+// Each tier is one stage thread with a FIFO queue, mirroring the physical
+// topology: one device node, one edge coordinator (which fans VSM tiles out to
+// the engine's worker pool), one cloud node. A request flows device -> edge ->
+// cloud; while request k occupies the edge stage, request k+1 runs on the
+// device stage and request k-1 on the cloud stage — real tier pipelining, the
+// execution-time analogue of sim::batch_makespan_seconds.
+//
+// Determinism: a request's three stages always run in tier order, each on
+// exactly one thread, handed off through a mutex (so all writes of stage s
+// happen-before stage s+1 reads them). Per-request transcripts are therefore
+// byte-identical to OnlineEngine::infer() on the same input, regardless of how
+// many requests are in flight or how stages interleave across requests.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/engine.h"
+
+namespace d3::runtime {
+
+class BatchScheduler {
+ public:
+  // `engine` must outlive the scheduler. Spawns one stage thread per tier.
+  explicit BatchScheduler(const OnlineEngine& engine);
+  // Blocks until every admitted request has completed, then joins the stage
+  // threads. Uncollected results are discarded.
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  // Admits one request; returns its id (0-based, in admission order). Throws
+  // std::invalid_argument immediately on input shape mismatch. Thread-safe.
+  std::size_t submit(const dnn::Tensor& input);
+
+  // Blocks until request `id` has left the cloud stage, then returns its
+  // result (exactly once per id; a second call for the same id throws).
+  // Rethrows any exception the request's stages raised.
+  InferenceResult wait(std::size_t id);
+
+  // Waits for every admitted request and returns all results in admission
+  // order. Equivalent to calling wait() for each id not yet collected.
+  std::vector<InferenceResult> drain();
+
+  std::size_t submitted() const;
+  std::size_t completed() const;
+
+ private:
+  struct Request {
+    std::unique_ptr<OnlineEngine::RequestState> state;
+    InferenceResult result;
+    std::exception_ptr error;
+    bool done = false;
+    bool collected = false;
+  };
+
+  void stage_loop(std::size_t stage);
+
+  const OnlineEngine& engine_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable stage_work_[3];
+  std::condition_variable request_done_;
+  std::deque<std::size_t> stage_queue_[3];
+  std::vector<std::unique_ptr<Request>> requests_;
+  std::size_t completed_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> stages_;
+};
+
+}  // namespace d3::runtime

@@ -1,7 +1,9 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "core/vsm_executor.h"
 #include "exec/executor.h"
@@ -19,17 +21,40 @@ const char* node_of(core::Tier tier) {
   return "?";
 }
 
+void record(InferenceResult& result, const std::string& from, const std::string& to,
+            const std::string& payload, core::Tier from_tier, core::Tier to_tier,
+            std::int64_t bytes) {
+  result.messages.push_back({static_cast<std::uint64_t>(result.messages.size()), from, to,
+                             payload, from_tier, to_tier, bytes});
+  const int lo = std::min(core::index(from_tier), core::index(to_tier));
+  const int hi = std::max(core::index(from_tier), core::index(to_tier));
+  if (lo == 0 && hi == 1) result.device_edge_bytes += bytes;
+  else if (lo == 1 && hi == 2) result.edge_cloud_bytes += bytes;
+  else if (lo == 0 && hi == 2) result.device_cloud_bytes += bytes;
+}
+
 }  // namespace
 
 OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& weights,
                            core::Assignment assignment,
                            std::optional<core::FusedTilePlan> vsm)
-    : net_(net), weights_(weights), assignment_(std::move(assignment)), vsm_(std::move(vsm)) {
+    : OnlineEngine(net, weights, std::move(assignment), std::move(vsm), Options{}) {}
+
+OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& weights,
+                           core::Assignment assignment,
+                           std::optional<core::FusedTilePlan> vsm, Options options)
+    : net_(net),
+      weights_(weights),
+      assignment_(std::move(assignment)),
+      vsm_(std::move(vsm)),
+      options_(options) {
   if (assignment_.tier.size() != net_.num_layers() + 1)
     throw std::invalid_argument("OnlineEngine: assignment size does not match network");
   if (assignment_.tier[0] != core::Tier::kDevice)
     throw std::invalid_argument("OnlineEngine: v0 must be on the device");
-  // Prop.-1 feasibility: no layer strictly device-ward of its most device-ward input.
+  // Prop.-1 feasibility: no layer strictly device-ward of its most device-ward
+  // input. This is also what makes the staged device -> edge -> cloud execution
+  // order below dependency-safe.
   for (dnn::LayerId id = 0; id < net_.num_layers(); ++id) {
     core::Tier bound = core::Tier::kCloud;
     for (const dnn::LayerId in : net_.layer(id).inputs) {
@@ -61,109 +86,168 @@ OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& wei
       }
     }
   }
+  if (options.vsm_workers > 0) pool_ = std::make_unique<ThreadPool>(options.vsm_workers);
 }
 
-InferenceResult OnlineEngine::infer(const dnn::Tensor& input) const {
+namespace {
+
+// Shared by begin() (which owns a copy of the input) and infer() (which
+// borrows the caller's tensor for its synchronous run).
+std::unique_ptr<OnlineEngine::RequestState> make_state(const dnn::Network& net) {
+  auto state = std::make_unique<OnlineEngine::RequestState>();
+  state->outputs.resize(net.num_layers());
+  state->computed.assign(net.num_layers(), false);
+  state->sent.assign(net.num_layers() + 1, {false, false, false});
+  return state;
+}
+
+}  // namespace
+
+std::unique_ptr<OnlineEngine::RequestState> OnlineEngine::begin(const dnn::Tensor& input) const {
   if (!(input.shape() == net_.input_shape()))
-    throw std::invalid_argument("OnlineEngine::infer: input shape mismatch");
+    throw std::invalid_argument("OnlineEngine: input shape mismatch");
+  auto state = make_state(net_);
+  state->owned_input = input;
+  state->input = &state->owned_input;
+  return state;
+}
 
-  InferenceResult result;
-  std::vector<dnn::Tensor> outputs(net_.num_layers());
-  std::vector<bool> computed(net_.num_layers(), false);
+void OnlineEngine::run_vsm_stack(RequestState& state) const {
+  const core::FusedTilePlan& plan = *vsm_;
+  const dnn::LayerId first = plan.stack.front();
+  const dnn::LayerId in_id = net_.layer(first).inputs[0];
+  const dnn::Tensor& stack_input =
+      in_id == dnn::kNetworkInput ? *state.input : state.outputs[in_id];
 
-  // sent[producer index][tier]: producer's tensor already shipped to that tier.
-  // Index 0 is the raw input; producer layer id is offset by one.
-  std::vector<std::array<bool, 3>> sent(net_.num_layers() + 1, {false, false, false});
+  // Scatter: extract every tile's input crop and record the message, in tile
+  // order, before any concurrent work starts. This pins the transcript.
+  std::vector<exec::Tile> tile_inputs;
+  tile_inputs.reserve(plan.num_tiles());
+  for (std::size_t t = 0; t < plan.num_tiles(); ++t) {
+    tile_inputs.push_back(core::extract_tile_input(stack_input, plan, t));
+    const std::string tile_name = "tile(" + std::to_string(t) + ")";
+    const std::int64_t in_bytes = tile_inputs.back().data.shape().bytes();
+    record(state.result, "edge0", "edge" + std::to_string(t + 1), tile_name + " input",
+           core::Tier::kEdge, core::Tier::kEdge, in_bytes);
+    state.result.vsm_scatter_bytes += in_bytes;
+  }
 
-  const auto record = [&](const std::string& from, const std::string& to,
-                          const std::string& payload, core::Tier from_tier,
-                          core::Tier to_tier, std::int64_t bytes) {
-    result.messages.push_back({from, to, payload, from_tier, to_tier, bytes});
-    const int lo = std::min(core::index(from_tier), core::index(to_tier));
-    const int hi = std::max(core::index(from_tier), core::index(to_tier));
-    if (lo == 0 && hi == 1) result.device_edge_bytes += bytes;
-    else if (lo == 1 && hi == 2) result.edge_cloud_bytes += bytes;
-    else if (lo == 0 && hi == 2) result.device_cloud_bytes += bytes;
+  // Parallel tile compute: each edge worker node runs its fused stack slice on
+  // its own thread. run_single_tile is pure (reads net/weights/plan, writes
+  // only this tile's slot), so tiles never race; the parallel_for join
+  // publishes every slot before the gather below reads them.
+  std::vector<exec::Tile> tile_outputs(plan.num_tiles());
+  const auto compute = [&](std::size_t t) {
+    if (options_.emulated_tile_service_seconds > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options_.emulated_tile_service_seconds));
+    tile_outputs[t] = core::run_single_tile(net_, weights_, tile_inputs[t], *vsm_, t);
   };
+  if (pool_) {
+    pool_->parallel_for(plan.num_tiles(), compute);
+  } else {
+    for (std::size_t t = 0; t < plan.num_tiles(); ++t) compute(t);
+  }
+
+  // Gather + assembly, again in tile order: the transcript and the assembled
+  // feature map are byte-identical to the sequential engine's.
+  dnn::Tensor assembled(plan.output_shape);
+  for (std::size_t t = 0; t < plan.num_tiles(); ++t) {
+    const std::string tile_name = "tile(" + std::to_string(t) + ")";
+    const std::int64_t out_bytes = tile_outputs[t].data.shape().bytes();
+    record(state.result, "edge" + std::to_string(t + 1), "edge0", tile_name + " output",
+           core::Tier::kEdge, core::Tier::kEdge, out_bytes);
+    state.result.vsm_gather_bytes += out_bytes;
+
+    const exec::Region& region = plan.tiles[t].output_region;
+    for (int c = 0; c < assembled.shape().c; ++c)
+      for (int y = region.y0; y < region.y1; ++y)
+        for (int x = region.x0; x < region.x1; ++x)
+          assembled.at(c, y, x) = tile_outputs[t].data.at(c, y - region.y0, x - region.x0);
+  }
+  state.outputs[plan.stack.back()] = std::move(assembled);
+  for (const dnn::LayerId id : plan.stack) {
+    state.computed[id] = true;
+    ++state.result.layers_executed[static_cast<std::size_t>(core::index(core::Tier::kEdge))];
+  }
+}
+
+void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
+  const double service =
+      options_.emulated_tier_service_seconds[static_cast<std::size_t>(core::index(tier))];
+  if (service > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(service));
 
   // Ensures `producer`'s tensor is present at `tier`, shipping it (once) if not.
-  const auto deliver = [&](dnn::LayerId producer, core::Tier tier) {
+  const auto deliver = [&](dnn::LayerId producer, core::Tier to) {
     const bool is_input = producer == dnn::kNetworkInput;
     const core::Tier from = is_input ? core::Tier::kDevice
                                      : assignment_.tier[dnn::Network::vertex_of(producer)];
-    if (from == tier) return;
-    auto& flags = sent[is_input ? 0 : producer + 1];
-    if (flags[static_cast<std::size_t>(core::index(tier))]) return;
-    flags[static_cast<std::size_t>(core::index(tier))] = true;
+    if (from == to) return;
+    auto& flags = state.sent[is_input ? 0 : producer + 1];
+    if (flags[static_cast<std::size_t>(core::index(to))]) return;
+    flags[static_cast<std::size_t>(core::index(to))] = true;
     const std::int64_t bytes =
         is_input ? net_.input_shape().bytes() : net_.lambda_out_bytes(producer);
-    record(node_of(from), node_of(tier),
-           is_input ? "raw input" : net_.layer(producer).spec.name, from, tier, bytes);
+    record(state.result, node_of(from), node_of(to),
+           is_input ? "raw input" : net_.layer(producer).spec.name, from, to, bytes);
   };
 
-  const auto run_vsm_stack = [&] {
-    const core::FusedTilePlan& plan = *vsm_;
-    const dnn::LayerId first = plan.stack.front();
-    const dnn::LayerId in_id = net_.layer(first).inputs[0];
-    const dnn::Tensor& stack_input =
-        in_id == dnn::kNetworkInput ? input : outputs[in_id];
-
-    dnn::Tensor assembled(plan.output_shape);
-    for (std::size_t t = 0; t < plan.num_tiles(); ++t) {
-      const exec::Tile tile_in = core::extract_tile_input(stack_input, plan, t);
-      const std::string worker = "edge" + std::to_string(t + 1);
-      const std::string tile_name = "tile(" + std::to_string(t) + ")";
-      // Scatter (intra-edge; not tier-boundary traffic).
-      const std::int64_t in_bytes = tile_in.data.shape().bytes();
-      result.messages.push_back({"edge0", worker, tile_name + " input", core::Tier::kEdge,
-                                 core::Tier::kEdge, in_bytes});
-      result.vsm_scatter_bytes += in_bytes;
-
-      const exec::Tile tile_out = core::run_single_tile(net_, weights_, tile_in, plan, t);
-
-      // Gather.
-      const std::int64_t out_bytes = tile_out.data.shape().bytes();
-      result.messages.push_back({worker, "edge0", tile_name + " output", core::Tier::kEdge,
-                                 core::Tier::kEdge, out_bytes});
-      result.vsm_gather_bytes += out_bytes;
-
-      const exec::Region& region = plan.tiles[t].output_region;
-      for (int c = 0; c < assembled.shape().c; ++c)
-        for (int y = region.y0; y < region.y1; ++y)
-          for (int x = region.x0; x < region.x1; ++x)
-            assembled.at(c, y, x) = tile_out.data.at(c, y - region.y0, x - region.x0);
-    }
-    outputs[plan.stack.back()] = std::move(assembled);
-    for (const dnn::LayerId id : plan.stack) {
-      computed[id] = true;
-      ++result.layers_executed[static_cast<std::size_t>(core::index(core::Tier::kEdge))];
-    }
+  // One ascending-id pass: run every pending layer assigned to this stage's
+  // tier *or an earlier one* whose inputs are all available. Prop.-1 allows a
+  // layer to consume a tensor from a cloud-ward tier (bounded only by its most
+  // device-ward input), so such a consumer is not ready at its own tier's
+  // stage; it defers and the cloud stage — where every producer has already
+  // run — catches it. Layer ids are topological, so the single pass per stage
+  // needs no fixpoint loop, and the execution order is a pure function of the
+  // plan: transcripts are identical however stages are threaded.
+  const auto ready = [&](dnn::LayerId id) {
+    for (const dnn::LayerId in : net_.layer(id).inputs)
+      if (in != dnn::kNetworkInput && !state.computed[in]) return false;
+    return true;
   };
 
   for (dnn::LayerId id = 0; id < net_.num_layers(); ++id) {
-    if (computed[id]) continue;  // interior of an executed VSM stack
-    const core::Tier tier = assignment_.tier[dnn::Network::vertex_of(id)];
+    if (state.computed[id]) continue;  // interior of an executed VSM stack
+    const core::Tier assigned = assignment_.tier[dnn::Network::vertex_of(id)];
+    if (core::before(tier, assigned)) continue;  // cloud-ward of this stage
+    if (!ready(id)) continue;                    // deferred to a later stage
 
     if (vsm_ && id == vsm_->stack.front()) {
       // The stack input must be present on the edge coordinator first.
       deliver(net_.layer(id).inputs[0], core::Tier::kEdge);
-      run_vsm_stack();
+      run_vsm_stack(state);
       continue;
     }
 
     std::vector<const dnn::Tensor*> ins;
     ins.reserve(net_.layer(id).inputs.size());
     for (const dnn::LayerId in : net_.layer(id).inputs) {
-      deliver(in, tier);
-      ins.push_back(in == dnn::kNetworkInput ? &input : &outputs[in]);
+      deliver(in, assigned);
+      ins.push_back(in == dnn::kNetworkInput ? state.input : &state.outputs[in]);
     }
-    outputs[id] = exec::run_layer(net_, weights_, id, ins);
-    computed[id] = true;
-    ++result.layers_executed[static_cast<std::size_t>(core::index(tier))];
+    state.outputs[id] = exec::run_layer(net_, weights_, id, ins);
+    state.computed[id] = true;
+    ++state.result.layers_executed[static_cast<std::size_t>(core::index(assigned))];
   }
+}
 
-  result.output = std::move(outputs.back());
+InferenceResult OnlineEngine::finish(std::unique_ptr<RequestState> state) const {
+  InferenceResult result = std::move(state->result);
+  result.output = std::move(state->outputs.back());
   return result;
+}
+
+InferenceResult OnlineEngine::infer(const dnn::Tensor& input) const {
+  if (!(input.shape() == net_.input_shape()))
+    throw std::invalid_argument("OnlineEngine: input shape mismatch");
+  // Borrow the caller's tensor: the three stages run synchronously while the
+  // caller's reference is pinned, so no per-request input copy is needed.
+  auto state = make_state(net_);
+  state->input = &input;
+  run_tier(*state, core::Tier::kDevice);
+  run_tier(*state, core::Tier::kEdge);
+  run_tier(*state, core::Tier::kCloud);
+  return finish(std::move(state));
 }
 
 }  // namespace d3::runtime

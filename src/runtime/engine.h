@@ -2,17 +2,33 @@
 // tensors across the computation nodes of the three tiers, orchestrating the
 // distributed and parallel processing and the communication among partitions.
 //
-// Nodes are modelled as in-process actors executed deterministically by the
-// engine: the device node runs its layers and ships boundary tensors to the
-// edge/cloud; the edge coordinator scatters VSM fused-tile inputs to its worker
-// nodes, gathers their output tiles, and forwards intermediate results to the
-// cloud; the cloud node finishes the inference. Every inter-node tensor is
-// recorded as a message, so tests can assert both losslessness (the distributed
-// output equals the single-node reference bitwise) and traffic accounting (the
-// bytes on each tier boundary match core::boundary_traffic).
+// Nodes are modelled as in-process actors: the device node runs its layers and
+// ships boundary tensors to the edge/cloud; the edge coordinator scatters VSM
+// fused-tile inputs to its worker nodes, gathers their output tiles, and
+// forwards intermediate results to the cloud; the cloud node finishes the
+// inference. Every inter-node tensor is recorded as a sequence-numbered
+// message, so tests can assert both losslessness (the distributed output equals
+// the single-node reference bitwise) and traffic accounting (the bytes on each
+// tier boundary match core::boundary_traffic).
+//
+// Concurrency model. Inference is staged tier-by-tier (device -> edge ->
+// cloud); Prop.-1 feasibility guarantees a layer's inputs are produced by the
+// same or an earlier stage, so the staging is always dependency-safe. With
+// Options::vsm_workers > 0 the edge stage computes VSM fused tiles on a real
+// runtime::ThreadPool — one job per virtual edge worker node. Transcripts stay
+// deterministic regardless of thread interleaving: tile inputs are extracted
+// and their scatter messages recorded in tile order *before* the parallel
+// region, only the pure per-tile compute runs concurrently, and gather messages
+// plus output assembly happen in tile order *after* the join. The engine itself
+// is immutable after construction, so any number of threads may call infer()
+// concurrently (they share the tile pool); the staged API (begin / run_tier /
+// finish) is what runtime::BatchScheduler uses to pipeline several in-flight
+// requests across the tiers.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,10 +38,15 @@
 #include "dnn/network.h"
 #include "dnn/tensor.h"
 #include "exec/weights.h"
+#include "runtime/thread_pool.h"
 
 namespace d3::runtime {
 
 struct MessageRecord {
+  // Position in this request's transcript (0, 1, 2, ...). Deterministic for a
+  // given plan and input: independent of thread interleaving and of how many
+  // requests are in flight.
+  std::uint64_t seq = 0;
   std::string from_node;
   std::string to_node;
   // What the tensor is: a layer's output, the raw input, or a VSM tile.
@@ -51,23 +72,86 @@ struct InferenceResult {
 
 class OnlineEngine {
  public:
+  struct Options {
+    // Number of pool threads computing VSM tiles concurrently (the edge worker
+    // nodes of Fig. 8). 0 = sequential tile loop on the coordinator thread.
+    std::size_t vsm_workers = 0;
+    // Emulated per-tile edge-node service latency (seconds), added to each
+    // tile's compute. The paper's edge pool is separate physical machines; on
+    // a host with fewer cores than modelled workers, this stands in for the
+    // remote node's service time — real threads genuinely overlap the waits,
+    // so the sequential engine pays the sum and the threaded engine the max.
+    // 0 disables. Purely additive wall-clock: outputs and transcripts are
+    // unaffected.
+    double emulated_tile_service_seconds = 0.0;
+    // Emulated per-stage service latency (seconds) added by run_tier for
+    // [device, edge, cloud] — the stage actor's fixed overhead (network stack,
+    // queueing) that tier pipelining overlaps across in-flight requests.
+    std::array<double, 3> emulated_tier_service_seconds{0.0, 0.0, 0.0};
+  };
+
+  // Mutable per-request execution state. Created by begin(); opaque to callers
+  // except as a token passed through run_tier()/finish(). One request's stages
+  // must run in tier order and never concurrently with each other, but distinct
+  // requests' states are fully independent.
+  struct RequestState {
+    // The request input: begin() copies it into `owned_input` (the caller's
+    // tensor may die before later stages run on other threads), while the
+    // synchronous infer() path just borrows the caller's tensor — `input`
+    // points at whichever holds it.
+    dnn::Tensor owned_input;
+    const dnn::Tensor* input = nullptr;
+    InferenceResult result;
+    std::vector<dnn::Tensor> outputs;   // per layer, filled as stages run
+    std::vector<bool> computed;
+    // sent[producer index][tier]: producer's tensor already shipped to that
+    // tier. Index 0 is the raw input; producer layer id is offset by one.
+    std::vector<std::array<bool, 3>> sent;
+  };
+
   // `net` and `weights` must outlive the engine. The assignment must be
   // Prop.-1 feasible; `vsm` (optional) must cover edge-assigned layers only.
   // Throws std::invalid_argument on inconsistent plans.
   OnlineEngine(const dnn::Network& net, const exec::WeightStore& weights,
                core::Assignment assignment,
                std::optional<core::FusedTilePlan> vsm = std::nullopt);
+  OnlineEngine(const dnn::Network& net, const exec::WeightStore& weights,
+               core::Assignment assignment, std::optional<core::FusedTilePlan> vsm,
+               Options options);
 
   // Runs one synergistic inference: the device node ingests `input`, the plan's
-  // tiers execute their partitions, and the final layer's output is returned
-  // together with the full message transcript.
+  // tiers execute their partitions in stage order, and the final layer's output
+  // is returned together with the full message transcript. Thread-safe: may be
+  // called concurrently from any number of threads.
   InferenceResult infer(const dnn::Tensor& input) const;
 
+  // Staged execution for pipelined schedulers. Typical use:
+  //   auto s = engine.begin(input);
+  //   engine.run_tier(*s, core::Tier::kDevice);   // on the device stage thread
+  //   engine.run_tier(*s, core::Tier::kEdge);     // on the edge stage thread
+  //   engine.run_tier(*s, core::Tier::kCloud);    // on the cloud stage thread
+  //   InferenceResult r = engine.finish(std::move(s));
+  // Throws std::invalid_argument on input shape mismatch.
+  // begin() copies `input` into the state so the request outlives the caller's
+  // tensor (the scheduler's stages run on other threads, later).
+  std::unique_ptr<RequestState> begin(const dnn::Tensor& input) const;
+  void run_tier(RequestState& state, core::Tier tier) const;
+  InferenceResult finish(std::unique_ptr<RequestState> state) const;
+
+  std::size_t vsm_workers() const { return pool_ ? pool_->size() : 0; }
+  const core::Assignment& assignment() const { return assignment_; }
+  const std::optional<core::FusedTilePlan>& vsm_plan() const { return vsm_; }
+  const dnn::Network& network() const { return net_; }
+
  private:
+  void run_vsm_stack(RequestState& state) const;
+
   const dnn::Network& net_;
   const exec::WeightStore& weights_;
   core::Assignment assignment_;
   std::optional<core::FusedTilePlan> vsm_;
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;  // null in sequential mode
 };
 
 }  // namespace d3::runtime

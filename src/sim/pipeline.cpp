@@ -141,4 +141,17 @@ StreamResult simulate_stream(const PipelinePlan& plan, const StreamOptions& opti
   return result;
 }
 
+double batch_makespan_seconds(const PipelinePlan& plan, std::size_t frames) {
+  if (frames == 0) return 0.0;
+  return plan.frame_latency_seconds() +
+         static_cast<double>(frames - 1) * plan.bottleneck_stage_seconds();
+}
+
+double pipelining_speedup(const PipelinePlan& plan, std::size_t frames) {
+  if (frames == 0) return 1.0;
+  const double serial = static_cast<double>(frames) * plan.frame_latency_seconds();
+  const double pipelined = batch_makespan_seconds(plan, frames);
+  return pipelined <= 0.0 ? 1.0 : serial / pipelined;
+}
+
 }  // namespace d3::sim

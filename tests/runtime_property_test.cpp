@@ -122,6 +122,114 @@ TEST_P(RuntimeVsmFuzz, TiledEdgeStackAlwaysLossless) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeVsmFuzz, ::testing::Range(1, 16));
 
+// The threaded engine under the same randomised sweep: for every random
+// network and random Prop.-1-feasible plan, the concurrent engine's transcript
+// byte counts must equal core::boundary_traffic on every tier boundary, its
+// output must equal the reference bitwise, and its transcript must be
+// message-for-message identical to the sequential engine's (seq, endpoints,
+// payload, bytes) — thread interleaving must be unobservable.
+class ThreadedRuntimeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadedRuntimeFuzz, TranscriptBytesMatchBoundaryTrafficOnEveryBoundary) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 9257);
+  const dnn::Network net = random_network(rng);
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, GetParam() + 500);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+
+  const core::Assignment plan = random_feasible_plan(net, rng);
+  const OnlineEngine sequential(net, weights, plan);
+  const OnlineEngine threaded(net, weights, plan, std::nullopt,
+                              OnlineEngine::Options{.vsm_workers = 3});
+  const InferenceResult result = threaded.infer(input);
+  const InferenceResult expected = sequential.infer(input);
+
+  ASSERT_EQ(result.output.shape(), reference.shape());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_EQ(result.output[i], reference[i]);
+
+  const auto problem =
+      core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  const core::BoundaryTraffic traffic = core::boundary_traffic(problem, plan);
+  EXPECT_EQ(result.device_edge_bytes, traffic.device_edge_bytes);
+  EXPECT_EQ(result.edge_cloud_bytes, traffic.edge_cloud_bytes);
+  EXPECT_EQ(result.device_cloud_bytes, traffic.device_cloud_bytes);
+
+  // Summing the transcript itself per boundary must agree too (the accounting
+  // fields are not allowed to drift from the recorded messages).
+  std::int64_t de = 0, ec = 0, dc = 0;
+  for (std::size_t i = 0; i < result.messages.size(); ++i) {
+    const MessageRecord& m = result.messages[i];
+    EXPECT_EQ(m.seq, i);
+    const int lo = std::min(core::index(m.from_tier), core::index(m.to_tier));
+    const int hi = std::max(core::index(m.from_tier), core::index(m.to_tier));
+    if (lo == 0 && hi == 1) de += m.bytes;
+    if (lo == 1 && hi == 2) ec += m.bytes;
+    if (lo == 0 && hi == 2) dc += m.bytes;
+  }
+  EXPECT_EQ(de, traffic.device_edge_bytes);
+  EXPECT_EQ(ec, traffic.edge_cloud_bytes);
+  EXPECT_EQ(dc, traffic.device_cloud_bytes);
+
+  ASSERT_EQ(result.messages.size(), expected.messages.size());
+  for (std::size_t i = 0; i < result.messages.size(); ++i) {
+    EXPECT_EQ(result.messages[i].from_node, expected.messages[i].from_node);
+    EXPECT_EQ(result.messages[i].to_node, expected.messages[i].to_node);
+    EXPECT_EQ(result.messages[i].payload, expected.messages[i].payload);
+    EXPECT_EQ(result.messages[i].bytes, expected.messages[i].bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedRuntimeFuzz, ::testing::Range(1, 21));
+
+class ThreadedVsmFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadedVsmFuzz, ParallelTilesKeepTrafficAndLosslessness) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 4679);
+  const dnn::Network net = random_network(rng);
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, GetParam() + 900);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+
+  core::Assignment plan;
+  plan.tier.assign(net.num_layers() + 1, core::Tier::kEdge);
+  plan.tier[0] = core::Tier::kDevice;
+  plan.tier.back() = core::Tier::kCloud;
+
+  std::vector<dnn::LayerId> edge_layers;
+  for (dnn::LayerId id = 0; id + 1 < net.num_layers(); ++id) edge_layers.push_back(id);
+  const auto run = core::longest_tileable_run(net, edge_layers);
+  if (run.empty()) GTEST_SKIP() << "no tileable run";
+  const dnn::Shape out = net.layer(run.back()).output_shape;
+  const int rows = static_cast<int>(rng.uniform_int(1, std::min(3, out.h)));
+  const int cols = static_cast<int>(rng.uniform_int(1, std::min(3, out.w)));
+  if (rows * cols < 2) GTEST_SKIP() << "degenerate grid";
+  const auto vsm = core::make_fused_tile_plan(net, run, rows, cols);
+
+  const InferenceResult tiled =
+      OnlineEngine(net, weights, plan, vsm, OnlineEngine::Options{.vsm_workers = 4})
+          .infer(input);
+  const InferenceResult plain = OnlineEngine(net, weights, plan).infer(input);
+
+  ASSERT_EQ(tiled.output.shape(), reference.shape());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_EQ(tiled.output[i], reference[i]);
+
+  // VSM is intra-edge: tier-boundary traffic is invariant under tiling and
+  // threading, and still matches the analytical accounting.
+  const auto problem =
+      core::make_problem_exact(net, profile::paper_testbed(), net::wifi());
+  const core::BoundaryTraffic traffic = core::boundary_traffic(problem, plan);
+  EXPECT_EQ(tiled.device_edge_bytes, traffic.device_edge_bytes);
+  EXPECT_EQ(tiled.edge_cloud_bytes, traffic.edge_cloud_bytes);
+  EXPECT_EQ(tiled.device_cloud_bytes, traffic.device_cloud_bytes);
+  EXPECT_EQ(tiled.device_edge_bytes, plain.device_edge_bytes);
+  EXPECT_EQ(tiled.edge_cloud_bytes, plain.edge_cloud_bytes);
+  EXPECT_GT(tiled.vsm_scatter_bytes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedVsmFuzz, ::testing::Range(1, 16));
+
 TEST(FailureInjection, BackhaulOutageAndRecovery) {
   // The backbone collapses to near-zero, then recovers: the adaptive
   // repartitioner must evacuate the cloud during the outage and use it again
