@@ -120,10 +120,10 @@ dnn::Tensor run_naive_tiles(const dnn::Network& net, const exec::WeightStore& we
           local = exec::pool2d(local, spec);
           break;
         case dnn::LayerKind::kReLU:
-          local = exec::relu(local);
+          local = exec::relu(std::move(local));
           break;
         case dnn::LayerKind::kBatchNorm:
-          local = exec::batch_norm(local, weights.layer(id));
+          local = exec::batch_norm(std::move(local), weights.layer(id));
           break;
         default:
           throw std::logic_error("run_naive_tiles: non-tileable layer");

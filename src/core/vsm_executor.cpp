@@ -19,10 +19,7 @@ exec::Tile crop(const dnn::Tensor& full, const exec::Region& region) {
   tile.origin_y = region.y0;
   tile.full_w = s.w;
   tile.full_h = s.h;
-  for (int c = 0; c < s.c; ++c)
-    for (int y = region.y0; y < region.y1; ++y)
-      for (int x = region.x0; x < region.x1; ++x)
-        tile.data.at(c, y - region.y0, x - region.x0) = full.at(c, y, x);
+  exec::copy_region_from_map(full, region, tile.data.data());
   return tile;
 }
 
@@ -99,10 +96,7 @@ dnn::Tensor run_fused_tiles(const dnn::Network& net, const exec::WeightStore& we
     if (out_tiles[t].data.shape().h != region.height() ||
         out_tiles[t].data.shape().w != region.width())
       throw std::logic_error("run_fused_tiles: tile output does not match its region");
-    for (int c = 0; c < output.shape().c; ++c)
-      for (int y = region.y0; y < region.y1; ++y)
-        for (int x = region.x0; x < region.x1; ++x)
-          output.at(c, y, x) = out_tiles[t].data.at(c, y - region.y0, x - region.x0);
+    exec::copy_region_to_map(out_tiles[t].data.data(), region, output);
   }
   return output;
 }
@@ -123,10 +117,10 @@ dnn::Tensor run_stack_serial(const dnn::Network& net, const exec::WeightStore& w
         current = exec::pool2d(current, spec);
         break;
       case dnn::LayerKind::kReLU:
-        current = exec::relu(current);
+        current = exec::relu(std::move(current));
         break;
       case dnn::LayerKind::kBatchNorm:
-        current = exec::batch_norm(current, weights.layer(id));
+        current = exec::batch_norm(std::move(current), weights.layer(id));
         break;
       default:
         throw std::logic_error("run_stack_serial: non-tileable layer");

@@ -1,0 +1,86 @@
+#include "exec/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace d3::exec {
+
+namespace {
+
+// Bump offsets in units of 16 floats so every returned pointer stays on a
+// 64-byte boundary.
+constexpr std::size_t kAlignFloats = 16;
+// Smallest chunk: 64 KiB. Typical packed-patch buffers are far larger, and the
+// first allocation sizes its chunk to the request anyway.
+constexpr std::size_t kMinChunkFloats = 16 * 1024;
+
+std::size_t round_up(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+}  // namespace
+
+float* Arena::floats(std::size_t n) {
+  const std::size_t need = round_up(std::max<std::size_t>(n, 1));
+  // Advance through existing chunks looking for space; the tail a skipped
+  // chunk strands is reclaimed by the next rewind/reset.
+  while (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    if (c.capacity - c.used >= need) {
+      float* p = c.base + c.used;
+      c.used += need;
+      return p;
+    }
+    ++active_;
+  }
+  // Grow geometrically so long kernel sequences settle into O(1) chunks.
+  std::size_t cap = std::max(need, kMinChunkFloats);
+  if (!chunks_.empty()) cap = std::max(cap, chunks_.back().capacity * 2);
+  Chunk c;
+  c.storage = std::make_unique<float[]>(cap + kAlignFloats);
+  const auto addr = reinterpret_cast<std::uintptr_t>(c.storage.get());
+  const std::uintptr_t aligned = (addr + 63) & ~static_cast<std::uintptr_t>(63);
+  c.base = c.storage.get() + (aligned - addr) / sizeof(float);
+  c.capacity = cap;
+  c.used = need;
+  ++chunk_allocations_;
+  active_ = chunks_.size();
+  chunks_.push_back(std::move(c));
+  return chunks_.back().base;
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+}
+
+std::size_t Arena::used() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.used;
+  return total;
+}
+
+std::size_t Arena::capacity() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.capacity;
+  return total;
+}
+
+Arena::Mark Arena::mark() const {
+  if (chunks_.empty()) return {};
+  return {active_, active_ < chunks_.size() ? chunks_[active_].used : 0};
+}
+
+void Arena::rewind(const Mark& m) {
+  if (chunks_.empty()) return;
+  for (std::size_t i = m.chunk + 1; i < chunks_.size(); ++i) chunks_[i].used = 0;
+  if (m.chunk < chunks_.size()) chunks_[m.chunk].used = m.used;
+  active_ = m.chunk;
+}
+
+Arena& Arena::thread_local_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace d3::exec

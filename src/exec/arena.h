@@ -1,0 +1,83 @@
+// Scratch-memory arena for the operator kernels.
+//
+// The fast kernels (ops.h) lower convolution to im2col + GEMM, which needs a
+// packed-patch buffer per call. Allocating that buffer with malloc per layer
+// costs page faults and allocator traffic on the hot path, so every kernel
+// instead bump-allocates from an Arena and releases with an ArenaScope: after
+// the first inference warms the chunks up, the whole compute path is
+// allocation-free (tests pin chunk_allocations() steady-state at zero).
+//
+// An Arena is intentionally NOT thread-safe: each executing thread uses its
+// own (kernels default to the thread_local instance), which is what keeps
+// concurrent VSM tiles and pipelined requests allocation-free without locks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace d3::exec {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns an uninitialised, 64-byte-aligned buffer of `n` floats. The buffer
+  // stays valid until the enclosing ArenaScope ends (or reset()); growing the
+  // arena never moves previously returned buffers (new space comes from a new
+  // chunk).
+  float* floats(std::size_t n);
+
+  // Reclaims every allocation but keeps the chunks for reuse.
+  void reset();
+
+  // Floats currently handed out / total chunk capacity in floats.
+  std::size_t used() const;
+  std::size_t capacity() const;
+  // Number of chunk mallocs performed so far. A warmed-up arena serves every
+  // inference without new chunks, so this stays constant in steady state.
+  std::size_t chunk_allocations() const { return chunk_allocations_; }
+
+  // The calling thread's default arena: what a kernel uses when its OpContext
+  // carries no explicit arena.
+  static Arena& thread_local_arena();
+
+ private:
+  friend class ArenaScope;
+
+  struct Chunk {
+    std::unique_ptr<float[]> storage;  // raw allocation (capacity + alignment slack)
+    float* base = nullptr;             // 64-byte-aligned start
+    std::size_t capacity = 0;          // floats available from base
+    std::size_t used = 0;              // floats handed out (always 16-float aligned)
+  };
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  Mark mark() const;
+  void rewind(const Mark& m);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // index of the chunk currently being bumped
+  std::size_t chunk_allocations_ = 0;
+};
+
+// RAII scope: rewinds the arena to its construction-time state, so one op's
+// scratch is reclaimed for the next op without ever hitting the allocator.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+}  // namespace d3::exec

@@ -10,11 +10,11 @@ Executor::Executor(const dnn::Network& net, const WeightStore& weights)
     : net_(net), weights_(weights) {}
 
 dnn::Tensor run_layer(const dnn::Network& net, const WeightStore& weights, dnn::LayerId id,
-                      const std::vector<const dnn::Tensor*>& ins) {
+                      const std::vector<const dnn::Tensor*>& ins, const OpContext& ctx) {
   const dnn::LayerSpec& spec = net.layer(id).spec;
   const LayerWeights& w = weights.layer(id);
   switch (spec.kind) {
-    case dnn::LayerKind::kConv: return conv2d(*ins[0], spec, w);
+    case dnn::LayerKind::kConv: return conv2d(*ins[0], spec, w, ctx);
     case dnn::LayerKind::kMaxPool:
     case dnn::LayerKind::kAvgPool: return pool2d(*ins[0], spec);
     case dnn::LayerKind::kGlobalAvgPool: return global_avg_pool(*ins[0]);
@@ -41,7 +41,7 @@ std::vector<dnn::Tensor> Executor::run_all(const dnn::Tensor& input) const {
     ins.reserve(net_.layer(id).inputs.size());
     for (const dnn::LayerId in : net_.layer(id).inputs)
       ins.push_back(in == dnn::kNetworkInput ? &input : &outputs[in]);
-    outputs.push_back(run_layer(net_, weights_, id, ins));
+    outputs.push_back(run_layer(net_, weights_, id, ins, context()));
   }
   return outputs;
 }
@@ -78,7 +78,7 @@ dnn::Tensor Executor::run_segment(const dnn::Tensor& input, dnn::LayerId first,
                                     "' reads outside the segment");
       }
     }
-    outputs[id] = run_layer(net_, weights_, id, ins);
+    outputs[id] = run_layer(net_, weights_, id, ins, context());
   }
   return std::move(outputs[last]);
 }

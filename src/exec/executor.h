@@ -7,19 +7,32 @@
 
 #include "dnn/network.h"
 #include "dnn/tensor.h"
+#include "exec/ops.h"
 #include "exec/weights.h"
 
 namespace d3::exec {
 
 // Executes a single layer on explicit inputs (ordered as the layer declares
 // them). Shared by the reference executor and the online execution engine.
+// `ctx` threads the scratch arena and intra-op parallel_for into the kernels;
+// the default context (thread-local arena, serial) is always correct.
 dnn::Tensor run_layer(const dnn::Network& net, const WeightStore& weights, dnn::LayerId id,
-                      const std::vector<const dnn::Tensor*>& inputs);
+                      const std::vector<const dnn::Tensor*>& inputs,
+                      const OpContext& ctx = {});
 
 class Executor {
  public:
   // Both referents must outlive the executor.
   Executor(const dnn::Network& net, const WeightStore& weights);
+
+  // Installs an intra-op parallelism hook (e.g. a lambda over
+  // runtime::ThreadPool::parallel_for): the conv kernels split their output
+  // into disjoint blocks across it, so a single request uses all cores.
+  // Outputs are bitwise-identical with or without the hook. Not thread-safe
+  // against concurrent run* calls — install during setup. The hook itself must
+  // tolerate concurrent callers if the executor is shared across threads
+  // (ThreadPool::parallel_for does).
+  void set_parallel_for(ParallelFor parallel_for) { parallel_for_ = std::move(parallel_for); }
 
   // Runs the whole network; returns the output of the last layer. All run*
   // methods are const and touch no shared mutable state, so one Executor may
@@ -43,8 +56,11 @@ class Executor {
                           dnn::LayerId last) const;
 
  private:
+  OpContext context() const { return OpContext{nullptr, parallel_for_ ? &parallel_for_ : nullptr}; }
+
   const dnn::Network& net_;
   const WeightStore& weights_;
+  ParallelFor parallel_for_;  // empty: serial kernels
 };
 
 }  // namespace d3::exec

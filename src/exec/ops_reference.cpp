@@ -1,0 +1,241 @@
+#include "exec/ops_reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace d3::exec::reference {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+// Reads input value at global coordinates (ic, gy, gx). Out-of-image coordinates
+// are padding (`pad_value`); in-image coordinates must lie inside the tile.
+float read_global(const Tile& in, int ic, int gy, int gx, float pad_value) {
+  if (gy < 0 || gy >= in.full_h || gx < 0 || gx >= in.full_w) return pad_value;
+  const int ty = gy - in.origin_y;
+  const int tx = gx - in.origin_x;
+  if (ty < 0 || ty >= in.data.shape().h || tx < 0 || tx >= in.data.shape().w)
+    throw std::logic_error("region op: tile does not cover required receptive field at (" +
+                           std::to_string(gx) + "," + std::to_string(gy) + ")");
+  return in.data.at(ic, ty, tx);
+}
+
+void validate_out_region(const Region& out, int out_full_w, int out_full_h) {
+  require(out.x0 >= 0 && out.y0 >= 0 && out.x1 <= out_full_w && out.y1 <= out_full_h &&
+              out.width() > 0 && out.height() > 0,
+          "region op: bad output region");
+}
+
+}  // namespace
+
+Tile conv2d_region(const Tile& input, const dnn::LayerSpec& spec, const LayerWeights& w,
+                   Region out, int out_full_w, int out_full_h) {
+  require(spec.kind == dnn::LayerKind::kConv, "conv2d_region: not a conv spec");
+  validate_out_region(out, out_full_w, out_full_h);
+  const dnn::Window& win = spec.window;
+  const int in_c = input.data.shape().c;
+  const int out_c = spec.out_channels;
+  const std::size_t taps =
+      static_cast<std::size_t>(win.kernel_w) * win.kernel_h * static_cast<std::size_t>(in_c);
+  require(w.weights.size() == taps * static_cast<std::size_t>(out_c),
+          "conv2d_region: weight size mismatch for '" + spec.name + "'");
+  require(w.bias.size() == static_cast<std::size_t>(out_c),
+          "conv2d_region: bias size mismatch for '" + spec.name + "'");
+
+  Tile result;
+  result.data = dnn::Tensor(dnn::Shape{out_c, out.height(), out.width()});
+  result.origin_x = out.x0;
+  result.origin_y = out.y0;
+  result.full_w = out_full_w;
+  result.full_h = out_full_h;
+
+  for (int oc = 0; oc < out_c; ++oc) {
+    const float* filter = w.weights.data() + static_cast<std::size_t>(oc) * taps;
+    for (int oy = out.y0; oy < out.y1; ++oy) {
+      for (int ox = out.x0; ox < out.x1; ++ox) {
+        float acc = w.bias[static_cast<std::size_t>(oc)];
+        std::size_t tap = 0;
+        for (int ic = 0; ic < in_c; ++ic) {
+          for (int ky = 0; ky < win.kernel_h; ++ky) {
+            const int gy = oy * win.stride_h - win.pad_h + ky;
+            for (int kx = 0; kx < win.kernel_w; ++kx, ++tap) {
+              const int gx = ox * win.stride_w - win.pad_w + kx;
+              acc += filter[tap] * read_global(input, ic, gy, gx, 0.0f);
+            }
+          }
+        }
+        result.data.at(oc, oy - out.y0, ox - out.x0) = acc;
+      }
+    }
+  }
+  return result;
+}
+
+Tile pool_region(const Tile& input, const dnn::LayerSpec& spec, Region out, int out_full_w,
+                 int out_full_h) {
+  const bool is_max = spec.kind == dnn::LayerKind::kMaxPool;
+  require(is_max || spec.kind == dnn::LayerKind::kAvgPool, "pool_region: not a pool spec");
+  validate_out_region(out, out_full_w, out_full_h);
+  const dnn::Window& win = spec.window;
+  const int channels = input.data.shape().c;
+  const float pad_value = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+  const float window_area = static_cast<float>(win.kernel_w) * win.kernel_h;
+
+  Tile result;
+  result.data = dnn::Tensor(dnn::Shape{channels, out.height(), out.width()});
+  result.origin_x = out.x0;
+  result.origin_y = out.y0;
+  result.full_w = out_full_w;
+  result.full_h = out_full_h;
+
+  for (int c = 0; c < channels; ++c) {
+    for (int oy = out.y0; oy < out.y1; ++oy) {
+      for (int ox = out.x0; ox < out.x1; ++ox) {
+        float acc = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+        for (int ky = 0; ky < win.kernel_h; ++ky) {
+          const int gy = oy * win.stride_h - win.pad_h + ky;
+          for (int kx = 0; kx < win.kernel_w; ++kx) {
+            const int gx = ox * win.stride_w - win.pad_w + kx;
+            const float v = read_global(input, c, gy, gx, pad_value);
+            acc = is_max ? std::max(acc, v) : acc + v;
+          }
+        }
+        result.data.at(c, oy - out.y0, ox - out.x0) = is_max ? acc : acc / window_area;
+      }
+    }
+  }
+  return result;
+}
+
+Tile relu_region(Tile input) {
+  for (std::size_t i = 0; i < input.data.size(); ++i)
+    input.data[i] = std::max(0.0f, input.data[i]);
+  return input;
+}
+
+Tile batch_norm_region(Tile input, const LayerWeights& w) {
+  const dnn::Shape& s = input.data.shape();
+  require(w.bn_scale.size() == static_cast<std::size_t>(s.c) &&
+              w.bn_shift.size() == static_cast<std::size_t>(s.c),
+          "batch_norm_region: parameter size mismatch");
+  for (int c = 0; c < s.c; ++c) {
+    const float scale = w.bn_scale[static_cast<std::size_t>(c)];
+    const float shift = w.bn_shift[static_cast<std::size_t>(c)];
+    for (int y = 0; y < s.h; ++y)
+      for (int x = 0; x < s.w; ++x) input.data.at(c, y, x) = input.data.at(c, y, x) * scale + shift;
+  }
+  return input;
+}
+
+namespace {
+
+dnn::Shape window_output_shape(const dnn::Tensor& input, const dnn::LayerSpec& spec) {
+  return infer_output_shape(spec, {input.shape()});
+}
+
+}  // namespace
+
+dnn::Tensor conv2d(const dnn::Tensor& input, const dnn::LayerSpec& spec,
+                   const LayerWeights& w) {
+  const dnn::Shape out = window_output_shape(input, spec);
+  Tile t = reference::conv2d_region(Tile::whole(input), spec, w, Region{0, 0, out.w, out.h}, out.w, out.h);
+  return std::move(t.data);
+}
+
+dnn::Tensor pool2d(const dnn::Tensor& input, const dnn::LayerSpec& spec) {
+  const dnn::Shape out = window_output_shape(input, spec);
+  Tile t = reference::pool_region(Tile::whole(input), spec, Region{0, 0, out.w, out.h}, out.w, out.h);
+  return std::move(t.data);
+}
+
+dnn::Tensor global_avg_pool(const dnn::Tensor& input) {
+  const dnn::Shape& s = input.shape();
+  dnn::Tensor out(dnn::Shape{s.c, 1, 1});
+  const float area = static_cast<float>(s.h) * static_cast<float>(s.w);
+  for (int c = 0; c < s.c; ++c) {
+    float acc = 0.0f;
+    for (int y = 0; y < s.h; ++y)
+      for (int x = 0; x < s.w; ++x) acc += input.at(c, y, x);
+    out.at(c, 0, 0) = acc / area;
+  }
+  return out;
+}
+
+dnn::Tensor fully_connected(const dnn::Tensor& input, const dnn::LayerSpec& spec,
+                            const LayerWeights& w) {
+  require(spec.kind == dnn::LayerKind::kFullyConnected, "fully_connected: bad spec");
+  const std::size_t in_n = input.size();
+  const std::size_t out_n = static_cast<std::size_t>(spec.out_features);
+  require(w.weights.size() == in_n * out_n, "fully_connected: weight size mismatch");
+  require(w.bias.size() == out_n, "fully_connected: bias size mismatch");
+  dnn::Tensor out(dnn::Shape{spec.out_features, 1, 1});
+  for (std::size_t o = 0; o < out_n; ++o) {
+    const float* row = w.weights.data() + o * in_n;
+    float acc = w.bias[o];
+    for (std::size_t i = 0; i < in_n; ++i) acc += row[i] * input[i];
+    out[o] = acc;
+  }
+  return out;
+}
+
+dnn::Tensor relu(const dnn::Tensor& input) {
+  dnn::Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, out[i]);
+  return out;
+}
+
+dnn::Tensor batch_norm(const dnn::Tensor& input, const LayerWeights& w) {
+  Tile t = reference::batch_norm_region(Tile::whole(input), w);
+  return std::move(t.data);
+}
+
+dnn::Tensor concat(const std::vector<const dnn::Tensor*>& inputs) {
+  require(inputs.size() >= 2, "concat: needs >= 2 inputs");
+  const int h = inputs[0]->shape().h;
+  const int w = inputs[0]->shape().w;
+  int total_c = 0;
+  for (const auto* t : inputs) {
+    require(t->shape().h == h && t->shape().w == w, "concat: spatial mismatch");
+    total_c += t->shape().c;
+  }
+  dnn::Tensor out(dnn::Shape{total_c, h, w});
+  int c_base = 0;
+  for (const auto* t : inputs) {
+    for (int c = 0; c < t->shape().c; ++c)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) out.at(c_base + c, y, x) = t->at(c, y, x);
+    c_base += t->shape().c;
+  }
+  return out;
+}
+
+dnn::Tensor add(const std::vector<const dnn::Tensor*>& inputs) {
+  require(inputs.size() >= 2, "add: needs >= 2 inputs");
+  dnn::Tensor out = *inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    require(inputs[i]->shape() == out.shape(), "add: shape mismatch");
+    for (std::size_t j = 0; j < out.size(); ++j) out[j] += (*inputs[i])[j];
+  }
+  return out;
+}
+
+dnn::Tensor softmax(const dnn::Tensor& input) {
+  dnn::Tensor out = input;
+  float max_v = out[0];
+  for (std::size_t i = 1; i < out.size(); ++i) max_v = std::max(max_v, out[i]);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::exp(out[i] - max_v);
+    sum += out[i];
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] /= sum;
+  return out;
+}
+
+}  // namespace d3::exec::reference

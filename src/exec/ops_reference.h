@@ -1,0 +1,38 @@
+// The original scalar operator kernels, kept verbatim as the correctness
+// oracle for the optimised kernels in ops.h.
+//
+// These are the branchy, bounds-checked-per-tap loops the repo started with:
+// trivially auditable, obviously faithful to the paper's operator semantics,
+// and far too slow for the production path. The fast kernels must produce
+// BITWISE-identical outputs — same accumulation order per output element, same
+// padding contributions — and tests/ops_kernels_test.cpp pins that equality
+// over randomized shape/stride/pad/tile sweeps. bench_ops_kernels reports the
+// speedup of the fast kernels against these (BENCH_ops.json).
+#pragma once
+
+#include "exec/ops.h"
+
+namespace d3::exec::reference {
+
+// Region-aware window ops (see ops.h for the Tile/Region contract).
+Tile conv2d_region(const Tile& input, const dnn::LayerSpec& spec, const LayerWeights& w,
+                   Region out, int out_full_w, int out_full_h);
+Tile pool_region(const Tile& input, const dnn::LayerSpec& spec, Region out, int out_full_w,
+                 int out_full_h);
+Tile relu_region(Tile input);
+Tile batch_norm_region(Tile input, const LayerWeights& w);
+
+// Whole-tensor ops.
+dnn::Tensor conv2d(const dnn::Tensor& input, const dnn::LayerSpec& spec,
+                   const LayerWeights& w);
+dnn::Tensor pool2d(const dnn::Tensor& input, const dnn::LayerSpec& spec);
+dnn::Tensor global_avg_pool(const dnn::Tensor& input);
+dnn::Tensor fully_connected(const dnn::Tensor& input, const dnn::LayerSpec& spec,
+                            const LayerWeights& w);
+dnn::Tensor relu(const dnn::Tensor& input);
+dnn::Tensor batch_norm(const dnn::Tensor& input, const LayerWeights& w);
+dnn::Tensor concat(const std::vector<const dnn::Tensor*>& inputs);
+dnn::Tensor add(const std::vector<const dnn::Tensor*>& inputs);
+dnn::Tensor softmax(const dnn::Tensor& input);
+
+}  // namespace d3::exec::reference

@@ -1,6 +1,7 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
@@ -86,7 +87,15 @@ OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& wei
       }
     }
   }
-  if (options.vsm_workers > 0) pool_ = std::make_unique<ThreadPool>(options.vsm_workers);
+  const std::size_t pool_threads = std::max(options.vsm_workers, options.intra_op_workers);
+  if (pool_threads > 0) pool_ = std::make_unique<ThreadPool>(pool_threads);
+  if (options.intra_op_workers > 0)
+    // Capture the pool object, not `this`: the pool's address is stable even
+    // if the engine is ever moved, so the hook cannot dangle.
+    op_parallel_ = [pool = pool_.get()](std::size_t n,
+                                        const std::function<void(std::size_t)>& body) {
+      pool->parallel_for(n, body);
+    };
 }
 
 namespace {
@@ -143,8 +152,19 @@ void OnlineEngine::run_vsm_stack(RequestState& state) const {
           std::chrono::duration<double>(options_.emulated_tile_service_seconds));
     tile_outputs[t] = core::run_single_tile(net_, weights_, tile_inputs[t], *vsm_, t);
   };
-  if (pool_) {
-    pool_->parallel_for(plan.num_tiles(), compute);
+  // Tiles go parallel only when vsm_workers asked for it, and at exactly that
+  // width: the pool may be larger (intra_op_workers shares it), but the edge
+  // cluster being emulated has options_.vsm_workers nodes, so only that many
+  // tile service times may overlap. Tiles are pulled from an atomic counter by
+  // `width` pool jobs; any schedule is race-free (disjoint slots) and the
+  // gather below restores tile order.
+  if (pool_ && options_.vsm_workers > 0 && plan.num_tiles() > 1) {
+    const std::size_t width = std::min(options_.vsm_workers, plan.num_tiles());
+    std::atomic<std::size_t> next{0};
+    pool_->parallel_for(width, [&](std::size_t) {
+      for (std::size_t t = next.fetch_add(1); t < plan.num_tiles(); t = next.fetch_add(1))
+        compute(t);
+    });
   } else {
     for (std::size_t t = 0; t < plan.num_tiles(); ++t) compute(t);
   }
@@ -160,10 +180,7 @@ void OnlineEngine::run_vsm_stack(RequestState& state) const {
     state.result.vsm_gather_bytes += out_bytes;
 
     const exec::Region& region = plan.tiles[t].output_region;
-    for (int c = 0; c < assembled.shape().c; ++c)
-      for (int y = region.y0; y < region.y1; ++y)
-        for (int x = region.x0; x < region.x1; ++x)
-          assembled.at(c, y, x) = tile_outputs[t].data.at(c, y - region.y0, x - region.x0);
+    exec::copy_region_to_map(tile_outputs[t].data.data(), region, assembled);
   }
   state.outputs[plan.stack.back()] = std::move(assembled);
   for (const dnn::LayerId id : plan.stack) {
@@ -225,7 +242,7 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
       deliver(in, assigned);
       ins.push_back(in == dnn::kNetworkInput ? state.input : &state.outputs[in]);
     }
-    state.outputs[id] = exec::run_layer(net_, weights_, id, ins);
+    state.outputs[id] = exec::run_layer(net_, weights_, id, ins, op_context());
     state.computed[id] = true;
     ++state.result.layers_executed[static_cast<std::size_t>(core::index(assigned))];
   }

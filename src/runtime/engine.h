@@ -37,6 +37,7 @@
 #include "core/vsm.h"
 #include "dnn/network.h"
 #include "dnn/tensor.h"
+#include "exec/ops.h"
 #include "exec/weights.h"
 #include "runtime/thread_pool.h"
 
@@ -76,6 +77,12 @@ class OnlineEngine {
     // Number of pool threads computing VSM tiles concurrently (the edge worker
     // nodes of Fig. 8). 0 = sequential tile loop on the coordinator thread.
     std::size_t vsm_workers = 0;
+    // Number of pool threads the per-layer kernels may use *within* one layer
+    // (conv GEMM blocks split across the pool), so a single request's latency
+    // scales with cores even without VSM tiling. 0 = serial kernels. Shares
+    // one pool with vsm_workers (sized to the larger of the two); outputs and
+    // transcripts are bitwise-identical either way.
+    std::size_t intra_op_workers = 0;
     // Emulated per-tile edge-node service latency (seconds), added to each
     // tile's compute. The paper's edge pool is separate physical machines; on
     // a host with fewer cores than modelled workers, this stands in for the
@@ -138,13 +145,20 @@ class OnlineEngine {
   void run_tier(RequestState& state, core::Tier tier) const;
   InferenceResult finish(std::unique_ptr<RequestState> state) const;
 
-  std::size_t vsm_workers() const { return pool_ ? pool_->size() : 0; }
+  // Width of the VSM tile stage: the number of emulated edge worker nodes
+  // tiles may occupy concurrently (0 = sequential tile loop). The shared pool
+  // may be larger when intra_op_workers exceeds this; tile execution is still
+  // capped at this width.
+  std::size_t vsm_workers() const { return options_.vsm_workers; }
   const core::Assignment& assignment() const { return assignment_; }
   const std::optional<core::FusedTilePlan>& vsm_plan() const { return vsm_; }
   const dnn::Network& network() const { return net_; }
 
  private:
   void run_vsm_stack(RequestState& state) const;
+  exec::OpContext op_context() const {
+    return exec::OpContext{nullptr, op_parallel_ ? &op_parallel_ : nullptr};
+  }
 
   const dnn::Network& net_;
   const exec::WeightStore& weights_;
@@ -152,6 +166,7 @@ class OnlineEngine {
   std::optional<core::FusedTilePlan> vsm_;
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  // null in sequential mode
+  exec::ParallelFor op_parallel_;     // intra-op hook over pool_; empty if disabled
 };
 
 }  // namespace d3::runtime
