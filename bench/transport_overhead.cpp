@@ -1,0 +1,198 @@
+// Transport overhead: what the wire costs relative to zero-copy in-process
+// execution, per inference and per boundary byte.
+//
+// The same deployment plan runs on all three transports:
+//
+//   in-process  — zero-copy (the PR-1/2 engine behaviour; the baseline)
+//   loopback    — every inter-node tensor round-trips encode/decode
+//   socket      — each tier its own OS process over localhost TCP (spawned on
+//                 demand; skipped gracefully if the worker binary is missing)
+//
+// The delta between in-process and loopback divided by the bytes moved is the
+// pure serialization cost (µs/MB); the socket delta adds framing + kernel TCP.
+// Put against Options::emulated_tier_service_seconds (the knob the concurrency
+// bench uses to stand in for remote service time) and the fig13 per-frame
+// boundary traffic, it closes the loop on the paper's communication-overhead
+// story with measured numbers. Writes BENCH_transport.json.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/plan_io.h"
+#include "core/vsm.h"
+#include "dnn/model_zoo.h"
+#include "exec/executor.h"
+#include "rpc/socket_transport.h"
+#include "rpc/transport.h"
+#include "runtime/engine.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace d3;
+
+struct PlanCase {
+  std::string name;
+  dnn::Network net;
+  core::Assignment assignment;
+  std::optional<core::FusedTilePlan> vsm;
+};
+
+PlanCase tiny_chain_vsm() {
+  dnn::Network net = dnn::zoo::tiny_chain();
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1}) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  const std::vector<dnn::LayerId> stack = {2, 3, 4, 5};
+  for (const dnn::LayerId id : stack) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  auto vsm = core::make_fused_tile_plan(net, stack, 2, 2);
+  return {"tiny-chain 2x2 vsm", std::move(net), std::move(a), std::move(vsm)};
+}
+
+PlanCase tiny_branch_split() {
+  dnn::Network net = dnn::zoo::tiny_branch();
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1, 2, 3, 4})
+    a.tier[dnn::Network::vertex_of(id)] =
+        id < 2 ? core::Tier::kDevice : core::Tier::kEdge;
+  return {"tiny-branch 3-tier", std::move(net), std::move(a), std::nullopt};
+}
+
+// Best-of-N wall clock of one engine inference, seconds.
+double time_infer(const runtime::OnlineEngine& engine, const dnn::Tensor& input,
+                  int repetitions) {
+  double best = 1e300;
+  for (int i = 0; i < repetitions; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const runtime::InferenceResult r = engine.infer(input);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    if (r.output.size() == 0) std::abort();  // keep the result observable
+  }
+  return best;
+}
+
+struct Row {
+  std::string plan;
+  std::string transport;
+  double seconds = 0;
+  std::int64_t boundary_bytes = 0;
+  double overhead_us = 0;    // vs in-process
+  double us_per_mb = 0;      // overhead normalised by boundary traffic
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("transport overhead",
+                "per-inference cost of the wire: in-process (zero-copy) vs "
+                "serializing loopback vs one-OS-process-per-tier sockets, on "
+                "identical plans with bitwise-identical outputs");
+
+  const int reps = 15;
+  std::vector<Row> rows;
+
+  std::vector<PlanCase> cases;
+  cases.push_back(tiny_chain_vsm());
+  cases.push_back(tiny_branch_split());
+
+  for (const PlanCase& c : cases) {
+    const exec::WeightStore weights = exec::WeightStore::random_for(c.net, 11);
+    util::Rng rng(12);
+    const dnn::Tensor input = exec::random_tensor(c.net.input_shape(), rng);
+    const dnn::Tensor reference = exec::Executor(c.net, weights).run(input);
+
+    const auto check = [&](const runtime::InferenceResult& r) {
+      if (!(r.output.shape() == reference.shape())) std::abort();
+      for (std::size_t i = 0; i < reference.size(); ++i)
+        if (r.output[i] != reference[i]) {
+          std::cerr << "FATAL: transport broke bitwise identity on " << c.name << "\n";
+          std::abort();
+        }
+      return r.device_edge_bytes + r.edge_cloud_bytes + r.device_cloud_bytes;
+    };
+
+    // In-process (baseline).
+    const runtime::OnlineEngine inproc(c.net, weights, c.assignment, c.vsm);
+    const std::int64_t boundary = check(inproc.infer(input));
+    const double inproc_s = time_infer(inproc, input, reps);
+    rows.push_back({c.name, "in-process", inproc_s, boundary, 0.0, 0.0});
+
+    // Serializing loopback.
+    {
+      runtime::OnlineEngine::Options options;
+      options.transport = std::make_shared<rpc::SerializingLoopback>();
+      const runtime::OnlineEngine engine(c.net, weights, c.assignment, c.vsm, options);
+      check(engine.infer(input));
+      const double s = time_infer(engine, input, reps);
+      const double overhead_us = (s - inproc_s) * 1e6;
+      rows.push_back({c.name, "loopback", s, boundary, overhead_us,
+                      boundary > 0 ? overhead_us / (boundary / 1e6) : 0.0});
+    }
+
+    // Socket: three worker processes. Skipped (with a note) if spawning fails.
+#ifdef D3_NODE_BINARY
+    try {
+      std::vector<std::unique_ptr<rpc::WorkerProcess>> workers;
+      auto transport = std::make_shared<rpc::SocketTransport>();
+      for (const char* node : {"device0", "edge0", "cloud0"}) {
+        workers.push_back(std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY));
+        transport->add_node(node, workers.back()->take_socket());
+      }
+      const core::SerializablePlan plan{c.net.name(), c.assignment, c.vsm};
+      transport->configure(c.net.name(), c.net, weights, core::serialize_plan_binary(plan),
+                           /*vsm_workers=*/2);
+      runtime::OnlineEngine::Options options;
+      options.transport = transport;
+      const runtime::OnlineEngine engine(c.net, weights, c.assignment, c.vsm, options);
+      check(engine.infer(input));
+      const double s = time_infer(engine, input, reps);
+      const double overhead_us = (s - inproc_s) * 1e6;
+      rows.push_back({c.name, "socket", s, boundary, overhead_us,
+                      boundary > 0 ? overhead_us / (boundary / 1e6) : 0.0});
+    } catch (const std::exception& e) {
+      std::cerr << "note: socket mode skipped (" << e.what() << ")\n";
+    }
+#endif
+  }
+
+  util::Table table({"plan", "transport", "infer ms", "boundary KB", "overhead us",
+                     "us per MB moved"});
+  for (const Row& r : rows)
+    table.row()
+        .cell(r.plan)
+        .cell(r.transport)
+        .cell(r.seconds * 1e3)
+        .cell(static_cast<double>(r.boundary_bytes) / 1024.0)
+        .cell(r.overhead_us)
+        .cell(r.us_per_mb);
+  table.print(std::cout, "transport overhead (outputs verified bitwise-identical first)");
+
+  std::ofstream json("BENCH_transport.json");
+  json << "{\n  \"bench\": \"transport_overhead\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"plan\": \"" << r.plan << "\", \"transport\": \"" << r.transport
+         << "\", \"infer_ms\": " << r.seconds * 1e3
+         << ", \"boundary_bytes\": " << r.boundary_bytes
+         << ", \"overhead_us\": " << r.overhead_us << ", \"us_per_mb\": " << r.us_per_mb
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  bench::paper_note(
+      "The loopback-vs-in-process delta is pure serialization cost; socket adds "
+      "framing + TCP. Compare us/MB here with the per-frame boundary traffic of "
+      "bench_fig13_comm_overhead and with Options::emulated_tier_service_seconds "
+      "when emulating remote tiers on one host.");
+  return 0;
+}

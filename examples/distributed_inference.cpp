@@ -1,13 +1,21 @@
 // Distributed inference: the online execution engine (Fig. 2) running a real
 // synergistic inference across device, edge (with VSM workers) and cloud — and
 // proving, on actual tensors, that the distributed answer equals a single
-// machine's bit for bit.
+// machine's bit for bit, both with zero-copy in-process nodes and with every
+// inter-node tensor round-tripping the binary wire format.
+//
+// For the same engine spread across real OS processes (one d3_node worker per
+// tier over localhost TCP), see rpc/socket_transport.h and the
+// socket_transport_test — the API is identical, only Options::transport
+// changes.
 #include <iostream>
+#include <memory>
 
 #include "core/plan_io.h"
 #include "core/vsm.h"
 #include "dnn/model_zoo.h"
 #include "exec/executor.h"
+#include "rpc/transport.h"
 #include "runtime/engine.h"
 #include "util/table.h"
 
@@ -35,7 +43,8 @@ int main() {
   const core::FusedTilePlan vsm = core::make_fused_tile_plan(net, edge_stack, 2, 2);
 
   // The offline framework ships the plan to the online nodes as text; each
-  // node parses and validates it against its copy of the model.
+  // node parses and validates it against its copy of the model. (Worker
+  // processes receive the same plan in binary wire form — serialize_plan_binary.)
   const std::string wire =
       core::serialize_plan(core::SerializablePlan{net.name(), assignment, vsm});
   std::cout << "deployment plan on the wire:\n" << wire << "\n";
@@ -57,10 +66,33 @@ int main() {
             << result.edge_cloud_bytes << ", d->c " << result.device_cloud_bytes << "\n";
 
   const dnn::Tensor reference = exec::Executor(net, weights).run(frame);
-  bool identical = reference.shape() == result.output.shape();
-  for (std::size_t j = 0; identical && j < reference.size(); ++j)
-    identical = reference[j] == result.output[j];
+  const auto identical_to_reference = [&](const dnn::Tensor& output) {
+    bool same = reference.shape() == output.shape();
+    for (std::size_t j = 0; same && j < reference.size(); ++j)
+      same = reference[j] == output[j];
+    return same;
+  };
+  const bool identical = identical_to_reference(result.output);
   std::cout << "distributed output == single-node reference (bitwise): "
             << (identical ? "YES - lossless synergistic inference" : "NO (bug!)") << "\n";
-  return identical ? 0 : 1;
+
+  // Same plan, but every inter-node tensor now crosses the binary wire format
+  // (encode_envelope -> decode_envelope) and each consumer computes on the
+  // decoded copy — losslessness must survive serialization too.
+  auto loopback = std::make_shared<rpc::SerializingLoopback>();
+  runtime::OnlineEngine::Options options;
+  options.transport = loopback;
+  const runtime::OnlineEngine wired_engine(net, weights, received.assignment, received.vsm,
+                                           options);
+  const runtime::InferenceResult wired = wired_engine.infer(frame);
+  const rpc::SerializingLoopback::Stats stats = loopback->stats();
+  const bool wired_identical = identical_to_reference(wired.output);
+  std::cout << "\nserializing-loopback transport: " << stats.messages
+            << " envelopes, " << stats.payload_bytes << " payload bytes, "
+            << stats.wire_bytes << " framed bytes\n"
+            << "wire-format output == reference (bitwise): "
+            << (wired_identical ? "YES - losslessness survives the wire" : "NO (bug!)")
+            << "\n";
+
+  return identical && wired_identical ? 0 : 1;
 }

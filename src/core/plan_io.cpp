@@ -1,7 +1,11 @@
 #include "core/plan_io.h"
 
+#include <charconv>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "rpc/wire.h"
 
 namespace d3::core {
 
@@ -23,6 +27,46 @@ Tier tier_from_letter(char ch) {
     case 'c': return Tier::kCloud;
     default: throw std::invalid_argument(std::string("plan: unknown tier letter '") + ch + "'");
   }
+}
+
+// Strict integer parse: the whole token must be digits (no sign, no trailing
+// garbage — "2x2junk" or "3,4,oops" fail instead of being half-read) and the
+// value must fit an int, so later narrowing casts can never truncate a
+// corrupted token into a plausible-looking small number.
+long parse_number(std::string_view token, const char* what) {
+  long value = 0;
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() || value < 0 ||
+      value > std::numeric_limits<int>::max())
+    throw std::invalid_argument(std::string("plan: bad ") + what + " '" + std::string(token) +
+                                "'");
+  return value;
+}
+
+// Semantic validation shared by the text and binary parsers.
+void check_assignment(const SerializablePlan& plan, const dnn::Network& net) {
+  if (plan.model_name != net.name())
+    throw std::invalid_argument("plan: built for model '" + plan.model_name +
+                                "', applied to '" + net.name() + "'");
+  if (plan.assignment.tier.size() != net.num_layers() + 1)
+    throw std::invalid_argument("plan: " + std::to_string(plan.assignment.tier.size()) +
+                                " tiers for a network of " + std::to_string(net.num_layers()) +
+                                " layers");
+  if (plan.assignment.tier[0] != Tier::kDevice)
+    throw std::invalid_argument("plan: v0 must be on the device");
+}
+
+std::vector<dnn::LayerId> check_stack_ids(const std::vector<unsigned long>& ids,
+                                          const dnn::Network& net) {
+  if (ids.empty()) throw std::invalid_argument("plan: empty vsm stack");
+  std::vector<dnn::LayerId> stack;
+  stack.reserve(ids.size());
+  for (const unsigned long value : ids) {
+    if (value >= net.num_layers())
+      throw std::invalid_argument("plan: vsm layer id out of range");
+    stack.push_back(value);
+  }
+  return stack;
 }
 
 }  // namespace
@@ -56,9 +100,6 @@ SerializablePlan parse_plan(const std::string& text, const dnn::Network& net) {
   if (!std::getline(is, line) || line.rfind("model ", 0) != 0)
     throw std::invalid_argument("plan: missing 'model' line");
   plan.model_name = line.substr(6);
-  if (plan.model_name != net.name())
-    throw std::invalid_argument("plan: built for model '" + plan.model_name +
-                                "', applied to '" + net.name() + "'");
 
   if (!std::getline(is, line) || line.rfind("tiers", 0) != 0)
     throw std::invalid_argument("plan: missing 'tiers' line");
@@ -70,33 +111,83 @@ SerializablePlan parse_plan(const std::string& text, const dnn::Network& net) {
       plan.assignment.tier.push_back(tier_from_letter(token[0]));
     }
   }
-  if (plan.assignment.tier.size() != net.num_layers() + 1)
-    throw std::invalid_argument("plan: " + std::to_string(plan.assignment.tier.size()) +
-                                " tiers for a network of " + std::to_string(net.num_layers()) +
-                                " layers");
-  if (plan.assignment.tier[0] != Tier::kDevice)
-    throw std::invalid_argument("plan: v0 must be on the device");
+  check_assignment(plan, net);
 
   if (std::getline(is, line) && !line.empty()) {
     if (line.rfind("vsm ", 0) != 0) throw std::invalid_argument("plan: unexpected line '" + line + "'");
     std::istringstream vs(line.substr(4));
-    std::string grid, ids;
+    std::string grid, ids, extra;
     if (!(vs >> grid >> ids)) throw std::invalid_argument("plan: malformed vsm line");
+    if (vs >> extra) throw std::invalid_argument("plan: trailing vsm token '" + extra + "'");
     const auto x = grid.find('x');
     if (x == std::string::npos) throw std::invalid_argument("plan: malformed vsm grid");
-    const int rows = std::stoi(grid.substr(0, x));
-    const int cols = std::stoi(grid.substr(x + 1));
-    std::vector<dnn::LayerId> stack;
+    const long rows = parse_number(grid.substr(0, x), "vsm grid rows");
+    const long cols = parse_number(grid.substr(x + 1), "vsm grid cols");
+    std::vector<unsigned long> raw_ids;
     std::istringstream ls(ids);
     std::string id;
-    while (std::getline(ls, id, ',')) {
-      const unsigned long value = std::stoul(id);
-      if (value >= net.num_layers()) throw std::invalid_argument("plan: vsm layer id out of range");
-      stack.push_back(value);
-    }
+    while (std::getline(ls, id, ','))
+      raw_ids.push_back(static_cast<unsigned long>(parse_number(id, "vsm layer id")));
+    const std::vector<dnn::LayerId> stack = check_stack_ids(raw_ids, net);
     // Rebuilds (and thereby validates) the tile geometry from the model.
+    plan.vsm = make_fused_tile_plan(net, stack, static_cast<int>(rows), static_cast<int>(cols));
+  }
+  // Nothing may follow: trailing garbage means a corrupted or reordered plan.
+  while (std::getline(is, line))
+    if (!line.empty()) throw std::invalid_argument("plan: unexpected line '" + line + "'");
+  return plan;
+}
+
+std::vector<std::uint8_t> serialize_plan_binary(const SerializablePlan& plan) {
+  rpc::WireWriter w;
+  w.u32(rpc::kPlanMagic);
+  w.u16(rpc::kWireVersion);
+  w.str(plan.model_name);
+  w.u32(static_cast<std::uint32_t>(plan.assignment.tier.size()));
+  for (const Tier t : plan.assignment.tier) w.u8(static_cast<std::uint8_t>(index(t)));
+  w.u8(plan.vsm ? 1 : 0);
+  if (plan.vsm) {
+    w.i32(plan.vsm->grid_rows);
+    w.i32(plan.vsm->grid_cols);
+    w.u32(static_cast<std::uint32_t>(plan.vsm->stack.size()));
+    for (const dnn::LayerId id : plan.vsm->stack) w.u64(id);
+  }
+  return w.take();
+}
+
+SerializablePlan parse_plan_binary(std::span<const std::uint8_t> bytes,
+                                   const dnn::Network& net) {
+  rpc::WireReader r(bytes);
+  if (r.u32() != rpc::kPlanMagic) throw rpc::WireError("plan: bad magic");
+  if (r.u16() != rpc::kWireVersion) throw rpc::WireError("plan: unsupported wire version");
+
+  SerializablePlan plan;
+  plan.model_name = r.str();
+  const std::uint32_t tiers = r.u32();
+  if (tiers > net.num_layers() + 1)
+    throw std::invalid_argument("plan: " + std::to_string(tiers) + " tiers for a network of " +
+                                std::to_string(net.num_layers()) + " layers");
+  plan.assignment.tier.reserve(tiers);
+  for (std::uint32_t i = 0; i < tiers; ++i) {
+    const std::uint8_t t = r.u8();
+    if (t > 2) throw rpc::WireError("plan: invalid tier value " + std::to_string(t));
+    plan.assignment.tier.push_back(static_cast<Tier>(t));
+  }
+  check_assignment(plan, net);
+
+  if (r.u8() != 0) {
+    const std::int32_t rows = r.i32();
+    const std::int32_t cols = r.i32();
+    const std::uint32_t count = r.u32();
+    if (count > net.num_layers()) throw rpc::WireError("plan: vsm stack larger than network");
+    std::vector<unsigned long> raw_ids;
+    raw_ids.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+      raw_ids.push_back(static_cast<unsigned long>(r.u64()));
+    const std::vector<dnn::LayerId> stack = check_stack_ids(raw_ids, net);
     plan.vsm = make_fused_tile_plan(net, stack, rows, cols);
   }
+  r.expect_end("plan");
   return plan;
 }
 

@@ -13,10 +13,19 @@
 // parse_plan() validates against the network it is applied to and rebuilds the
 // fused tile plan geometry locally (it is a pure function of the model), so a
 // corrupted or mismatched plan fails loudly instead of mis-executing.
+//
+// The binary form (serialize_plan_binary / parse_plan_binary) carries the same
+// content over the rpc wire format — it is what the coordinator ships to
+// d3_node worker processes at configure time. Both parsers are strict: any
+// malformed, truncated or trailing input throws instead of yielding a
+// partially-populated plan.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/partition.h"
 #include "core/vsm.h"
@@ -34,5 +43,13 @@ std::string serialize_plan(const SerializablePlan& plan);
 // Throws std::invalid_argument on malformed input, version mismatch, model-name
 // mismatch, assignment/network size mismatch, or an invalid VSM stack.
 SerializablePlan parse_plan(const std::string& text, const dnn::Network& net);
+
+// Fixed-endianness binary form of the same plan, framed with the rpc wire
+// magic/version. parse_plan_binary applies exactly the validation parse_plan
+// does (plus wire-level truncation/overflow checks via rpc::WireError, which
+// derives from std::runtime_error).
+std::vector<std::uint8_t> serialize_plan_binary(const SerializablePlan& plan);
+SerializablePlan parse_plan_binary(std::span<const std::uint8_t> bytes,
+                                   const dnn::Network& net);
 
 }  // namespace d3::core

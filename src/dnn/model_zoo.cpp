@@ -332,6 +332,18 @@ std::vector<Network> paper_models() {
   return models;
 }
 
+Network by_name(const std::string& name) {
+  if (name == "tiny-chain") return tiny_chain();
+  if (name == "tiny-branch") return tiny_branch();
+  if (name == "grid-module") return grid_module();
+  if (name == "AlexNet") return alexnet();
+  if (name == "VGG-16") return vgg16();
+  if (name == "ResNet-18") return resnet18();
+  if (name == "Darknet-53") return darknet53();
+  if (name == "Inception-v4") return inception_v4();
+  throw std::invalid_argument("zoo: unknown model '" + name + "'");
+}
+
 Network grid_module(int h, int w) {
   Network net("grid-module", Shape{1536, h, w});
   // v1: the "Filter Concat1" entry point, shape-preserving.

@@ -23,6 +23,13 @@ Network inception_v4();
 // All five paper models, in the order the paper's figures list them.
 std::vector<Network> paper_models();
 
+// Looks a zoo model up by its Network::name() ("tiny-chain", "AlexNet", ...) —
+// how a d3_node worker process rebuilds the model named in a shipped plan
+// (every node holds the shared model zoo; only the name crosses the wire).
+// grid-module resolves at its default 8x8 size. Throws std::invalid_argument
+// on unknown names.
+Network by_name(const std::string& name);
+
 // The Inception-v4 grid module of Fig. 3a as a standalone network whose DAG is
 // exactly Fig. 3b: vertex 0 = v0 (virtual input), vertices 1..13 = v1..v13 with
 // graph layers Z0={v0}, Z1={v1}, Z2={v2..v5}, Z3={v6..v9}, Z4={v10}, Z5={v11,v12},

@@ -46,6 +46,12 @@ WeightStore WeightStore::random_for(const dnn::Network& net, std::uint64_t seed)
   return store;
 }
 
+WeightStore WeightStore::from_layers(std::vector<LayerWeights> layers) {
+  WeightStore store;
+  store.per_layer_ = std::move(layers);
+  return store;
+}
+
 dnn::Tensor random_tensor(const dnn::Shape& shape, util::Rng& rng) {
   dnn::Tensor t(shape);
   for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));

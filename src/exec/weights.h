@@ -29,10 +29,16 @@ class WeightStore {
   WeightStore() = default;
 
   const LayerWeights& layer(dnn::LayerId id) const { return per_layer_.at(id); }
+  std::size_t size() const { return per_layer_.size(); }
 
   // He-style random initialisation for every parameterised layer of `net`.
   // Deterministic in `seed`.
   static WeightStore random_for(const dnn::Network& net, std::uint64_t seed);
+
+  // Adopts explicit per-layer parameters (one entry per network layer) — how a
+  // remote node rebuilds the store it received over the wire (rpc::decode_weights
+  // validates the sizes against the network before calling this).
+  static WeightStore from_layers(std::vector<LayerWeights> layers);
 
  private:
   std::vector<LayerWeights> per_layer_;

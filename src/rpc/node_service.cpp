@@ -1,0 +1,191 @@
+#include "rpc/node_service.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/plan_io.h"
+#include "core/vsm_executor.h"
+#include "dnn/model_zoo.h"
+#include "exec/executor.h"
+#include "rpc/socket.h"
+#include "rpc/wire.h"
+#include "runtime/thread_pool.h"
+
+namespace d3::rpc {
+
+namespace {
+
+class NodeService {
+ public:
+  Frame handle(const Frame& request) {
+    WireReader r(request.body);
+    switch (request.kind) {
+      case MsgKind::kConfig: return config(r);
+      case MsgKind::kBegin: return begin(r);
+      case MsgKind::kPut: return put(r);
+      case MsgKind::kRunLayer: return run_layer(r);
+      case MsgKind::kRunStack: return run_stack(r);
+      case MsgKind::kGet: return get(r);
+      case MsgKind::kEnd: return end(r);
+      default:
+        throw WireError("node: unexpected message kind " +
+                        std::to_string(static_cast<int>(request.kind)));
+    }
+  }
+
+ private:
+  struct RequestSlots {
+    std::vector<std::optional<dnn::Tensor>> slots;  // 0 = input, i+1 = layer i
+  };
+
+  static Frame ok() { return Frame{MsgKind::kOk, {}}; }
+
+  Frame config(WireReader& r) {
+    node_name_ = r.str();
+    const std::string model = r.str();
+    const std::vector<std::uint8_t> weight_bytes = r.blob();
+    const std::vector<std::uint8_t> plan_bytes = r.blob();
+    const std::uint32_t vsm_workers = r.u32();
+    r.expect_end("config");
+
+    net_ = dnn::zoo::by_name(model);
+    weights_ = decode_weights(weight_bytes, *net_);
+    plan_ = core::parse_plan_binary(plan_bytes, *net_);
+    if (vsm_workers > 0) {
+      pool_ = std::make_unique<runtime::ThreadPool>(vsm_workers);
+      tile_parallel_ = [pool = pool_.get()](std::size_t n,
+                                            const std::function<void(std::size_t)>& body) {
+        pool->parallel_for(n, body);
+      };
+    } else {
+      pool_.reset();
+      tile_parallel_ = {};
+    }
+    requests_.clear();
+    return ok();
+  }
+
+  void require_configured() const {
+    if (!net_) throw WireError("node: not configured");
+  }
+
+  RequestSlots& request(std::uint64_t id) {
+    const auto it = requests_.find(id);
+    if (it == requests_.end())
+      throw WireError("node: unknown request " + std::to_string(id));
+    return it->second;
+  }
+
+  const dnn::Tensor& slot_tensor(RequestSlots& req, std::uint64_t slot) {
+    if (slot >= req.slots.size() || !req.slots[slot])
+      throw WireError("node: slot " + std::to_string(slot) + " not present");
+    return *req.slots[slot];
+  }
+
+  Frame begin(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    r.expect_end("begin");
+    requests_[id].slots.assign(net_->num_layers() + 1, std::nullopt);
+    return ok();
+  }
+
+  Frame put(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t slot = r.u64();
+    Envelope env = decode_envelope(r);
+    r.expect_end("put");
+    RequestSlots& req = request(id);
+    if (slot >= req.slots.size())
+      throw WireError("node: put slot " + std::to_string(slot) + " out of range");
+    if (!env.meta.to_node.empty() && env.meta.to_node != node_name_)
+      throw WireError("node '" + node_name_ + "': envelope addressed to '" +
+                      env.meta.to_node + "'");
+    req.slots[slot] = decode_tensor(env.payload);
+    return ok();
+  }
+
+  Frame run_layer(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t layer = r.u64();
+    r.expect_end("run-layer");
+    if (layer >= net_->num_layers())
+      throw WireError("node: layer id " + std::to_string(layer) + " out of range");
+    RequestSlots& req = request(id);
+    std::vector<const dnn::Tensor*> ins;
+    ins.reserve(net_->layer(layer).inputs.size());
+    for (const dnn::LayerId in : net_->layer(layer).inputs)
+      ins.push_back(&slot_tensor(req, in == dnn::kNetworkInput ? 0 : in + 1));
+    req.slots[layer + 1] = exec::run_layer(*net_, weights_, layer, ins);
+    return ok();
+  }
+
+  Frame run_stack(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    r.expect_end("run-stack");
+    if (!plan_ || !plan_->vsm) throw WireError("node: no VSM stack in the shipped plan");
+    const core::FusedTilePlan& vsm = *plan_->vsm;
+    RequestSlots& req = request(id);
+    const dnn::LayerId in_id = net_->layer(vsm.stack.front()).inputs[0];
+    const dnn::Tensor& stack_input =
+        slot_tensor(req, in_id == dnn::kNetworkInput ? 0 : in_id + 1);
+    // Scatter, per-tile fused execution (across this node's own worker pool)
+    // and tile-order gather, all inside this process: intra-edge traffic never
+    // touches the coordinator, exactly like the paper's edge cluster.
+    req.slots[vsm.stack.back() + 1] =
+        core::run_fused_tiles(*net_, weights_, stack_input, vsm, tile_parallel_);
+    return ok();
+  }
+
+  Frame get(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t slot = r.u64();
+    r.expect_end("get");
+    return Frame{MsgKind::kTensor, encode_tensor(slot_tensor(request(id), slot))};
+  }
+
+  Frame end(WireReader& r) {
+    const std::uint64_t id = r.u64();
+    r.expect_end("end");
+    requests_.erase(id);
+    return ok();
+  }
+
+  std::string node_name_;
+  std::optional<dnn::Network> net_;
+  exec::WeightStore weights_;
+  std::optional<core::SerializablePlan> plan_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  core::TileParallelFor tile_parallel_;
+  std::map<std::uint64_t, RequestSlots> requests_;
+};
+
+}  // namespace
+
+void serve_node(int fd) {
+  NodeService service;
+  Frame request;
+  while (read_frame_or_eof(fd, request)) {
+    if (request.kind == MsgKind::kShutdown) {
+      write_frame(fd, MsgKind::kOk, {});
+      return;
+    }
+    Frame reply;
+    try {
+      reply = service.handle(request);
+    } catch (const std::exception& e) {
+      WireWriter w;
+      w.str(e.what());
+      reply = Frame{MsgKind::kError, w.take()};
+    }
+    write_frame(fd, reply.kind, reply.body);
+  }
+}
+
+}  // namespace d3::rpc

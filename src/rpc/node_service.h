@@ -1,0 +1,21 @@
+// Worker side of the socket transport: the body of the d3_node binary.
+//
+// A node process is a passive responder. After kConfig ships it the model name
+// (resolved against the shared zoo), the full weights, the deployment plan and
+// its pool width, it holds per-request slot state (slot 0 = raw input, slot
+// i+1 = layer i's output) and answers the coordinator's kPut / kRunLayer /
+// kRunStack / kGet / kEnd requests until EOF or kShutdown. All sequencing and
+// transcript recording stays with the coordinating engine — the worker only
+// stores tensors and runs kernels, which is why transcripts are identical on
+// every transport.
+#pragma once
+
+namespace d3::rpc {
+
+// Serves one coordinator connection on `fd` until clean EOF or kShutdown.
+// Handler failures (unknown model, missing input slot, malformed body) are
+// reported to the coordinator as kError replies and the loop continues;
+// protocol-level failures (bad frame magic, mid-frame EOF) throw SocketError.
+void serve_node(int fd);
+
+}  // namespace d3::rpc

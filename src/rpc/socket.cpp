@@ -1,0 +1,198 @@
+#include "rpc/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace d3::rpc {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+// Full-buffer read/write loops (TCP may deliver partial chunks).
+void write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+// Returns bytes read (== len), or 0 on EOF at the very first byte when
+// `eof_ok`; EOF mid-buffer always throws.
+std::size_t read_all(int fd, void* data, std::size_t len, bool eof_ok) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("read");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return 0;
+      throw SocketError("read: peer closed mid-frame (" + std::to_string(got) + "/" +
+                        std::to_string(len) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket tcp_listen(std::uint16_t& port) {
+  // CLOEXEC everywhere: a fork/exec'd worker must not inherit other
+  // connections' fds, or its copies would keep those sockets alive and defeat
+  // the EOF-based graceful shutdown of sibling workers.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail_errno("socket");
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) fail_errno("bind");
+  if (::listen(fd, 4) < 0) fail_errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail_errno("getsockname");
+  port = ntohs(addr.sin_port);
+  return sock;
+}
+
+Socket tcp_accept(const Socket& listener, int timeout_ms, bool (*abort_check)(void*),
+                  void* abort_arg) {
+  int waited = 0;
+  for (;;) {
+    pollfd pfd{listener.fd(), POLLIN, 0};
+    const int slice = 100;
+    const int n = ::poll(&pfd, 1, slice);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("poll");
+    }
+    if (n > 0) break;
+    waited += slice;
+    if (abort_check && abort_check(abort_arg))
+      throw SocketError("accept: peer aborted before connecting");
+    if (waited >= timeout_ms) throw SocketError("accept: timed out waiting for peer");
+  }
+  const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) fail_errno("accept");
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail_errno("socket");
+  Socket sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw SocketError("connect: bad address '" + host + "'");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    fail_errno("connect to " + host + ":" + std::to_string(port));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+void write_frame(int fd, MsgKind kind, std::span<const std::uint8_t> body) {
+  if (body.size() > kMaxFrameBytes)
+    throw SocketError("frame body of " + std::to_string(body.size()) + " bytes exceeds limit");
+  std::uint8_t header[13];
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(kFrameMagic >> (8 * i));
+  header[4] = static_cast<std::uint8_t>(kind);
+  const std::uint64_t len = body.size();
+  for (int i = 0; i < 8; ++i) header[5 + i] = static_cast<std::uint8_t>(len >> (8 * i));
+  write_all(fd, header, sizeof(header));
+  if (!body.empty()) write_all(fd, body.data(), body.size());
+}
+
+namespace {
+
+Frame read_frame_impl(int fd, bool eof_ok, bool& eof) {
+  std::uint8_t header[13];
+  eof = false;
+  if (read_all(fd, header, sizeof(header), eof_ok) == 0) {
+    eof = true;
+    return {};
+  }
+  if (load_le32(header) != kFrameMagic) throw SocketError("frame: bad magic");
+  const std::uint8_t kind = header[4];
+  const std::uint64_t len = load_le64(header + 5);
+  if (len > kMaxFrameBytes)
+    throw SocketError("frame: body length " + std::to_string(len) + " exceeds limit");
+  Frame frame;
+  frame.kind = static_cast<MsgKind>(kind);
+  frame.body.resize(static_cast<std::size_t>(len));
+  if (len > 0) read_all(fd, frame.body.data(), frame.body.size(), false);
+  return frame;
+}
+
+}  // namespace
+
+Frame read_frame(int fd) {
+  bool eof = false;
+  Frame frame = read_frame_impl(fd, false, eof);
+  return frame;
+}
+
+bool read_frame_or_eof(int fd, Frame& out) {
+  bool eof = false;
+  out = read_frame_impl(fd, true, eof);
+  return !eof;
+}
+
+}  // namespace d3::rpc

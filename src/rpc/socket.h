@@ -1,0 +1,95 @@
+// POSIX TCP plumbing for the socket transport: RAII file descriptors,
+// localhost listen/accept/connect helpers, and length-prefixed frame I/O.
+//
+// A frame is the unit of the coordinator <-> worker protocol:
+//
+//   u32 magic | u8 kind | u64 body length | body bytes
+//
+// read_frame() is strict — EOF mid-frame, a bad magic or an oversized length
+// raise SocketError, so a desynchronised stream can never be misparsed as a
+// valid message.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace d3::rpc {
+
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error("rpc: " + what) {}
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0xD3A0000F;
+inline constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 31;
+
+// Coordinator -> worker requests and worker -> coordinator replies.
+enum class MsgKind : std::uint8_t {
+  // Requests.
+  kConfig = 1,    // model name + weights + plan + options: makes the node live
+  kBegin = 2,     // open per-request slot state
+  kPut = 3,       // deliver an Envelope into a slot
+  kRunLayer = 4,  // execute one layer from the node's slots
+  kRunStack = 5,  // execute the VSM fused-tile stack
+  kGet = 6,       // fetch a slot's tensor back
+  kEnd = 7,       // drop per-request state
+  kShutdown = 8,  // acknowledge and exit the serve loop
+  // Replies.
+  kOk = 64,
+  kTensor = 65,  // body: one encoded tensor
+  kError = 66,   // body: wire string with the failure message
+};
+
+// RAII owner of a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on 127.0.0.1:`port` (0 = ephemeral); `port` is updated to
+// the bound port. Throws SocketError on failure.
+Socket tcp_listen(std::uint16_t& port);
+
+// Accepts one connection, polling up to `timeout_ms`. `abort_check` (optional)
+// is polled between waits; returning true aborts the accept (used to notice a
+// worker child that died before connecting). Throws SocketError on timeout,
+// abort, or OS failure.
+Socket tcp_accept(const Socket& listener, int timeout_ms, bool (*abort_check)(void*) = nullptr,
+                  void* abort_arg = nullptr);
+
+// Connects to host:port (IPv4 dotted quad, e.g. "127.0.0.1").
+Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+struct Frame {
+  MsgKind kind = MsgKind::kOk;
+  std::vector<std::uint8_t> body;
+};
+
+// Writes one frame, looping over partial writes. Throws SocketError.
+void write_frame(int fd, MsgKind kind, std::span<const std::uint8_t> body);
+
+// Reads one frame. Throws SocketError on any malformation, including EOF
+// mid-frame.
+Frame read_frame(int fd);
+
+// Like read_frame, but a clean EOF before the first byte returns false —
+// the peer hung up between messages (normal worker shutdown).
+bool read_frame_or_eof(int fd, Frame& out);
+
+}  // namespace d3::rpc

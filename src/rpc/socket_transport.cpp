@@ -1,0 +1,210 @@
+#include "rpc/socket_transport.h"
+
+#include <chrono>
+#include <csignal>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#include "rpc/wire.h"
+
+namespace d3::rpc {
+
+void SocketTransport::add_node(const std::string& node, Socket socket) {
+  if (!socket.valid()) throw TransportError("add_node: invalid socket for '" + node + "'");
+  auto entry = std::make_unique<Node>();
+  entry->socket = std::move(socket);
+  if (!nodes_.emplace(node, std::move(entry)).second)
+    throw TransportError("add_node: node '" + node + "' already attached");
+}
+
+SocketTransport::Node* SocketTransport::find(const std::string& node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Frame SocketTransport::call(Node& node, const std::string& node_name, MsgKind kind,
+                            std::span<const std::uint8_t> body, MsgKind expected) {
+  std::lock_guard<std::mutex> lock(node.mutex);
+  write_frame(node.socket.fd(), kind, body);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  Frame reply = read_frame(node.socket.fd());
+  if (reply.kind == MsgKind::kError) {
+    WireReader r(reply.body);
+    throw TransportError("node '" + node_name + "': " + r.str());
+  }
+  if (reply.kind != expected)
+    throw TransportError("node '" + node_name + "': unexpected reply kind " +
+                         std::to_string(static_cast<int>(reply.kind)) + " to request kind " +
+                         std::to_string(static_cast<int>(kind)));
+  return reply;
+}
+
+void SocketTransport::configure(const std::string& model_name, const dnn::Network& net,
+                                const exec::WeightStore& weights,
+                                std::span<const std::uint8_t> plan_binary,
+                                std::size_t vsm_workers) {
+  const std::vector<std::uint8_t> weight_bytes = encode_weights(weights, net);
+  for (auto& [name, node] : nodes_) {
+    WireWriter w;
+    w.str(name);
+    w.str(model_name);
+    w.blob(weight_bytes);
+    w.blob(plan_binary);
+    w.u32(static_cast<std::uint32_t>(vsm_workers));
+    const std::vector<std::uint8_t> body = w.take();
+    call(*node, name, MsgKind::kConfig, body);
+  }
+}
+
+std::uint64_t SocketTransport::open_request() {
+  const std::uint64_t id = next_request_.fetch_add(1);
+  for (auto& [name, node] : nodes_) {
+    WireWriter w;
+    w.u64(id);
+    call(*node, name, MsgKind::kBegin, w.buffer());
+  }
+  return id;
+}
+
+void SocketTransport::close_request(std::uint64_t request) noexcept {
+  for (auto& [name, node] : nodes_) {
+    try {
+      WireWriter w;
+      w.u64(request);
+      call(*node, name, MsgKind::kEnd, w.buffer());
+    } catch (...) {
+      // Teardown path: a dead worker must not mask the original failure.
+    }
+  }
+}
+
+void SocketTransport::put(std::uint64_t request, Node& node, const std::string& node_name,
+                          const runtime::MessageRecord& meta, std::uint64_t slot,
+                          const dnn::Tensor& tensor) {
+  WireWriter w;
+  w.u64(request);
+  w.u64(slot);
+  const Envelope env{meta, encode_tensor(tensor)};
+  payload_bytes_sent_.fetch_add(env.payload.size(), std::memory_order_relaxed);
+  encode_envelope(w, env);
+  call(node, node_name, MsgKind::kPut, w.buffer());
+}
+
+void SocketTransport::seed(std::uint64_t request, const std::string& node_name,
+                           std::uint64_t slot, const dnn::Tensor& tensor) {
+  Node* node = find(node_name);
+  if (!node) return;  // node hosted in-process: the coordinator already has it
+  runtime::MessageRecord meta;
+  meta.from_node = node_name;
+  meta.to_node = node_name;
+  meta.payload = "seed";
+  put(request, *node, node_name, meta, slot, tensor);
+}
+
+std::optional<dnn::Tensor> SocketTransport::send(std::uint64_t request,
+                                                 const runtime::MessageRecord& meta,
+                                                 std::uint64_t slot,
+                                                 const dnn::Tensor& tensor) {
+  Node* node = find(meta.to_node);
+  if (!node || slot == kNoSlot) return std::nullopt;  // destination hosted in-process
+  put(request, *node, meta.to_node, meta, slot, tensor);
+  return std::nullopt;
+}
+
+bool SocketTransport::run_layer(std::uint64_t request, const std::string& node_name,
+                                dnn::LayerId layer) {
+  Node* node = find(node_name);
+  if (!node) return false;
+  WireWriter w;
+  w.u64(request);
+  w.u64(layer);
+  call(*node, node_name, MsgKind::kRunLayer, w.buffer());
+  return true;
+}
+
+bool SocketTransport::run_stack(std::uint64_t request, const std::string& node_name) {
+  Node* node = find(node_name);
+  if (!node) return false;
+  WireWriter w;
+  w.u64(request);
+  call(*node, node_name, MsgKind::kRunStack, w.buffer());
+  return true;
+}
+
+dnn::Tensor SocketTransport::fetch(std::uint64_t request, const std::string& node_name,
+                                   std::uint64_t slot) {
+  Node* node = find(node_name);
+  if (!node)
+    throw TransportError("fetch: node '" + node_name + "' is not attached");
+  WireWriter w;
+  w.u64(request);
+  w.u64(slot);
+  const Frame reply = call(*node, node_name, MsgKind::kGet, w.buffer(), MsgKind::kTensor);
+  payload_bytes_fetched_.fetch_add(reply.body.size(), std::memory_order_relaxed);
+  return decode_tensor(std::span<const std::uint8_t>(reply.body));
+}
+
+// --- WorkerProcess -----------------------------------------------------------
+
+namespace {
+
+// Polled by tcp_accept between waits; reaps the child and flips the pid to -1
+// when it died before connecting, so the constructor fails fast.
+bool child_exited(void* arg) {
+  pid_t* pid = static_cast<pid_t*>(arg);
+  if (*pid < 0) return true;
+  int status = 0;
+  if (::waitpid(*pid, &status, WNOHANG) == *pid) {
+    *pid = -1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+WorkerProcess::WorkerProcess(const std::string& binary) {
+  std::uint16_t port = 0;
+  Socket listener = tcp_listen(port);
+  const std::string port_str = std::to_string(port);
+
+  pid_ = ::fork();
+  if (pid_ < 0) throw SocketError("fork failed");
+  if (pid_ == 0) {
+    // Child: only async-signal-safe calls until exec.
+    ::execl(binary.c_str(), binary.c_str(), "--connect", "127.0.0.1", port_str.c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed (missing binary)
+  }
+  pid_t alive = pid_;  // flipped to -1 by child_exited once reaped
+  try {
+    socket_ = tcp_accept(listener, 30000, &child_exited, &alive);
+  } catch (...) {
+    if (alive >= 0) {  // child still running (accept timed out rather than child death)
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+    pid_ = -1;
+    throw;
+  }
+}
+
+Socket WorkerProcess::take_socket() {
+  if (!socket_.valid()) throw SocketError("worker socket already taken");
+  return std::move(socket_);
+}
+
+WorkerProcess::~WorkerProcess() {
+  if (pid_ < 0) return;
+  socket_.close();  // EOF tells the worker to exit its serve loop
+  int status = 0;
+  for (int waited_ms = 0; waited_ms < 5000; waited_ms += 20) {
+    if (::waitpid(pid_, &status, WNOHANG) == pid_) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(pid_, SIGKILL);
+  ::waitpid(pid_, &status, 0);
+}
+
+}  // namespace d3::rpc

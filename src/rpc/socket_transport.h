@@ -1,0 +1,110 @@
+// Coordinator side of the multi-process transport: each attached node is a
+// d3_node worker process reached over one localhost TCP connection.
+//
+// Topology is a star through the coordinator: every inter-node tensor is
+// recorded once (producer node -> consumer node) in the transcript but
+// physically relayed coordinator -> consumer, which keeps the worker protocol
+// strictly request/response and the per-boundary byte accounting identical to
+// the in-process engine. Nodes that are not attached (mixed deployments, VSM
+// worker names like "edge1") fall back to in-process hosting automatically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <sys/types.h>
+
+#include "exec/weights.h"
+#include "rpc/socket.h"
+#include "rpc/transport.h"
+
+namespace d3::rpc {
+
+class SocketTransport final : public Transport {
+ public:
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t payload_bytes_sent = 0;
+    std::uint64_t payload_bytes_fetched = 0;
+  };
+
+  // Attaches a connected worker as computation node `node` ("device0",
+  // "edge0", "cloud0"). Call configure() once after all nodes are attached.
+  void add_node(const std::string& node, Socket socket);
+  bool attached(const std::string& node) const { return nodes_.count(node) > 0; }
+
+  // Ships the deployment bundle — model name, full weights, the plan in binary
+  // wire form, and the edge pool width — to every attached node. Throws
+  // TransportError if any worker rejects it.
+  void configure(const std::string& model_name, const dnn::Network& net,
+                 const exec::WeightStore& weights, std::span<const std::uint8_t> plan_binary,
+                 std::size_t vsm_workers);
+
+  std::string name() const override { return "socket"; }
+  std::uint64_t open_request() override;
+  void close_request(std::uint64_t request) noexcept override;
+  void seed(std::uint64_t request, const std::string& node, std::uint64_t slot,
+            const dnn::Tensor& tensor) override;
+  std::optional<dnn::Tensor> send(std::uint64_t request, const runtime::MessageRecord& meta,
+                                  std::uint64_t slot, const dnn::Tensor& tensor) override;
+  bool run_layer(std::uint64_t request, const std::string& node, dnn::LayerId layer) override;
+  bool run_stack(std::uint64_t request, const std::string& node) override;
+  dnn::Tensor fetch(std::uint64_t request, const std::string& node,
+                    std::uint64_t slot) override;
+
+  Stats stats() const {
+    return {frames_sent_.load(), payload_bytes_sent_.load(), payload_bytes_fetched_.load()};
+  }
+
+ private:
+  struct Node {
+    Socket socket;
+    // One in-flight request/response per connection: stages of different
+    // pipelined requests may address the same node from different scheduler
+    // threads.
+    std::mutex mutex;
+  };
+
+  Node* find(const std::string& node) const;
+  // Locked request/response round-trip. kError replies become TransportError
+  // with the worker's message; any reply kind other than `expected` is a
+  // protocol desync and throws too.
+  Frame call(Node& node, const std::string& node_name, MsgKind kind,
+             std::span<const std::uint8_t> body, MsgKind expected = MsgKind::kOk);
+  void put(std::uint64_t request, Node& node, const std::string& node_name,
+           const runtime::MessageRecord& meta, std::uint64_t slot, const dnn::Tensor& tensor);
+
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+  std::atomic<std::uint64_t> next_request_{1};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> payload_bytes_sent_{0};
+  std::atomic<std::uint64_t> payload_bytes_fetched_{0};
+};
+
+// Forks and execs a d3_node worker binary connected back to this process over
+// localhost TCP. The listening socket is bound before the fork, so there is no
+// startup race; a child that dies before connecting fails the constructor
+// instead of hanging it.
+class WorkerProcess {
+ public:
+  explicit WorkerProcess(const std::string& binary);
+  // Closes the socket if still held (the worker exits on EOF) and reaps the
+  // child, escalating to SIGKILL if it ignores the hang-up.
+  ~WorkerProcess();
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+  // Hands the connected socket to a SocketTransport (call exactly once).
+  Socket take_socket();
+  pid_t pid() const { return pid_; }
+
+ private:
+  pid_t pid_ = -1;
+  Socket socket_;
+};
+
+}  // namespace d3::rpc

@@ -1,0 +1,34 @@
+#include "rpc/transport.h"
+
+#include "rpc/wire.h"
+
+namespace d3::rpc {
+
+void Transport::seed(std::uint64_t, const std::string&, std::uint64_t, const dnn::Tensor&) {}
+
+bool Transport::run_layer(std::uint64_t, const std::string&, dnn::LayerId) { return false; }
+
+bool Transport::run_stack(std::uint64_t, const std::string&) { return false; }
+
+dnn::Tensor Transport::fetch(std::uint64_t, const std::string& node, std::uint64_t) {
+  throw TransportError("fetch: node '" + node + "' is not remote on transport '" + name() +
+                       "'");
+}
+
+std::optional<dnn::Tensor> SerializingLoopback::send(std::uint64_t,
+                                                     const runtime::MessageRecord& meta,
+                                                     std::uint64_t, const dnn::Tensor& tensor) {
+  // The full wire path: tensor -> envelope -> framed bytes -> envelope ->
+  // tensor. The decoded copy is what the destination node computes on.
+  Envelope env{meta, encode_tensor(tensor)};
+  const std::vector<std::uint8_t> wire = encode_envelope(env);
+  Envelope back = decode_envelope(wire);
+  if (back.meta.seq != meta.seq || back.meta.bytes != meta.bytes)
+    throw TransportError("loopback: envelope metadata did not survive the wire");
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(env.payload.size(), std::memory_order_relaxed);
+  wire_bytes_.fetch_add(wire.size(), std::memory_order_relaxed);
+  return decode_tensor(back.payload);
+}
+
+}  // namespace d3::rpc

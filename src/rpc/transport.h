@@ -1,0 +1,134 @@
+// Pluggable message-channel abstraction between the online engine's
+// computation nodes (paper Fig. 2: device node, edge coordinator + workers,
+// cloud node).
+//
+// The engine stays the single orchestrator: it walks the plan, records the
+// transcript, and calls the transport at every point where a tensor crosses a
+// node boundary or a layer executes on a node it does not host. Because the
+// transcript is a pure function of the plan (never of the payload bytes), all
+// transports produce byte-identical transcripts, and the lossless invariant —
+// distributed output bitwise-equal to exec::Executor — is checked on every one:
+//
+//   * InProcessTransport    — every node shares the coordinator's address
+//                             space; tensors pass by reference (zero-copy,
+//                             exactly the pre-transport engine behaviour).
+//   * SerializingLoopback   — nodes still share the address space, but every
+//                             inter-node tensor round-trips through
+//                             encode_envelope/decode_envelope, proving
+//                             losslessness survives the wire format.
+//   * SocketTransport       — nodes are separate OS processes (the d3_node
+//                             worker binary) reached over localhost TCP; see
+//                             socket_transport.h.
+//
+// Slot addressing: slot 0 holds the raw network input, slot i+1 holds layer
+// i's output — the same indexing as the engine's per-request `sent` table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "dnn/network.h"
+#include "dnn/tensor.h"
+#include "runtime/message.h"
+
+namespace d3::rpc {
+
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error("rpc: " + what) {}
+};
+
+// Tile scatter/gather messages are intra-edge and not slot-addressed; they
+// carry this sentinel so a transport never files them in a node's slot table.
+inline constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual std::string name() const = 0;
+
+  // Per-request lifecycle: remote transports allocate (and free) per-request
+  // slot state on every node. close_request must be idempotent and must not
+  // throw — it runs on request teardown paths.
+  virtual std::uint64_t open_request() = 0;
+  virtual void close_request(std::uint64_t request) noexcept = 0;
+
+  // Places a coordinator-held tensor at `node` under `slot` with no message
+  // semantics — used for the raw input on the device node, which never crosses
+  // a tier boundary. No-op for address-space-sharing transports.
+  virtual void seed(std::uint64_t request, const std::string& node, std::uint64_t slot,
+                    const dnn::Tensor& tensor);
+
+  // Ships `tensor` from meta.from_node to meta.to_node under `slot` (kNoSlot
+  // for VSM tile traffic). Returns the tensor as materialised at the
+  // destination when the destination shares the coordinator's address space
+  // and consumers should read the wire copy (SerializingLoopback); nullopt
+  // when the engine keeps using its own reference (in-process zero-copy) or
+  // when the destination is a remote process.
+  virtual std::optional<dnn::Tensor> send(std::uint64_t request,
+                                          const runtime::MessageRecord& meta,
+                                          std::uint64_t slot, const dnn::Tensor& tensor) = 0;
+
+  // Runs layer `layer` / the VSM fused-tile stack on `node`, reading and
+  // writing that node's slots. Returns false when `node` is hosted in the
+  // coordinator's process — the engine then computes locally.
+  virtual bool run_layer(std::uint64_t request, const std::string& node, dnn::LayerId layer);
+  virtual bool run_stack(std::uint64_t request, const std::string& node);
+
+  // Fetches `slot` back from `node` into the coordinator. Only meaningful for
+  // transports hosting `node` remotely; the base implementation throws.
+  virtual dnn::Tensor fetch(std::uint64_t request, const std::string& node,
+                            std::uint64_t slot);
+};
+
+// Zero-copy transport: preserves the original in-process engine behaviour (and
+// its benchmarks) exactly — send() is pure bookkeeping, every consumer reads
+// the producer's tensor by reference.
+class InProcessTransport final : public Transport {
+ public:
+  std::string name() const override { return "in-process"; }
+  std::uint64_t open_request() override { return next_.fetch_add(1); }
+  void close_request(std::uint64_t) noexcept override {}
+  std::optional<dnn::Tensor> send(std::uint64_t, const runtime::MessageRecord&, std::uint64_t,
+                                  const dnn::Tensor&) override {
+    return std::nullopt;
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_{1};
+};
+
+// Every inter-node tensor round-trips encode_envelope -> decode_envelope ->
+// decode_tensor, and consumers compute on the decoded copy: one engine run on
+// this transport proves the whole inference survives the wire format
+// losslessly. Thread-safe (stats are atomics); one instance may serve any
+// number of concurrent engine requests.
+class SerializingLoopback final : public Transport {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;       // envelopes round-tripped
+    std::uint64_t payload_bytes = 0;  // encoded tensor bytes inside envelopes
+    std::uint64_t wire_bytes = 0;     // full framed envelope bytes
+  };
+
+  std::string name() const override { return "serializing-loopback"; }
+  std::uint64_t open_request() override { return next_.fetch_add(1); }
+  void close_request(std::uint64_t) noexcept override {}
+  std::optional<dnn::Tensor> send(std::uint64_t request, const runtime::MessageRecord& meta,
+                                  std::uint64_t slot, const dnn::Tensor& tensor) override;
+
+  Stats stats() const {
+    return {messages_.load(), payload_bytes_.load(), wire_bytes_.load()};
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_{1};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::atomic<std::uint64_t> wire_bytes_{0};
+};
+
+}  // namespace d3::rpc

@@ -10,7 +10,11 @@ constexpr core::Tier kStageTier[3] = {core::Tier::kDevice, core::Tier::kEdge,
                                       core::Tier::kCloud};
 }  // namespace
 
-BatchScheduler::BatchScheduler(const OnlineEngine& engine) : engine_(engine) {
+BatchScheduler::BatchScheduler(const OnlineEngine& engine)
+    : BatchScheduler(engine, Options{}) {}
+
+BatchScheduler::BatchScheduler(const OnlineEngine& engine, Options options)
+    : engine_(engine), options_(options) {
   stages_.reserve(3);
   for (std::size_t s = 0; s < 3; ++s) stages_.emplace_back([this, s] { stage_loop(s); });
 }
@@ -34,15 +38,33 @@ std::size_t BatchScheduler::submit(const dnn::Tensor& input) {
   // fast and never occupies a stage.
   auto state = engine_.begin(input);
   std::size_t id = 0;
+  std::unique_ptr<OnlineEngine::RequestState> evicted_state;  // freed outside the lock
+  bool dropped_one = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) throw std::logic_error("BatchScheduler: submit after shutdown began");
+    // Drop-oldest admission: the new request displaces the stalest waiting one
+    // (sim::StreamOptions::drop_when_busy at runtime — a slow pipeline sheds
+    // stale frames instead of queueing unboundedly).
+    if (options_.admission_capacity > 0 &&
+        stage_queue_[0].size() >= options_.admission_capacity) {
+      const std::size_t victim = stage_queue_[0].front();
+      stage_queue_[0].pop_front();
+      Request& old = *requests_[victim];
+      evicted_state = std::move(old.state);
+      old.error = std::make_exception_ptr(RequestDropped(victim));
+      old.done = true;
+      ++completed_;
+      ++dropped_;
+      dropped_one = true;
+    }
     id = requests_.size();
     auto request = std::make_unique<Request>();
     request->state = std::move(state);
     requests_.push_back(std::move(request));
     stage_queue_[0].push_back(id);
   }
+  if (dropped_one) request_done_.notify_all();
   stage_work_[0].notify_one();
   return id;
 }
@@ -110,7 +132,13 @@ std::vector<InferenceResult> BatchScheduler::drain() {
   }
   std::vector<InferenceResult> results;
   results.reserve(count);
-  for (std::size_t id = 0; id < count; ++id) results.push_back(wait(id));
+  for (std::size_t id = 0; id < count; ++id) {
+    try {
+      results.push_back(wait(id));
+    } catch (const RequestDropped&) {
+      // Shed by admission control: accounted in stats().dropped, not a result.
+    }
+  }
   return results;
 }
 
@@ -122,6 +150,11 @@ std::size_t BatchScheduler::submitted() const {
 std::size_t BatchScheduler::completed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return completed_;
+}
+
+BatchScheduler::Stats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{requests_.size(), completed_ - dropped_, dropped_};
 }
 
 }  // namespace d3::runtime

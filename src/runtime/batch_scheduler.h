@@ -8,6 +8,14 @@
 // device stage and request k-1 on the cloud stage — real tier pipelining, the
 // execution-time analogue of sim::batch_makespan_seconds.
 //
+// Admission control. Options::admission_capacity bounds the device-stage
+// waiting queue; when a new request arrives at a full queue the *oldest*
+// still-waiting request is dropped in its favour — the runtime analogue of
+// sim::StreamOptions::drop_when_busy, where a camera pipeline overwrites stale
+// frames rather than queueing unboundedly (capacity 1 is exactly the
+// simulator's depth-1 drop-oldest source). Dropped requests complete
+// immediately: wait() throws RequestDropped for them and stats() counts them.
+//
 // Determinism: a request's three stages always run in tier order, each on
 // exactly one thread, handed off through a mutex (so all writes of stage s
 // happen-before stage s+1 reads them). Per-request transcripts are therefore
@@ -21,6 +29,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -28,10 +37,31 @@
 
 namespace d3::runtime {
 
+// Thrown by wait() for a request that was dropped by admission control.
+class RequestDropped : public std::runtime_error {
+ public:
+  explicit RequestDropped(std::size_t id)
+      : std::runtime_error("BatchScheduler: request " + std::to_string(id) +
+                           " dropped by admission control") {}
+};
+
 class BatchScheduler {
  public:
+  struct Options {
+    // Maximum requests waiting in the device-stage queue (excluding the one
+    // being processed). 0 = unbounded (no drops, the original behaviour).
+    std::size_t admission_capacity = 0;
+  };
+
+  struct Stats {
+    std::size_t submitted = 0;  // admitted by submit()
+    std::size_t completed = 0;  // ran all three stages
+    std::size_t dropped = 0;    // evicted by drop-oldest admission control
+  };
+
   // `engine` must outlive the scheduler. Spawns one stage thread per tier.
   explicit BatchScheduler(const OnlineEngine& engine);
+  BatchScheduler(const OnlineEngine& engine, Options options);
   // Blocks until every admitted request has completed, then joins the stage
   // threads. Uncollected results are discarded.
   ~BatchScheduler();
@@ -40,20 +70,27 @@ class BatchScheduler {
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   // Admits one request; returns its id (0-based, in admission order). Throws
-  // std::invalid_argument immediately on input shape mismatch. Thread-safe.
+  // std::invalid_argument immediately on input shape mismatch. At a full
+  // admission queue, the oldest waiting request is dropped to make room.
+  // Thread-safe.
   std::size_t submit(const dnn::Tensor& input);
 
   // Blocks until request `id` has left the cloud stage, then returns its
   // result (exactly once per id; a second call for the same id throws).
-  // Rethrows any exception the request's stages raised.
+  // Rethrows any exception the request's stages raised; throws RequestDropped
+  // if admission control evicted it.
   InferenceResult wait(std::size_t id);
 
-  // Waits for every admitted request and returns all results in admission
-  // order. Equivalent to calling wait() for each id not yet collected.
+  // Waits for every admitted request and returns the results of those that
+  // completed, in admission order (dropped requests are skipped — check
+  // stats().dropped). Equivalent to calling wait() for each uncollected id and
+  // discarding RequestDropped.
   std::vector<InferenceResult> drain();
 
   std::size_t submitted() const;
+  // Requests that have left the pipeline (completed or dropped).
   std::size_t completed() const;
+  Stats stats() const;
 
  private:
   struct Request {
@@ -67,13 +104,15 @@ class BatchScheduler {
   void stage_loop(std::size_t stage);
 
   const OnlineEngine& engine_;
+  const Options options_;
 
   mutable std::mutex mutex_;
   std::condition_variable stage_work_[3];
   std::condition_variable request_done_;
   std::deque<std::size_t> stage_queue_[3];
   std::vector<std::unique_ptr<Request>> requests_;
-  std::size_t completed_ = 0;
+  std::size_t completed_ = 0;  // completed or dropped: requests no longer in flight
+  std::size_t dropped_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> stages_;
 };

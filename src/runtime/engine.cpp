@@ -8,6 +8,7 @@
 
 #include "core/vsm_executor.h"
 #include "exec/executor.h"
+#include "rpc/transport.h"
 
 namespace d3::runtime {
 
@@ -22,19 +23,32 @@ const char* node_of(core::Tier tier) {
   return "?";
 }
 
-void record(InferenceResult& result, const std::string& from, const std::string& to,
-            const std::string& payload, core::Tier from_tier, core::Tier to_tier,
-            std::int64_t bytes) {
-  result.messages.push_back({static_cast<std::uint64_t>(result.messages.size()), from, to,
-                             payload, from_tier, to_tier, bytes});
-  const int lo = std::min(core::index(from_tier), core::index(to_tier));
-  const int hi = std::max(core::index(from_tier), core::index(to_tier));
-  if (lo == 0 && hi == 1) result.device_edge_bytes += bytes;
-  else if (lo == 1 && hi == 2) result.edge_cloud_bytes += bytes;
-  else if (lo == 0 && hi == 2) result.device_cloud_bytes += bytes;
+void record(InferenceResult& result, const MessageRecord& meta) {
+  result.messages.push_back(meta);
+  const int lo = std::min(core::index(meta.from_tier), core::index(meta.to_tier));
+  const int hi = std::max(core::index(meta.from_tier), core::index(meta.to_tier));
+  if (lo == 0 && hi == 1) result.device_edge_bytes += meta.bytes;
+  else if (lo == 1 && hi == 2) result.edge_cloud_bytes += meta.bytes;
+  else if (lo == 0 && hi == 2) result.device_cloud_bytes += meta.bytes;
+}
+
+// The zero-copy default, shared by every engine constructed without an
+// explicit transport.
+std::shared_ptr<rpc::Transport> default_transport() {
+  static std::shared_ptr<rpc::Transport> transport =
+      std::make_shared<rpc::InProcessTransport>();
+  return transport;
 }
 
 }  // namespace
+
+OnlineEngine::RpcRequestGuard::RpcRequestGuard(std::shared_ptr<rpc::Transport> transport_in,
+                                               std::uint64_t id_in)
+    : transport(std::move(transport_in)), id(id_in) {}
+
+OnlineEngine::RpcRequestGuard::~RpcRequestGuard() {
+  if (transport) transport->close_request(id);
+}
 
 OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& weights,
                            core::Assignment assignment,
@@ -48,7 +62,8 @@ OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& wei
       weights_(weights),
       assignment_(std::move(assignment)),
       vsm_(std::move(vsm)),
-      options_(options) {
+      options_(std::move(options)),
+      transport_(options_.transport ? options_.transport : default_transport()) {
   if (assignment_.tier.size() != net_.num_layers() + 1)
     throw std::invalid_argument("OnlineEngine: assignment size does not match network");
   if (assignment_.tier[0] != core::Tier::kDevice)
@@ -87,9 +102,22 @@ OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& wei
       }
     }
   }
-  const std::size_t pool_threads = std::max(options.vsm_workers, options.intra_op_workers);
+  // A layer's output must come back to the coordinator when any consumer lives
+  // on a different tier (the coordinator relays every boundary tensor) or when
+  // it is the network output. Everything else stays wherever it was computed.
+  needs_fetch_.assign(net_.num_layers(), false);
+  if (net_.num_layers() > 0) needs_fetch_[net_.num_layers() - 1] = true;
+  for (dnn::LayerId id = 0; id < net_.num_layers(); ++id)
+    for (const dnn::LayerId in : net_.layer(id).inputs)
+      if (in != dnn::kNetworkInput &&
+          assignment_.tier[dnn::Network::vertex_of(in)] !=
+              assignment_.tier[dnn::Network::vertex_of(id)])
+        needs_fetch_[in] = true;
+
+  const std::size_t pool_threads =
+      std::max(options_.vsm_workers, options_.intra_op_workers);
   if (pool_threads > 0) pool_ = std::make_unique<ThreadPool>(pool_threads);
-  if (options.intra_op_workers > 0)
+  if (options_.intra_op_workers > 0)
     // Capture the pool object, not `this`: the pool's address is stable even
     // if the engine is ever moved, so the hook cannot dangle.
     op_parallel_ = [pool = pool_.get()](std::size_t n,
@@ -102,11 +130,15 @@ namespace {
 
 // Shared by begin() (which owns a copy of the input) and infer() (which
 // borrows the caller's tensor for its synchronous run).
-std::unique_ptr<OnlineEngine::RequestState> make_state(const dnn::Network& net) {
+std::unique_ptr<OnlineEngine::RequestState> make_state(
+    const dnn::Network& net, const std::shared_ptr<rpc::Transport>& transport) {
   auto state = std::make_unique<OnlineEngine::RequestState>();
   state->outputs.resize(net.num_layers());
   state->computed.assign(net.num_layers(), false);
   state->sent.assign(net.num_layers() + 1, {false, false, false});
+  state->rpc_request = transport->open_request();
+  state->rpc_guard =
+      std::make_unique<OnlineEngine::RpcRequestGuard>(transport, state->rpc_request);
   return state;
 }
 
@@ -115,18 +147,62 @@ std::unique_ptr<OnlineEngine::RequestState> make_state(const dnn::Network& net) 
 std::unique_ptr<OnlineEngine::RequestState> OnlineEngine::begin(const dnn::Tensor& input) const {
   if (!(input.shape() == net_.input_shape()))
     throw std::invalid_argument("OnlineEngine: input shape mismatch");
-  auto state = make_state(net_);
+  auto state = make_state(net_, transport_);
   state->owned_input = input;
   state->input = &state->owned_input;
+  // The raw frame originates on the device node; no inter-node message is
+  // involved, so a remote device tier receives it as a seed, not a send.
+  transport_->seed(state->rpc_request, node_of(core::Tier::kDevice), 0, *state->input);
   return state;
+}
+
+const dnn::Tensor* OnlineEngine::resolve_input(RequestState& state, dnn::LayerId producer,
+                                               core::Tier at) const {
+  const std::size_t slot = producer == dnn::kNetworkInput ? 0 : producer + 1;
+  if (!state.delivered.empty()) {
+    auto& wired = state.delivered[slot][static_cast<std::size_t>(core::index(at))];
+    if (wired) return &*wired;
+  }
+  return producer == dnn::kNetworkInput ? state.input : &state.outputs[producer];
+}
+
+std::optional<dnn::Tensor> OnlineEngine::record_vsm_message(RequestState& state,
+                                                            std::size_t tile, bool gather,
+                                                            const dnn::Tensor* payload) const {
+  const core::FusedTilePlan& plan = *vsm_;
+  const std::string tile_name = "tile(" + std::to_string(tile) + ")";
+  MessageRecord meta;
+  meta.seq = static_cast<std::uint64_t>(state.result.messages.size());
+  meta.from_tier = core::Tier::kEdge;
+  meta.to_tier = core::Tier::kEdge;
+  if (!gather) {
+    const exec::Region& region = plan.tiles[tile].input_regions.front();
+    meta.bytes = dnn::Shape{plan.input_shapes.front().c, region.height(), region.width()}.bytes();
+    meta.from_node = "edge0";
+    meta.to_node = "edge" + std::to_string(tile + 1);
+    meta.payload = tile_name + " input";
+    state.result.vsm_scatter_bytes += meta.bytes;
+  } else {
+    const exec::Region& region = plan.tiles[tile].output_region;
+    meta.bytes = dnn::Shape{plan.output_shape.c, region.height(), region.width()}.bytes();
+    meta.from_node = "edge" + std::to_string(tile + 1);
+    meta.to_node = "edge0";
+    meta.payload = tile_name + " output";
+    state.result.vsm_gather_bytes += meta.bytes;
+  }
+  record(state.result, meta);
+  // Local tile execution round-trips the payload through the transport (tile
+  // traffic is inter-node: coordinator <-> edge worker). A remote edge runs
+  // scatter/gather inside its own process; only the record remains here.
+  if (payload) return transport_->send(state.rpc_request, meta, rpc::kNoSlot, *payload);
+  return std::nullopt;
 }
 
 void OnlineEngine::run_vsm_stack(RequestState& state) const {
   const core::FusedTilePlan& plan = *vsm_;
   const dnn::LayerId first = plan.stack.front();
   const dnn::LayerId in_id = net_.layer(first).inputs[0];
-  const dnn::Tensor& stack_input =
-      in_id == dnn::kNetworkInput ? *state.input : state.outputs[in_id];
+  const dnn::Tensor& stack_input = *resolve_input(state, in_id, core::Tier::kEdge);
 
   // Scatter: extract every tile's input crop and record the message, in tile
   // order, before any concurrent work starts. This pins the transcript.
@@ -134,11 +210,8 @@ void OnlineEngine::run_vsm_stack(RequestState& state) const {
   tile_inputs.reserve(plan.num_tiles());
   for (std::size_t t = 0; t < plan.num_tiles(); ++t) {
     tile_inputs.push_back(core::extract_tile_input(stack_input, plan, t));
-    const std::string tile_name = "tile(" + std::to_string(t) + ")";
-    const std::int64_t in_bytes = tile_inputs.back().data.shape().bytes();
-    record(state.result, "edge0", "edge" + std::to_string(t + 1), tile_name + " input",
-           core::Tier::kEdge, core::Tier::kEdge, in_bytes);
-    state.result.vsm_scatter_bytes += in_bytes;
+    if (auto wired = record_vsm_message(state, t, /*gather=*/false, &tile_inputs.back().data))
+      tile_inputs.back().data = std::move(*wired);
   }
 
   // Parallel tile compute: each edge worker node runs its fused stack slice on
@@ -173,12 +246,8 @@ void OnlineEngine::run_vsm_stack(RequestState& state) const {
   // feature map are byte-identical to the sequential engine's.
   dnn::Tensor assembled(plan.output_shape);
   for (std::size_t t = 0; t < plan.num_tiles(); ++t) {
-    const std::string tile_name = "tile(" + std::to_string(t) + ")";
-    const std::int64_t out_bytes = tile_outputs[t].data.shape().bytes();
-    record(state.result, "edge" + std::to_string(t + 1), "edge0", tile_name + " output",
-           core::Tier::kEdge, core::Tier::kEdge, out_bytes);
-    state.result.vsm_gather_bytes += out_bytes;
-
+    if (auto wired = record_vsm_message(state, t, /*gather=*/true, &tile_outputs[t].data))
+      tile_outputs[t].data = std::move(*wired);
     const exec::Region& region = plan.tiles[t].output_region;
     exec::copy_region_to_map(tile_outputs[t].data.data(), region, assembled);
   }
@@ -194,7 +263,10 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
       options_.emulated_tier_service_seconds[static_cast<std::size_t>(core::index(tier))];
   if (service > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(service));
 
-  // Ensures `producer`'s tensor is present at `tier`, shipping it (once) if not.
+  // Ensures `producer`'s tensor is present at `tier`, shipping it (once) if
+  // not: the message is recorded here and the payload bytes move through the
+  // transport (a zero-copy transport moves nothing; a wire transport
+  // serialises out of the coordinator's canonical copy).
   const auto deliver = [&](dnn::LayerId producer, core::Tier to) {
     const bool is_input = producer == dnn::kNetworkInput;
     const core::Tier from = is_input ? core::Tier::kDevice
@@ -203,10 +275,26 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
     auto& flags = state.sent[is_input ? 0 : producer + 1];
     if (flags[static_cast<std::size_t>(core::index(to))]) return;
     flags[static_cast<std::size_t>(core::index(to))] = true;
-    const std::int64_t bytes =
-        is_input ? net_.input_shape().bytes() : net_.lambda_out_bytes(producer);
-    record(state.result, node_of(from), node_of(to),
-           is_input ? "raw input" : net_.layer(producer).spec.name, from, to, bytes);
+
+    MessageRecord meta;
+    meta.seq = static_cast<std::uint64_t>(state.result.messages.size());
+    meta.from_node = node_of(from);
+    meta.to_node = node_of(to);
+    meta.payload = is_input ? "raw input" : net_.layer(producer).spec.name;
+    meta.from_tier = from;
+    meta.to_tier = to;
+    meta.bytes = is_input ? net_.input_shape().bytes() : net_.lambda_out_bytes(producer);
+    record(state.result, meta);
+
+    const std::uint64_t slot = is_input ? 0 : producer + 1;
+    const dnn::Tensor& source = is_input ? *state.input : state.outputs[producer];
+    if (!is_input && source.size() == 0)
+      throw std::logic_error("OnlineEngine: tensor of '" + meta.payload +
+                             "' is not materialised at the coordinator");
+    if (auto wired = transport_->send(state.rpc_request, meta, slot, source)) {
+      if (state.delivered.empty()) state.delivered.resize(net_.num_layers() + 1);
+      state.delivered[slot][static_cast<std::size_t>(core::index(to))] = std::move(*wired);
+    }
   };
 
   // One ascending-id pass: run every pending layer assigned to this stage's
@@ -216,7 +304,8 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
   // stage; it defers and the cloud stage — where every producer has already
   // run — catches it. Layer ids are topological, so the single pass per stage
   // needs no fixpoint loop, and the execution order is a pure function of the
-  // plan: transcripts are identical however stages are threaded.
+  // plan: transcripts are identical however stages are threaded and whichever
+  // transport carries the tensors.
   const auto ready = [&](dnn::LayerId id) {
     for (const dnn::LayerId in : net_.layer(id).inputs)
       if (in != dnn::kNetworkInput && !state.computed[in]) return false;
@@ -232,17 +321,45 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
     if (vsm_ && id == vsm_->stack.front()) {
       // The stack input must be present on the edge coordinator first.
       deliver(net_.layer(id).inputs[0], core::Tier::kEdge);
-      run_vsm_stack(state);
+      if (transport_->run_stack(state.rpc_request, node_of(core::Tier::kEdge))) {
+        // Remote edge: scatter, tile compute and gather all happened inside
+        // the edge process. Record the same intra-edge transcript (a pure
+        // function of the tile plan) and pull the stack output back only if a
+        // later boundary needs it.
+        for (std::size_t t = 0; t < vsm_->num_tiles(); ++t)
+          record_vsm_message(state, t, /*gather=*/false, nullptr);
+        for (std::size_t t = 0; t < vsm_->num_tiles(); ++t)
+          record_vsm_message(state, t, /*gather=*/true, nullptr);
+        const dnn::LayerId back = vsm_->stack.back();
+        if (needs_fetch_[back])
+          state.outputs[back] =
+              transport_->fetch(state.rpc_request, node_of(core::Tier::kEdge), back + 1);
+        for (const dnn::LayerId sid : vsm_->stack) {
+          state.computed[sid] = true;
+          ++state.result
+                .layers_executed[static_cast<std::size_t>(core::index(core::Tier::kEdge))];
+        }
+      } else {
+        run_vsm_stack(state);
+      }
       continue;
     }
 
-    std::vector<const dnn::Tensor*> ins;
-    ins.reserve(net_.layer(id).inputs.size());
-    for (const dnn::LayerId in : net_.layer(id).inputs) {
-      deliver(in, assigned);
-      ins.push_back(in == dnn::kNetworkInput ? state.input : &state.outputs[in]);
+    for (const dnn::LayerId in : net_.layer(id).inputs) deliver(in, assigned);
+    if (transport_->run_layer(state.rpc_request, node_of(assigned), id)) {
+      // Remote node computed it from its own slots; materialise the output at
+      // the coordinator only when a later tier boundary (or the final result)
+      // needs it.
+      if (needs_fetch_[id])
+        state.outputs[id] =
+            transport_->fetch(state.rpc_request, node_of(assigned), id + 1);
+    } else {
+      std::vector<const dnn::Tensor*> ins;
+      ins.reserve(net_.layer(id).inputs.size());
+      for (const dnn::LayerId in : net_.layer(id).inputs)
+        ins.push_back(resolve_input(state, in, assigned));
+      state.outputs[id] = exec::run_layer(net_, weights_, id, ins, op_context());
     }
-    state.outputs[id] = exec::run_layer(net_, weights_, id, ins, op_context());
     state.computed[id] = true;
     ++state.result.layers_executed[static_cast<std::size_t>(core::index(assigned))];
   }
@@ -259,8 +376,9 @@ InferenceResult OnlineEngine::infer(const dnn::Tensor& input) const {
     throw std::invalid_argument("OnlineEngine: input shape mismatch");
   // Borrow the caller's tensor: the three stages run synchronously while the
   // caller's reference is pinned, so no per-request input copy is needed.
-  auto state = make_state(net_);
+  auto state = make_state(net_, transport_);
   state->input = &input;
+  transport_->seed(state->rpc_request, node_of(core::Tier::kDevice), 0, input);
   run_tier(*state, core::Tier::kDevice);
   run_tier(*state, core::Tier::kEdge);
   run_tier(*state, core::Tier::kCloud);

@@ -2,14 +2,25 @@
 // tensors across the computation nodes of the three tiers, orchestrating the
 // distributed and parallel processing and the communication among partitions.
 //
-// Nodes are modelled as in-process actors: the device node runs its layers and
-// ships boundary tensors to the edge/cloud; the edge coordinator scatters VSM
-// fused-tile inputs to its worker nodes, gathers their output tiles, and
-// forwards intermediate results to the cloud; the cloud node finishes the
-// inference. Every inter-node tensor is recorded as a sequence-numbered
-// message, so tests can assert both losslessness (the distributed output equals
-// the single-node reference bitwise) and traffic accounting (the bytes on each
-// tier boundary match core::boundary_traffic).
+// Node model. The device node runs its layers and ships boundary tensors to
+// the edge/cloud; the edge coordinator scatters VSM fused-tile inputs to its
+// worker nodes, gathers their output tiles, and forwards intermediate results
+// to the cloud; the cloud node finishes the inference. Every inter-node tensor
+// is recorded as a sequence-numbered message, so tests can assert both
+// losslessness (the distributed output equals the single-node reference
+// bitwise) and traffic accounting (the bytes on each tier boundary match
+// core::boundary_traffic).
+//
+// Transport model. Where those tensors physically live is delegated to an
+// rpc::Transport (Options::transport): the engine walks the plan and records
+// the transcript — a pure function of the plan, identical on every transport —
+// while the transport moves payload bytes and, for remote nodes, runs the
+// layers in the worker process that hosts the tier. The default
+// InProcessTransport passes tensors by reference (zero-copy, the original
+// behaviour); SerializingLoopback round-trips every inter-node tensor through
+// the binary wire format; SocketTransport places each tier in its own OS
+// process over localhost TCP. Bitwise identity with exec::Executor holds on
+// all three.
 //
 // Concurrency model. Inference is staged tier-by-tier (device -> edge ->
 // cloud); Prop.-1 feasibility guarantees a layer's inputs are produced by the
@@ -39,23 +50,14 @@
 #include "dnn/tensor.h"
 #include "exec/ops.h"
 #include "exec/weights.h"
+#include "runtime/message.h"
 #include "runtime/thread_pool.h"
 
-namespace d3::runtime {
+namespace d3::rpc {
+class Transport;
+}
 
-struct MessageRecord {
-  // Position in this request's transcript (0, 1, 2, ...). Deterministic for a
-  // given plan and input: independent of thread interleaving and of how many
-  // requests are in flight.
-  std::uint64_t seq = 0;
-  std::string from_node;
-  std::string to_node;
-  // What the tensor is: a layer's output, the raw input, or a VSM tile.
-  std::string payload;
-  core::Tier from_tier;
-  core::Tier to_tier;
-  std::int64_t bytes = 0;
-};
+namespace d3::runtime {
 
 struct InferenceResult {
   dnn::Tensor output;
@@ -89,12 +91,28 @@ class OnlineEngine {
     // remote node's service time — real threads genuinely overlap the waits,
     // so the sequential engine pays the sum and the threaded engine the max.
     // 0 disables. Purely additive wall-clock: outputs and transcripts are
-    // unaffected.
+    // unaffected. Applies to locally-hosted tiles only (a remote edge node's
+    // service time is real, not emulated).
     double emulated_tile_service_seconds = 0.0;
     // Emulated per-stage service latency (seconds) added by run_tier for
     // [device, edge, cloud] — the stage actor's fixed overhead (network stack,
     // queueing) that tier pipelining overlaps across in-flight requests.
     std::array<double, 3> emulated_tier_service_seconds{0.0, 0.0, 0.0};
+    // Message fabric between the computation nodes. nullptr = the shared
+    // zero-copy InProcessTransport (the original engine behaviour).
+    std::shared_ptr<rpc::Transport> transport = nullptr;
+  };
+
+  // Closes the transport-side request state when a request dies, however it
+  // dies (finish(), scheduler error paths, abandoned states).
+  struct RpcRequestGuard {
+    RpcRequestGuard(std::shared_ptr<rpc::Transport> transport, std::uint64_t id);
+    ~RpcRequestGuard();
+    RpcRequestGuard(const RpcRequestGuard&) = delete;
+    RpcRequestGuard& operator=(const RpcRequestGuard&) = delete;
+
+    std::shared_ptr<rpc::Transport> transport;
+    std::uint64_t id = 0;
   };
 
   // Mutable per-request execution state. Created by begin(); opaque to callers
@@ -114,6 +132,13 @@ class OnlineEngine {
     // sent[producer index][tier]: producer's tensor already shipped to that
     // tier. Index 0 is the raw input; producer layer id is offset by one.
     std::vector<std::array<bool, 3>> sent;
+    // Transport-materialised copies of delivered tensors, [slot][tier]: what a
+    // consumer reads when the transport round-trips payloads through the wire
+    // (SerializingLoopback). Left empty by zero-copy transports.
+    std::vector<std::array<std::optional<dnn::Tensor>, 3>> delivered;
+    // Transport request id + teardown guard.
+    std::uint64_t rpc_request = 0;
+    std::unique_ptr<RpcRequestGuard> rpc_guard;
   };
 
   // `net` and `weights` must outlive the engine. The assignment must be
@@ -153,9 +178,23 @@ class OnlineEngine {
   const core::Assignment& assignment() const { return assignment_; }
   const std::optional<core::FusedTilePlan>& vsm_plan() const { return vsm_; }
   const dnn::Network& network() const { return net_; }
+  const std::shared_ptr<rpc::Transport>& transport() const { return transport_; }
 
  private:
   void run_vsm_stack(RequestState& state) const;
+  // Transcript + traffic record for one VSM scatter/gather message. Byte
+  // counts are a pure function of the tile plan — shared by the local and
+  // remote stack paths, so their transcripts cannot diverge. With a non-null
+  // `payload` (local execution) the tile round-trips the transport; the
+  // materialised wire copy, if any, is returned for the caller to compute on.
+  std::optional<dnn::Tensor> record_vsm_message(RequestState& state, std::size_t tile,
+                                                bool gather,
+                                                const dnn::Tensor* payload) const;
+  // The tensor layer `producer`'s consumer at `at` computes on: the
+  // transport-materialised wire copy when one exists, else the canonical
+  // coordinator-held tensor.
+  const dnn::Tensor* resolve_input(RequestState& state, dnn::LayerId producer,
+                                   core::Tier at) const;
   exec::OpContext op_context() const {
     return exec::OpContext{nullptr, op_parallel_ ? &op_parallel_ : nullptr};
   }
@@ -165,6 +204,12 @@ class OnlineEngine {
   core::Assignment assignment_;
   std::optional<core::FusedTilePlan> vsm_;
   Options options_;
+  std::shared_ptr<rpc::Transport> transport_;
+  // needs_fetch_[id]: layer id's output must be materialised at the
+  // coordinator after a remote node computes it — some consumer lives on a
+  // different tier (the coordinator relays boundary tensors) or it is the
+  // network output.
+  std::vector<bool> needs_fetch_;
   std::unique_ptr<ThreadPool> pool_;  // null in sequential mode
   exec::ParallelFor op_parallel_;     // intra-op hook over pool_; empty if disabled
 };

@@ -1,0 +1,29 @@
+// The unit of inter-node communication the online engine records and the rpc
+// layer ships: one tensor moving from one computation node to another, with
+// enough metadata to reconstruct the transcript and the traffic accounting.
+// Lives below both runtime/ (which records transcripts of these) and rpc/
+// (whose Envelope frames one of these plus the payload bytes for the wire).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/tier.h"
+
+namespace d3::runtime {
+
+struct MessageRecord {
+  // Position in this request's transcript (0, 1, 2, ...). Deterministic for a
+  // given plan and input: independent of thread interleaving, of how many
+  // requests are in flight, and of which transport carries the tensors.
+  std::uint64_t seq = 0;
+  std::string from_node;
+  std::string to_node;
+  // What the tensor is: a layer's output, the raw input, or a VSM tile.
+  std::string payload;
+  core::Tier from_tier = core::Tier::kDevice;
+  core::Tier to_tier = core::Tier::kDevice;
+  std::int64_t bytes = 0;
+};
+
+}  // namespace d3::runtime

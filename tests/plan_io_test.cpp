@@ -2,6 +2,7 @@
 
 #include "core/plan_io.h"
 #include "dnn/model_zoo.h"
+#include "rpc/wire.h"
 
 namespace d3::core {
 namespace {
@@ -92,6 +93,79 @@ TEST(PlanIo, RejectsBadVsmStack) {
   EXPECT_THROW(parse_plan(base + "vsm 2x2 6\n", net), std::invalid_argument);
   // Malformed grid.
   EXPECT_THROW(parse_plan(base + "vsm 22 3,4\n", net), std::invalid_argument);
+}
+
+TEST(PlanIo, RejectsHalfNumericTokensAndTrailingGarbage) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const std::string base = serialize_plan(sample_plan(net));
+  // "2x2junk" must not be half-read as 2x2.
+  EXPECT_THROW(parse_plan(base + "vsm 2x2junk 3,4,5\n", net), std::invalid_argument);
+  // A grid dimension overflowing int must not be truncated into a small one.
+  EXPECT_THROW(parse_plan(base + "vsm 4294967298x2 3,4,5\n", net), std::invalid_argument);
+  EXPECT_THROW(parse_plan(base + "vsm 2x2 3,4,oops\n", net), std::invalid_argument);
+  // Extra tokens on the vsm line and extra lines after it are corruption.
+  EXPECT_THROW(parse_plan(base + "vsm 2x2 3,4,5 surplus\n", net), std::invalid_argument);
+  EXPECT_THROW(parse_plan(base + "vsm 2x2 3,4,5\ngarbage\n", net), std::invalid_argument);
+  // Empty stack list.
+  EXPECT_THROW(parse_plan(base + "vsm 2x2 \n", net), std::invalid_argument);
+}
+
+TEST(PlanIoBinary, RoundTripWithAndWithoutVsm) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  for (const bool with_vsm : {false, true}) {
+    SerializablePlan original = sample_plan(net);
+    if (with_vsm)
+      original.vsm = make_fused_tile_plan(net, std::vector<dnn::LayerId>{3, 4, 5}, 2, 2);
+    const std::vector<std::uint8_t> wire = serialize_plan_binary(original);
+    const SerializablePlan parsed = parse_plan_binary(wire, net);
+    EXPECT_EQ(parsed.model_name, original.model_name);
+    EXPECT_EQ(parsed.assignment.tier, original.assignment.tier);
+    ASSERT_EQ(parsed.vsm.has_value(), with_vsm);
+    if (with_vsm) {
+      EXPECT_EQ(parsed.vsm->stack, original.vsm->stack);
+      ASSERT_EQ(parsed.vsm->tiles.size(), original.vsm->tiles.size());
+      for (std::size_t t = 0; t < parsed.vsm->tiles.size(); ++t)
+        EXPECT_EQ(parsed.vsm->tiles[t].output_region, original.vsm->tiles[t].output_region);
+    }
+  }
+}
+
+TEST(PlanIoBinary, TextAndBinaryAgree) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  SerializablePlan plan = sample_plan(net);
+  plan.vsm = make_fused_tile_plan(net, std::vector<dnn::LayerId>{3, 4, 5}, 2, 2);
+  const SerializablePlan via_text = parse_plan(serialize_plan(plan), net);
+  const SerializablePlan via_binary = parse_plan_binary(serialize_plan_binary(plan), net);
+  EXPECT_EQ(via_text.assignment.tier, via_binary.assignment.tier);
+  EXPECT_EQ(via_text.vsm->stack, via_binary.vsm->stack);
+  EXPECT_EQ(via_text.vsm->grid_rows, via_binary.vsm->grid_rows);
+  EXPECT_EQ(via_text.vsm->grid_cols, via_binary.vsm->grid_cols);
+}
+
+TEST(PlanIoBinary, TruncationAlwaysThrows) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  SerializablePlan plan = sample_plan(net);
+  plan.vsm = make_fused_tile_plan(net, std::vector<dnn::LayerId>{3, 4, 5}, 2, 2);
+  const std::vector<std::uint8_t> wire = serialize_plan_binary(plan);
+  for (std::size_t len = 0; len < wire.size(); ++len)
+    EXPECT_THROW(parse_plan_binary(std::span(wire).first(len), net), std::runtime_error)
+        << len;
+}
+
+TEST(PlanIoBinary, RejectsBadMagicTrailerAndWrongModel) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const std::vector<std::uint8_t> wire = serialize_plan_binary(sample_plan(net));
+  {
+    std::vector<std::uint8_t> bad = wire;
+    bad[0] ^= 0xFF;
+    EXPECT_THROW(parse_plan_binary(bad, net), rpc::WireError);
+  }
+  {
+    std::vector<std::uint8_t> bad = wire;
+    bad.push_back(0);  // trailing byte
+    EXPECT_THROW(parse_plan_binary(bad, net), rpc::WireError);
+  }
+  EXPECT_THROW(parse_plan_binary(wire, dnn::zoo::tiny_branch()), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+// The binary wire format: randomized tensor round-trips (including NaN
+// payloads, infinities and denormals, compared bit-for-bit), envelope framing,
+// weight shipping, and the strict error paths — truncation at every prefix
+// length, bad magic, bad version, corrupt shapes and trailing bytes.
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "rpc/wire.h"
+#include "util/rng.h"
+
+namespace d3::rpc {
+namespace {
+
+// Bitwise tensor equality: float== would lie about NaNs and signed zeros.
+void expect_bits_equal(const dnn::Tensor& a, const dnn::Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(a[i]), std::bit_cast<std::uint32_t>(b[i])) << i;
+}
+
+TEST(RpcWire, PrimitivesRoundTrip) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f32(-0.0f);
+  w.str("hello wire");
+  w.blob(std::vector<std::uint8_t>{1, 2, 3});
+
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(r.f32()), std::bit_cast<std::uint32_t>(-0.0f));
+  EXPECT_EQ(r.str(), "hello wire");
+  EXPECT_EQ(r.blob(), (std::vector<std::uint8_t>{1, 2, 3}));
+  r.expect_end("test");
+}
+
+TEST(RpcWire, EncodingIsFixedEndianness) {
+  // The format is defined little-endian regardless of host: pin exact bytes.
+  WireWriter w;
+  w.u32(0x11223344);
+  ASSERT_EQ(w.buffer().size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x44);
+  EXPECT_EQ(w.buffer()[1], 0x33);
+  EXPECT_EQ(w.buffer()[2], 0x22);
+  EXPECT_EQ(w.buffer()[3], 0x11);
+}
+
+TEST(RpcWire, TensorRoundTripRandomized) {
+  util::Rng rng(1234);
+  for (int iter = 0; iter < 50; ++iter) {
+    const dnn::Shape shape{1 + static_cast<int>(rng.uniform(0, 8)),
+                           1 + static_cast<int>(rng.uniform(0, 12)),
+                           1 + static_cast<int>(rng.uniform(0, 12))};
+    dnn::Tensor t(shape);
+    for (std::size_t i = 0; i < t.size(); ++i)
+      t[i] = static_cast<float>(rng.normal(0.0, 100.0));
+    expect_bits_equal(decode_tensor(encode_tensor(t)), t);
+  }
+}
+
+TEST(RpcWire, TensorRoundTripPreservesSpecialValues) {
+  dnn::Tensor t(dnn::Shape{2, 2, 2});
+  t[0] = std::numeric_limits<float>::quiet_NaN();
+  // A NaN with a distinctive payload: survives only if bits are preserved.
+  t[1] = std::bit_cast<float>(0x7FC12345u);
+  t[2] = std::numeric_limits<float>::infinity();
+  t[3] = -std::numeric_limits<float>::infinity();
+  t[4] = std::numeric_limits<float>::denorm_min();
+  t[5] = -std::numeric_limits<float>::denorm_min();
+  t[6] = -0.0f;
+  t[7] = std::numeric_limits<float>::max();
+  expect_bits_equal(decode_tensor(encode_tensor(t)), t);
+}
+
+TEST(RpcWire, TensorTruncationAlwaysThrows) {
+  dnn::Tensor t(dnn::Shape{2, 3, 4});
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const std::vector<std::uint8_t> bytes = encode_tensor(t);
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_THROW(decode_tensor(std::span(bytes).first(len)), WireError) << len;
+}
+
+TEST(RpcWire, TensorRejectsTrailingBytes) {
+  std::vector<std::uint8_t> bytes = encode_tensor(dnn::Tensor(dnn::Shape{1, 1, 1}));
+  bytes.push_back(0);
+  EXPECT_THROW(decode_tensor(std::span<const std::uint8_t>(bytes)), WireError);
+}
+
+TEST(RpcWire, TensorRejectsBadMagicVersionAndShape) {
+  const dnn::Tensor t(dnn::Shape{1, 2, 2});
+  {
+    std::vector<std::uint8_t> bytes = encode_tensor(t);
+    bytes[0] ^= 0xFF;  // magic
+    EXPECT_THROW(decode_tensor(std::span<const std::uint8_t>(bytes)), WireError);
+  }
+  {
+    std::vector<std::uint8_t> bytes = encode_tensor(t);
+    bytes[4] = 0x7F;  // version
+    EXPECT_THROW(decode_tensor(std::span<const std::uint8_t>(bytes)), WireError);
+  }
+  {
+    // Negative channel count.
+    WireWriter w;
+    w.u32(kTensorMagic);
+    w.u16(kWireVersion);
+    w.i32(-1);
+    w.i32(2);
+    w.i32(2);
+    EXPECT_THROW(decode_tensor(std::span<const std::uint8_t>(w.buffer())), WireError);
+  }
+  {
+    // Shape whose element count overflows the sanity cap: must throw, not
+    // attempt a giant allocation.
+    WireWriter w;
+    w.u32(kTensorMagic);
+    w.u16(kWireVersion);
+    w.i32(1 << 19);
+    w.i32(1 << 19);
+    w.i32(1 << 19);
+    EXPECT_THROW(decode_tensor(std::span<const std::uint8_t>(w.buffer())), WireError);
+  }
+}
+
+TEST(RpcWire, EnvelopeRoundTrip) {
+  dnn::Tensor t(dnn::Shape{3, 4, 5});
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  Envelope env;
+  env.meta = {42, "edge0", "cloud0", "conv5", core::Tier::kEdge, core::Tier::kCloud,
+              t.shape().bytes()};
+  env.payload = encode_tensor(t);
+
+  const Envelope back = decode_envelope(encode_envelope(env));
+  EXPECT_EQ(back.meta.seq, 42u);
+  EXPECT_EQ(back.meta.from_node, "edge0");
+  EXPECT_EQ(back.meta.to_node, "cloud0");
+  EXPECT_EQ(back.meta.payload, "conv5");
+  EXPECT_EQ(back.meta.from_tier, core::Tier::kEdge);
+  EXPECT_EQ(back.meta.to_tier, core::Tier::kCloud);
+  EXPECT_EQ(back.meta.bytes, t.shape().bytes());
+  expect_bits_equal(decode_tensor(std::span<const std::uint8_t>(back.payload)), t);
+}
+
+TEST(RpcWire, EnvelopeTruncationAlwaysThrows) {
+  Envelope env;
+  env.meta = {7, "device0", "edge0", "raw input", core::Tier::kDevice, core::Tier::kEdge, 64};
+  env.payload = encode_tensor(dnn::Tensor(dnn::Shape{1, 2, 2}));
+  const std::vector<std::uint8_t> bytes = encode_envelope(env);
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_THROW(decode_envelope(std::span(bytes).first(len)), WireError) << len;
+}
+
+TEST(RpcWire, EnvelopeRejectsBadMagicTierAndNegativeBytes) {
+  Envelope env;
+  env.meta = {0, "a", "b", "x", core::Tier::kDevice, core::Tier::kEdge, 16};
+  {
+    std::vector<std::uint8_t> bytes = encode_envelope(env);
+    bytes[1] ^= 0x40;
+    EXPECT_THROW(decode_envelope(std::span<const std::uint8_t>(bytes)), WireError);
+  }
+  {
+    // Tier byte out of range: from_tier sits right after seq + three
+    // 1-char strings.
+    std::vector<std::uint8_t> bytes = encode_envelope(env);
+    const std::size_t tier_at = 4 + 2 + 8 + (4 + 1) * 3;
+    bytes[tier_at] = 9;
+    EXPECT_THROW(decode_envelope(std::span<const std::uint8_t>(bytes)), WireError);
+  }
+  {
+    Envelope negative = env;
+    negative.meta.bytes = -5;
+    const std::vector<std::uint8_t> bytes = encode_envelope(negative);
+    EXPECT_THROW(decode_envelope(std::span<const std::uint8_t>(bytes)), WireError);
+  }
+}
+
+TEST(RpcWire, WeightsRoundTripBitwise) {
+  const dnn::Network net = dnn::zoo::tiny_branch();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 99);
+  const exec::WeightStore back = decode_weights(encode_weights(weights, net), net);
+  ASSERT_EQ(back.size(), weights.size());
+  for (dnn::LayerId id = 0; id < net.num_layers(); ++id) {
+    const exec::LayerWeights& a = weights.layer(id);
+    const exec::LayerWeights& b = back.layer(id);
+    ASSERT_EQ(a.weights.size(), b.weights.size());
+    for (std::size_t i = 0; i < a.weights.size(); ++i)
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(a.weights[i]),
+                std::bit_cast<std::uint32_t>(b.weights[i]));
+    EXPECT_EQ(a.bias, b.bias);
+    EXPECT_EQ(a.bn_scale, b.bn_scale);
+    EXPECT_EQ(a.bn_shift, b.bn_shift);
+  }
+}
+
+TEST(RpcWire, WeightsRejectWrongNetworkAndTruncation) {
+  const dnn::Network chain = dnn::zoo::tiny_chain();
+  const dnn::Network branch = dnn::zoo::tiny_branch();
+  const exec::WeightStore weights = exec::WeightStore::random_for(chain, 5);
+  const std::vector<std::uint8_t> bytes = encode_weights(weights, chain);
+  // Decoding against a different model: layer count/sizes mismatch.
+  EXPECT_THROW(decode_weights(bytes, branch), WireError);
+  // Truncation at a few prefix lengths (full sweep would be slow here).
+  for (const std::size_t len : {std::size_t{0}, std::size_t{5}, bytes.size() / 2, bytes.size() - 1})
+    EXPECT_THROW(decode_weights(std::span(bytes).first(len), chain), WireError) << len;
+}
+
+}  // namespace
+}  // namespace d3::rpc

@@ -1,0 +1,36 @@
+// d3_node: one computation node of the distributed online engine as its own OS
+// process (the per-tier machines of paper Fig. 2).
+//
+// Spawned by the coordinator (rpc::WorkerProcess) as
+//
+//   d3_node --connect <host> <port>
+//
+// it dials back over localhost TCP and serves the node protocol (rpc/
+// node_service.h) until the coordinator hangs up: receive the model name +
+// weights + plan, hold per-request tensor slots, run layers and VSM stacks on
+// demand. Exit code 0 on clean shutdown, 1 on any protocol or socket failure.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "rpc/node_service.h"
+#include "rpc/socket.h"
+
+int main(int argc, char** argv) {
+  if (argc != 4 || std::string(argv[1]) != "--connect") {
+    std::fprintf(stderr, "usage: %s --connect <host> <port>\n", argv[0]);
+    return 2;
+  }
+  try {
+    const std::string host = argv[2];
+    const unsigned long port = std::stoul(argv[3]);
+    if (port == 0 || port > 65535) throw d3::rpc::SocketError("port out of range");
+    d3::rpc::Socket socket =
+        d3::rpc::tcp_connect(host, static_cast<std::uint16_t>(port));
+    d3::rpc::serve_node(socket.fd());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "d3_node: %s\n", e.what());
+    return 1;
+  }
+}
