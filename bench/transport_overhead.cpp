@@ -3,17 +3,24 @@
 //
 // The same deployment plan runs on all three transports:
 //
-//   in-process  — zero-copy (the PR-1/2 engine behaviour; the baseline)
-//   loopback    — every inter-node tensor round-trips encode/decode
-//   socket      — each tier its own OS process over localhost TCP (spawned on
-//                 demand; skipped gracefully if the worker binary is missing)
+//   in-process   — zero-copy (the PR-1/2 engine behaviour; the baseline)
+//   loopback     — every inter-node tensor round-trips encode/decode
+//   socket       — each tier its own OS process over localhost TCP, star
+//                  topology: boundary tensors relay through the coordinator
+//                  (spawned on demand; skipped if the worker binary is missing)
+//   socket+peer  — same processes with peer channels (connect_peers): boundary
+//                  tensors are pushed producer -> consumer directly, and the
+//                  relay KB column drops to zero while peer KB picks them up
 //
 // The delta between in-process and loopback divided by the bytes moved is the
 // pure serialization cost (µs/MB); the socket delta adds framing + kernel TCP.
-// Put against Options::emulated_tier_service_seconds (the knob the concurrency
-// bench uses to stand in for remote service time) and the fig13 per-frame
-// boundary traffic, it closes the loop on the paper's communication-overhead
-// story with measured numbers. Writes BENCH_transport.json.
+// The relay-vs-peer byte columns quantify what the star topology costs: every
+// relay byte crosses the coordinator twice (fetch + send), so the peer path
+// removes 2x relay KB of coordinator traffic per inference. Put against
+// Options::emulated_tier_service_seconds (the knob the concurrency bench uses
+// to stand in for remote service time) and the fig13 per-frame boundary
+// traffic, it closes the loop on the paper's communication-overhead story
+// with measured numbers. Writes BENCH_transport.json.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -88,6 +95,10 @@ struct Row {
   std::int64_t boundary_bytes = 0;
   double overhead_us = 0;    // vs in-process
   double us_per_mb = 0;      // overhead normalised by boundary traffic
+  // Per-inference coordinator-relay vs direct peer-to-peer payload bytes
+  // (socket modes only): peer channels exist to move relay -> peer.
+  std::uint64_t relay_bytes = 0;
+  std::uint64_t peer_bytes = 0;
 };
 
 }  // namespace
@@ -139,34 +150,43 @@ int main() {
                       boundary > 0 ? overhead_us / (boundary / 1e6) : 0.0});
     }
 
-    // Socket: three worker processes. Skipped (with a note) if spawning fails.
+    // Socket: three worker processes, first the star topology (coordinator
+    // relays every boundary tensor), then the same topology with peer
+    // channels. Skipped (with a note) if spawning fails.
 #ifdef D3_NODE_BINARY
-    try {
-      std::vector<std::unique_ptr<rpc::WorkerProcess>> workers;
-      auto transport = std::make_shared<rpc::SocketTransport>();
-      for (const char* node : {"device0", "edge0", "cloud0"}) {
-        workers.push_back(std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY));
-        transport->add_node(node, workers.back()->take_socket());
+    for (const bool peers : {false, true}) {
+      try {
+        std::vector<std::unique_ptr<rpc::WorkerProcess>> workers;
+        auto transport = std::make_shared<rpc::SocketTransport>();
+        for (const char* node : {"device0", "edge0", "cloud0"}) {
+          workers.push_back(std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY));
+          transport->add_node(node, workers.back()->take_socket());
+        }
+        const core::SerializablePlan plan{c.net.name(), c.assignment, c.vsm};
+        transport->configure(c.net.name(), c.net, weights, core::serialize_plan_binary(plan),
+                             /*vsm_workers=*/2);
+        if (peers) transport->connect_peers();
+        runtime::OnlineEngine::Options options;
+        options.transport = transport;
+        const runtime::OnlineEngine engine(c.net, weights, c.assignment, c.vsm, options);
+        const rpc::SocketTransport::Stats before = transport->stats();
+        check(engine.infer(input));
+        const rpc::SocketTransport::Stats after = transport->stats();
+        const double s = time_infer(engine, input, reps);
+        const double overhead_us = (s - inproc_s) * 1e6;
+        rows.push_back({c.name, peers ? "socket+peer" : "socket", s, boundary, overhead_us,
+                        boundary > 0 ? overhead_us / (boundary / 1e6) : 0.0,
+                        after.relay_bytes - before.relay_bytes,
+                        after.peer_bytes - before.peer_bytes});
+      } catch (const std::exception& e) {
+        std::cerr << "note: socket mode skipped (" << e.what() << ")\n";
       }
-      const core::SerializablePlan plan{c.net.name(), c.assignment, c.vsm};
-      transport->configure(c.net.name(), c.net, weights, core::serialize_plan_binary(plan),
-                           /*vsm_workers=*/2);
-      runtime::OnlineEngine::Options options;
-      options.transport = transport;
-      const runtime::OnlineEngine engine(c.net, weights, c.assignment, c.vsm, options);
-      check(engine.infer(input));
-      const double s = time_infer(engine, input, reps);
-      const double overhead_us = (s - inproc_s) * 1e6;
-      rows.push_back({c.name, "socket", s, boundary, overhead_us,
-                      boundary > 0 ? overhead_us / (boundary / 1e6) : 0.0});
-    } catch (const std::exception& e) {
-      std::cerr << "note: socket mode skipped (" << e.what() << ")\n";
     }
 #endif
   }
 
   util::Table table({"plan", "transport", "infer ms", "boundary KB", "overhead us",
-                     "us per MB moved"});
+                     "us per MB moved", "relay KB", "peer KB"});
   for (const Row& r : rows)
     table.row()
         .cell(r.plan)
@@ -174,7 +194,9 @@ int main() {
         .cell(r.seconds * 1e3)
         .cell(static_cast<double>(r.boundary_bytes) / 1024.0)
         .cell(r.overhead_us)
-        .cell(r.us_per_mb);
+        .cell(r.us_per_mb)
+        .cell(static_cast<double>(r.relay_bytes) / 1024.0)
+        .cell(static_cast<double>(r.peer_bytes) / 1024.0);
   table.print(std::cout, "transport overhead (outputs verified bitwise-identical first)");
 
   std::ofstream json("BENCH_transport.json");
@@ -185,13 +207,16 @@ int main() {
          << "\", \"infer_ms\": " << r.seconds * 1e3
          << ", \"boundary_bytes\": " << r.boundary_bytes
          << ", \"overhead_us\": " << r.overhead_us << ", \"us_per_mb\": " << r.us_per_mb
+         << ", \"relay_bytes\": " << r.relay_bytes << ", \"peer_bytes\": " << r.peer_bytes
          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
 
   bench::paper_note(
       "The loopback-vs-in-process delta is pure serialization cost; socket adds "
-      "framing + TCP. Compare us/MB here with the per-frame boundary traffic of "
+      "framing + TCP. socket+peer moves the relay KB column to peer KB: those "
+      "bytes flow worker -> worker and never cross the coordinator. Compare "
+      "us/MB here with the per-frame boundary traffic of "
       "bench_fig13_comm_overhead and with Options::emulated_tier_service_seconds "
       "when emulating remote tiers on one host.");
   return 0;

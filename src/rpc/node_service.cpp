@@ -1,5 +1,6 @@
 #include "rpc/node_service.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
@@ -19,6 +20,7 @@ namespace {
 
 class NodeService {
  public:
+  // Handles one coordinator frame. Returns the reply to write back.
   Frame handle(const Frame& request) {
     WireReader r(request.body);
     switch (request.kind) {
@@ -29,15 +31,97 @@ class NodeService {
       case MsgKind::kRunStack: return run_stack(r);
       case MsgKind::kGet: return get(r);
       case MsgKind::kEnd: return end(r);
+      case MsgKind::kPeerListen: return peer_listen(r);
+      case MsgKind::kConnectPeer: return connect_peer(r);
+      case MsgKind::kPushPeer: return push_peer(r);
+      case MsgKind::kPutTile: return put_tile(r);
+      case MsgKind::kRunTile: return run_tile(r);
+      case MsgKind::kGetTile: return get_tile(r);
       default:
         throw WireError("node: unexpected message kind " +
                         std::to_string(static_cast<int>(request.kind)));
     }
   }
 
+  // The serve loop's poll set: coordinator first, then the peer listener (if
+  // open), then every inbound peer channel. Indices into the returned vector
+  // are decoded by serve_node via these two accessors.
+  std::vector<int> poll_fds(int coordinator_fd) const {
+    std::vector<int> fds{coordinator_fd, peer_listener_.valid() ? peer_listener_.fd() : -1};
+    for (const auto& in : peer_in_) fds.push_back(in.socket.fd());
+    return fds;
+  }
+
+  // Accepts one dialled peer channel: the first frame must be kPeerHello with
+  // the dialling node's name; the channel replaces any previous inbound
+  // channel from that peer (a reconnected worker re-dials). A misbehaving
+  // dialler (no hello within the bounded wait, malformed or unexpected first
+  // frame) only costs its own connection — never the serve loop, which must
+  // stay responsive for the coordinator and the other peers.
+  void accept_peer() {
+    try {
+      Socket channel = tcp_accept(peer_listener_, 1000);
+      const int fd[] = {channel.fd()};
+      if (poll_readable(fd, 5000) < 0) return;  // no hello in time: drop it
+      const Frame hello = read_frame(channel.fd());
+      if (hello.kind != MsgKind::kPeerHello) return;  // not a peer: drop it
+      WireReader r(hello.body);
+      const std::string peer = r.str();
+      r.expect_end("peer-hello");
+      peer_in_.erase(std::remove_if(peer_in_.begin(), peer_in_.end(),
+                                    [&](const PeerChannel& c) { return c.name == peer; }),
+                     peer_in_.end());
+      write_frame(channel.fd(), MsgKind::kPeerOk, {});
+      peer_in_.push_back(PeerChannel{peer, std::move(channel)});
+    } catch (const std::exception&) {
+      // Socket/wire failure during the handshake: the RAII socket closed, the
+      // dialler sees the hang-up; nothing else is affected.
+    }
+  }
+
+  // Services one frame from inbound peer channel `index` (from poll_fds
+  // ordering). Returns false when the channel was dropped — peer hang-up, a
+  // mid-frame socket failure, or a desynchronised stream (anything but
+  // kPeerPut). Handler-level failures (bad slot, wrong addressee) are
+  // answered with kError and the channel stays up — mirroring how the
+  // coordinator connection treats handler vs protocol failures.
+  bool serve_peer(std::size_t index) {
+    PeerChannel& channel = peer_in_.at(index);
+    const auto drop = [&] {
+      peer_in_.erase(peer_in_.begin() + static_cast<std::ptrdiff_t>(index));
+      return false;
+    };
+    Frame frame;
+    try {
+      if (!read_frame_or_eof(channel.socket.fd(), frame)) return drop();
+      if (frame.kind != MsgKind::kPeerPut) return drop();
+      Frame reply;
+      try {
+        WireReader r(frame.body);
+        store_peer_put(r);
+        reply = Frame{MsgKind::kPeerOk, {}};
+      } catch (const std::exception& e) {
+        WireWriter w;
+        w.str(e.what());
+        reply = Frame{MsgKind::kError, w.take()};
+      }
+      write_frame(channel.socket.fd(), reply.kind, reply.body);
+    } catch (const SocketError&) {
+      return drop();
+    }
+    return true;
+  }
+
  private:
   struct RequestSlots {
     std::vector<std::optional<dnn::Tensor>> slots;  // 0 = input, i+1 = layer i
+    std::map<std::uint64_t, dnn::Tensor> tile_in;   // VSM tile inputs by tile index
+    std::map<std::uint64_t, dnn::Tensor> tile_out;  // computed tile outputs
+  };
+
+  struct PeerChannel {
+    std::string name;  // the node on the other end
+    Socket socket;
   };
 
   static Frame ok() { return Frame{MsgKind::kOk, {}}; }
@@ -92,12 +176,9 @@ class NodeService {
     return ok();
   }
 
-  Frame put(WireReader& r) {
-    require_configured();
-    const std::uint64_t id = r.u64();
-    const std::uint64_t slot = r.u64();
-    Envelope env = decode_envelope(r);
-    r.expect_end("put");
+  // Stores an Envelope-carried tensor into a request slot; shared by the
+  // coordinator's kPut and the peer channel's kPeerPut.
+  void store_envelope(std::uint64_t id, std::uint64_t slot, Envelope env) {
     RequestSlots& req = request(id);
     if (slot >= req.slots.size())
       throw WireError("node: put slot " + std::to_string(slot) + " out of range");
@@ -105,7 +186,25 @@ class NodeService {
       throw WireError("node '" + node_name_ + "': envelope addressed to '" +
                       env.meta.to_node + "'");
     req.slots[slot] = decode_tensor(env.payload);
+  }
+
+  Frame put(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t slot = r.u64();
+    Envelope env = decode_envelope(r);
+    r.expect_end("put");
+    store_envelope(id, slot, std::move(env));
     return ok();
+  }
+
+  void store_peer_put(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t slot = r.u64();
+    Envelope env = decode_envelope(r);
+    r.expect_end("peer-put");
+    store_envelope(id, slot, std::move(env));
   }
 
   Frame run_layer(WireReader& r) {
@@ -157,6 +256,156 @@ class NodeService {
     return ok();
   }
 
+  // --- Peer channels ---------------------------------------------------------
+
+  Frame peer_listen(WireReader& r) {
+    r.expect_end("peer-listen");
+    // Idempotent: a coordinator re-establishing links after a sibling worker
+    // died just gets the existing port back.
+    if (!peer_listener_.valid()) {
+      peer_port_ = 0;
+      peer_listener_ = tcp_listen(peer_port_);
+    }
+    WireWriter w;
+    w.u32(peer_port_);
+    return Frame{MsgKind::kOk, w.take()};
+  }
+
+  Frame connect_peer(WireReader& r) {
+    require_configured();
+    const std::string peer = r.str();
+    const std::string host = r.str();
+    const std::uint32_t port = r.u32();
+    r.expect_end("connect-peer");
+    if (port == 0 || port > 65535)
+      throw WireError("node: peer port " + std::to_string(port) + " out of range");
+    // Replace any stale channel (the peer may be a reconnected fresh process).
+    peer_out_.erase(peer);
+    Socket channel = tcp_connect(host, static_cast<std::uint16_t>(port));
+    WireWriter hello;
+    hello.str(node_name_);
+    write_frame(channel.fd(), MsgKind::kPeerHello, hello.buffer());
+    const Frame ack = read_frame(channel.fd());
+    if (ack.kind != MsgKind::kPeerOk)
+      throw WireError("node: peer '" + peer + "' rejected the channel handshake");
+    peer_out_.emplace(peer, std::move(channel));
+    return ok();
+  }
+
+  Frame push_peer(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t slot = r.u64();
+    Envelope env = decode_envelope(r);  // metadata only; payload arrives empty
+    r.expect_end("push-peer");
+    const auto it = peer_out_.find(env.meta.to_node);
+    if (it == peer_out_.end())
+      throw WireError("node '" + node_name_ + "': no peer channel to '" + env.meta.to_node +
+                      "'");
+    env.payload = encode_tensor(slot_tensor(request(id), slot));
+    const std::uint64_t payload_bytes = env.payload.size();
+    WireWriter w;
+    w.u64(id);
+    w.u64(slot);
+    encode_envelope(w, env);
+    write_frame(it->second.fd(), MsgKind::kPeerPut, w.buffer());
+    wait_peer_ack(it->second);
+    WireWriter reply;
+    reply.u64(payload_bytes);
+    return Frame{MsgKind::kOk, reply.take()};
+  }
+
+  // Waits for the pushed tensor's kPeerOk while *also* servicing inbound peer
+  // channels: two nodes pushing to each other simultaneously (two pipelined
+  // requests crossing the same boundary in opposite directions) would
+  // otherwise deadlock, each blocked on the other's acknowledgement.
+  void wait_peer_ack(Socket& out_channel) {
+    for (;;) {
+      std::vector<int> fds{out_channel.fd()};
+      for (const auto& in : peer_in_) fds.push_back(in.socket.fd());
+      const int idx = poll_readable(fds, 30000);
+      if (idx < 0) throw SocketError("peer push: timed out waiting for acknowledgement");
+      if (idx == 0) {
+        const Frame ack = read_frame(out_channel.fd());
+        if (ack.kind == MsgKind::kError) {
+          WireReader r(ack.body);
+          throw WireError("peer rejected push: " + r.str());
+        }
+        if (ack.kind != MsgKind::kPeerOk)
+          throw WireError("node: unexpected peer ack kind " +
+                          std::to_string(static_cast<int>(ack.kind)));
+        return;
+      }
+      serve_peer(static_cast<std::size_t>(idx - 1));
+    }
+  }
+
+  // --- Edge fan-out tiles ----------------------------------------------------
+
+  const core::FusedTilePlan& vsm_plan() const {
+    if (!plan_ || !plan_->vsm) throw WireError("node: no VSM stack in the shipped plan");
+    return *plan_->vsm;
+  }
+
+  Frame put_tile(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t tile = r.u64();
+    Envelope env = decode_envelope(r);
+    r.expect_end("put-tile");
+    const core::FusedTilePlan& vsm = vsm_plan();
+    if (tile >= vsm.num_tiles())
+      throw WireError("node: tile " + std::to_string(tile) + " out of range");
+    // Tile envelopes are addressed to the *virtual* per-tile edge node
+    // ("edge<tile+1>"); this physical worker serves several of them, so no
+    // to_node check — the tile index is the address.
+    request(id).tile_in[tile] = decode_tensor(env.payload);
+    return ok();
+  }
+
+  Frame run_tile(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t tile = r.u64();
+    r.expect_end("run-tile");
+    const core::FusedTilePlan& vsm = vsm_plan();
+    if (tile >= vsm.num_tiles())
+      throw WireError("node: tile " + std::to_string(tile) + " out of range");
+    RequestSlots& req = request(id);
+    const auto it = req.tile_in.find(tile);
+    if (it == req.tile_in.end())
+      throw WireError("node: tile " + std::to_string(tile) + " input not delivered");
+    // Rebuild the exec::Tile from the shipped plan: the crop's position and
+    // the full-map extent are a pure function of (plan, tile), so only the
+    // tensor data ever crosses the wire.
+    const exec::Region& region = vsm.tiles[tile].input_regions.front();
+    const dnn::Shape expect{vsm.input_shapes.front().c, region.height(), region.width()};
+    if (!(it->second.shape() == expect))
+      throw WireError("node: tile " + std::to_string(tile) + " input shape " +
+                      it->second.shape().to_string() + " != plan's " + expect.to_string());
+    exec::Tile input;
+    input.data = it->second;
+    input.origin_x = region.x0;
+    input.origin_y = region.y0;
+    input.full_w = vsm.input_shapes.front().w;
+    input.full_h = vsm.input_shapes.front().h;
+    req.tile_out[tile] =
+        core::run_single_tile(*net_, weights_, input, vsm, tile).data;
+    return ok();
+  }
+
+  Frame get_tile(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t tile = r.u64();
+    r.expect_end("get-tile");
+    RequestSlots& req = request(id);
+    const auto it = req.tile_out.find(tile);
+    if (it == req.tile_out.end())
+      throw WireError("node: tile " + std::to_string(tile) + " output not computed");
+    return Frame{MsgKind::kTensor, encode_tensor(it->second)};
+  }
+
   std::string node_name_;
   std::optional<dnn::Network> net_;
   exec::WeightStore weights_;
@@ -164,27 +413,42 @@ class NodeService {
   std::unique_ptr<runtime::ThreadPool> pool_;
   core::TileParallelFor tile_parallel_;
   std::map<std::uint64_t, RequestSlots> requests_;
+  Socket peer_listener_;
+  std::uint16_t peer_port_ = 0;
+  std::map<std::string, Socket> peer_out_;  // channels this node pushes on
+  std::vector<PeerChannel> peer_in_;        // channels peers push to us on
 };
 
 }  // namespace
 
 void serve_node(int fd) {
   NodeService service;
-  Frame request;
-  while (read_frame_or_eof(fd, request)) {
-    if (request.kind == MsgKind::kShutdown) {
-      write_frame(fd, MsgKind::kOk, {});
-      return;
+  for (;;) {
+    const std::vector<int> fds = service.poll_fds(fd);
+    const int idx = poll_readable(fds, -1);
+    if (idx < 0) continue;
+    if (idx == 0) {
+      // Coordinator frame (or hang-up).
+      Frame request;
+      if (!read_frame_or_eof(fd, request)) return;
+      if (request.kind == MsgKind::kShutdown) {
+        write_frame(fd, MsgKind::kOk, {});
+        return;
+      }
+      Frame reply;
+      try {
+        reply = service.handle(request);
+      } catch (const std::exception& e) {
+        WireWriter w;
+        w.str(e.what());
+        reply = Frame{MsgKind::kError, w.take()};
+      }
+      write_frame(fd, reply.kind, reply.body);
+    } else if (idx == 1) {
+      service.accept_peer();
+    } else {
+      service.serve_peer(static_cast<std::size_t>(idx - 2));
     }
-    Frame reply;
-    try {
-      reply = service.handle(request);
-    } catch (const std::exception& e) {
-      WireWriter w;
-      w.str(e.what());
-      reply = Frame{MsgKind::kError, w.take()};
-    }
-    write_frame(fd, reply.kind, reply.body);
   }
 }
 

@@ -1,13 +1,24 @@
 // Worker side of the socket transport: the body of the d3_node binary.
 //
-// A node process is a passive responder. After kConfig ships it the model name
-// (resolved against the shared zoo), the full weights, the deployment plan and
-// its pool width, it holds per-request slot state (slot 0 = raw input, slot
-// i+1 = layer i's output) and answers the coordinator's kPut / kRunLayer /
-// kRunStack / kGet / kEnd requests until EOF or kShutdown. All sequencing and
-// transcript recording stays with the coordinating engine — the worker only
-// stores tensors and runs kernels, which is why transcripts are identical on
-// every transport.
+// A node process is a passive responder driven by a poll loop over three fd
+// classes: the coordinator connection, the node's peer listener, and any
+// inbound peer channels. After kConfig ships it the model name (resolved
+// against the shared zoo), the full weights, the deployment plan and its pool
+// width, it holds per-request slot state (slot 0 = raw input, slot i+1 =
+// layer i's output, plus per-tile VSM state for edge fan-out workers) and
+// answers the coordinator's kPut / kRunLayer / kRunStack / kGet / kPutTile /
+// kRunTile / kGetTile / kEnd requests until EOF or kShutdown.
+//
+// Peer channels (kPeerListen / kConnectPeer / kPushPeer) let a node ship a
+// boundary tensor straight to the next tier's node: the coordinator still
+// sequences every transfer (it sends kPushPeer and waits for the kOk), but
+// the payload bytes flow worker -> worker, never through the coordinator.
+// While waiting for a push acknowledgement a node keeps servicing its own
+// inbound peer channels, so two nodes pushing to each other concurrently
+// (pipelined requests crossing a boundary in both directions) cannot
+// deadlock. All transcript recording stays with the coordinating engine — the
+// worker only stores tensors and runs kernels, which is why transcripts are
+// identical on every transport. docs/PROTOCOL.md is the full wire spec.
 #pragma once
 
 namespace d3::rpc {

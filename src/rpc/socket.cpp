@@ -18,10 +18,13 @@ namespace {
 }
 
 // Full-buffer read/write loops (TCP may deliver partial chunks).
+// MSG_NOSIGNAL: a peer that died mid-conversation (worker killed, reconnect
+// path) must surface as SocketError/EPIPE, not as a process-killing SIGPIPE.
 void write_all(int fd, const void* data, std::size_t len) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p, len);
     if (n < 0) {
       if (errno == EINTR) continue;
       fail_errno("write");
@@ -193,6 +196,25 @@ bool read_frame_or_eof(int fd, Frame& out) {
   bool eof = false;
   out = read_frame_impl(fd, true, eof);
   return !eof;
+}
+
+int poll_readable(std::span<const int> fds, int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (const int fd : fds) pfds.push_back({fd, POLLIN, 0});
+  for (;;) {
+    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("poll");
+    }
+    if (n == 0) return -1;
+    for (std::size_t i = 0; i < pfds.size(); ++i)
+      // POLLHUP/POLLERR count as readable: the subsequent read reports the
+      // EOF or error precisely instead of the loop spinning.
+      if (pfds[i].fd >= 0 && (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+        return static_cast<int>(i);
+  }
 }
 
 }  // namespace d3::rpc

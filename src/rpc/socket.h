@@ -26,21 +26,32 @@ class SocketError : public std::runtime_error {
 inline constexpr std::uint32_t kFrameMagic = 0xD3A0000F;
 inline constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 31;
 
-// Coordinator -> worker requests and worker -> coordinator replies.
+// Coordinator -> worker requests, worker -> coordinator replies, and the
+// worker <-> worker peer-channel frames (docs/PROTOCOL.md is the full spec).
 enum class MsgKind : std::uint8_t {
-  // Requests.
-  kConfig = 1,    // model name + weights + plan + options: makes the node live
-  kBegin = 2,     // open per-request slot state
-  kPut = 3,       // deliver an Envelope into a slot
-  kRunLayer = 4,  // execute one layer from the node's slots
-  kRunStack = 5,  // execute the VSM fused-tile stack
-  kGet = 6,       // fetch a slot's tensor back
-  kEnd = 7,       // drop per-request state
-  kShutdown = 8,  // acknowledge and exit the serve loop
+  // Coordinator -> worker requests.
+  kConfig = 1,       // model name + weights + plan + options: makes the node live
+  kBegin = 2,        // open per-request slot state
+  kPut = 3,          // deliver an Envelope into a slot
+  kRunLayer = 4,     // execute one layer from the node's slots
+  kRunStack = 5,     // execute the VSM fused-tile stack
+  kGet = 6,          // fetch a slot's tensor back
+  kEnd = 7,          // drop per-request state
+  kShutdown = 8,     // acknowledge and exit the serve loop
+  kPeerListen = 9,   // open (or report) the node's peer listener; kOk body = port
+  kConnectPeer = 10, // dial a peer node's listener and keep the channel
+  kPushPeer = 11,    // push one of this node's slots directly to a peer node
+  kPutTile = 12,     // deliver one VSM tile input (edge fan-out worker)
+  kRunTile = 13,     // run the fused stack over one delivered tile
+  kGetTile = 14,     // fetch one computed tile output back
+  // Worker -> worker peer-channel frames (never seen by the coordinator).
+  kPeerHello = 32,   // first frame on a dialled peer channel: sender's node name
+  kPeerPut = 33,     // a pushed slot tensor: request + slot + Envelope
   // Replies.
   kOk = 64,
-  kTensor = 65,  // body: one encoded tensor
-  kError = 66,   // body: wire string with the failure message
+  kTensor = 65,   // body: one encoded tensor
+  kError = 66,    // body: wire string with the failure message
+  kPeerOk = 67,   // peer-channel acknowledgement (hello accepted / put stored)
 };
 
 // RAII owner of a socket file descriptor.
@@ -91,5 +102,11 @@ Frame read_frame(int fd);
 // Like read_frame, but a clean EOF before the first byte returns false —
 // the peer hung up between messages (normal worker shutdown).
 bool read_frame_or_eof(int fd, Frame& out);
+
+// Polls `fds` for readability, returning the index of the first readable fd,
+// or -1 on timeout (timeout_ms < 0 waits forever). Throws SocketError on OS
+// failure. Entries with fd < 0 are skipped. The worker's serve loop and the
+// peer-push acknowledgement wait are built on this.
+int poll_readable(std::span<const int> fds, int timeout_ms);
 
 }  // namespace d3::rpc

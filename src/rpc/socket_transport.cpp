@@ -1,5 +1,6 @@
 #include "rpc/socket_transport.h"
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <sys/wait.h>
@@ -13,9 +14,16 @@ namespace d3::rpc {
 void SocketTransport::add_node(const std::string& node, Socket socket) {
   if (!socket.valid()) throw TransportError("add_node: invalid socket for '" + node + "'");
   auto entry = std::make_unique<Node>();
+  entry->name = node;
   entry->socket = std::move(socket);
   if (!nodes_.emplace(node, std::move(entry)).second)
     throw TransportError("add_node: node '" + node + "' already attached");
+}
+
+void SocketTransport::add_tile_worker(Socket socket) {
+  const std::string node = "edge" + std::to_string(tile_workers_.size() + 1);
+  add_node(node, std::move(socket));
+  tile_workers_.push_back(nodes_.at(node).get());
 }
 
 SocketTransport::Node* SocketTransport::find(const std::string& node) const {
@@ -23,21 +31,73 @@ SocketTransport::Node* SocketTransport::find(const std::string& node) const {
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
-Frame SocketTransport::call(Node& node, const std::string& node_name, MsgKind kind,
-                            std::span<const std::uint8_t> body, MsgKind expected) {
-  std::lock_guard<std::mutex> lock(node.mutex);
+SocketTransport::Node& SocketTransport::tile_worker(std::size_t tile) const {
+  if (tile_workers_.empty()) throw TransportError("no tile workers attached");
+  return *tile_workers_[tile % tile_workers_.size()];
+}
+
+Frame SocketTransport::roundtrip_locked(Node& node, MsgKind kind,
+                                        std::span<const std::uint8_t> body, MsgKind expected) {
+  if (!node.socket.valid())
+    throw SocketError("node '" + node.name + "': channel is down");
   write_frame(node.socket.fd(), kind, body);
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
   Frame reply = read_frame(node.socket.fd());
   if (reply.kind == MsgKind::kError) {
     WireReader r(reply.body);
-    throw TransportError("node '" + node_name + "': " + r.str());
+    throw TransportError("node '" + node.name + "': " + r.str());
   }
   if (reply.kind != expected)
-    throw TransportError("node '" + node_name + "': unexpected reply kind " +
+    throw TransportError("node '" + node.name + "': unexpected reply kind " +
                          std::to_string(static_cast<int>(reply.kind)) + " to request kind " +
                          std::to_string(static_cast<int>(kind)));
   return reply;
+}
+
+void SocketTransport::recover_locked(Node& node, const std::string& error) {
+  node.socket.close();
+  if (!node.reconnect)
+    throw ChannelDied("node '" + node.name + "' died mid-request (" + error +
+                      "); no reconnect hook registered, node stays detached");
+  std::chrono::milliseconds backoff = node.retry.initial_backoff;
+  std::string last = error;
+  for (int attempt = 1; attempt <= node.retry.max_attempts; ++attempt) {
+    std::this_thread::sleep_for(backoff);
+    backoff = std::chrono::milliseconds(static_cast<std::chrono::milliseconds::rep>(
+        static_cast<double>(backoff.count()) * node.retry.backoff_multiplier));
+    try {
+      node.socket = node.reconnect();
+      // A fresh process knows nothing: replay the cached deployment bundle so
+      // the channel is immediately serviceable for replayed requests.
+      if (!node.config_body.empty())
+        roundtrip_locked(node, MsgKind::kConfig, node.config_body, MsgKind::kOk);
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      // The channel is healthy again, but this worker incarnation never saw
+      // the in-flight request's kBegin/kPut history — only a replay (identical
+      // by the transcript-purity invariant) can finish the inference.
+      throw ChannelDied("node '" + node.name + "' died mid-request (" + error +
+                        "); channel re-established after " + std::to_string(attempt) +
+                        " attempt(s) — replay the request");
+    } catch (const ChannelDied&) {
+      throw;  // recovery outcome, not a retryable failure
+    } catch (const std::exception& e) {
+      node.socket.close();
+      last = e.what();
+    }
+  }
+  throw ChannelDied("node '" + node.name + "' died mid-request (" + error +
+                    ") and reconnect failed after " +
+                    std::to_string(node.retry.max_attempts) + " attempts: " + last);
+}
+
+Frame SocketTransport::call(Node& node, MsgKind kind, std::span<const std::uint8_t> body,
+                            MsgKind expected) {
+  std::lock_guard<std::mutex> lock(node.mutex);
+  try {
+    return roundtrip_locked(node, kind, body, expected);
+  } catch (const SocketError& e) {
+    recover_locked(node, e.what());  // always throws
+  }
 }
 
 void SocketTransport::configure(const std::string& model_name, const dnn::Network& net,
@@ -52,8 +112,50 @@ void SocketTransport::configure(const std::string& model_name, const dnn::Networ
     w.blob(weight_bytes);
     w.blob(plan_binary);
     w.u32(static_cast<std::uint32_t>(vsm_workers));
-    const std::vector<std::uint8_t> body = w.take();
-    call(*node, name, MsgKind::kConfig, body);
+    node->config_body = w.take();
+    call(*node, MsgKind::kConfig, node->config_body);
+  }
+}
+
+void SocketTransport::set_reconnect(const std::string& node_name, ReconnectFn fn,
+                                    RetryPolicy policy) {
+  Node* node = find(node_name);
+  if (!node) throw TransportError("set_reconnect: node '" + node_name + "' is not attached");
+  std::lock_guard<std::mutex> lock(node->mutex);
+  node->reconnect = std::move(fn);
+  node->retry = policy;
+}
+
+void SocketTransport::link_peers(Node& from, Node& to) {
+  WireWriter listen;
+  const Frame port_reply = call(to, MsgKind::kPeerListen, listen.buffer());
+  WireReader pr(port_reply.body);
+  const std::uint32_t port = pr.u32();
+  pr.expect_end("peer-listen reply");
+  WireWriter w;
+  w.str(to.name);
+  w.str("127.0.0.1");
+  w.u32(port);
+  call(from, MsgKind::kConnectPeer, w.buffer());
+}
+
+void SocketTransport::connect_peers() {
+  peers_enabled_ = true;
+  // Full mesh over the tier nodes, deliberately: besides the cloud-ward
+  // device->edge->cloud flow, Prop.-1 deferred consumers legitimately push
+  // *backwards* (a cloud-computed tensor consumed by an edge- or
+  // device-assigned layer at the cloud stage), so every ordered pair is
+  // reachable. Tile workers are excluded — the coordinator mediates all tile
+  // traffic.
+  const auto is_tile_worker = [&](Node* n) {
+    return std::find(tile_workers_.begin(), tile_workers_.end(), n) != tile_workers_.end();
+  };
+  for (auto& [from_name, from] : nodes_) {
+    if (is_tile_worker(from.get())) continue;
+    for (auto& [to_name, to] : nodes_) {
+      if (from.get() == to.get() || is_tile_worker(to.get())) continue;
+      link_peers(*from, *to);
+    }
   }
 }
 
@@ -62,7 +164,7 @@ std::uint64_t SocketTransport::open_request() {
   for (auto& [name, node] : nodes_) {
     WireWriter w;
     w.u64(id);
-    call(*node, name, MsgKind::kBegin, w.buffer());
+    call(*node, MsgKind::kBegin, w.buffer());
   }
   return id;
 }
@@ -72,23 +174,24 @@ void SocketTransport::close_request(std::uint64_t request) noexcept {
     try {
       WireWriter w;
       w.u64(request);
-      call(*node, name, MsgKind::kEnd, w.buffer());
+      call(*node, MsgKind::kEnd, w.buffer());
     } catch (...) {
       // Teardown path: a dead worker must not mask the original failure.
     }
   }
 }
 
-void SocketTransport::put(std::uint64_t request, Node& node, const std::string& node_name,
-                          const runtime::MessageRecord& meta, std::uint64_t slot,
-                          const dnn::Tensor& tensor) {
+std::uint64_t SocketTransport::put(std::uint64_t request, Node& node,
+                                   const runtime::MessageRecord& meta, std::uint64_t slot,
+                                   const dnn::Tensor& tensor) {
   WireWriter w;
   w.u64(request);
   w.u64(slot);
   const Envelope env{meta, encode_tensor(tensor)};
   payload_bytes_sent_.fetch_add(env.payload.size(), std::memory_order_relaxed);
   encode_envelope(w, env);
-  call(node, node_name, MsgKind::kPut, w.buffer());
+  call(node, MsgKind::kPut, w.buffer());
+  return env.payload.size();
 }
 
 void SocketTransport::seed(std::uint64_t request, const std::string& node_name,
@@ -99,7 +202,7 @@ void SocketTransport::seed(std::uint64_t request, const std::string& node_name,
   meta.from_node = node_name;
   meta.to_node = node_name;
   meta.payload = "seed";
-  put(request, *node, node_name, meta, slot, tensor);
+  put(request, *node, meta, slot, tensor);
 }
 
 std::optional<dnn::Tensor> SocketTransport::send(std::uint64_t request,
@@ -108,8 +211,50 @@ std::optional<dnn::Tensor> SocketTransport::send(std::uint64_t request,
                                                  const dnn::Tensor& tensor) {
   Node* node = find(meta.to_node);
   if (!node || slot == kNoSlot) return std::nullopt;  // destination hosted in-process
-  put(request, *node, meta.to_node, meta, slot, tensor);
+  const std::uint64_t bytes = put(request, *node, meta, slot, tensor);
+  // The producer is itself a remote node, so the coordinator just moved bytes
+  // it neither produced nor consumes: that is the star topology's relay tax.
+  if (find(meta.from_node) != nullptr)
+    relay_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   return std::nullopt;
+}
+
+std::uint64_t SocketTransport::push_peer(Node& from, std::uint64_t request,
+                                         const runtime::MessageRecord& meta,
+                                         std::uint64_t slot) {
+  WireWriter w;
+  w.u64(request);
+  w.u64(slot);
+  encode_envelope(w, Envelope{meta, {}});  // metadata only; the producer owns the payload
+  const Frame reply = call(from, MsgKind::kPushPeer, w.buffer());
+  WireReader r(reply.body);
+  const std::uint64_t bytes = r.u64();
+  r.expect_end("push-peer reply");
+  return bytes;
+}
+
+bool SocketTransport::send_peer(std::uint64_t request, const runtime::MessageRecord& meta,
+                                std::uint64_t slot) {
+  if (!peers_enabled_ || slot == kNoSlot) return false;
+  Node* from = find(meta.from_node);
+  Node* to = find(meta.to_node);
+  if (!from || !to) return false;  // one endpoint hosted in-process: relay path
+  std::uint64_t bytes = 0;
+  try {
+    bytes = push_peer(*from, request, meta, slot);
+  } catch (const ChannelDied&) {
+    throw;  // coordinator<->worker channel death: replay, don't re-link
+  } catch (const TransportError&) {
+    // The worker->worker channel may have died with a reconnected peer
+    // incarnation (stale listener port, broken pipe, "no peer channel" on a
+    // fresh process); re-run the handshake once and retry. A second failure
+    // is genuine and propagates (the request is replayable).
+    link_peers(*from, *to);
+    bytes = push_peer(*from, request, meta, slot);
+  }
+  peer_pushes_.fetch_add(1, std::memory_order_relaxed);
+  peer_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  return true;
 }
 
 bool SocketTransport::run_layer(std::uint64_t request, const std::string& node_name,
@@ -119,7 +264,7 @@ bool SocketTransport::run_layer(std::uint64_t request, const std::string& node_n
   WireWriter w;
   w.u64(request);
   w.u64(layer);
-  call(*node, node_name, MsgKind::kRunLayer, w.buffer());
+  call(*node, MsgKind::kRunLayer, w.buffer());
   return true;
 }
 
@@ -128,7 +273,7 @@ bool SocketTransport::run_stack(std::uint64_t request, const std::string& node_n
   if (!node) return false;
   WireWriter w;
   w.u64(request);
-  call(*node, node_name, MsgKind::kRunStack, w.buffer());
+  call(*node, MsgKind::kRunStack, w.buffer());
   return true;
 }
 
@@ -140,7 +285,37 @@ dnn::Tensor SocketTransport::fetch(std::uint64_t request, const std::string& nod
   WireWriter w;
   w.u64(request);
   w.u64(slot);
-  const Frame reply = call(*node, node_name, MsgKind::kGet, w.buffer(), MsgKind::kTensor);
+  const Frame reply = call(*node, MsgKind::kGet, w.buffer(), MsgKind::kTensor);
+  payload_bytes_fetched_.fetch_add(reply.body.size(), std::memory_order_relaxed);
+  return decode_tensor(std::span<const std::uint8_t>(reply.body));
+}
+
+void SocketTransport::put_tile(std::uint64_t request, const runtime::MessageRecord& meta,
+                               std::size_t tile, const dnn::Tensor& input) {
+  Node& worker = tile_worker(tile);
+  WireWriter w;
+  w.u64(request);
+  w.u64(tile);
+  const Envelope env{meta, encode_tensor(input)};
+  payload_bytes_sent_.fetch_add(env.payload.size(), std::memory_order_relaxed);
+  encode_envelope(w, env);
+  call(worker, MsgKind::kPutTile, w.buffer());
+}
+
+void SocketTransport::run_tile(std::uint64_t request, std::size_t tile) {
+  Node& worker = tile_worker(tile);
+  WireWriter w;
+  w.u64(request);
+  w.u64(tile);
+  call(worker, MsgKind::kRunTile, w.buffer());
+}
+
+dnn::Tensor SocketTransport::fetch_tile(std::uint64_t request, std::size_t tile) {
+  Node& worker = tile_worker(tile);
+  WireWriter w;
+  w.u64(request);
+  w.u64(tile);
+  const Frame reply = call(worker, MsgKind::kGetTile, w.buffer(), MsgKind::kTensor);
   payload_bytes_fetched_.fetch_add(reply.body.size(), std::memory_order_relaxed);
   return decode_tensor(std::span<const std::uint8_t>(reply.body));
 }

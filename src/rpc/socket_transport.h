@@ -1,22 +1,37 @@
 // Coordinator side of the multi-process transport: each attached node is a
-// d3_node worker process reached over one localhost TCP connection.
+// d3_node worker process reached over one TCP connection.
 //
-// Topology is a star through the coordinator: every inter-node tensor is
-// recorded once (producer node -> consumer node) in the transcript but
-// physically relayed coordinator -> consumer, which keeps the worker protocol
-// strictly request/response and the per-boundary byte accounting identical to
-// the in-process engine. Nodes that are not attached (mixed deployments, VSM
-// worker names like "edge1") fall back to in-process hosting automatically.
+// Three topologies compose freely (docs/ARCHITECTURE.md has diagrams):
+//
+//   * Star (PR 3): every inter-node tensor is recorded once (producer ->
+//     consumer) in the transcript but physically relayed coordinator ->
+//     consumer. Simple, strictly request/response.
+//   * Peer-to-peer (connect_peers): attached tier nodes hold direct channels;
+//     a boundary tensor is pushed producer -> consumer by kPushPeer and the
+//     coordinator never touches the bytes (Stats::relay_bytes drops to zero).
+//   * Edge fan-out (add_tile_worker): the VSM tile plan is sharded across N
+//     real "edge1".."edgeN" worker processes (tile -> worker = tile mod N);
+//     the engine scatters tile crops, runs tiles concurrently across workers,
+//     and gathers outputs in tile order, so results stay bitwise-identical.
+//
+// Nodes that are not attached (mixed deployments) fall back to in-process
+// hosting automatically. Worker death mid-request surfaces as TransportError;
+// with set_reconnect the transport re-establishes the channel (respawn +
+// kConfig replay) under bounded backoff first, so the failed request can be
+// replayed immediately by re-submitting it.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <sys/types.h>
+#include <vector>
 
 #include "exec/weights.h"
 #include "rpc/socket.h"
@@ -28,21 +43,69 @@ class SocketTransport final : public Transport {
  public:
   struct Stats {
     std::uint64_t frames_sent = 0;
+    // Encoded tensor bytes the coordinator pushed to workers (seeds, relays,
+    // tile scatters).
     std::uint64_t payload_bytes_sent = 0;
+    // Subset of payload_bytes_sent where the producer was itself a remote
+    // node: the coordinator relayed bytes it neither produced nor consumed.
+    // Peer-to-peer channels exist to drive this to zero.
+    std::uint64_t relay_bytes = 0;
+    // Encoded tensor bytes the coordinator pulled back (boundary relays,
+    // final outputs, tile gathers).
     std::uint64_t payload_bytes_fetched = 0;
+    // Direct worker -> worker pushes: count and encoded tensor bytes. These
+    // bytes never cross the coordinator.
+    std::uint64_t peer_pushes = 0;
+    std::uint64_t peer_bytes = 0;
+    // Channels re-established after a worker death.
+    std::uint64_t reconnects = 0;
   };
+
+  // Bounded-backoff policy for re-establishing a dead worker's channel.
+  struct RetryPolicy {
+    int max_attempts = 3;
+    std::chrono::milliseconds initial_backoff{50};
+    double backoff_multiplier = 2.0;
+  };
+
+  // Produces a fresh connected socket for a node whose channel died —
+  // typically by respawning a WorkerProcess and taking its socket.
+  using ReconnectFn = std::function<Socket()>;
 
   // Attaches a connected worker as computation node `node` ("device0",
   // "edge0", "cloud0"). Call configure() once after all nodes are attached.
   void add_node(const std::string& node, Socket socket);
+  // Attaches a worker as one shard of the VSM edge pool. Workers are named
+  // "edge1".."edgeN" in attachment order; tile t runs on worker t mod N. Tile
+  // fan-out engages only while "edge0" itself is *not* attached (the engine
+  // then acts as the edge coordinator: it crops, scatters and reassembles).
+  void add_tile_worker(Socket socket);
   bool attached(const std::string& node) const { return nodes_.count(node) > 0; }
 
   // Ships the deployment bundle — model name, full weights, the plan in binary
-  // wire form, and the edge pool width — to every attached node. Throws
-  // TransportError if any worker rejects it.
+  // wire form, and the edge pool width — to every attached node, and caches it
+  // for kConfig replay on reconnect. Throws TransportError if any worker
+  // rejects it.
   void configure(const std::string& model_name, const dnn::Network& net,
                  const exec::WeightStore& weights, std::span<const std::uint8_t> plan_binary,
                  std::size_t vsm_workers);
+
+  // Establishes direct peer channels between every ordered pair of attached
+  // tier nodes (kPeerListen on the receiver, kConnectPeer on the sender).
+  // After this, send_peer pushes boundary tensors producer -> consumer
+  // directly; a channel lost to a worker death is re-established lazily on
+  // the next push. Call after configure().
+  void connect_peers();
+
+  // Registers the reconnect hook for `node`: on a dead channel the transport
+  // retries fn() under `policy`'s bounded backoff, replays kConfig, and then
+  // surfaces the interrupted call as TransportError (per-request worker state
+  // died with the process, so the request must be replayed — the transcript
+  // is a pure function of the plan, so a replay is byte-identical).
+  void set_reconnect(const std::string& node, ReconnectFn fn, RetryPolicy policy);
+  void set_reconnect(const std::string& node, ReconnectFn fn) {
+    set_reconnect(node, std::move(fn), RetryPolicy());
+  }
 
   std::string name() const override { return "socket"; }
   std::uint64_t open_request() override;
@@ -56,33 +119,68 @@ class SocketTransport final : public Transport {
   dnn::Tensor fetch(std::uint64_t request, const std::string& node,
                     std::uint64_t slot) override;
 
+  bool send_peer(std::uint64_t request, const runtime::MessageRecord& meta,
+                 std::uint64_t slot) override;
+
+  bool has_tile_workers() const override {
+    return !tile_workers_.empty() && nodes_.count("edge0") == 0;
+  }
+  std::size_t tile_worker_count() const override { return tile_workers_.size(); }
+  void put_tile(std::uint64_t request, const runtime::MessageRecord& meta, std::size_t tile,
+                const dnn::Tensor& input) override;
+  void run_tile(std::uint64_t request, std::size_t tile) override;
+  dnn::Tensor fetch_tile(std::uint64_t request, std::size_t tile) override;
+
   Stats stats() const {
-    return {frames_sent_.load(), payload_bytes_sent_.load(), payload_bytes_fetched_.load()};
+    return {frames_sent_.load(),   payload_bytes_sent_.load(), relay_bytes_.load(),
+            payload_bytes_fetched_.load(), peer_pushes_.load(), peer_bytes_.load(),
+            reconnects_.load()};
   }
 
  private:
   struct Node {
+    std::string name;
     Socket socket;
     // One in-flight request/response per connection: stages of different
     // pipelined requests may address the same node from different scheduler
     // threads.
     std::mutex mutex;
+    // Cached kConfig body for replay after reconnect.
+    std::vector<std::uint8_t> config_body;
+    ReconnectFn reconnect;
+    RetryPolicy retry;
   };
 
   Node* find(const std::string& node) const;
+  Node& tile_worker(std::size_t tile) const;
   // Locked request/response round-trip. kError replies become TransportError
   // with the worker's message; any reply kind other than `expected` is a
   // protocol desync and throws too.
-  Frame call(Node& node, const std::string& node_name, MsgKind kind,
-             std::span<const std::uint8_t> body, MsgKind expected = MsgKind::kOk);
-  void put(std::uint64_t request, Node& node, const std::string& node_name,
-           const runtime::MessageRecord& meta, std::uint64_t slot, const dnn::Tensor& tensor);
+  Frame call(Node& node, MsgKind kind, std::span<const std::uint8_t> body,
+             MsgKind expected = MsgKind::kOk);
+  Frame roundtrip_locked(Node& node, MsgKind kind, std::span<const std::uint8_t> body,
+                         MsgKind expected);
+  // Channel-death recovery: re-establish under bounded backoff (reconnect fn +
+  // kConfig replay), then throw TransportError for the interrupted call.
+  [[noreturn]] void recover_locked(Node& node, const std::string& error);
+  std::uint64_t put(std::uint64_t request, Node& node, const runtime::MessageRecord& meta,
+                    std::uint64_t slot, const dnn::Tensor& tensor);
+  // One peer handshake: kPeerListen on `to`, kConnectPeer on `from`.
+  void link_peers(Node& from, Node& to);
+  std::uint64_t push_peer(Node& from, std::uint64_t request,
+                          const runtime::MessageRecord& meta, std::uint64_t slot);
 
   std::map<std::string, std::unique_ptr<Node>> nodes_;
+  std::vector<Node*> tile_workers_;  // shard order; also present in nodes_
+  bool peers_enabled_ = false;
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> payload_bytes_sent_{0};
+  std::atomic<std::uint64_t> relay_bytes_{0};
   std::atomic<std::uint64_t> payload_bytes_fetched_{0};
+  std::atomic<std::uint64_t> peer_pushes_{0};
+  std::atomic<std::uint64_t> peer_bytes_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
 };
 
 // Forks and execs a d3_node worker binary connected back to this process over

@@ -15,6 +15,23 @@ dnn::Tensor Transport::fetch(std::uint64_t, const std::string& node, std::uint64
                        "'");
 }
 
+bool Transport::send_peer(std::uint64_t, const runtime::MessageRecord&, std::uint64_t) {
+  return false;
+}
+
+void Transport::put_tile(std::uint64_t, const runtime::MessageRecord&, std::size_t,
+                         const dnn::Tensor&) {
+  throw TransportError("put_tile: transport '" + name() + "' has no tile workers");
+}
+
+void Transport::run_tile(std::uint64_t, std::size_t) {
+  throw TransportError("run_tile: transport '" + name() + "' has no tile workers");
+}
+
+dnn::Tensor Transport::fetch_tile(std::uint64_t, std::size_t) {
+  throw TransportError("fetch_tile: transport '" + name() + "' has no tile workers");
+}
+
 std::optional<dnn::Tensor> SerializingLoopback::send(std::uint64_t,
                                                      const runtime::MessageRecord& meta,
                                                      std::uint64_t, const dnn::Tensor& tensor) {

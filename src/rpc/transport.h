@@ -41,6 +41,16 @@ class TransportError : public std::runtime_error {
   explicit TransportError(const std::string& what) : std::runtime_error("rpc: " + what) {}
 };
 
+// A node's channel died mid-call: the per-request worker state is lost, so the
+// in-flight request must be replayed end-to-end (the channel itself may have
+// been re-established already — see SocketTransport::set_reconnect). Distinct
+// from plain TransportError so recovery outcomes are never mistaken for
+// retryable per-call failures.
+class ChannelDied : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
 // Tile scatter/gather messages are intra-edge and not slot-addressed; they
 // carry this sentinel so a transport never files them in a node's slot table.
 inline constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
@@ -82,6 +92,34 @@ class Transport {
   // transports hosting `node` remotely; the base implementation throws.
   virtual dnn::Tensor fetch(std::uint64_t request, const std::string& node,
                             std::uint64_t slot);
+
+  // --- Peer-to-peer channels ------------------------------------------------
+  //
+  // Attempts to ship meta's tensor *directly* from the producer's node to the
+  // consumer's node over a peer channel, bypassing the coordinator entirely
+  // (the producer already holds `slot`; the coordinator never sees the bytes).
+  // Returns true when the transfer happened peer-to-peer; false when no such
+  // channel exists and the caller must relay via fetch() + send(). The base
+  // implementation (and every address-space-sharing transport) returns false.
+  virtual bool send_peer(std::uint64_t request, const runtime::MessageRecord& meta,
+                         std::uint64_t slot);
+
+  // --- Edge fan-out (multi-worker VSM tile sharding) ------------------------
+  //
+  // True when the VSM edge tier is served by remote tile-worker processes
+  // ("edge1".."edgeN"): the engine then ships each tile's input crop with
+  // put_tile, dispatches run_tile per tile (tiles of distinct workers may run
+  // concurrently), and collects outputs with fetch_tile — instead of computing
+  // tiles locally or delegating the whole stack to run_stack. The transport
+  // owns the tile -> physical-worker shard map (tile % tile_worker_count);
+  // the transcript keeps naming the *virtual* per-tile nodes, so it stays a
+  // pure function of the plan. Base implementations: no workers / throw.
+  virtual bool has_tile_workers() const { return false; }
+  virtual std::size_t tile_worker_count() const { return 0; }
+  virtual void put_tile(std::uint64_t request, const runtime::MessageRecord& meta,
+                        std::size_t tile, const dnn::Tensor& input);
+  virtual void run_tile(std::uint64_t request, std::size_t tile);
+  virtual dnn::Tensor fetch_tile(std::uint64_t request, std::size_t tile);
 };
 
 // Zero-copy transport: preserves the original in-process engine behaviour (and

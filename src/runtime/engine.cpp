@@ -102,18 +102,6 @@ OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& wei
       }
     }
   }
-  // A layer's output must come back to the coordinator when any consumer lives
-  // on a different tier (the coordinator relays every boundary tensor) or when
-  // it is the network output. Everything else stays wherever it was computed.
-  needs_fetch_.assign(net_.num_layers(), false);
-  if (net_.num_layers() > 0) needs_fetch_[net_.num_layers() - 1] = true;
-  for (dnn::LayerId id = 0; id < net_.num_layers(); ++id)
-    for (const dnn::LayerId in : net_.layer(id).inputs)
-      if (in != dnn::kNetworkInput &&
-          assignment_.tier[dnn::Network::vertex_of(in)] !=
-              assignment_.tier[dnn::Network::vertex_of(id)])
-        needs_fetch_[in] = true;
-
   const std::size_t pool_threads =
       std::max(options_.vsm_workers, options_.intra_op_workers);
   if (pool_threads > 0) pool_ = std::make_unique<ThreadPool>(pool_threads);
@@ -163,7 +151,17 @@ const dnn::Tensor* OnlineEngine::resolve_input(RequestState& state, dnn::LayerId
     auto& wired = state.delivered[slot][static_cast<std::size_t>(core::index(at))];
     if (wired) return &*wired;
   }
-  return producer == dnn::kNetworkInput ? state.input : &state.outputs[producer];
+  return producer == dnn::kNetworkInput ? state.input : &materialize(state, producer);
+}
+
+const dnn::Tensor& OnlineEngine::materialize(RequestState& state, dnn::LayerId id) const {
+  dnn::Tensor& out = state.outputs[id];
+  // Empty = computed on a remote node and never needed at the coordinator
+  // until now: pull it from the node hosting the layer's tier.
+  if (out.size() == 0)
+    out = transport_->fetch(state.rpc_request,
+                            node_of(assignment_.tier[dnn::Network::vertex_of(id)]), id + 1);
+  return out;
 }
 
 std::optional<dnn::Tensor> OnlineEngine::record_vsm_message(RequestState& state,
@@ -198,11 +196,63 @@ std::optional<dnn::Tensor> OnlineEngine::record_vsm_message(RequestState& state,
   return std::nullopt;
 }
 
+void OnlineEngine::run_vsm_stack_sharded(RequestState& state,
+                                         const dnn::Tensor& stack_input) const {
+  const core::FusedTilePlan& plan = *vsm_;
+  // Scatter in tile order: the engine is the edge coordinator here — it crops
+  // each tile's input and ships it to the transport's worker shard. The
+  // recorded message still names the virtual per-tile node, so the transcript
+  // is byte-identical to every other execution path.
+  for (std::size_t t = 0; t < plan.num_tiles(); ++t) {
+    const exec::Tile input = core::extract_tile_input(stack_input, plan, t);
+    record_vsm_message(state, t, /*gather=*/false, nullptr);
+    transport_->put_tile(state.rpc_request, state.result.messages.back(), t, input.data);
+  }
+
+  // Tile compute, one lane per physical worker process: lane w drives tiles
+  // t ≡ w (mod W) in increasing order over its own connection, so distinct
+  // workers genuinely overlap while per-worker order stays deterministic.
+  const std::size_t shards = transport_->tile_worker_count();
+  const auto drive = [&](std::size_t w) {
+    for (std::size_t t = w; t < plan.num_tiles(); t += shards)
+      transport_->run_tile(state.rpc_request, t);
+  };
+  if (pool_ && shards > 1) {
+    pool_->parallel_for(shards, drive);
+  } else {
+    for (std::size_t t = 0; t < plan.num_tiles(); ++t)
+      transport_->run_tile(state.rpc_request, t);
+  }
+
+  // Gather + assembly in tile order, as always.
+  dnn::Tensor assembled(plan.output_shape);
+  for (std::size_t t = 0; t < plan.num_tiles(); ++t) {
+    record_vsm_message(state, t, /*gather=*/true, nullptr);
+    const dnn::Tensor tile = transport_->fetch_tile(state.rpc_request, t);
+    const exec::Region& region = plan.tiles[t].output_region;
+    const dnn::Shape expect{plan.output_shape.c, region.height(), region.width()};
+    if (!(tile.shape() == expect))
+      throw std::logic_error("OnlineEngine: tile " + std::to_string(t) + " output shape " +
+                             tile.shape().to_string() + " != plan's " + expect.to_string());
+    exec::copy_region_to_map(tile.data(), region, assembled);
+  }
+  state.outputs[plan.stack.back()] = std::move(assembled);
+  for (const dnn::LayerId id : plan.stack) {
+    state.computed[id] = true;
+    ++state.result.layers_executed[static_cast<std::size_t>(core::index(core::Tier::kEdge))];
+  }
+}
+
 void OnlineEngine::run_vsm_stack(RequestState& state) const {
   const core::FusedTilePlan& plan = *vsm_;
   const dnn::LayerId first = plan.stack.front();
   const dnn::LayerId in_id = net_.layer(first).inputs[0];
   const dnn::Tensor& stack_input = *resolve_input(state, in_id, core::Tier::kEdge);
+
+  if (transport_->has_tile_workers()) {
+    run_vsm_stack_sharded(state, stack_input);
+    return;
+  }
 
   // Scatter: extract every tile's input crop and record the message, in tile
   // order, before any concurrent work starts. This pins the transcript.
@@ -287,10 +337,13 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
     record(state.result, meta);
 
     const std::uint64_t slot = is_input ? 0 : producer + 1;
-    const dnn::Tensor& source = is_input ? *state.input : state.outputs[producer];
-    if (!is_input && source.size() == 0)
-      throw std::logic_error("OnlineEngine: tensor of '" + meta.payload +
-                             "' is not materialised at the coordinator");
+    // Cheapest path first: a peer channel moves the bytes producer -> consumer
+    // directly and the coordinator never materialises the tensor at all (the
+    // raw input is peer-pushable too — it was seeded into the device node).
+    if (transport_->send_peer(state.rpc_request, meta, slot)) return;
+    // Relay path: serialise out of the coordinator's canonical copy, fetching
+    // it first if a remote node computed it.
+    const dnn::Tensor& source = is_input ? *state.input : materialize(state, producer);
     if (auto wired = transport_->send(state.rpc_request, meta, slot, source)) {
       if (state.delivered.empty()) state.delivered.resize(net_.num_layers() + 1);
       state.delivered[slot][static_cast<std::size_t>(core::index(to))] = std::move(*wired);
@@ -324,16 +377,12 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
       if (transport_->run_stack(state.rpc_request, node_of(core::Tier::kEdge))) {
         // Remote edge: scatter, tile compute and gather all happened inside
         // the edge process. Record the same intra-edge transcript (a pure
-        // function of the tile plan) and pull the stack output back only if a
-        // later boundary needs it.
+        // function of the tile plan); the stack output stays on the edge node
+        // until a peer push, a relay, or the final result wants it.
         for (std::size_t t = 0; t < vsm_->num_tiles(); ++t)
           record_vsm_message(state, t, /*gather=*/false, nullptr);
         for (std::size_t t = 0; t < vsm_->num_tiles(); ++t)
           record_vsm_message(state, t, /*gather=*/true, nullptr);
-        const dnn::LayerId back = vsm_->stack.back();
-        if (needs_fetch_[back])
-          state.outputs[back] =
-              transport_->fetch(state.rpc_request, node_of(core::Tier::kEdge), back + 1);
         for (const dnn::LayerId sid : vsm_->stack) {
           state.computed[sid] = true;
           ++state.result
@@ -347,12 +396,8 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
 
     for (const dnn::LayerId in : net_.layer(id).inputs) deliver(in, assigned);
     if (transport_->run_layer(state.rpc_request, node_of(assigned), id)) {
-      // Remote node computed it from its own slots; materialise the output at
-      // the coordinator only when a later tier boundary (or the final result)
-      // needs it.
-      if (needs_fetch_[id])
-        state.outputs[id] =
-            transport_->fetch(state.rpc_request, node_of(assigned), id + 1);
+      // Remote node computed it from its own slots; the output is fetched
+      // back lazily — only when a relay or the final result needs it.
     } else {
       std::vector<const dnn::Tensor*> ins;
       ins.reserve(net_.layer(id).inputs.size());
@@ -366,6 +411,9 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
 }
 
 InferenceResult OnlineEngine::finish(std::unique_ptr<RequestState> state) const {
+  // The final layer may have run on a remote node with no boundary ever
+  // pulling it back; materialise it now, while the request is still open.
+  materialize(*state, net_.num_layers() - 1);
   InferenceResult result = std::move(state->result);
   result.output = std::move(state->outputs.back());
   return result;

@@ -19,8 +19,18 @@
 // InProcessTransport passes tensors by reference (zero-copy, the original
 // behaviour); SerializingLoopback round-trips every inter-node tensor through
 // the binary wire format; SocketTransport places each tier in its own OS
-// process over localhost TCP. Bitwise identity with exec::Executor holds on
-// all three.
+// process over TCP. Bitwise identity with exec::Executor holds on all three.
+//
+// A boundary tensor is shipped by the cheapest path the transport offers:
+// first Transport::send_peer (producer pushes straight to the consumer's
+// process — the coordinator never holds the bytes), else the relay path
+// (materialise the producer's output at the coordinator on demand via fetch,
+// then send to the consumer). Remote outputs are fetched lazily — only when a
+// relay or the final result actually needs them. When the transport shards
+// the VSM tile plan across real edge worker processes (has_tile_workers), the
+// engine acts as the edge coordinator: it crops tile inputs, scatters them,
+// runs tiles concurrently across the worker shards, and gathers outputs in
+// tile order — same transcript, same bits, as every other path.
 //
 // Concurrency model. Inference is staged tier-by-tier (device -> edge ->
 // cloud); Prop.-1 feasibility guarantees a layer's inputs are produced by the
@@ -182,6 +192,12 @@ class OnlineEngine {
 
  private:
   void run_vsm_stack(RequestState& state) const;
+  // Edge fan-out: scatter tile crops to the transport's worker shards, run
+  // them concurrently (one lane per physical worker), gather in tile order.
+  void run_vsm_stack_sharded(RequestState& state, const dnn::Tensor& stack_input) const;
+  // Lazily materialises layer `id`'s output at the coordinator (fetching from
+  // the remote node that computed it, if needed) and returns it.
+  const dnn::Tensor& materialize(RequestState& state, dnn::LayerId id) const;
   // Transcript + traffic record for one VSM scatter/gather message. Byte
   // counts are a pure function of the tile plan — shared by the local and
   // remote stack paths, so their transcripts cannot diverge. With a non-null
@@ -205,11 +221,6 @@ class OnlineEngine {
   std::optional<core::FusedTilePlan> vsm_;
   Options options_;
   std::shared_ptr<rpc::Transport> transport_;
-  // needs_fetch_[id]: layer id's output must be materialised at the
-  // coordinator after a remote node computes it — some consumer lives on a
-  // different tier (the coordinator relays boundary tensors) or it is the
-  // network output.
-  std::vector<bool> needs_fetch_;
   std::unique_ptr<ThreadPool> pool_;  // null in sequential mode
   exec::ParallelFor op_parallel_;     // intra-op hook over pool_; empty if disabled
 };

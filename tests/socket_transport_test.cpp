@@ -2,8 +2,18 @@
 // process (fork/exec of the d3_node worker binary, localhost TCP), and the
 // distributed inference must be bitwise-identical to the single-process
 // exec::Executor, with a transcript byte-identical to the in-process engine
-// and per-boundary byte counts matching core::boundary_traffic.
+// and per-boundary byte counts matching core::boundary_traffic. On top of the
+// PR-3 star topology this suite covers edge fan-out (the VSM tile plan
+// sharded across real edge1..edgeN worker processes), peer-to-peer channels
+// (boundary tensors pushed producer -> consumer, coordinator relay bytes
+// provably zero), and worker-death recovery (bounded-backoff reconnect, the
+// failed request replayed bitwise-identically).
+#include <chrono>
+#include <csignal>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 
 #include <gtest/gtest.h>
 
@@ -15,6 +25,7 @@
 #include "net/conditions.h"
 #include "profile/profiler.h"
 #include "rpc/socket_transport.h"
+#include "rpc/wire.h"
 #include "runtime/batch_scheduler.h"
 #include "runtime/engine.h"
 #include "util/rng.h"
@@ -31,20 +42,99 @@ void expect_identical(const dnn::Tensor& a, const dnn::Tensor& b) {
   for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
 }
 
-// Spawns one worker process per tier and wires a configured SocketTransport.
+// Spawns worker processes and wires a configured SocketTransport. The default
+// constructor attaches the classic one-process-per-tier star; tests may also
+// attach named tier nodes and tile-worker shards one by one. `procs` is
+// touched by the main test thread (kill_worker) and by respawn hooks running
+// on scheduler stage threads, so all access goes through `mutex`.
 struct Cluster {
-  std::vector<std::unique_ptr<rpc::WorkerProcess>> workers;
-  std::shared_ptr<rpc::SocketTransport> transport;
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<rpc::WorkerProcess>> procs;
+  std::shared_ptr<rpc::SocketTransport> transport =
+      std::make_shared<rpc::SocketTransport>();
+
+  Cluster() = default;
 
   Cluster(const dnn::Network& net, const exec::WeightStore& weights,
           const core::SerializablePlan& plan, std::size_t vsm_workers) {
-    transport = std::make_shared<rpc::SocketTransport>();
-    for (const char* node : {"device0", "edge0", "cloud0"}) {
-      workers.push_back(std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY));
-      transport->add_node(node, workers.back()->take_socket());
-    }
+    for (const char* node : {"device0", "edge0", "cloud0"}) attach(node);
+    configure(net, weights, plan, vsm_workers);
+  }
+
+  void attach(const std::string& node) {
+    std::lock_guard<std::mutex> lock(mutex);
+    procs[node] = std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY);
+    transport->add_node(node, procs[node]->take_socket());
+  }
+
+  void attach_tile_worker(std::size_t index) {
+    const std::string node = "edge" + std::to_string(index + 1);
+    std::lock_guard<std::mutex> lock(mutex);
+    procs[node] = std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY);
+    transport->add_tile_worker(procs[node]->take_socket());
+  }
+
+  void configure(const dnn::Network& net, const exec::WeightStore& weights,
+                 const core::SerializablePlan& plan, std::size_t vsm_workers) {
     transport->configure(net.name(), net, weights, core::serialize_plan_binary(plan),
                          vsm_workers);
+  }
+
+  // Registers respawn-on-death for `node` with a fast test backoff.
+  void enable_respawn(const std::string& node) {
+    transport->set_reconnect(
+        node,
+        [this, node] {
+          std::lock_guard<std::mutex> lock(mutex);
+          procs[node] = std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY);
+          return procs[node]->take_socket();
+        },
+        rpc::SocketTransport::RetryPolicy{4, std::chrono::milliseconds(10), 2.0});
+  }
+
+  void kill_worker(const std::string& node) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_TRUE(procs.count(node));
+    ::kill(procs[node]->pid(), SIGKILL);
+  }
+};
+
+void expect_same_transcript(const InferenceResult& a, const InferenceResult& b) {
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < b.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i].seq, b.messages[i].seq);
+    EXPECT_EQ(a.messages[i].from_node, b.messages[i].from_node);
+    EXPECT_EQ(a.messages[i].to_node, b.messages[i].to_node);
+    EXPECT_EQ(a.messages[i].payload, b.messages[i].payload);
+    EXPECT_EQ(a.messages[i].bytes, b.messages[i].bytes);
+  }
+  EXPECT_EQ(a.device_edge_bytes, b.device_edge_bytes);
+  EXPECT_EQ(a.edge_cloud_bytes, b.edge_cloud_bytes);
+  EXPECT_EQ(a.device_cloud_bytes, b.device_cloud_bytes);
+  EXPECT_EQ(a.vsm_scatter_bytes, b.vsm_scatter_bytes);
+  EXPECT_EQ(a.vsm_gather_bytes, b.vsm_gather_bytes);
+  EXPECT_EQ(a.layers_executed, b.layers_executed);
+}
+
+// The tiny-chain three-tier plan with a 2x2 VSM stack used by several tests:
+// conv1+relu1 on the device, pool1..pool2 fused on the edge, the fc tail in
+// the cloud.
+struct ChainVsmCase {
+  dnn::Network net = dnn::zoo::tiny_chain();
+  core::Assignment assignment;
+  std::optional<core::FusedTilePlan> vsm;
+  core::SerializablePlan plan;
+
+  ChainVsmCase() {
+    assignment.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+    assignment.tier[0] = core::Tier::kDevice;
+    for (const dnn::LayerId id : {0, 1})
+      assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+    const std::vector<dnn::LayerId> edge_stack = {2, 3, 4, 5};
+    for (const dnn::LayerId id : edge_stack)
+      assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+    vsm = core::make_fused_tile_plan(net, edge_stack, 2, 2);
+    plan = core::SerializablePlan{net.name(), assignment, vsm};
   }
 };
 
@@ -170,6 +260,201 @@ TEST(SocketTransport, PipelinedSchedulerAcrossProcesses) {
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const InferenceResult result = scheduler.wait(ids[i]);
     expect_identical(result.output, executor.run(frames[i]));
+  }
+}
+
+TEST(SocketTransport, MultiEdgeFanOutAcrossFourProcesses) {
+  // The acceptance topology: device + edge1 + edge2 + cloud, four real OS
+  // processes. The edge *coordinator* role lives in the engine's process; the
+  // VSM tile plan (2x2 = 4 tiles) is sharded across the two edge worker
+  // processes (tile t -> worker t mod 2). Outputs must stay bitwise-identical
+  // and the transcript byte-identical to the in-process engine, with per-
+  // boundary bytes matching the analytical accounting and zero coordinator
+  // relay bytes.
+  const ChainVsmCase c;
+  const exec::WeightStore weights = exec::WeightStore::random_for(c.net, 91);
+  util::Rng rng(92);
+  const dnn::Tensor frame = exec::random_tensor(c.net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(c.net, weights).run(frame);
+
+  Cluster cluster;
+  cluster.attach("device0");
+  cluster.attach("cloud0");
+  cluster.attach_tile_worker(0);
+  cluster.attach_tile_worker(1);
+  cluster.configure(c.net, weights, c.plan, /*vsm_workers=*/0);
+  cluster.transport->connect_peers();
+  ASSERT_TRUE(cluster.transport->has_tile_workers());
+  ASSERT_EQ(cluster.transport->tile_worker_count(), 2u);
+
+  OnlineEngine::Options options;
+  options.transport = cluster.transport;
+  options.vsm_workers = 2;  // pool lanes driving the two worker connections
+  const OnlineEngine engine(c.net, weights, c.assignment, c.vsm, options);
+
+  const InferenceResult distributed = engine.infer(frame);
+  expect_identical(distributed.output, reference);
+
+  const InferenceResult local = OnlineEngine(c.net, weights, c.assignment, c.vsm).infer(frame);
+  expect_same_transcript(distributed, local);
+
+  const auto estimators = profile::Profiler::profile_tiers(profile::paper_testbed());
+  const auto problem = core::make_problem(c.net, estimators, net::wifi());
+  const core::BoundaryTraffic traffic = core::boundary_traffic(problem, c.assignment);
+  EXPECT_EQ(distributed.device_edge_bytes, traffic.device_edge_bytes);
+  EXPECT_EQ(distributed.edge_cloud_bytes, traffic.edge_cloud_bytes);
+  EXPECT_EQ(distributed.device_cloud_bytes, traffic.device_cloud_bytes);
+
+  // Real tile payloads crossed to the shards and back; the coordinator never
+  // relayed a remote node's tensor to another remote node.
+  const rpc::SocketTransport::Stats stats = cluster.transport->stats();
+  EXPECT_GT(stats.payload_bytes_sent, 0u);
+  EXPECT_GT(stats.payload_bytes_fetched, 0u);
+  EXPECT_EQ(stats.relay_bytes, 0u);
+}
+
+TEST(SocketTransport, PeerChannelsEliminateCoordinatorRelay) {
+  // Same plan, two runs over all-remote tiers: the star topology relays every
+  // boundary tensor through the coordinator (relay_bytes > 0); with peer
+  // channels the device pushes to the edge and the edge pushes to the cloud
+  // directly, so the coordinator moves zero relay bytes and only ever touches
+  // the seeded input and the final output.
+  const ChainVsmCase c;
+  const exec::WeightStore weights = exec::WeightStore::random_for(c.net, 71);
+  util::Rng rng(72);
+  const dnn::Tensor frame = exec::random_tensor(c.net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(c.net, weights).run(frame);
+
+  std::uint64_t star_relay = 0;
+  {
+    Cluster star(c.net, weights, c.plan, /*vsm_workers=*/2);
+    OnlineEngine::Options options;
+    options.transport = star.transport;
+    const OnlineEngine engine(c.net, weights, c.assignment, c.vsm, options);
+    expect_identical(engine.infer(frame).output, reference);
+    const rpc::SocketTransport::Stats stats = star.transport->stats();
+    star_relay = stats.relay_bytes;
+    EXPECT_GT(stats.relay_bytes, 0u);
+    EXPECT_EQ(stats.peer_pushes, 0u);
+  }
+
+  Cluster p2p(c.net, weights, c.plan, /*vsm_workers=*/2);
+  p2p.transport->connect_peers();
+  OnlineEngine::Options options;
+  options.transport = p2p.transport;
+  const OnlineEngine engine(c.net, weights, c.assignment, c.vsm, options);
+  const InferenceResult distributed = engine.infer(frame);
+  expect_identical(distributed.output, reference);
+
+  // The transcript is a pure function of the plan: identical whether tensors
+  // were relayed or pushed peer-to-peer.
+  expect_same_transcript(distributed,
+                         OnlineEngine(c.net, weights, c.assignment, c.vsm).infer(frame));
+
+  const rpc::SocketTransport::Stats stats = p2p.transport->stats();
+  EXPECT_EQ(stats.relay_bytes, 0u);
+  EXPECT_EQ(stats.peer_pushes, 2u);  // device0 -> edge0, edge0 -> cloud0
+  EXPECT_GT(stats.peer_bytes, 0u);
+  EXPECT_LE(stats.peer_bytes, star_relay * 2);
+  // Coordinator payload traffic is exactly: input seeded out, output fetched.
+  EXPECT_EQ(stats.payload_bytes_sent, rpc::encode_tensor(frame).size());
+  EXPECT_EQ(stats.payload_bytes_fetched, rpc::encode_tensor(reference).size());
+}
+
+TEST(SocketTransport, WorkerDeathReconnectsAndRequestReplays) {
+  // SIGKILL the device worker between requests: the in-flight request fails
+  // with TransportError, the transport respawns the worker under bounded
+  // backoff and replays kConfig, and re-submitting the same frame yields the
+  // bitwise-identical result and transcript (the replay guarantee).
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 51);
+  util::Rng rng(52);
+  const dnn::Tensor frame = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(frame);
+
+  core::Assignment assignment;
+  assignment.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  assignment.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1})
+    assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  const core::SerializablePlan plan{net.name(), assignment, std::nullopt};
+
+  Cluster cluster;
+  cluster.attach("device0");
+  cluster.configure(net, weights, plan, 0);
+  cluster.enable_respawn("device0");
+
+  OnlineEngine::Options options;
+  options.transport = cluster.transport;
+  const OnlineEngine engine(net, weights, assignment, std::nullopt, options);
+  const InferenceResult before = engine.infer(frame);
+  expect_identical(before.output, reference);
+
+  cluster.kill_worker("device0");
+  EXPECT_THROW(engine.infer(frame), rpc::TransportError);
+  EXPECT_EQ(cluster.transport->stats().reconnects, 1u);
+
+  // The channel is healthy again: the replayed request completes losslessly.
+  const InferenceResult replayed = engine.infer(frame);
+  expect_identical(replayed.output, reference);
+  expect_same_transcript(replayed, before);
+}
+
+TEST(SocketTransport, KillWorkerMidBatchFailedRequestsReplay) {
+  // A pipelined batch is in flight across three worker processes when the
+  // edge worker dies. Affected requests surface TransportError from wait();
+  // re-submitting exactly those frames (the coordinator still holds them)
+  // completes the batch with every output bitwise-correct.
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 61);
+  util::Rng rng(62);
+
+  core::Assignment assignment;
+  assignment.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  assignment.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1, 2})
+    assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {3, 4, 5})
+    assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  const core::SerializablePlan plan{net.name(), assignment, std::nullopt};
+
+  Cluster cluster(net, weights, plan, 0);
+  cluster.enable_respawn("edge0");
+
+  OnlineEngine::Options options;
+  options.transport = cluster.transport;
+  // Slow the edge stage slightly so the batch is genuinely in flight when the
+  // worker dies.
+  options.emulated_tier_service_seconds = {0.0, 0.005, 0.0};
+  const OnlineEngine engine(net, weights, assignment, std::nullopt, options);
+  const exec::Executor executor(net, weights);
+
+  BatchScheduler scheduler(engine);
+  std::vector<dnn::Tensor> frames;
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    frames.push_back(exec::random_tensor(net.input_shape(), rng));
+    ids.push_back(scheduler.submit(frames.back()));
+  }
+  const InferenceResult first = scheduler.wait(ids[0]);
+  expect_identical(first.output, executor.run(frames[0]));
+  cluster.kill_worker("edge0");
+
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    try {
+      expect_identical(scheduler.wait(ids[i]).output, executor.run(frames[i]));
+    } catch (const rpc::TransportError&) {
+      failed.push_back(i);
+    }
+  }
+  EXPECT_GE(failed.size(), 1u);  // the batch was mid-flight
+  EXPECT_GE(cluster.transport->stats().reconnects, 1u);
+
+  // Replay: the failed requests re-submitted on the re-established channel.
+  for (const std::size_t i : failed) {
+    const std::size_t id = scheduler.submit(frames[i]);
+    expect_identical(scheduler.wait(id).output, executor.run(frames[i]));
   }
 }
 

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Checks that internal Markdown links in the repo's documentation resolve.
+
+Scans README.md, ROADMAP.md, PAPER.md, PAPERS.md, CHANGES.md, docs/*.md and
+bench/README.md for inline links `[text](target)` and verifies that every
+relative target exists in the tree (anchors and external http(s)/mailto links
+are skipped; anchor-only links `#section` are checked against the headings of
+the same file). Exits non-zero listing every broken link.
+
+Usage: check_doc_links.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style slug: lowercase, drop punctuation, spaces to dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def doc_files(root: Path):
+    candidates = [
+        root / "README.md",
+        root / "ROADMAP.md",
+        root / "PAPER.md",
+        root / "PAPERS.md",
+        root / "CHANGES.md",
+        root / "bench" / "README.md",
+    ]
+    candidates.extend(sorted((root / "docs").glob("*.md")))
+    return [p for p in candidates if p.is_file()]
+
+
+def check(root: Path) -> list[str]:
+    errors = []
+    for doc in doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        anchors = {anchor_of(h) for h in HEADING.findall(text)}
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            rel = doc.relative_to(root)
+            if target.startswith("#"):
+                if target[1:] not in anchors:
+                    errors.append(f"{rel}: broken anchor {target}")
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}: broken link {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                linked_anchors = {
+                    anchor_of(h)
+                    for h in HEADING.findall(resolved.read_text(encoding="utf-8"))
+                }
+                if anchor not in linked_anchors:
+                    errors.append(f"{rel}: broken anchor in link {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    root = root.resolve()
+    errors = check(root)
+    checked = ", ".join(str(p.relative_to(root)) for p in doc_files(root))
+    if errors:
+        print(f"checked: {checked}")
+        for error in errors:
+            print(f"BROKEN: {error}")
+        return 1
+    print(f"all internal links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
