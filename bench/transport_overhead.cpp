@@ -22,8 +22,10 @@
 // traffic, it closes the loop on the paper's communication-overhead story
 // with measured numbers. Writes BENCH_transport.json.
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -34,6 +36,7 @@
 #include "core/vsm.h"
 #include "dnn/model_zoo.h"
 #include "exec/executor.h"
+#include "rpc/fault_injection.h"
 #include "rpc/socket_transport.h"
 #include "rpc/transport.h"
 #include "runtime/engine.h"
@@ -100,6 +103,90 @@ struct Row {
   std::uint64_t relay_bytes = 0;
   std::uint64_t peer_bytes = 0;
 };
+
+// What one SIGKILL'd edge worker costs, end to end: the request is interrupted
+// mid-edge-tier (deterministically, via FaultInjectionTransport) and completes
+// either by the old full-replay contract or by tier-granular migration.
+struct RecoveryRow {
+  std::string mode;            // "full-replay" vs "tier-migration"
+  double seconds = 0;          // interrupted-request wall clock, kill -> result
+  std::uint64_t bytes = 0;     // tensor bytes re-moved to finish the request
+};
+
+#ifdef D3_NODE_BINARY
+// Runs the 3-tier tiny-chain plan on a fresh 3-process cluster with an edge
+// respawn hook, SIGKILLs the edge worker right before its 2nd kRunLayer, and
+// measures the interrupted request. `migrate` selects the engine contract.
+RecoveryRow measure_recovery(bool migrate) {
+  dnn::Network net = dnn::zoo::tiny_chain();
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1}) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {2, 3, 4, 5})
+    a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 21);
+  util::Rng rng(22);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+
+  std::vector<std::unique_ptr<rpc::WorkerProcess>> workers;
+  std::map<std::string, std::unique_ptr<rpc::WorkerProcess>> respawned;
+  auto socket = std::make_shared<rpc::SocketTransport>();
+  std::map<std::string, pid_t> pids;
+  for (const char* node : {"device0", "edge0", "cloud0"}) {
+    workers.push_back(std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY));
+    pids[node] = workers.back()->pid();
+    socket->add_node(node, workers.back()->take_socket());
+  }
+  const core::SerializablePlan plan{net.name(), a, std::nullopt};
+  socket->configure(net.name(), net, weights, core::serialize_plan_binary(plan), 0);
+  socket->set_reconnect(
+      "edge0",
+      [&respawned] {
+        respawned["edge0"] = std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY);
+        return respawned["edge0"]->take_socket();
+      },
+      rpc::SocketTransport::RetryPolicy{3, std::chrono::milliseconds(2), 2.0});
+
+  auto faults = std::make_shared<rpc::FaultInjectionTransport>(socket);
+  faults->set_kill_handler([&pids](const std::string& node) { ::kill(pids[node], SIGKILL); });
+
+  runtime::OnlineEngine::Options options;
+  options.transport = faults;
+  options.tier_recovery = migrate;
+  const runtime::OnlineEngine engine(net, weights, a, std::nullopt, options);
+  engine.infer(input);  // warm run before the fault is armed
+  // SIGKILL the edge worker right before the 2nd edge layer of the next
+  // request: mid-edge-tier, with one lost layer to re-run.
+  faults->schedule(rpc::FaultInjectionTransport::Fault{
+      rpc::FaultInjectionTransport::Op::kRunLayer, "edge0", 2,
+      rpc::FaultInjectionTransport::Action::kKill, {}, ""});
+
+  // The interrupted request: wall clock from submission to a bitwise-correct
+  // result, whichever contract finishes it.
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::InferenceResult result;
+  std::uint64_t replay_shipped = 0;
+  try {
+    result = engine.infer(input);
+  } catch (const rpc::ChannelDied&) {
+    // Full-replay contract: the request failed; replay it end-to-end.
+    const rpc::SocketTransport::Stats before = socket->stats();
+    result = engine.infer(input);
+    replay_shipped = socket->stats().payload_bytes_sent - before.payload_bytes_sent;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    if (result.output[i] != reference[i]) std::abort();
+
+  RecoveryRow row;
+  row.mode = migrate ? "tier-migration" : "full-replay";
+  row.seconds = std::chrono::duration<double>(t1 - t0).count();
+  row.bytes = migrate ? engine.stats().recovery_bytes : replay_shipped;
+  return row;
+}
+#endif
 
 }  // namespace
 
@@ -199,6 +286,28 @@ int main() {
         .cell(static_cast<double>(r.peer_bytes) / 1024.0);
   table.print(std::cout, "transport overhead (outputs verified bitwise-identical first)");
 
+  // Recovery cost: the same SIGKILL mid-edge-tier, finished by the PR-4
+  // full-replay contract vs tier-granular migration. Bytes are the tensor
+  // payloads re-moved to complete the interrupted request.
+  std::vector<RecoveryRow> recovery;
+#ifdef D3_NODE_BINARY
+  for (const bool migrate : {false, true}) {
+    try {
+      recovery.push_back(measure_recovery(migrate));
+    } catch (const std::exception& e) {
+      std::cerr << "note: recovery mode skipped (" << e.what() << ")\n";
+    }
+  }
+  if (!recovery.empty()) {
+    util::Table rtable({"recovery mode", "interrupted-request ms", "recovery KB"});
+    for (const RecoveryRow& r : recovery)
+      rtable.row().cell(r.mode).cell(r.seconds * 1e3).cell(static_cast<double>(r.bytes) /
+                                                           1024.0);
+    rtable.print(std::cout,
+                 "edge-worker SIGKILL mid-tier (tiny-chain 3-tier, outputs verified)");
+  }
+#endif
+
   std::ofstream json("BENCH_transport.json");
   json << "{\n  \"bench\": \"transport_overhead\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -210,13 +319,23 @@ int main() {
          << ", \"relay_bytes\": " << r.relay_bytes << ", \"peer_bytes\": " << r.peer_bytes
          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
+  json << "  ],\n  \"recovery\": [\n";
+  for (std::size_t i = 0; i < recovery.size(); ++i) {
+    const RecoveryRow& r = recovery[i];
+    json << "    {\"mode\": \"" << r.mode << "\", \"interrupted_request_ms\": " << r.seconds * 1e3
+         << ", \"recovery_bytes\": " << r.bytes << "}" << (i + 1 < recovery.size() ? "," : "")
+         << "\n";
+  }
   json << "  ]\n}\n";
 
   bench::paper_note(
       "The loopback-vs-in-process delta is pure serialization cost; socket adds "
       "framing + TCP. socket+peer moves the relay KB column to peer KB: those "
-      "bytes flow worker -> worker and never cross the coordinator. Compare "
-      "us/MB here with the per-frame boundary traffic of "
+      "bytes flow worker -> worker and never cross the coordinator. The recovery "
+      "table is the failure story: the same mid-tier SIGKILL finished by an "
+      "end-to-end replay vs tier-granular migration (reopen + re-seed + re-run "
+      "one tier) — migration re-moves only the interrupted tier's inputs. "
+      "Compare us/MB here with the per-frame boundary traffic of "
       "bench_fig13_comm_overhead and with Options::emulated_tier_service_seconds "
       "when emulating remote tiers on one host.");
   return 0;

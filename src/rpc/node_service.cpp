@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <unistd.h>
 #include <vector>
 
 #include "core/plan_io.h"
@@ -17,6 +18,23 @@
 namespace d3::rpc {
 
 namespace {
+
+// A reference to per-request state this worker incarnation does not hold —
+// the telltale of a respawn after a death (the coordinator's request predates
+// this process). Reported as kErrorState, naming the node whose state is gone,
+// so the coordinator's tier-granular recovery can rebuild exactly that state
+// (reopen + re-seed) instead of failing the request. `node` may differ from
+// the replying worker: a kPushPeer relays the *consumer's* state loss through
+// the producer.
+class StateError : public WireError {
+ public:
+  StateError(std::string node, const std::string& what)
+      : WireError(what), node_(std::move(node)) {}
+  const std::string& node() const { return node_; }
+
+ private:
+  std::string node_;
+};
 
 class NodeService {
  public:
@@ -100,6 +118,13 @@ class NodeService {
         WireReader r(frame.body);
         store_peer_put(r);
         reply = Frame{MsgKind::kPeerOk, {}};
+      } catch (const StateError& e) {
+        // This incarnation never saw the pushed request: tell the producer so
+        // it can relay the state loss (and whose state it is) upstream.
+        WireWriter w;
+        w.str(e.node());
+        w.str(e.what());
+        reply = Frame{MsgKind::kErrorState, w.take()};
       } catch (const std::exception& e) {
         WireWriter w;
         w.str(e.what());
@@ -158,13 +183,15 @@ class NodeService {
   RequestSlots& request(std::uint64_t id) {
     const auto it = requests_.find(id);
     if (it == requests_.end())
-      throw WireError("node: unknown request " + std::to_string(id));
+      throw StateError(node_name_, "unknown request " + std::to_string(id));
     return it->second;
   }
 
   const dnn::Tensor& slot_tensor(RequestSlots& req, std::uint64_t slot) {
-    if (slot >= req.slots.size() || !req.slots[slot])
-      throw WireError("node: slot " + std::to_string(slot) + " not present");
+    if (slot >= req.slots.size())
+      throw WireError("node: slot " + std::to_string(slot) + " out of range");
+    if (!req.slots[slot])
+      throw StateError(node_name_, "slot " + std::to_string(slot) + " not present");
     return *req.slots[slot];
   }
 
@@ -172,7 +199,11 @@ class NodeService {
     require_configured();
     const std::uint64_t id = r.u64();
     r.expect_end("begin");
-    requests_[id].slots.assign(net_->num_layers() + 1, std::nullopt);
+    // Idempotent: request ids are globally unique (the coordinator never
+    // reuses one), so a second kBegin — a recovery reopen racing a duplicate,
+    // or a fault-injected replay — must not wipe slots already re-seeded.
+    const auto [it, inserted] = requests_.try_emplace(id);
+    if (inserted) it->second.slots.assign(net_->num_layers() + 1, std::nullopt);
     return ok();
   }
 
@@ -327,6 +358,14 @@ class NodeService {
       if (idx < 0) throw SocketError("peer push: timed out waiting for acknowledgement");
       if (idx == 0) {
         const Frame ack = read_frame(out_channel.fd());
+        if (ack.kind == MsgKind::kErrorState) {
+          // The *consumer* lost its per-request state (fresh incarnation):
+          // relay exactly that — node name and all — to the coordinator, so
+          // its recovery targets the consumer, not this producer.
+          WireReader r(ack.body);
+          const std::string lost = r.str();
+          throw StateError(lost, r.str());
+        }
         if (ack.kind == MsgKind::kError) {
           WireReader r(ack.body);
           throw WireError("peer rejected push: " + r.str());
@@ -374,7 +413,7 @@ class NodeService {
     RequestSlots& req = request(id);
     const auto it = req.tile_in.find(tile);
     if (it == req.tile_in.end())
-      throw WireError("node: tile " + std::to_string(tile) + " input not delivered");
+      throw StateError(node_name_, "tile " + std::to_string(tile) + " input not delivered");
     // Rebuild the exec::Tile from the shipped plan: the crop's position and
     // the full-map extent are a pure function of (plan, tile), so only the
     // tensor data ever crosses the wire.
@@ -402,7 +441,7 @@ class NodeService {
     RequestSlots& req = request(id);
     const auto it = req.tile_out.find(tile);
     if (it == req.tile_out.end())
-      throw WireError("node: tile " + std::to_string(tile) + " output not computed");
+      throw StateError(node_name_, "tile " + std::to_string(tile) + " output not computed");
     return Frame{MsgKind::kTensor, encode_tensor(it->second)};
   }
 
@@ -421,8 +460,9 @@ class NodeService {
 
 }  // namespace
 
-void serve_node(int fd) {
+void serve_node(int fd, const ServeOptions& options) {
   NodeService service;
+  std::uint64_t served = 0;
   for (;;) {
     const std::vector<int> fds = service.poll_fds(fd);
     const int idx = poll_readable(fds, -1);
@@ -431,6 +471,11 @@ void serve_node(int fd) {
       // Coordinator frame (or hang-up).
       Frame request;
       if (!read_frame_or_eof(fd, request)) return;
+      // Scripted crash point: die abruptly on the (N+1)th coordinator frame —
+      // read but never answered, exactly what a SIGKILL mid-call looks like
+      // from the coordinator, minus the race.
+      if (served == options.crash_after_frames) ::_exit(137);
+      ++served;
       if (request.kind == MsgKind::kShutdown) {
         write_frame(fd, MsgKind::kOk, {});
         return;
@@ -438,6 +483,11 @@ void serve_node(int fd) {
       Frame reply;
       try {
         reply = service.handle(request);
+      } catch (const StateError& e) {
+        WireWriter w;
+        w.str(e.node());
+        w.str(e.what());
+        reply = Frame{MsgKind::kErrorState, w.take()};
       } catch (const std::exception& e) {
         WireWriter w;
         w.str(e.what());

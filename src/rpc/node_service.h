@@ -21,12 +21,27 @@
 // identical on every transport. docs/PROTOCOL.md is the full wire spec.
 #pragma once
 
+#include <cstdint>
+
 namespace d3::rpc {
+
+inline constexpr std::uint64_t kNeverCrash = ~std::uint64_t{0};
+
+struct ServeOptions {
+  // Deterministic crash injection for recovery tests: serve exactly this many
+  // coordinator frames, then exit the process abruptly (no reply, no teardown)
+  // when the next one arrives — indistinguishable from a SIGKILL at that exact
+  // protocol point. kNeverCrash disables. d3_node exposes it as --crash-after.
+  std::uint64_t crash_after_frames = kNeverCrash;
+};
 
 // Serves one coordinator connection on `fd` until clean EOF or kShutdown.
 // Handler failures (unknown model, missing input slot, malformed body) are
 // reported to the coordinator as kError replies and the loop continues;
-// protocol-level failures (bad frame magic, mid-frame EOF) throw SocketError.
-void serve_node(int fd);
+// references to per-request state this worker incarnation never saw (it was
+// respawned after a death) are reported as kErrorState so the coordinator can
+// rebuild exactly that state; protocol-level failures (bad frame magic,
+// mid-frame EOF) throw SocketError.
+void serve_node(int fd, const ServeOptions& options = {});
 
 }  // namespace d3::rpc

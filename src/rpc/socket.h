@@ -52,6 +52,10 @@ enum class MsgKind : std::uint8_t {
   kTensor = 65,   // body: one encoded tensor
   kError = 66,    // body: wire string with the failure message
   kPeerOk = 67,   // peer-channel acknowledgement (hello accepted / put stored)
+  kErrorState = 68,  // body: node-name string + message string — the named
+                     // node has no per-request state for this request (a fresh
+                     // worker incarnation after a death); recoverable by
+                     // re-begin + re-seed, unlike a generic kError
 };
 
 // RAII owner of a socket file descriptor.

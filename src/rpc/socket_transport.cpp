@@ -21,19 +21,44 @@ void SocketTransport::add_node(const std::string& node, Socket socket) {
 }
 
 void SocketTransport::add_tile_worker(Socket socket) {
-  const std::string node = "edge" + std::to_string(tile_workers_.size() + 1);
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  // First free "edgeK" name: after a prune the detached node keeps its name
+  // (it stays in nodes_ so nothing dangles), so a replacement worker must not
+  // collide with it.
+  std::size_t k = tile_workers_.size() + 1;
+  while (nodes_.count("edge" + std::to_string(k)) > 0) ++k;
+  const std::string node = "edge" + std::to_string(k);
   add_node(node, std::move(socket));
   tile_workers_.push_back(nodes_.at(node).get());
 }
 
 SocketTransport::Node* SocketTransport::find(const std::string& node) const {
   const auto it = nodes_.find(node);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  if (it == nodes_.end() || it->second->detached.load(std::memory_order_acquire))
+    return nullptr;
+  return it->second.get();
 }
 
 SocketTransport::Node& SocketTransport::tile_worker(std::size_t tile) const {
+  std::lock_guard<std::mutex> lock(shard_mutex_);
   if (tile_workers_.empty()) throw TransportError("no tile workers attached");
   return *tile_workers_[tile % tile_workers_.size()];
+}
+
+bool SocketTransport::has_tile_workers() const {
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  return !tile_workers_.empty() && nodes_.count("edge0") == 0;
+}
+
+std::size_t SocketTransport::tile_worker_count() const {
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  return tile_workers_.size();
+}
+
+std::string SocketTransport::tile_node(std::size_t tile) const {
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  if (tile_workers_.empty()) return {};
+  return tile_workers_[tile % tile_workers_.size()]->name;
 }
 
 Frame SocketTransport::roundtrip_locked(Node& node, MsgKind kind,
@@ -43,6 +68,19 @@ Frame SocketTransport::roundtrip_locked(Node& node, MsgKind kind,
   write_frame(node.socket.fd(), kind, body);
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
   Frame reply = read_frame(node.socket.fd());
+  if (reply.kind == MsgKind::kErrorState) {
+    // A fresh worker incarnation (respawned after a death that some *other*
+    // call already paid for) has no per-request state for this request. The
+    // channel itself is healthy: the engine can reopen the request on the
+    // named node, re-seed its lost slots, and re-run only the interrupted
+    // tier.
+    WireReader r(reply.body);
+    const std::string lost = r.str();
+    const std::string message = r.str();
+    throw ChannelDied(lost, /*channel_restored=*/true,
+                      "node '" + lost + "' lost its per-request state (" + message +
+                          "); reopen + re-seed to recover");
+  }
   if (reply.kind == MsgKind::kError) {
     WireReader r(reply.body);
     throw TransportError("node '" + node.name + "': " + r.str());
@@ -57,8 +95,9 @@ Frame SocketTransport::roundtrip_locked(Node& node, MsgKind kind,
 void SocketTransport::recover_locked(Node& node, const std::string& error) {
   node.socket.close();
   if (!node.reconnect)
-    throw ChannelDied("node '" + node.name + "' died mid-request (" + error +
-                      "); no reconnect hook registered, node stays detached");
+    throw ChannelDied(node.name, /*channel_restored=*/false,
+                      "node '" + node.name + "' died mid-request (" + error +
+                          "); no reconnect hook registered, node stays detached");
   std::chrono::milliseconds backoff = node.retry.initial_backoff;
   std::string last = error;
   for (int attempt = 1; attempt <= node.retry.max_attempts; ++attempt) {
@@ -68,16 +107,19 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
     try {
       node.socket = node.reconnect();
       // A fresh process knows nothing: replay the cached deployment bundle so
-      // the channel is immediately serviceable for replayed requests.
+      // the channel is immediately serviceable for recovered requests.
       if (!node.config_body.empty())
         roundtrip_locked(node, MsgKind::kConfig, node.config_body, MsgKind::kOk);
       reconnects_.fetch_add(1, std::memory_order_relaxed);
       // The channel is healthy again, but this worker incarnation never saw
-      // the in-flight request's kBegin/kPut history — only a replay (identical
-      // by the transcript-purity invariant) can finish the inference.
-      throw ChannelDied("node '" + node.name + "' died mid-request (" + error +
-                        "); channel re-established after " + std::to_string(attempt) +
-                        " attempt(s) — replay the request");
+      // the in-flight request's kBegin/kPut history — the engine must reopen
+      // the request and re-seed the lost slots (tier-granular recovery), or
+      // replay the request end-to-end (identical either way, by the
+      // transcript-purity invariant).
+      throw ChannelDied(node.name, /*channel_restored=*/true,
+                        "node '" + node.name + "' died mid-request (" + error +
+                            "); channel re-established after " + std::to_string(attempt) +
+                            " attempt(s) — reopen + re-seed, or replay the request");
     } catch (const ChannelDied&) {
       throw;  // recovery outcome, not a retryable failure
     } catch (const std::exception& e) {
@@ -85,9 +127,10 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
       last = e.what();
     }
   }
-  throw ChannelDied("node '" + node.name + "' died mid-request (" + error +
-                    ") and reconnect failed after " +
-                    std::to_string(node.retry.max_attempts) + " attempts: " + last);
+  throw ChannelDied(node.name, /*channel_restored=*/false,
+                    "node '" + node.name + "' died mid-request (" + error +
+                        ") and reconnect failed after " +
+                        std::to_string(node.retry.max_attempts) + " attempts: " + last);
 }
 
 Frame SocketTransport::call(Node& node, MsgKind kind, std::span<const std::uint8_t> body,
@@ -106,6 +149,7 @@ void SocketTransport::configure(const std::string& model_name, const dnn::Networ
                                 std::size_t vsm_workers) {
   const std::vector<std::uint8_t> weight_bytes = encode_weights(weights, net);
   for (auto& [name, node] : nodes_) {
+    if (node->detached.load(std::memory_order_acquire)) continue;
     WireWriter w;
     w.str(name);
     w.str(model_name);
@@ -148,6 +192,7 @@ void SocketTransport::connect_peers() {
   // reachable. Tile workers are excluded — the coordinator mediates all tile
   // traffic.
   const auto is_tile_worker = [&](Node* n) {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
     return std::find(tile_workers_.begin(), tile_workers_.end(), n) != tile_workers_.end();
   };
   for (auto& [from_name, from] : nodes_) {
@@ -161,16 +206,26 @@ void SocketTransport::connect_peers() {
 
 std::uint64_t SocketTransport::open_request() {
   const std::uint64_t id = next_request_.fetch_add(1);
-  for (auto& [name, node] : nodes_) {
-    WireWriter w;
-    w.u64(id);
-    call(*node, MsgKind::kBegin, w.buffer());
+  try {
+    for (auto& [name, node] : nodes_) {
+      if (node->detached.load(std::memory_order_acquire)) continue;
+      WireWriter w;
+      w.u64(id);
+      call(*node, MsgKind::kBegin, w.buffer());
+    }
+  } catch (...) {
+    // The caller never learns this id: free the slot state on every node that
+    // already began it (kEnd on an unknown id is a no-op), so a death during
+    // open cannot leak per-request state in long-lived workers.
+    close_request(id);
+    throw;
   }
   return id;
 }
 
 void SocketTransport::close_request(std::uint64_t request) noexcept {
   for (auto& [name, node] : nodes_) {
+    if (node->detached.load(std::memory_order_acquire)) continue;
     try {
       WireWriter w;
       w.u64(request);
@@ -179,6 +234,40 @@ void SocketTransport::close_request(std::uint64_t request) noexcept {
       // Teardown path: a dead worker must not mask the original failure.
     }
   }
+}
+
+bool SocketTransport::reopen(std::uint64_t request, const std::string& node_name) {
+  Node* node = find(node_name);
+  if (!node) return false;
+  WireWriter w;
+  w.u64(request);
+  call(*node, MsgKind::kBegin, w.buffer());
+  reopens_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t SocketTransport::prune_tile_workers() {
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  std::size_t pruned = 0;
+  for (auto it = tile_workers_.begin(); it != tile_workers_.end();) {
+    Node* worker = *it;
+    bool dead = false;
+    {
+      // recover_locked closed the socket and left no reconnect hook: that is
+      // the only state a worker can be in after an unrecoverable death.
+      std::lock_guard<std::mutex> node_lock(worker->mutex);
+      dead = !worker->socket.valid() && !worker->reconnect;
+    }
+    if (dead) {
+      worker->detached.store(true, std::memory_order_release);
+      it = tile_workers_.erase(it);
+      ++pruned;
+    } else {
+      ++it;
+    }
+  }
+  detached_workers_.fetch_add(pruned, std::memory_order_relaxed);
+  return pruned;
 }
 
 std::uint64_t SocketTransport::put(std::uint64_t request, Node& node,
@@ -339,17 +428,27 @@ bool child_exited(void* arg) {
 
 }  // namespace
 
-WorkerProcess::WorkerProcess(const std::string& binary) {
+WorkerProcess::WorkerProcess(const std::string& binary) : WorkerProcess(binary, {}) {}
+
+WorkerProcess::WorkerProcess(const std::string& binary,
+                             const std::vector<std::string>& extra_args) {
   std::uint16_t port = 0;
   Socket listener = tcp_listen(port);
   const std::string port_str = std::to_string(port);
 
+  // argv assembled before the fork: only async-signal-safe calls may run in
+  // the child, and these vectors stay alive in both processes until exec.
+  std::vector<std::string> args = {binary, "--connect", "127.0.0.1", port_str};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
   pid_ = ::fork();
   if (pid_ < 0) throw SocketError("fork failed");
   if (pid_ == 0) {
-    // Child: only async-signal-safe calls until exec.
-    ::execl(binary.c_str(), binary.c_str(), "--connect", "127.0.0.1", port_str.c_str(),
-            static_cast<char*>(nullptr));
+    ::execv(binary.c_str(), argv.data());
     ::_exit(127);  // exec failed (missing binary)
   }
   pid_t alive = pid_;  // flipped to -1 by child_exited once reaped

@@ -15,10 +15,13 @@
 //     and gathers outputs in tile order, so results stay bitwise-identical.
 //
 // Nodes that are not attached (mixed deployments) fall back to in-process
-// hosting automatically. Worker death mid-request surfaces as TransportError;
-// with set_reconnect the transport re-establishes the channel (respawn +
-// kConfig replay) under bounded backoff first, so the failed request can be
-// replayed immediately by re-submitting it.
+// hosting automatically. Worker death mid-request surfaces as ChannelDied,
+// naming the node; with set_reconnect the transport re-establishes the channel
+// (respawn + kConfig replay) under bounded backoff first, and a fresh worker
+// incarnation answers unknown-state references with kErrorState — both feed
+// the engine's tier-granular recovery (reopen + re-seed + re-run one tier).
+// Tile workers that die with no reconnect hook are pruned from the shard map
+// (prune_tile_workers) so the survivors absorb their tiles.
 #pragma once
 
 #include <atomic>
@@ -59,6 +62,11 @@ class SocketTransport final : public Transport {
     std::uint64_t peer_bytes = 0;
     // Channels re-established after a worker death.
     std::uint64_t reconnects = 0;
+    // Requests re-begun on a recovered node (tier-granular recovery).
+    std::uint64_t reopens = 0;
+    // Tile workers dropped from the shard map because their channel died with
+    // no reconnect hook (survivors absorb their tiles).
+    std::uint64_t detached_workers = 0;
   };
 
   // Bounded-backoff policy for re-establishing a dead worker's channel.
@@ -122,10 +130,17 @@ class SocketTransport final : public Transport {
   bool send_peer(std::uint64_t request, const runtime::MessageRecord& meta,
                  std::uint64_t slot) override;
 
-  bool has_tile_workers() const override {
-    return !tile_workers_.empty() && nodes_.count("edge0") == 0;
-  }
-  std::size_t tile_worker_count() const override { return tile_workers_.size(); }
+  // Re-begins `request` on the (re-established) node so the engine can re-seed
+  // the slots the dead incarnation held. Returns false for unknown/detached
+  // nodes (nothing remote to rebuild).
+  bool reopen(std::uint64_t request, const std::string& node) override;
+  // Drops dead-with-no-reconnect tile workers from the shard map; the tiles
+  // they served fall to the survivors (tile % remaining) on the next run.
+  std::size_t prune_tile_workers() override;
+
+  bool has_tile_workers() const override;
+  std::size_t tile_worker_count() const override;
+  std::string tile_node(std::size_t tile) const override;
   void put_tile(std::uint64_t request, const runtime::MessageRecord& meta, std::size_t tile,
                 const dnn::Tensor& input) override;
   void run_tile(std::uint64_t request, std::size_t tile) override;
@@ -134,7 +149,7 @@ class SocketTransport final : public Transport {
   Stats stats() const {
     return {frames_sent_.load(),   payload_bytes_sent_.load(), relay_bytes_.load(),
             payload_bytes_fetched_.load(), peer_pushes_.load(), peer_bytes_.load(),
-            reconnects_.load()};
+            reconnects_.load(),    reopens_.load(),            detached_workers_.load()};
   }
 
  private:
@@ -149,6 +164,10 @@ class SocketTransport final : public Transport {
     std::vector<std::uint8_t> config_body;
     ReconnectFn reconnect;
     RetryPolicy retry;
+    // Dead for good (no reconnect hook): the node is skipped by every lookup
+    // and lifecycle loop, but the object stays allocated so concurrent
+    // requests never chase a dangling pointer.
+    std::atomic<bool> detached{false};
   };
 
   Node* find(const std::string& node) const;
@@ -171,7 +190,10 @@ class SocketTransport final : public Transport {
                           const runtime::MessageRecord& meta, std::uint64_t slot);
 
   std::map<std::string, std::unique_ptr<Node>> nodes_;
-  std::vector<Node*> tile_workers_;  // shard order; also present in nodes_
+  // Shard order; also present in nodes_. Guarded by shard_mutex_: recovery may
+  // prune dead workers while other in-flight requests are sharding tiles.
+  std::vector<Node*> tile_workers_;
+  mutable std::mutex shard_mutex_;
   bool peers_enabled_ = false;
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint64_t> frames_sent_{0};
@@ -181,6 +203,8 @@ class SocketTransport final : public Transport {
   std::atomic<std::uint64_t> peer_pushes_{0};
   std::atomic<std::uint64_t> peer_bytes_{0};
   std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> reopens_{0};
+  std::atomic<std::uint64_t> detached_workers_{0};
 };
 
 // Forks and execs a d3_node worker binary connected back to this process over
@@ -190,6 +214,9 @@ class SocketTransport final : public Transport {
 class WorkerProcess {
  public:
   explicit WorkerProcess(const std::string& binary);
+  // Extra argv entries appended after "--connect <host> <port>" (e.g. the
+  // deterministic {"--crash-after", "N"} fault-injection flag of d3_node).
+  WorkerProcess(const std::string& binary, const std::vector<std::string>& extra_args);
   // Closes the socket if still held (the worker exits on EOF) and reaps the
   // child, escalating to SIGKILL if it ignores the hang-up.
   ~WorkerProcess();

@@ -19,6 +19,10 @@ bool Transport::send_peer(std::uint64_t, const runtime::MessageRecord&, std::uin
   return false;
 }
 
+bool Transport::reopen(std::uint64_t, const std::string&) { return false; }
+
+std::string Transport::tile_node(std::size_t) const { return {}; }
+
 void Transport::put_tile(std::uint64_t, const runtime::MessageRecord&, std::size_t,
                          const dnn::Tensor&) {
   throw TransportError("put_tile: transport '" + name() + "' has no tile workers");

@@ -41,14 +41,31 @@ class TransportError : public std::runtime_error {
   explicit TransportError(const std::string& what) : std::runtime_error("rpc: " + what) {}
 };
 
-// A node's channel died mid-call: the per-request worker state is lost, so the
-// in-flight request must be replayed end-to-end (the channel itself may have
-// been re-established already — see SocketTransport::set_reconnect). Distinct
-// from plain TransportError so recovery outcomes are never mistaken for
-// retryable per-call failures.
+// A node lost its per-request state mid-call: either its channel died (the
+// worker process is gone, possibly already respawned — see
+// SocketTransport::set_reconnect) or a fresh worker incarnation answered
+// kErrorState because it never saw this request's history. Distinct from plain
+// TransportError so recovery outcomes are never mistaken for retryable
+// per-call failures. Carries what the engine's tier-granular recovery needs:
+// which node lost its state, and whether the channel is serviceable again
+// (reconnect + kConfig replay succeeded), in which case the engine can reopen
+// the request on the node, re-seed the lost slots from coordinator-held
+// boundary tensors, and re-run only the interrupted tier.
 class ChannelDied : public TransportError {
  public:
-  using TransportError::TransportError;
+  ChannelDied(std::string node, bool channel_restored, const std::string& what)
+      : TransportError(what), node_(std::move(node)), restored_(channel_restored) {}
+
+  // The computation node whose per-request state is gone ("device0", a tile
+  // worker "edge3", ...). Empty when unknown.
+  const std::string& node() const { return node_; }
+  // True when the node's channel is healthy again (fresh process, kConfig
+  // replayed) and only the per-request state needs rebuilding.
+  bool channel_restored() const { return restored_; }
+
+ private:
+  std::string node_;
+  bool restored_ = false;
 };
 
 // Tile scatter/gather messages are intra-edge and not slot-addressed; they
@@ -93,6 +110,22 @@ class Transport {
   virtual dnn::Tensor fetch(std::uint64_t request, const std::string& node,
                             std::uint64_t slot);
 
+  // --- Mid-request recovery -------------------------------------------------
+  //
+  // Re-opens `request`'s slot state on `node` after ChannelDied reported the
+  // node's per-request state lost but the channel restored. Returns true when
+  // the node is hosted remotely (the request was re-begun and payload bytes
+  // re-seeded into it will really cross a wire); false when the node lives in
+  // the coordinator's process and there is nothing to rebuild. The engine uses
+  // the return value to keep Stats::recovery_bytes an honest count of bytes
+  // actually re-moved.
+  virtual bool reopen(std::uint64_t request, const std::string& node);
+
+  // Drops tile workers whose channel died with no way back (no reconnect hook)
+  // from the shard map, so the surviving workers absorb their tiles on the
+  // next run of the interrupted tier. Returns the number of workers removed.
+  virtual std::size_t prune_tile_workers() { return 0; }
+
   // --- Peer-to-peer channels ------------------------------------------------
   //
   // Attempts to ship meta's tensor *directly* from the producer's node to the
@@ -116,6 +149,9 @@ class Transport {
   // pure function of the plan. Base implementations: no workers / throw.
   virtual bool has_tile_workers() const { return false; }
   virtual std::size_t tile_worker_count() const { return 0; }
+  // Physical worker node serving `tile` under the current shard map; "" when
+  // tiles are not sharded across workers.
+  virtual std::string tile_node(std::size_t tile) const;
   virtual void put_tile(std::uint64_t request, const runtime::MessageRecord& meta,
                         std::size_t tile, const dnn::Tensor& input);
   virtual void run_tile(std::uint64_t request, std::size_t tile);

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rpc/transport.h"
+
 namespace d3::runtime {
 
 namespace {
@@ -86,9 +88,38 @@ void BatchScheduler::stage_loop(std::size_t stage) {
     }
 
     Request& request = *request_ptr;
+    // The end-to-end replay fallback for a ChannelDied the engine's own
+    // recovery could not absorb: restart the request from `input` — the
+    // result is byte-identical by transcript purity. The request re-enters
+    // the device queue; this stage slot moves on to other in-flight work.
+    // Returns false (leaving request.error set) when replays are exhausted
+    // or the restart itself failed.
+    const auto replay = [&](const dnn::Tensor& input) {
+      if (request.replays >= options_.max_replays) {
+        request.error = std::current_exception();
+        return false;
+      }
+      try {
+        request.state = engine_.begin(input);
+        ++request.replays;
+      } catch (...) {
+        request.error = std::current_exception();  // replay setup failed
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++replayed_;
+        stage_queue_[0].push_back(id);
+      }
+      stage_work_[0].notify_one();
+      return true;
+    };
+
     if (!request.error) {
       try {
         engine_.run_tier(*request.state, kStageTier[stage]);
+      } catch (const rpc::ChannelDied&) {
+        if (replay(request.state->owned_input)) continue;
       } catch (...) {
         request.error = std::current_exception();
       }
@@ -101,7 +132,22 @@ void BatchScheduler::stage_loop(std::size_t stage) {
       }
       stage_work_[stage + 1].notify_one();
     } else {
-      if (!request.error) request.result = engine_.finish(std::move(request.state));
+      if (!request.error) {
+        // finish() consumes the state, so retain the input first: a node can
+        // die inside finish() too (the final-output fetch), and the replay
+        // fallback needs something to restart from. The copy is made only
+        // when replays are enabled.
+        std::optional<dnn::Tensor> retained;
+        if (options_.max_replays > 0) retained = request.state->owned_input;
+        try {
+          request.result = engine_.finish(std::move(request.state));
+        } catch (const rpc::ChannelDied&) {
+          if (retained && replay(*retained)) continue;
+          if (!request.error) request.error = std::current_exception();
+        } catch (...) {
+          request.error = std::current_exception();
+        }
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
         request.done = true;
@@ -154,7 +200,7 @@ std::size_t BatchScheduler::completed() const {
 
 BatchScheduler::Stats BatchScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{requests_.size(), completed_ - dropped_, dropped_};
+  return Stats{requests_.size(), completed_ - dropped_, dropped_, replayed_};
 }
 
 }  // namespace d3::runtime

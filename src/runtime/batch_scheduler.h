@@ -51,12 +51,20 @@ class BatchScheduler {
     // Maximum requests waiting in the device-stage queue (excluding the one
     // being processed). 0 = unbounded (no drops, the original behaviour).
     std::size_t admission_capacity = 0;
+    // Full-replay fallback: when a stage fails with rpc::ChannelDied — the
+    // engine's own tier-granular recovery was disabled, exhausted, or
+    // impossible (no reconnect hook) — restart the request from its retained
+    // input up to this many times instead of failing it. Transcript purity
+    // makes the replayed result byte-identical. 0 = fail the request (the
+    // original behaviour; the caller re-submits).
+    std::size_t max_replays = 0;
   };
 
   struct Stats {
     std::size_t submitted = 0;  // admitted by submit()
     std::size_t completed = 0;  // ran all three stages
     std::size_t dropped = 0;    // evicted by drop-oldest admission control
+    std::size_t replayed = 0;   // end-to-end replays after channel deaths
   };
 
   // `engine` must outlive the scheduler. Spawns one stage thread per tier.
@@ -97,6 +105,7 @@ class BatchScheduler {
     std::unique_ptr<OnlineEngine::RequestState> state;
     InferenceResult result;
     std::exception_ptr error;
+    std::size_t replays = 0;  // end-to-end restarts consumed (max_replays)
     bool done = false;
     bool collected = false;
   };
@@ -113,6 +122,7 @@ class BatchScheduler {
   std::vector<std::unique_ptr<Request>> requests_;
   std::size_t completed_ = 0;  // completed or dropped: requests no longer in flight
   std::size_t dropped_ = 0;
+  std::size_t replayed_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> stages_;
 };

@@ -23,6 +23,15 @@ const char* node_of(core::Tier tier) {
   return "?";
 }
 
+// Inverse of node_of: nullopt for tile workers ("edge1".."edgeN") and anything
+// else that is not a tier node.
+std::optional<core::Tier> tier_of_node(const std::string& node) {
+  if (node == "device0") return core::Tier::kDevice;
+  if (node == "edge0") return core::Tier::kEdge;
+  if (node == "cloud0") return core::Tier::kCloud;
+  return std::nullopt;
+}
+
 void record(InferenceResult& result, const MessageRecord& meta) {
   result.messages.push_back(meta);
   const int lo = std::min(core::index(meta.from_tier), core::index(meta.to_tier));
@@ -119,12 +128,22 @@ namespace {
 // Shared by begin() (which owns a copy of the input) and infer() (which
 // borrows the caller's tensor for its synchronous run).
 std::unique_ptr<OnlineEngine::RequestState> make_state(
-    const dnn::Network& net, const std::shared_ptr<rpc::Transport>& transport) {
+    const dnn::Network& net, const std::shared_ptr<rpc::Transport>& transport,
+    bool retry_open) {
   auto state = std::make_unique<OnlineEngine::RequestState>();
   state->outputs.resize(net.num_layers());
   state->computed.assign(net.num_layers(), false);
   state->sent.assign(net.num_layers() + 1, {false, false, false});
-  state->rpc_request = transport->open_request();
+  state->shipped.assign(net.num_layers() + 1, {false, false, false});
+  try {
+    state->rpc_request = transport->open_request();
+  } catch (const rpc::ChannelDied& died) {
+    // A worker killed between requests surfaces here, on the first kBegin to
+    // touch it. With the channel re-established and kBegin idempotent, a
+    // second open is exactly a fresh start.
+    if (!retry_open || !died.channel_restored()) throw;
+    state->rpc_request = transport->open_request();
+  }
   state->rpc_guard =
       std::make_unique<OnlineEngine::RpcRequestGuard>(transport, state->rpc_request);
   return state;
@@ -135,13 +154,31 @@ std::unique_ptr<OnlineEngine::RequestState> make_state(
 std::unique_ptr<OnlineEngine::RequestState> OnlineEngine::begin(const dnn::Tensor& input) const {
   if (!(input.shape() == net_.input_shape()))
     throw std::invalid_argument("OnlineEngine: input shape mismatch");
-  auto state = make_state(net_, transport_);
+  auto state = make_state(net_, transport_, options_.tier_recovery);
   state->owned_input = input;
   state->input = &state->owned_input;
-  // The raw frame originates on the device node; no inter-node message is
-  // involved, so a remote device tier receives it as a seed, not a send.
-  transport_->seed(state->rpc_request, node_of(core::Tier::kDevice), 0, *state->input);
+  seed_input(*state);
   return state;
+}
+
+bool OnlineEngine::try_recover(RequestState& state, const rpc::ChannelDied& died) const {
+  if (!options_.tier_recovery || state.recovery_attempts >= options_.max_recovery_attempts ||
+      !recover(state, died))
+    return false;
+  ++state.recovery_attempts;
+  return true;
+}
+
+void OnlineEngine::seed_input(RequestState& state) const {
+  // The raw frame originates on the device node; no inter-node message is
+  // involved, so a remote device tier receives it as a seed, not a send. A
+  // device node dying right here is recoverable on the spot: recover()
+  // re-seeds slot 0 into the fresh incarnation.
+  try {
+    transport_->seed(state.rpc_request, node_of(core::Tier::kDevice), 0, *state.input);
+  } catch (const rpc::ChannelDied& died) {
+    if (!try_recover(state, died)) throw;
+  }
 }
 
 const dnn::Tensor* OnlineEngine::resolve_input(RequestState& state, dnn::LayerId producer,
@@ -179,16 +216,23 @@ std::optional<dnn::Tensor> OnlineEngine::record_vsm_message(RequestState& state,
     meta.from_node = "edge0";
     meta.to_node = "edge" + std::to_string(tile + 1);
     meta.payload = tile_name + " input";
-    state.result.vsm_scatter_bytes += meta.bytes;
   } else {
     const exec::Region& region = plan.tiles[tile].output_region;
     meta.bytes = dnn::Shape{plan.output_shape.c, region.height(), region.width()}.bytes();
     meta.from_node = "edge" + std::to_string(tile + 1);
     meta.to_node = "edge0";
     meta.payload = tile_name + " output";
-    state.result.vsm_gather_bytes += meta.bytes;
   }
-  record(state.result, meta);
+  // Recorded exactly once per (tile, direction), even when recovery re-runs
+  // the stack: the transcript and the byte accounting are pure functions of
+  // the plan, never of how often a tile physically moved.
+  if (state.vsm_recorded.empty()) state.vsm_recorded.assign(plan.num_tiles(), {false, false});
+  bool& recorded = state.vsm_recorded[tile][gather ? 1 : 0];
+  if (!recorded) {
+    recorded = true;
+    (gather ? state.result.vsm_gather_bytes : state.result.vsm_scatter_bytes) += meta.bytes;
+    record(state.result, meta);
+  }
   // Local tile execution round-trips the payload through the transport (tile
   // traffic is inter-node: coordinator <-> edge worker). A remote edge runs
   // scatter/gather inside its own process; only the record remains here.
@@ -308,23 +352,21 @@ void OnlineEngine::run_vsm_stack(RequestState& state) const {
   }
 }
 
-void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
-  const double service =
-      options_.emulated_tier_service_seconds[static_cast<std::size_t>(core::index(tier))];
-  if (service > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(service));
-
-  // Ensures `producer`'s tensor is present at `tier`, shipping it (once) if
-  // not: the message is recorded here and the payload bytes move through the
-  // transport (a zero-copy transport moves nothing; a wire transport
-  // serialises out of the coordinator's canonical copy).
+void OnlineEngine::run_tier_pass(RequestState& state, core::Tier tier) const {
+  // Ensures `producer`'s tensor is present at `tier`, shipping it if not.
+  // Recording and shipping are tracked separately: the transcript message is
+  // recorded exactly once (`sent`), but the payload counts as moved
+  // (`shipped`) only after the transport call returns — so when a channel
+  // death interrupts a send, the recovery re-entry re-ships the same boundary
+  // without re-recording it, and the transcript stays a pure function of the
+  // plan.
   const auto deliver = [&](dnn::LayerId producer, core::Tier to) {
     const bool is_input = producer == dnn::kNetworkInput;
     const core::Tier from = is_input ? core::Tier::kDevice
                                      : assignment_.tier[dnn::Network::vertex_of(producer)];
     if (from == to) return;
-    auto& flags = state.sent[is_input ? 0 : producer + 1];
-    if (flags[static_cast<std::size_t>(core::index(to))]) return;
-    flags[static_cast<std::size_t>(core::index(to))] = true;
+    const std::size_t slot = is_input ? 0 : producer + 1;
+    const std::size_t to_idx = static_cast<std::size_t>(core::index(to));
 
     MessageRecord meta;
     meta.seq = static_cast<std::uint64_t>(state.result.messages.size());
@@ -334,19 +376,27 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
     meta.from_tier = from;
     meta.to_tier = to;
     meta.bytes = is_input ? net_.input_shape().bytes() : net_.lambda_out_bytes(producer);
-    record(state.result, meta);
+    if (!state.sent[slot][to_idx]) {
+      state.sent[slot][to_idx] = true;
+      record(state.result, meta);
+    }
+    if (state.shipped[slot][to_idx]) return;
 
-    const std::uint64_t slot = is_input ? 0 : producer + 1;
     // Cheapest path first: a peer channel moves the bytes producer -> consumer
     // directly and the coordinator never materialises the tensor at all (the
     // raw input is peer-pushable too — it was seeded into the device node).
-    if (transport_->send_peer(state.rpc_request, meta, slot)) return;
+    if (transport_->send_peer(state.rpc_request, meta, slot)) {
+      state.shipped[slot][to_idx] = true;
+      return;
+    }
     // Relay path: serialise out of the coordinator's canonical copy, fetching
     // it first if a remote node computed it.
     const dnn::Tensor& source = is_input ? *state.input : materialize(state, producer);
-    if (auto wired = transport_->send(state.rpc_request, meta, slot, source)) {
+    auto wired = transport_->send(state.rpc_request, meta, slot, source);
+    state.shipped[slot][to_idx] = true;
+    if (wired) {
       if (state.delivered.empty()) state.delivered.resize(net_.num_layers() + 1);
-      state.delivered[slot][static_cast<std::size_t>(core::index(to))] = std::move(*wired);
+      state.delivered[slot][to_idx] = std::move(*wired);
     }
   };
 
@@ -410,10 +460,181 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
   }
 }
 
+void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
+  const double service =
+      options_.emulated_tier_service_seconds[static_cast<std::size_t>(core::index(tier))];
+  if (service > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(service));
+
+  // The recovery loop around the tier walk: a node that lost its per-request
+  // state mid-walk (rpc::ChannelDied) is rebuilt by recover() and the walk
+  // re-entered — `computed`, `sent`, `shipped` and the VSM record flags make
+  // the re-entry resume exactly where the fault hit, re-running only what the
+  // dead node lost. Bounded by max_recovery_attempts per request.
+  for (;;) {
+    try {
+      run_tier_pass(state, tier);
+      return;
+    } catch (const rpc::ChannelDied& died) {
+      if (!try_recover(state, died)) throw;
+    }
+  }
+}
+
+bool OnlineEngine::recover(RequestState& state, const rpc::ChannelDied& died) const {
+  const std::string& node = died.node();
+  if (node.empty()) return false;
+
+  const std::optional<core::Tier> tier = tier_of_node(node);
+  if (!tier) {
+    // A VSM tile-worker shard lost its state. Tile inputs are re-scattered
+    // wholesale when the stack re-runs (the stack's layers are only marked
+    // computed after the gather), so there is nothing to re-seed — but the
+    // worker set may need repair first.
+    if (died.channel_restored()) {
+      transport_->reopen(state.rpc_request, node);  // fresh incarnation: re-begin
+    } else {
+      // No way back for this worker: drop it from the shard map so the
+      // survivors absorb its tiles (tile % remaining) on the re-run. Another
+      // in-flight request may have pruned it already — what matters is that
+      // someone is left to serve tiles.
+      transport_->prune_tile_workers();
+      if (transport_->tile_worker_count() == 0) return false;
+    }
+    recoveries_.fetch_add(1, std::memory_order_relaxed);
+    tiers_replayed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  if (!died.channel_restored()) return false;
+  const std::size_t t = static_cast<std::size_t>(core::index(*tier));
+  // reopen == false means the node lives in the coordinator's process (e.g. a
+  // scripted fault on an in-process transport): the re-seeds below are no-ops
+  // there, so they are not counted as recovery traffic.
+  const bool remote = transport_->reopen(state.rpc_request, node);
+
+  std::uint64_t reseeded = 0;
+  std::uint64_t bytes = 0;
+  const auto reseed = [&](std::uint64_t slot, const dnn::Tensor& tensor) {
+    transport_->seed(state.rpc_request, node, slot, tensor);
+    if (remote) {
+      ++reseeded;
+      bytes += static_cast<std::uint64_t>(tensor.shape().bytes());
+    }
+  };
+  const auto tier_of_layer = [&](dnn::LayerId id) {
+    return assignment_.tier[dnn::Network::vertex_of(id)];
+  };
+
+  // 1. Un-mark lost layers: layers this node computed whose outputs exist
+  //    nowhere else (never materialised at the coordinator) must re-run on the
+  //    re-entered walk. The VSM stack is all-or-nothing — its interior
+  //    outputs only ever existed as tiles on the dead node, so unless the
+  //    coordinator holds the stack output, the whole stack re-runs (its
+  //    transcript is already recorded and deduped by vsm_recorded).
+  std::uint64_t replayed = 0;
+  const auto lost_output = [&](dnn::LayerId id) {
+    state.computed[id] = false;
+    --state.result.layers_executed[static_cast<std::size_t>(core::index(tier_of_layer(id)))];
+    ++replayed;
+  };
+  const auto in_stack = [&](dnn::LayerId id) {
+    return vsm_ && std::find(vsm_->stack.begin(), vsm_->stack.end(), id) != vsm_->stack.end();
+  };
+  for (dnn::LayerId id = 0; id < net_.num_layers(); ++id) {
+    if (in_stack(id)) continue;  // grouped below
+    if (tier_of_layer(id) == *tier && state.computed[id] && state.outputs[id].size() == 0)
+      lost_output(id);
+  }
+  if (vsm_ && *tier == core::Tier::kEdge && state.computed[vsm_->stack.back()] &&
+      state.outputs[vsm_->stack.back()].size() == 0)
+    for (const dnn::LayerId id : vsm_->stack) lost_output(id);
+
+  // 2. What the fresh incarnation needs back, now that the pending set is
+  //    final. A slot must be re-seeded when a pending layer of this tier will
+  //    read it on the node (`on_node`), or when a pending boundary ship of a
+  //    tensor this node produced may peer-push straight out of the node's
+  //    slots (`from_node`). Everything else is dead weight — skipping it is
+  //    what makes recovery cheaper than a full replay.
+  std::vector<bool> needed_on_node(net_.num_layers(), false);
+  std::vector<bool> needed_from_node(net_.num_layers(), false);
+  bool input_needed_on_node = false;
+  bool input_needed_from_device = false;
+  for (dnn::LayerId id = 0; id < net_.num_layers(); ++id) {
+    if (state.computed[id]) continue;
+    const core::Tier at = tier_of_layer(id);
+    const std::size_t at_idx = static_cast<std::size_t>(core::index(at));
+    for (const dnn::LayerId in : net_.layer(id).inputs) {
+      if (in == dnn::kNetworkInput) {
+        if (at == *tier) input_needed_on_node = true;
+        // A pending boundary ship of the raw input may peer-push it straight
+        // out of the device node's slot 0.
+        else if (!state.shipped[0][at_idx])
+          input_needed_from_device = true;
+        continue;
+      }
+      if (at == *tier) needed_on_node[in] = true;
+      else if (tier_of_layer(in) == *tier && !state.shipped[in + 1][at_idx])
+        needed_from_node[in] = true;
+    }
+  }
+
+  // 3. Re-seed. The raw input goes back when a pending layer will read it on
+  //    this node, or (device only — the request's source, where peer pushes
+  //    of the input originate) when a pending boundary ship may still source
+  //    it from slot 0. Boundary tensors from other tiers are re-seeded from
+  //    the coordinator's canonical copy, fetched from the surviving producer
+  //    if it was peer-pushed and never materialised here (cross-tier by
+  //    construction, so the producer's node is alive). Held outputs of this
+  //    node go back only when still needed.
+  if ((*tier == core::Tier::kDevice && (input_needed_on_node || input_needed_from_device)) ||
+      (state.shipped[0][t] && input_needed_on_node))
+    reseed(0, *state.input);
+  for (dnn::LayerId id = 0; id < net_.num_layers(); ++id) {
+    const std::uint64_t slot = id + 1;
+    if (state.shipped[slot][t]) {
+      if (needed_on_node[id]) reseed(slot, materialize(state, id));
+      continue;
+    }
+    if (tier_of_layer(id) == *tier && state.computed[id] && state.outputs[id].size() > 0 &&
+        (needed_on_node[id] || needed_from_node[id]))
+      reseed(slot, state.outputs[id]);
+  }
+
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  tensors_reseeded_.fetch_add(reseeded, std::memory_order_relaxed);
+  recovery_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (replayed > 0) {
+    tiers_replayed_.fetch_add(1, std::memory_order_relaxed);
+    layers_replayed_.fetch_add(replayed, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+OnlineEngine::Stats OnlineEngine::stats() const {
+  return {recoveries_.load(), tiers_replayed_.load(), layers_replayed_.load(),
+          tensors_reseeded_.load(), recovery_bytes_.load()};
+}
+
 InferenceResult OnlineEngine::finish(std::unique_ptr<RequestState> state) const {
   // The final layer may have run on a remote node with no boundary ever
-  // pulling it back; materialise it now, while the request is still open.
-  materialize(*state, net_.num_layers() - 1);
+  // pulling it back; materialise it now, while the request is still open. A
+  // node death here is as recoverable as anywhere: rebuild the lost state and
+  // re-run the cloud-stage walk (which covers every tier's pending layers)
+  // before fetching again.
+  bool rerun = false;
+  for (;;) {
+    try {
+      if (rerun) {
+        rerun = false;
+        run_tier_pass(*state, core::Tier::kCloud);
+      }
+      materialize(*state, net_.num_layers() - 1);
+      break;
+    } catch (const rpc::ChannelDied& died) {
+      if (!try_recover(*state, died)) throw;
+      rerun = true;
+    }
+  }
   InferenceResult result = std::move(state->result);
   result.output = std::move(state->outputs.back());
   return result;
@@ -424,9 +645,9 @@ InferenceResult OnlineEngine::infer(const dnn::Tensor& input) const {
     throw std::invalid_argument("OnlineEngine: input shape mismatch");
   // Borrow the caller's tensor: the three stages run synchronously while the
   // caller's reference is pinned, so no per-request input copy is needed.
-  auto state = make_state(net_, transport_);
+  auto state = make_state(net_, transport_, options_.tier_recovery);
   state->input = &input;
-  transport_->seed(state->rpc_request, node_of(core::Tier::kDevice), 0, input);
+  seed_input(*state);
   run_tier(*state, core::Tier::kDevice);
   run_tier(*state, core::Tier::kEdge);
   run_tier(*state, core::Tier::kCloud);

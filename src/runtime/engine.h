@@ -32,6 +32,17 @@
 // runs tiles concurrently across the worker shards, and gathers outputs in
 // tile order — same transcript, same bits, as every other path.
 //
+// Failure model. A node that loses its per-request state mid-request (worker
+// death, detected as rpc::ChannelDied) is recovered tier-granularly by
+// default: the engine reopens the request on the re-established node,
+// re-seeds only the slots the dead incarnation held (from coordinator-held
+// boundary tensors, or fetched from surviving producers), and re-runs only
+// the interrupted tier — a dead tile worker's tiles re-shard across the
+// survivors. Transcript records and payload shipping are tracked separately,
+// so recovery is unobservable in the transcript and the output stays
+// bitwise-identical; Stats counts what recovery cost. See
+// docs/ARCHITECTURE.md "Failure recovery".
+//
 // Concurrency model. Inference is staged tier-by-tier (device -> edge ->
 // cloud); Prop.-1 feasibility guarantees a layer's inputs are produced by the
 // same or an earlier stage, so the staging is always dependency-safe. With
@@ -48,6 +59,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -65,6 +77,7 @@
 
 namespace d3::rpc {
 class Transport;
+class ChannelDied;
 }
 
 namespace d3::runtime {
@@ -111,6 +124,29 @@ class OnlineEngine {
     // Message fabric between the computation nodes. nullptr = the shared
     // zero-copy InProcessTransport (the original engine behaviour).
     std::shared_ptr<rpc::Transport> transport = nullptr;
+    // Tier-granular recovery: when a node loses its per-request state
+    // mid-request (rpc::ChannelDied with the channel restored — a worker died
+    // and the transport respawned it, or a fresh incarnation answered
+    // kErrorState), the engine reopens the request on that node, re-seeds the
+    // lost slots from coordinator-held boundary tensors, and re-runs only the
+    // interrupted tier — instead of failing the request so the caller replays
+    // it end-to-end. Dead tile workers with no reconnect hook are pruned and
+    // their tiles re-sharded across the survivors. Outputs stay
+    // bitwise-identical and transcripts byte-identical either way (messages
+    // are recorded exactly once; re-runs only move payload). false restores
+    // the fail-and-replay contract.
+    bool tier_recovery = true;
+    // Faults survived per request before the ChannelDied propagates.
+    std::size_t max_recovery_attempts = 3;
+  };
+
+  // Cumulative recovery counters (atomic; the engine is shared and const).
+  struct Stats {
+    std::uint64_t recoveries = 0;        // mid-request recoveries completed
+    std::uint64_t tiers_replayed = 0;    // recoveries that re-ran lost layers
+    std::uint64_t layers_replayed = 0;   // layers re-executed after a death
+    std::uint64_t tensors_reseeded = 0;  // slots re-put into recovered nodes
+    std::uint64_t recovery_bytes = 0;    // tensor bytes re-moved by re-seeds
   };
 
   // Closes the transport-side request state when a request dies, however it
@@ -139,9 +175,21 @@ class OnlineEngine {
     InferenceResult result;
     std::vector<dnn::Tensor> outputs;   // per layer, filled as stages run
     std::vector<bool> computed;
-    // sent[producer index][tier]: producer's tensor already shipped to that
-    // tier. Index 0 is the raw input; producer layer id is offset by one.
+    // sent[producer index][tier]: the transcript message shipping producer's
+    // tensor to that tier has been recorded. Index 0 is the raw input;
+    // producer layer id is offset by one. Set before the record, so a
+    // boundary is recorded exactly once even across recovery re-runs.
     std::vector<std::array<bool, 3>> sent;
+    // shipped[producer index][tier]: the payload bytes actually reached the
+    // tier's node — set only after the transport call returns, so a mid-send
+    // channel death leaves it false and the re-entered tier walk re-ships
+    // without re-recording.
+    std::vector<std::array<bool, 3>> shipped;
+    // vsm_recorded[tile][0=scatter,1=gather]: transcript dedupe for the VSM
+    // intra-edge messages (sized lazily on first stack execution).
+    std::vector<std::array<bool, 2>> vsm_recorded;
+    // Faults survived so far (bounds Options::max_recovery_attempts).
+    std::size_t recovery_attempts = 0;
     // Transport-materialised copies of delivered tensors, [slot][tier]: what a
     // consumer reads when the transport round-trips payloads through the wire
     // (SerializingLoopback). Left empty by zero-copy transports.
@@ -189,8 +237,26 @@ class OnlineEngine {
   const std::optional<core::FusedTilePlan>& vsm_plan() const { return vsm_; }
   const dnn::Network& network() const { return net_; }
   const std::shared_ptr<rpc::Transport>& transport() const { return transport_; }
+  Stats stats() const;
 
  private:
+  // One walk of the plan at `tier` (the pre-recovery run_tier body); the
+  // public run_tier wraps it in the ChannelDied recovery loop.
+  void run_tier_pass(RequestState& state, core::Tier tier) const;
+  // Tier-granular recovery after `died`: reopen the request on the lost node,
+  // re-seed the slots it held from coordinator-held (or survivor-fetched)
+  // tensors, and un-mark lost layers so the re-entered walk re-runs exactly
+  // the interrupted tier. Returns false when the failure is not recoverable
+  // here (unknown node, channel not restored and not a prunable tile worker)
+  // — the caller rethrows.
+  bool recover(RequestState& state, const rpc::ChannelDied& died) const;
+  // The recovery policy gate shared by every ChannelDied catch site: applies
+  // Options::tier_recovery and the per-request attempts bound, runs
+  // recover(), and counts the attempt. False = the caller rethrows.
+  bool try_recover(RequestState& state, const rpc::ChannelDied& died) const;
+  // Seeds the raw input into the device node, recovering in place if the node
+  // dies on the spot (shared by begin() and infer()).
+  void seed_input(RequestState& state) const;
   void run_vsm_stack(RequestState& state) const;
   // Edge fan-out: scatter tile crops to the transport's worker shards, run
   // them concurrently (one lane per physical worker), gather in tile order.
@@ -223,6 +289,12 @@ class OnlineEngine {
   std::shared_ptr<rpc::Transport> transport_;
   std::unique_ptr<ThreadPool> pool_;  // null in sequential mode
   exec::ParallelFor op_parallel_;     // intra-op hook over pool_; empty if disabled
+  // Recovery counters (see Stats). Mutable: infer() is const and thread-safe.
+  mutable std::atomic<std::uint64_t> recoveries_{0};
+  mutable std::atomic<std::uint64_t> tiers_replayed_{0};
+  mutable std::atomic<std::uint64_t> layers_replayed_{0};
+  mutable std::atomic<std::uint64_t> tensors_reseeded_{0};
+  mutable std::atomic<std::uint64_t> recovery_bytes_{0};
 };
 
 }  // namespace d3::runtime

@@ -3,6 +3,7 @@
 // single-node reference bitwise in every case, and the transcript's boundary
 // bytes must match the analytical accounting. Plus failure-injection scenarios
 // for the adaptive path (link outage -> repartition -> recovery).
+#include <memory>
 #include <numeric>
 
 #include <gtest/gtest.h>
@@ -14,6 +15,7 @@
 #include "exec/executor.h"
 #include "net/conditions.h"
 #include "profile/profiler.h"
+#include "rpc/fault_injection.h"
 #include "runtime/engine.h"
 #include "util/rng.h"
 
@@ -229,6 +231,75 @@ TEST_P(ThreadedVsmFuzz, ParallelTilesKeepTrafficAndLosslessness) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedVsmFuzz, ::testing::Range(1, 16));
+
+// Randomised recovery property: random networks, random Prop.-1-feasible
+// plans, and a randomly scripted state-loss fault (FaultInjectionTransport's
+// kFail over the serializing-loopback wire path). Whatever the fault hits, the
+// recovered output must stay bitwise-equal to the reference, the transcript
+// must be message-for-message identical to a fault-free run, and the recovery
+// cost must obey its bounds: at most one tier replayed per injected fault, and
+// strictly fewer bytes re-moved than an end-to-end replay would ship.
+class RecoveryFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryFuzz, ScriptedStateLossKeepsLosslessnessAndBoundsRecoveryCost) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 11939);
+  const dnn::Network net = random_network(rng);
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, GetParam() + 700);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+  const core::Assignment plan = random_feasible_plan(net, rng);
+
+  using rpc::FaultInjectionTransport;
+  auto faults = std::make_shared<FaultInjectionTransport>(
+      std::make_shared<rpc::SerializingLoopback>());
+  const FaultInjectionTransport::Op ops[] = {
+      FaultInjectionTransport::Op::kPut, FaultInjectionTransport::Op::kRunLayer,
+      FaultInjectionTransport::Op::kGet, FaultInjectionTransport::Op::kAny};
+  const char* nodes[] = {"device0", "edge0", "cloud0", ""};
+  FaultInjectionTransport::Fault fault;
+  fault.op = ops[rng.uniform_int(0, 3)];
+  fault.node = nodes[rng.uniform_int(0, 3)];
+  fault.nth = rng.uniform_int(1, 8);
+  fault.action = FaultInjectionTransport::Action::kFail;
+  faults->schedule(fault);
+
+  OnlineEngine::Options options;
+  options.transport = faults;
+  const OnlineEngine engine(net, weights, plan, std::nullopt, options);
+  const InferenceResult result = engine.infer(input);
+
+  ASSERT_EQ(result.output.shape(), reference.shape());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_EQ(result.output[i], reference[i]);
+
+  // Transcript identical to a fault-free engine on the same plan: state-loss
+  // recovery must be unobservable in the record.
+  const InferenceResult expected = OnlineEngine(net, weights, plan).infer(input);
+  ASSERT_EQ(result.messages.size(), expected.messages.size());
+  for (std::size_t i = 0; i < result.messages.size(); ++i) {
+    EXPECT_EQ(result.messages[i].seq, expected.messages[i].seq);
+    EXPECT_EQ(result.messages[i].from_node, expected.messages[i].from_node);
+    EXPECT_EQ(result.messages[i].to_node, expected.messages[i].to_node);
+    EXPECT_EQ(result.messages[i].payload, expected.messages[i].payload);
+    EXPECT_EQ(result.messages[i].bytes, expected.messages[i].bytes);
+  }
+  EXPECT_EQ(result.layers_executed, expected.layers_executed);
+
+  // Recovery-cost bounds. The fault may or may not fire (nth can exceed the
+  // op count for this plan); when it does, each injected fault buys at most
+  // one tier replay, and the bytes recovery re-moves stay strictly below the
+  // full-replay baseline (raw input + every boundary message re-shipped).
+  const OnlineEngine::Stats stats = engine.stats();
+  const FaultInjectionTransport::Stats fit = faults->stats();
+  EXPECT_LE(stats.tiers_replayed, fit.faults_injected);
+  EXPECT_LE(stats.recoveries, fit.faults_injected);
+  std::uint64_t full_replay_bytes = static_cast<std::uint64_t>(net.input_shape().bytes());
+  for (const MessageRecord& m : expected.messages)
+    full_replay_bytes += static_cast<std::uint64_t>(m.bytes);
+  EXPECT_LT(stats.recovery_bytes, full_replay_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryFuzz, ::testing::Range(1, 25));
 
 TEST(FailureInjection, BackhaulOutageAndRecovery) {
   // The backbone collapses to near-zero, then recovers: the adaptive

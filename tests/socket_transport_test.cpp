@@ -361,11 +361,53 @@ TEST(SocketTransport, PeerChannelsEliminateCoordinatorRelay) {
   EXPECT_EQ(stats.payload_bytes_fetched, rpc::encode_tensor(reference).size());
 }
 
-TEST(SocketTransport, WorkerDeathReconnectsAndRequestReplays) {
-  // SIGKILL the device worker between requests: the in-flight request fails
-  // with TransportError, the transport respawns the worker under bounded
-  // backoff and replays kConfig, and re-submitting the same frame yields the
+TEST(SocketTransport, WorkerDeathWithRecoveryOffFailsAndRequestReplays) {
+  // The PR-4 contract, still available behind tier_recovery=false: SIGKILL the
+  // device worker between requests, the next request fails with
+  // TransportError, the transport respawns the worker under bounded backoff
+  // and replays kConfig, and re-submitting the same frame yields the
   // bitwise-identical result and transcript (the replay guarantee).
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 51);
+  util::Rng rng(52);
+  const dnn::Tensor frame = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(frame);
+
+  core::Assignment assignment;
+  assignment.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  assignment.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1})
+    assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  const core::SerializablePlan plan{net.name(), assignment, std::nullopt};
+
+  Cluster cluster;
+  cluster.attach("device0");
+  cluster.configure(net, weights, plan, 0);
+  cluster.enable_respawn("device0");
+
+  OnlineEngine::Options options;
+  options.transport = cluster.transport;
+  options.tier_recovery = false;
+  const OnlineEngine engine(net, weights, assignment, std::nullopt, options);
+  const InferenceResult before = engine.infer(frame);
+  expect_identical(before.output, reference);
+
+  cluster.kill_worker("device0");
+  EXPECT_THROW(engine.infer(frame), rpc::TransportError);
+  EXPECT_EQ(cluster.transport->stats().reconnects, 1u);
+  EXPECT_EQ(engine.stats().recoveries, 0u);
+
+  // The channel is healthy again: the replayed request completes losslessly.
+  const InferenceResult replayed = engine.infer(frame);
+  expect_identical(replayed.output, reference);
+  expect_same_transcript(replayed, before);
+}
+
+TEST(SocketTransport, WorkerDeathRecoversInPlaceByDefault) {
+  // Same kill, default options: the request that trips over the dead channel
+  // recovers *in place* — the transport respawns the worker, the engine
+  // reopens the request, re-seeds the lost slots, and the same infer() call
+  // returns the bitwise-identical result with the byte-identical transcript.
   const dnn::Network net = dnn::zoo::tiny_chain();
   const exec::WeightStore weights = exec::WeightStore::random_for(net, 51);
   util::Rng rng(52);
@@ -391,20 +433,22 @@ TEST(SocketTransport, WorkerDeathReconnectsAndRequestReplays) {
   expect_identical(before.output, reference);
 
   cluster.kill_worker("device0");
-  EXPECT_THROW(engine.infer(frame), rpc::TransportError);
+  // The death is noticed on the request's very first frame (kBegin): nothing
+  // was lost yet, so the engine just re-opens on the respawned worker — no
+  // tier needs replaying, and the same call simply succeeds.
+  const InferenceResult recovered = engine.infer(frame);
+  expect_identical(recovered.output, reference);
+  expect_same_transcript(recovered, before);
   EXPECT_EQ(cluster.transport->stats().reconnects, 1u);
-
-  // The channel is healthy again: the replayed request completes losslessly.
-  const InferenceResult replayed = engine.infer(frame);
-  expect_identical(replayed.output, reference);
-  expect_same_transcript(replayed, before);
+  EXPECT_EQ(engine.stats().tiers_replayed, 0u);
 }
 
-TEST(SocketTransport, KillWorkerMidBatchFailedRequestsReplay) {
+TEST(SocketTransport, KillWorkerMidBatchAllRequestsRecover) {
   // A pipelined batch is in flight across three worker processes when the
-  // edge worker dies. Affected requests surface TransportError from wait();
-  // re-submitting exactly those frames (the coordinator still holds them)
-  // completes the batch with every output bitwise-correct.
+  // edge worker dies. With tier-granular recovery on (the default) no request
+  // fails: whichever stage trips over the dead channel rebuilds the edge
+  // node's state and re-runs only the interrupted tier, and every output in
+  // the batch stays bitwise-correct.
   const dnn::Network net = dnn::zoo::tiny_chain();
   const exec::WeightStore weights = exec::WeightStore::random_for(net, 61);
   util::Rng rng(62);
@@ -440,22 +484,58 @@ TEST(SocketTransport, KillWorkerMidBatchFailedRequestsReplay) {
   expect_identical(first.output, executor.run(frames[0]));
   cluster.kill_worker("edge0");
 
-  std::vector<std::size_t> failed;
-  for (std::size_t i = 1; i < ids.size(); ++i) {
-    try {
-      expect_identical(scheduler.wait(ids[i]).output, executor.run(frames[i]));
-    } catch (const rpc::TransportError&) {
-      failed.push_back(i);
-    }
-  }
-  EXPECT_GE(failed.size(), 1u);  // the batch was mid-flight
+  for (std::size_t i = 1; i < ids.size(); ++i)
+    expect_identical(scheduler.wait(ids[i]).output, executor.run(frames[i]));
   EXPECT_GE(cluster.transport->stats().reconnects, 1u);
+  EXPECT_GE(engine.stats().recoveries, 1u);
+}
 
-  // Replay: the failed requests re-submitted on the re-established channel.
-  for (const std::size_t i : failed) {
-    const std::size_t id = scheduler.submit(frames[i]);
-    expect_identical(scheduler.wait(id).output, executor.run(frames[i]));
+TEST(SocketTransport, SchedulerReplaysWhenEngineRecoveryIsOff) {
+  // The scheduler-level fallback: tier recovery disabled, but
+  // Options::max_replays lets the scheduler restart a ChannelDied request from
+  // its retained input — the batch still completes with every output
+  // bitwise-correct and no caller-visible failure.
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 63);
+  util::Rng rng(64);
+
+  core::Assignment assignment;
+  assignment.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  assignment.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1, 2})
+    assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {3, 4, 5})
+    assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  const core::SerializablePlan plan{net.name(), assignment, std::nullopt};
+
+  Cluster cluster(net, weights, plan, 0);
+  cluster.enable_respawn("edge0");
+
+  OnlineEngine::Options options;
+  options.transport = cluster.transport;
+  options.tier_recovery = false;
+  options.emulated_tier_service_seconds = {0.0, 0.005, 0.0};
+  const OnlineEngine engine(net, weights, assignment, std::nullopt, options);
+  const exec::Executor executor(net, weights);
+
+  BatchScheduler::Options sched_options;
+  sched_options.max_replays = 2;
+  BatchScheduler scheduler(engine, sched_options);
+  std::vector<dnn::Tensor> frames;
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    frames.push_back(exec::random_tensor(net.input_shape(), rng));
+    ids.push_back(scheduler.submit(frames.back()));
   }
+  const InferenceResult first = scheduler.wait(ids[0]);
+  expect_identical(first.output, executor.run(frames[0]));
+  cluster.kill_worker("edge0");
+
+  for (std::size_t i = 1; i < ids.size(); ++i)
+    expect_identical(scheduler.wait(ids[i]).output, executor.run(frames[i]));
+  EXPECT_GE(cluster.transport->stats().reconnects, 1u);
+  EXPECT_GE(scheduler.stats().replayed, 1u);
+  EXPECT_EQ(engine.stats().recoveries, 0u);
 }
 
 TEST(SocketTransport, WorkerRejectsGarbageWithClearError) {

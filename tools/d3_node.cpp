@@ -3,12 +3,15 @@
 //
 // Spawned by the coordinator (rpc::WorkerProcess) as
 //
-//   d3_node --connect <host> <port>
+//   d3_node --connect <host> <port> [--crash-after <frames>]
 //
 // it dials back over localhost TCP and serves the node protocol (rpc/
 // node_service.h) until the coordinator hangs up: receive the model name +
 // weights + plan, hold per-request tensor slots, run layers and VSM stacks on
-// demand. Exit code 0 on clean shutdown, 1 on any protocol or socket failure.
+// demand. --crash-after N makes the process exit abruptly (no reply) on the
+// (N+1)th coordinator frame — a deterministic, scriptable stand-in for a
+// SIGKILL at an exact protocol point, used by the fault-injection tests.
+// Exit code 0 on clean shutdown, 1 on any protocol or socket failure.
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -17,17 +20,29 @@
 #include "rpc/socket.h"
 
 int main(int argc, char** argv) {
-  if (argc != 4 || std::string(argv[1]) != "--connect") {
-    std::fprintf(stderr, "usage: %s --connect <host> <port>\n", argv[0]);
+  const auto usage = [&] {
+    std::fprintf(stderr, "usage: %s --connect <host> <port> [--crash-after <frames>]\n",
+                 argv[0]);
     return 2;
-  }
+  };
+  if (argc < 4 || std::string(argv[1]) != "--connect") return usage();
   try {
     const std::string host = argv[2];
     const unsigned long port = std::stoul(argv[3]);
     if (port == 0 || port > 65535) throw d3::rpc::SocketError("port out of range");
+    d3::rpc::ServeOptions options;
+    int arg = 4;
+    while (arg < argc) {
+      if (std::string(argv[arg]) == "--crash-after" && arg + 1 < argc) {
+        options.crash_after_frames = std::stoull(argv[arg + 1]);
+        arg += 2;
+      } else {
+        return usage();
+      }
+    }
     d3::rpc::Socket socket =
         d3::rpc::tcp_connect(host, static_cast<std::uint16_t>(port));
-    d3::rpc::serve_node(socket.fd());
+    d3::rpc::serve_node(socket.fd(), options);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "d3_node: %s\n", e.what());
