@@ -1,0 +1,228 @@
+// Serving-scale load generator: how many in-flight requests one coordinator
+// thread can hold open, and what the reactor's admission policies do to tail
+// latency under overload.
+//
+// Two scenarios drive runtime::ServingReactor over the in-process transport:
+//
+//   burst        — a paused reactor accumulates a burst of requests, then
+//                  absorbs it with a high max_inflight cap. Because admission
+//                  outranks progress in the reactor loop, every request is
+//                  begun before the first one finishes: Stats::max_inflight
+//                  records how many requests the coordinator genuinely held
+//                  open at once (the >= 1000 scale gate of ISSUE 6).
+//   deadline     — open-loop arrivals against a sim::PipelinePlan model of
+//                  the (emulated-latency) pipeline, every request carrying a
+//                  deadline. Predictive shedding refuses the arrivals whose
+//                  queue position already dooms them; the completed remainder
+//                  keeps its tail inside the deadline.
+//
+// Every completed output is verified bitwise against the single-node
+// exec::Executor reference before any number is reported. Writes
+// BENCH_serving.json (p50/p99/throughput per scenario; bench/README.md
+// documents regeneration). --enforce-gate makes the burst scenario's
+// max_inflight >= 1000 a hard exit code, which is how CI runs it.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/partition.h"
+#include "dnn/model_zoo.h"
+#include "exec/executor.h"
+#include "runtime/serving_reactor.h"
+#include "sim/pipeline.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace d3;
+
+core::Assignment three_tier_plan(const dnn::Network& net) {
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  const std::size_t n = net.num_layers();
+  for (std::size_t id = 0; id < n; ++id) {
+    if (id < 2) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+    else if (id < 2 + (n - 2) / 2) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  }
+  return a;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t idx = std::min(
+      values.size() - 1, static_cast<std::size_t>(q * static_cast<double>(values.size())));
+  return values[idx];
+}
+
+struct ScenarioRow {
+  std::string name;
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  std::size_t shed = 0;
+  std::size_t expired = 0;
+  std::size_t max_inflight = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double throughput_rps = 0;
+};
+
+ScenarioRow summarize(const std::string& name, const runtime::ServingReactor& reactor,
+                      double wall_seconds) {
+  const runtime::ServingReactor::Stats stats = reactor.stats();
+  const std::vector<double> lat = reactor.latencies_seconds();
+  ScenarioRow row;
+  row.name = name;
+  row.offered = stats.submitted;
+  row.completed = stats.completed;
+  row.dropped = stats.dropped;
+  row.shed = stats.shed;
+  row.expired = stats.expired;
+  row.max_inflight = stats.max_inflight;
+  row.p50_ms = percentile(lat, 0.50) * 1e3;
+  row.p99_ms = percentile(lat, 0.99) * 1e3;
+  row.throughput_rps =
+      wall_seconds > 0 ? static_cast<double>(stats.completed) / wall_seconds : 0.0;
+  return row;
+}
+
+void verify(const std::vector<runtime::InferenceResult>& results,
+            const dnn::Tensor& reference) {
+  for (const runtime::InferenceResult& r : results) {
+    if (!(r.output.shape() == reference.shape())) std::abort();
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      if (r.output[i] != reference[i]) {
+        std::cerr << "FATAL: reactor broke bitwise identity\n";
+        std::abort();
+      }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool enforce_gate = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--enforce-gate") == 0) enforce_gate = true;
+
+  bench::banner("serving scale",
+                "event-driven reactor front end under burst and deadline load: "
+                "in-flight high-water mark, tail latency, shedding counters "
+                "(all completed outputs verified bitwise first)");
+
+  dnn::Network net = dnn::zoo::tiny_chain();
+  const core::Assignment plan = three_tier_plan(net);
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 31);
+  util::Rng rng(32);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+  const runtime::OnlineEngine engine(net, weights, plan);
+
+  std::vector<ScenarioRow> rows;
+
+  // --- burst: how many requests one coordinator holds open at once ----------
+  {
+    constexpr std::size_t kBurst = 2000;
+    runtime::ServingReactor::Options options;
+    options.max_inflight = 4096;
+    options.start_paused = true;  // pile the whole burst up first
+    runtime::ServingReactor reactor(engine, options);
+    for (std::size_t i = 0; i < kBurst; ++i) reactor.submit(input);
+    const auto t0 = std::chrono::steady_clock::now();
+    reactor.resume();
+    const std::vector<runtime::InferenceResult> results = reactor.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+    verify(results, reference);
+    rows.push_back(
+        summarize("burst", reactor, std::chrono::duration<double>(t1 - t0).count()));
+  }
+
+  // --- deadline: open-loop overload with predictive shedding -----------------
+  {
+    // The reactor runs every stage on its one thread, so to the queue it is a
+    // single server whose service time is the sum of the emulated stage
+    // latencies (6 ms); the pipeline model says exactly that (one device-only
+    // stage), making sim::predicted_completion_seconds an honest prediction
+    // of when a request at queue depth q finishes. Arrivals at ~2x the
+    // service rate overload it; the reactor sheds the doomed arrivals up
+    // front and keeps the admitted remainder's tail inside the deadline.
+    sim::PipelinePlan pipeline;
+    pipeline.device_seconds = 0.007;  // 6 ms emulated + headroom for real compute
+
+    runtime::OnlineEngine::Options slow;
+    slow.emulated_tier_service_seconds = {0.002, 0.002, 0.002};
+    const runtime::OnlineEngine slow_engine(net, weights, plan, std::nullopt, slow);
+
+    runtime::ServingReactor::Options options;
+    // Small in-flight cap: round-robin across n open requests multiplies each
+    // one's residence time by n, so a tight cap keeps admitted requests close
+    // to the FIFO completion times the pipeline model predicts.
+    options.max_inflight = 4;
+    options.default_deadline_seconds = 0.080;
+    options.pipeline = pipeline;
+    runtime::ServingReactor reactor(slow_engine, options);
+
+    constexpr std::size_t kOffered = 300;
+    const auto interarrival = std::chrono::milliseconds(3);  // ~2x overload
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kOffered; ++i) {
+      reactor.submit(input);
+      std::this_thread::sleep_for(interarrival);
+    }
+    const std::vector<runtime::InferenceResult> results = reactor.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+    verify(results, reference);
+    rows.push_back(
+        summarize("deadline", reactor, std::chrono::duration<double>(t1 - t0).count()));
+  }
+
+  util::Table table({"scenario", "offered", "completed", "dropped", "shed", "expired",
+                     "max inflight", "p50 ms", "p99 ms", "throughput rps"});
+  for (const ScenarioRow& r : rows)
+    table.row()
+        .cell(r.name)
+        .cell(static_cast<double>(r.offered))
+        .cell(static_cast<double>(r.completed))
+        .cell(static_cast<double>(r.dropped))
+        .cell(static_cast<double>(r.shed))
+        .cell(static_cast<double>(r.expired))
+        .cell(static_cast<double>(r.max_inflight))
+        .cell(r.p50_ms)
+        .cell(r.p99_ms)
+        .cell(r.throughput_rps);
+  table.print(std::cout, "serving scale (one reactor thread)");
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\n  \"bench\": \"serving_scale\",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScenarioRow& r = rows[i];
+    json << "    {\"name\": \"" << r.name << "\", \"offered\": " << r.offered
+         << ", \"completed\": " << r.completed << ", \"dropped\": " << r.dropped
+         << ", \"shed\": " << r.shed << ", \"expired\": " << r.expired
+         << ", \"max_inflight\": " << r.max_inflight << ", \"p50_ms\": " << r.p50_ms
+         << ", \"p99_ms\": " << r.p99_ms << ", \"throughput_rps\": " << r.throughput_rps
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (enforce_gate) {
+    // The ISSUE-6 scale gate: the burst scenario must genuinely hold >= 1000
+    // requests open on the one coordinator thread.
+    if (rows.empty() || rows[0].max_inflight < 1000) {
+      std::cerr << "GATE FAILED: burst max_inflight " << (rows.empty() ? 0 : rows[0].max_inflight)
+                << " < 1000\n";
+      return 1;
+    }
+    std::cout << "gate ok: burst max_inflight = " << rows[0].max_inflight << " >= 1000\n";
+  }
+  return 0;
+}

@@ -38,6 +38,18 @@ class StateError : public WireError {
 
 class NodeService {
  public:
+  // The coordinator connection is the loop's first registration; its fd also
+  // names the interface the coordinator reached this worker on (peer_listen
+  // binds it, so advertised peer addresses stay reachable off-host).
+  explicit NodeService(int coordinator_fd) : coordinator_fd_(coordinator_fd) {
+    poller_.add(coordinator_fd_, static_cast<std::uint64_t>(coordinator_fd_));
+  }
+
+  Poller& poller() { return poller_; }
+  bool is_peer_listener(int fd) const {
+    return peer_listener_.valid() && peer_listener_.fd() == fd;
+  }
+
   // Handles one coordinator frame. Returns the reply to write back.
   Frame handle(const Frame& request) {
     WireReader r(request.body);
@@ -61,15 +73,6 @@ class NodeService {
     }
   }
 
-  // The serve loop's poll set: coordinator first, then the peer listener (if
-  // open), then every inbound peer channel. Indices into the returned vector
-  // are decoded by serve_node via these two accessors.
-  std::vector<int> poll_fds(int coordinator_fd) const {
-    std::vector<int> fds{coordinator_fd, peer_listener_.valid() ? peer_listener_.fd() : -1};
-    for (const auto& in : peer_in_) fds.push_back(in.socket.fd());
-    return fds;
-  }
-
   // Accepts one dialled peer channel: the first frame must be kPeerHello with
   // the dialling node's name; the channel replaces any previous inbound
   // channel from that peer (a reconnected worker re-dials). A misbehaving
@@ -86,10 +89,16 @@ class NodeService {
       WireReader r(hello.body);
       const std::string peer = r.str();
       r.expect_end("peer-hello");
-      peer_in_.erase(std::remove_if(peer_in_.begin(), peer_in_.end(),
-                                    [&](const PeerChannel& c) { return c.name == peer; }),
-                     peer_in_.end());
+      for (auto it = peer_in_.begin(); it != peer_in_.end();) {
+        if (it->name == peer) {
+          poller_.remove(it->socket.fd());
+          it = peer_in_.erase(it);
+        } else {
+          ++it;
+        }
+      }
       write_frame(channel.fd(), MsgKind::kPeerOk, {});
+      poller_.add(channel.fd(), static_cast<std::uint64_t>(channel.fd()));
       peer_in_.push_back(PeerChannel{peer, std::move(channel)});
     } catch (const std::exception&) {
       // Socket/wire failure during the handshake: the RAII socket closed, the
@@ -97,15 +106,27 @@ class NodeService {
     }
   }
 
-  // Services one frame from inbound peer channel `index` (from poll_fds
-  // ordering). Returns false when the channel was dropped — peer hang-up, a
-  // mid-frame socket failure, or a desynchronised stream (anything but
-  // kPeerPut). Handler-level failures (bad slot, wrong addressee) are
-  // answered with kError and the channel stays up — mirroring how the
-  // coordinator connection treats handler vs protocol failures.
+  // Services one frame from the inbound peer channel on `fd`; a stale
+  // readiness tag (the channel was dropped while servicing an earlier event)
+  // is ignored.
+  void serve_peer_fd(int fd) {
+    for (std::size_t i = 0; i < peer_in_.size(); ++i)
+      if (peer_in_[i].socket.fd() == fd) {
+        serve_peer(i);
+        return;
+      }
+  }
+
+  // Services one frame from inbound peer channel `index` (into peer_in_).
+  // Returns false when the channel was dropped — peer hang-up, a mid-frame
+  // socket failure, or a desynchronised stream (anything but kPeerPut).
+  // Handler-level failures (bad slot, wrong addressee) are answered with
+  // kError and the channel stays up — mirroring how the coordinator
+  // connection treats handler vs protocol failures.
   bool serve_peer(std::size_t index) {
     PeerChannel& channel = peer_in_.at(index);
     const auto drop = [&] {
+      poller_.remove(channel.socket.fd());
       peer_in_.erase(peer_in_.begin() + static_cast<std::ptrdiff_t>(index));
       return false;
     };
@@ -295,7 +316,11 @@ class NodeService {
     // died just gets the existing port back.
     if (!peer_listener_.valid()) {
       peer_port_ = 0;
-      peer_listener_ = tcp_listen(peer_port_);
+      // Bind the interface the coordinator reached this worker on: peers are
+      // told to dial an address observed on that same network, so the listener
+      // must be reachable by that route (loopback only works single-host).
+      peer_listener_ = tcp_listen_on(local_address(coordinator_fd_), peer_port_);
+      poller_.add(peer_listener_.fd(), static_cast<std::uint64_t>(peer_listener_.fd()));
     }
     WireWriter w;
     w.u32(peer_port_);
@@ -445,6 +470,8 @@ class NodeService {
     return Frame{MsgKind::kTensor, encode_tensor(it->second)};
   }
 
+  int coordinator_fd_ = -1;
+  Poller poller_;  // coordinator + peer listener + inbound peer channels
   std::string node_name_;
   std::optional<dnn::Network> net_;
   exec::WeightStore weights_;
@@ -461,13 +488,16 @@ class NodeService {
 }  // namespace
 
 void serve_node(int fd, const ServeOptions& options) {
-  NodeService service;
+  NodeService service(fd);
   std::uint64_t served = 0;
   for (;;) {
-    const std::vector<int> fds = service.poll_fds(fd);
-    const int idx = poll_readable(fds, -1);
-    if (idx < 0) continue;
-    if (idx == 0) {
+    // One ready registration per wait: the Poller is level-triggered, so
+    // still-ready channels surface again immediately, and a channel dropped
+    // while servicing an earlier event can never leave a stale tag behind.
+    const std::vector<std::uint64_t> ready = service.poller().wait(-1);
+    if (ready.empty()) continue;
+    const int rfd = static_cast<int>(ready.front());
+    if (rfd == fd) {
       // Coordinator frame (or hang-up).
       Frame request;
       if (!read_frame_or_eof(fd, request)) return;
@@ -494,10 +524,10 @@ void serve_node(int fd, const ServeOptions& options) {
         reply = Frame{MsgKind::kError, w.take()};
       }
       write_frame(fd, reply.kind, reply.body);
-    } else if (idx == 1) {
+    } else if (service.is_peer_listener(rfd)) {
       service.accept_peer();
     } else {
-      service.serve_peer(static_cast<std::size_t>(idx - 2));
+      service.serve_peer_fd(rfd);
     }
   }
 }

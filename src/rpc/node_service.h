@@ -1,8 +1,8 @@
 // Worker side of the socket transport: the body of the d3_node binary.
 //
-// A node process is a passive responder driven by a poll loop over three fd
-// classes: the coordinator connection, the node's peer listener, and any
-// inbound peer channels. After kConfig ships it the model name (resolved
+// A node process is a passive responder driven by an epoll loop (rpc::Poller)
+// over three fd classes: the coordinator connection, the node's peer listener,
+// and any inbound peer channels. After kConfig ships it the model name (resolved
 // against the shared zoo), the full weights, the deployment plan and its pool
 // width, it holds per-request slot state (slot 0 = raw input, slot i+1 =
 // layer i's output, plus per-tile VSM state for edge fan-out workers) and

@@ -3,9 +3,12 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <ifaddrs.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -85,7 +88,9 @@ void Socket::close() {
   }
 }
 
-Socket tcp_listen(std::uint16_t& port) {
+Socket tcp_listen(std::uint16_t& port) { return tcp_listen_on("127.0.0.1", port); }
+
+Socket tcp_listen_on(const std::string& host, std::uint16_t& port) {
   // CLOEXEC everywhere: a fork/exec'd worker must not inherit other
   // connections' fds, or its copies would keep those sockets alive and defeat
   // the EOF-based graceful shutdown of sibling workers.
@@ -97,7 +102,8 @@ Socket tcp_listen(std::uint16_t& port) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw SocketError("listen: bad address '" + host + "'");
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) fail_errno("bind");
   if (::listen(fd, 4) < 0) fail_errno("listen");
@@ -198,6 +204,48 @@ bool read_frame_or_eof(int fd, Frame& out) {
   return !eof;
 }
 
+namespace {
+
+std::string dotted_quad(const sockaddr_in& addr) {
+  char buf[INET_ADDRSTRLEN] = {};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) == nullptr)
+    fail_errno("inet_ntop");
+  return buf;
+}
+
+}  // namespace
+
+std::string peer_address(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail_errno("getpeername");
+  return dotted_quad(addr);
+}
+
+std::string local_address(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail_errno("getsockname");
+  return dotted_quad(addr);
+}
+
+std::string first_non_loopback_address() {
+  ifaddrs* list = nullptr;
+  if (::getifaddrs(&list) < 0) return {};
+  std::string found;
+  for (const ifaddrs* ifa = list; ifa != nullptr; ifa = ifa->ifa_next) {
+    if (ifa->ifa_addr == nullptr || ifa->ifa_addr->sa_family != AF_INET) continue;
+    const auto* addr = reinterpret_cast<const sockaddr_in*>(ifa->ifa_addr);
+    if (ntohl(addr->sin_addr.s_addr) >> 24 == 127) continue;  // 127.0.0.0/8
+    found = dotted_quad(*addr);
+    break;
+  }
+  ::freeifaddrs(list);
+  return found;
+}
+
 int poll_readable(std::span<const int> fds, int timeout_ms) {
   std::vector<pollfd> pfds;
   pfds.reserve(fds.size());
@@ -215,6 +263,61 @@ int poll_readable(std::span<const int> fds, int timeout_ms) {
       if (pfds[i].fd >= 0 && (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
         return static_cast<int>(i);
   }
+}
+
+Poller::Poller() : fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (fd_ < 0) fail_errno("epoll_create1");
+}
+
+Poller::~Poller() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Poller::add(int fd, std::uint64_t tag, bool edge_triggered) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  if (edge_triggered) ev.events |= EPOLLET;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) < 0) fail_errno("epoll_ctl add");
+  ++count_;
+}
+
+void Poller::remove(int fd) {
+  if (::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr) < 0) fail_errno("epoll_ctl del");
+  --count_;
+}
+
+std::vector<std::uint64_t> Poller::wait(int timeout_ms) {
+  // 64 ready events per wake is plenty for every loop here; anything beyond
+  // stays queued in the kernel and surfaces on the next wait.
+  epoll_event events[64];
+  for (;;) {
+    const int n = ::epoll_wait(fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("epoll_wait");
+    }
+    std::vector<std::uint64_t> tags;
+    tags.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) tags.push_back(events[i].data.u64);
+    return tags;
+  }
+}
+
+EventFd::EventFd() : fd_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+  if (!fd_.valid()) fail_errno("eventfd");
+}
+
+void EventFd::signal() {
+  const std::uint64_t one = 1;
+  // Non-blocking: EAGAIN means the counter is already saturated, which still
+  // wakes the waiter — the signal is level-ful, not lossy.
+  [[maybe_unused]] const ssize_t n = ::write(fd_.fd(), &one, sizeof(one));
+}
+
+void EventFd::drain() {
+  std::uint64_t count = 0;
+  [[maybe_unused]] const ssize_t n = ::read(fd_.fd(), &count, sizeof(count));
 }
 
 }  // namespace d3::rpc

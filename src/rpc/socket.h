@@ -81,6 +81,24 @@ class Socket {
 // the bound port. Throws SocketError on failure.
 Socket tcp_listen(std::uint16_t& port);
 
+// Binds and listens on `host`:`port` (IPv4 dotted quad; "0.0.0.0" for every
+// interface). `port` is updated to the bound port.
+Socket tcp_listen_on(const std::string& host, std::uint16_t& port);
+
+// Dotted-quad IPv4 address of a connected socket's remote end (getpeername) —
+// how *this* process reaches the peer, which is what a third party on the same
+// network should dial to reach it too (the peer-handshake advertisement).
+std::string peer_address(int fd);
+
+// Dotted-quad IPv4 address of a connected socket's local end (getsockname) —
+// the interface the peer reached this process on, so listeners that must be
+// reachable by the same route (a worker's peer listener) bind to it.
+std::string local_address(int fd);
+
+// First non-loopback IPv4 address of this host ("" when the host has none) —
+// lets off-host-shaped tests bind real interfaces and skip cleanly otherwise.
+std::string first_non_loopback_address();
+
 // Accepts one connection, polling up to `timeout_ms`. `abort_check` (optional)
 // is polled between waits; returning true aborts the accept (used to notice a
 // worker child that died before connecting). Throws SocketError on timeout,
@@ -109,8 +127,55 @@ bool read_frame_or_eof(int fd, Frame& out);
 
 // Polls `fds` for readability, returning the index of the first readable fd,
 // or -1 on timeout (timeout_ms < 0 waits forever). Throws SocketError on OS
-// failure. Entries with fd < 0 are skipped. The worker's serve loop and the
-// peer-push acknowledgement wait are built on this.
+// failure. Entries with fd < 0 are skipped. The peer-push acknowledgement wait
+// (a transient two-fd set) is built on this; the long-lived loops use Poller.
 int poll_readable(std::span<const int> fds, int timeout_ms);
+
+// Readiness multiplexer over a long-lived, mutating fd set: an epoll(7)
+// instance owning its registrations. This is the worker serve loop's poll set
+// generalized — the worker registers its coordinator connection, peer listener
+// and inbound peer channels; the serving reactor registers its wake-up eventfd
+// and the transport's channels — so one thread can sleep on "anything
+// happened" and dispatch by tag instead of rebuilding a pollfd array per
+// iteration. Level-triggered by default; `edge_triggered` registrations fire
+// once per readability transition (used for hang-up sentinels that must not
+// spin an idle loop).
+class Poller {
+ public:
+  Poller();
+  ~Poller();
+  Poller(Poller&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Poller& operator=(Poller&&) = delete;
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  // Registers `fd` for readability (POLLIN | POLLRDHUP); `tag` comes back from
+  // wait(). Re-registering a live fd throws.
+  void add(int fd, std::uint64_t tag, bool edge_triggered = false);
+  void remove(int fd);
+  std::size_t size() const { return count_; }
+
+  // Blocks up to `timeout_ms` (< 0 = forever) and returns the tags of every
+  // ready registration; empty = timeout.
+  std::vector<std::uint64_t> wait(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::size_t count_ = 0;
+};
+
+// Wake-up channel for a Poller-driven loop: an eventfd(2) another thread
+// signals to interrupt the loop's wait (new work queued, shutdown requested).
+// signal() is async-safe and never blocks; drain() clears the pending count.
+class EventFd {
+ public:
+  EventFd();
+  int fd() const { return fd_.fd(); }
+  void signal();
+  void drain();
+
+ private:
+  Socket fd_;
+};
 
 }  // namespace d3::rpc

@@ -163,11 +163,60 @@ void SocketTransport::configure(const std::string& model_name, const dnn::Networ
 
 void SocketTransport::set_reconnect(const std::string& node_name, ReconnectFn fn,
                                     RetryPolicy policy) {
-  Node* node = find(node_name);
-  if (!node) throw TransportError("set_reconnect: node '" + node_name + "' is not attached");
-  std::lock_guard<std::mutex> lock(node->mutex);
-  node->reconnect = std::move(fn);
-  node->retry = policy;
+  // Deliberately not find(): a detached (pruned) tile worker must be reachable
+  // here, because a late reconnect hook is its ticket back into the shard map.
+  const auto it = nodes_.find(node_name);
+  if (it == nodes_.end())
+    throw TransportError("set_reconnect: node '" + node_name + "' is not attached");
+  Node& node = *it->second;
+  {
+    std::lock_guard<std::mutex> lock(node.mutex);
+    node.reconnect = std::move(fn);
+    node.retry = policy;
+  }
+  if (node.detached.load(std::memory_order_acquire)) readmit(node);
+}
+
+void SocketTransport::readmit(Node& node) {
+  {
+    std::lock_guard<std::mutex> lock(node.mutex);
+    node.socket = node.reconnect();
+    // The fresh incarnation knows nothing: replay the cached deployment
+    // bundle before the worker rejoins the shard map, so the first tile call
+    // it sees is serviceable.
+    if (!node.config_body.empty())
+      roundtrip_locked(node, MsgKind::kConfig, node.config_body, MsgKind::kOk);
+  }
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  node.detached.store(false, std::memory_order_release);
+  tile_workers_.push_back(&node);
+  // Shard order must be a pure function of the attached set, not of the
+  // prune/rejoin history, or tile -> worker routing (and with it which
+  // channels carry which bytes) would depend on failure timing. Sorting by
+  // (length, name) restores attachment order: edge1 < edge2 < ... < edge10.
+  std::sort(tile_workers_.begin(), tile_workers_.end(), [](const Node* a, const Node* b) {
+    return std::make_pair(a->name.size(), a->name) < std::make_pair(b->name.size(), b->name);
+  });
+  readmitted_workers_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SocketTransport::set_advertised_address(const std::string& node_name,
+                                             std::string address) {
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  advertised_addresses_[node_name] = std::move(address);
+}
+
+std::string SocketTransport::advertised_address(const Node& to) const {
+  {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    const auto it = advertised_addresses_.find(to.name);
+    if (it != advertised_addresses_.end()) return it->second;
+  }
+  // The coordinator-observed address of the node's own channel: a sibling
+  // worker on the coordinator's network reaches the node by the same route
+  // the coordinator does. (A hardcoded 127.0.0.1 here used to break every
+  // off-host peer channel.)
+  return peer_address(to.socket.fd());
 }
 
 void SocketTransport::link_peers(Node& from, Node& to) {
@@ -178,7 +227,7 @@ void SocketTransport::link_peers(Node& from, Node& to) {
   pr.expect_end("peer-listen reply");
   WireWriter w;
   w.str(to.name);
-  w.str("127.0.0.1");
+  w.str(advertised_address(to));
   w.u32(port);
   call(from, MsgKind::kConnectPeer, w.buffer());
 }
@@ -431,14 +480,19 @@ bool child_exited(void* arg) {
 WorkerProcess::WorkerProcess(const std::string& binary) : WorkerProcess(binary, {}) {}
 
 WorkerProcess::WorkerProcess(const std::string& binary,
-                             const std::vector<std::string>& extra_args) {
+                             const std::vector<std::string>& extra_args)
+    : WorkerProcess(binary, extra_args, "127.0.0.1") {}
+
+WorkerProcess::WorkerProcess(const std::string& binary,
+                             const std::vector<std::string>& extra_args,
+                             const std::string& host) {
   std::uint16_t port = 0;
-  Socket listener = tcp_listen(port);
+  Socket listener = tcp_listen_on(host, port);
   const std::string port_str = std::to_string(port);
 
   // argv assembled before the fork: only async-signal-safe calls may run in
   // the child, and these vectors stay alive in both processes until exec.
-  std::vector<std::string> args = {binary, "--connect", "127.0.0.1", port_str};
+  std::vector<std::string> args = {binary, "--connect", host, port_str};
   args.insert(args.end(), extra_args.begin(), extra_args.end());
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);

@@ -67,6 +67,9 @@ class SocketTransport final : public Transport {
     // Tile workers dropped from the shard map because their channel died with
     // no reconnect hook (survivors absorb their tiles).
     std::uint64_t detached_workers = 0;
+    // Pruned tile workers returned to the shard map after a late set_reconnect
+    // (fresh incarnation dialled, kConfig replayed, shard slot restored).
+    std::uint64_t readmitted_workers = 0;
   };
 
   // Bounded-backoff policy for re-establishing a dead worker's channel.
@@ -105,11 +108,23 @@ class SocketTransport final : public Transport {
   // the next push. Call after configure().
   void connect_peers();
 
+  // Overrides the address peers are told to dial to reach `node`. By default
+  // the handshake advertises the coordinator-observed address of the node's
+  // own channel (getpeername), which is correct whenever workers share the
+  // coordinator's network; NAT'd or multi-homed deployments can pin a better
+  // one here before connect_peers().
+  void set_advertised_address(const std::string& node, std::string address);
+
   // Registers the reconnect hook for `node`: on a dead channel the transport
   // retries fn() under `policy`'s bounded backoff, replays kConfig, and then
   // surfaces the interrupted call as TransportError (per-request worker state
   // died with the process, so the request must be replayed — the transcript
   // is a pure function of the plan, so a replay is byte-identical).
+  //
+  // Called on a tile worker already pruned from the shard map, this instead
+  // re-admits it: fn() is dialled immediately, kConfig replayed, and the
+  // worker returns to its deterministic shard position — so a late-arriving
+  // reconnect hook undoes a prune instead of being rejected.
   void set_reconnect(const std::string& node, ReconnectFn fn, RetryPolicy policy);
   void set_reconnect(const std::string& node, ReconnectFn fn) {
     set_reconnect(node, std::move(fn), RetryPolicy());
@@ -149,7 +164,8 @@ class SocketTransport final : public Transport {
   Stats stats() const {
     return {frames_sent_.load(),   payload_bytes_sent_.load(), relay_bytes_.load(),
             payload_bytes_fetched_.load(), peer_pushes_.load(), peer_bytes_.load(),
-            reconnects_.load(),    reopens_.load(),            detached_workers_.load()};
+            reconnects_.load(),    reopens_.load(),            detached_workers_.load(),
+            readmitted_workers_.load()};
   }
 
  private:
@@ -186,6 +202,11 @@ class SocketTransport final : public Transport {
                     std::uint64_t slot, const dnn::Tensor& tensor);
   // One peer handshake: kPeerListen on `to`, kConnectPeer on `from`.
   void link_peers(Node& from, Node& to);
+  std::string advertised_address(const Node& to) const;
+  // Returns a pruned (detached) tile worker to the shard map: dial a fresh
+  // incarnation via its reconnect hook, replay kConfig, restore its
+  // deterministic shard position.
+  void readmit(Node& node);
   std::uint64_t push_peer(Node& from, std::uint64_t request,
                           const runtime::MessageRecord& meta, std::uint64_t slot);
 
@@ -194,6 +215,8 @@ class SocketTransport final : public Transport {
   // prune dead workers while other in-flight requests are sharding tiles.
   std::vector<Node*> tile_workers_;
   mutable std::mutex shard_mutex_;
+  // Per-node dial-address overrides for the peer handshake (shard_mutex_).
+  std::map<std::string, std::string> advertised_addresses_;
   bool peers_enabled_ = false;
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint64_t> frames_sent_{0};
@@ -205,6 +228,7 @@ class SocketTransport final : public Transport {
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<std::uint64_t> reopens_{0};
   std::atomic<std::uint64_t> detached_workers_{0};
+  std::atomic<std::uint64_t> readmitted_workers_{0};
 };
 
 // Forks and execs a d3_node worker binary connected back to this process over
@@ -217,6 +241,11 @@ class WorkerProcess {
   // Extra argv entries appended after "--connect <host> <port>" (e.g. the
   // deterministic {"--crash-after", "N"} fault-injection flag of d3_node).
   WorkerProcess(const std::string& binary, const std::vector<std::string>& extra_args);
+  // `host` is the coordinator-side listen interface the worker dials back to
+  // (default 127.0.0.1; a non-loopback interface exercises the off-host
+  // network path while still forking locally).
+  WorkerProcess(const std::string& binary, const std::vector<std::string>& extra_args,
+                const std::string& host);
   // Closes the socket if still held (the worker exits on EOF) and reaps the
   // child, escalating to SIGKILL if it ignores the hang-up.
   ~WorkerProcess();

@@ -7,11 +7,6 @@
 
 namespace d3::runtime {
 
-namespace {
-constexpr core::Tier kStageTier[3] = {core::Tier::kDevice, core::Tier::kEdge,
-                                      core::Tier::kCloud};
-}  // namespace
-
 BatchScheduler::BatchScheduler(const OnlineEngine& engine)
     : BatchScheduler(engine, Options{}) {}
 
@@ -36,11 +31,11 @@ BatchScheduler::~BatchScheduler() {
 }
 
 std::size_t BatchScheduler::submit(const dnn::Tensor& input) {
-  // begin() validates the shape on the caller's thread, so a bad submit fails
+  // start() validates the shape on the caller's thread, so a bad submit fails
   // fast and never occupies a stage.
-  auto state = engine_.begin(input);
+  OnlineEngine::Continuation cont = engine_.start(input);
   std::size_t id = 0;
-  std::unique_ptr<OnlineEngine::RequestState> evicted_state;  // freed outside the lock
+  std::optional<OnlineEngine::Continuation> evicted;  // freed outside the lock
   bool dropped_one = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -53,7 +48,7 @@ std::size_t BatchScheduler::submit(const dnn::Tensor& input) {
       const std::size_t victim = stage_queue_[0].front();
       stage_queue_[0].pop_front();
       Request& old = *requests_[victim];
-      evicted_state = std::move(old.state);
+      evicted = std::move(old.cont);
       old.error = std::make_exception_ptr(RequestDropped(victim));
       old.done = true;
       ++completed_;
@@ -62,7 +57,7 @@ std::size_t BatchScheduler::submit(const dnn::Tensor& input) {
     }
     id = requests_.size();
     auto request = std::make_unique<Request>();
-    request->state = std::move(state);
+    request->cont = std::move(cont);
     requests_.push_back(std::move(request));
     stage_queue_[0].push_back(id);
   }
@@ -100,7 +95,7 @@ void BatchScheduler::stage_loop(std::size_t stage) {
         return false;
       }
       try {
-        request.state = engine_.begin(input);
+        request.cont = engine_.start(input);
         ++request.replays;
       } catch (...) {
         request.error = std::current_exception();  // replay setup failed
@@ -117,9 +112,9 @@ void BatchScheduler::stage_loop(std::size_t stage) {
 
     if (!request.error) {
       try {
-        engine_.run_tier(*request.state, kStageTier[stage]);
+        engine_.step(*request.cont);  // this stage's tier
       } catch (const rpc::ChannelDied&) {
-        if (replay(request.state->owned_input)) continue;
+        if (replay(request.cont->input())) continue;
       } catch (...) {
         request.error = std::current_exception();
       }
@@ -133,14 +128,15 @@ void BatchScheduler::stage_loop(std::size_t stage) {
       stage_work_[stage + 1].notify_one();
     } else {
       if (!request.error) {
-        // finish() consumes the state, so retain the input first: a node can
-        // die inside finish() too (the final-output fetch), and the replay
+        // The collect step consumes the state, so retain the input first: a
+        // node can die inside it too (the final-output fetch), and the replay
         // fallback needs something to restart from. The copy is made only
         // when replays are enabled.
         std::optional<dnn::Tensor> retained;
-        if (options_.max_replays > 0) retained = request.state->owned_input;
+        if (options_.max_replays > 0) retained = request.cont->input();
         try {
-          request.result = engine_.finish(std::move(request.state));
+          engine_.step(*request.cont);  // collect
+          request.result = engine_.take(std::move(*request.cont));
         } catch (const rpc::ChannelDied&) {
           if (retained && replay(*retained)) continue;
           if (!request.error) request.error = std::current_exception();
@@ -171,19 +167,28 @@ InferenceResult BatchScheduler::wait(std::size_t id) {
 }
 
 std::vector<InferenceResult> BatchScheduler::drain() {
-  std::size_t count = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    count = requests_.size();
-  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::size_t count = requests_.size();
   std::vector<InferenceResult> results;
   results.reserve(count);
   for (std::size_t id = 0; id < count; ++id) {
-    try {
-      results.push_back(wait(id));
-    } catch (const RequestDropped&) {
-      // Shed by admission control: accounted in stats().dropped, not a result.
+    request_done_.wait(lock, [&] { return requests_[id]->done; });
+    Request& request = *requests_[id];
+    // A concurrent wait() (or an earlier drain) already claimed this result:
+    // skip it instead of throwing the double-collect logic_error — otherwise
+    // draining while another thread waits on individual ids aborts the drain
+    // (or, caught carelessly, hangs it).
+    if (request.collected) continue;
+    request.collected = true;
+    if (request.error) {
+      try {
+        std::rethrow_exception(request.error);
+      } catch (const RequestDropped&) {
+        continue;  // shed by admission control: in stats().dropped, not a result
+      }
+      // Any other stage failure propagates, exactly like wait(id) would.
     }
+    results.push_back(std::move(request.result));
   }
   return results;
 }

@@ -29,6 +29,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -43,6 +44,10 @@ class RequestDropped : public std::runtime_error {
   explicit RequestDropped(std::size_t id)
       : std::runtime_error("BatchScheduler: request " + std::to_string(id) +
                            " dropped by admission control") {}
+
+ protected:
+  // For subclasses with their own story (runtime::RequestShed).
+  explicit RequestDropped(const std::string& what) : std::runtime_error(what) {}
 };
 
 class BatchScheduler {
@@ -91,8 +96,10 @@ class BatchScheduler {
 
   // Waits for every admitted request and returns the results of those that
   // completed, in admission order (dropped requests are skipped — check
-  // stats().dropped). Equivalent to calling wait() for each uncollected id and
-  // discarding RequestDropped.
+  // stats().dropped). Results another thread already collected via wait() are
+  // skipped too, so drain() is safe to run concurrently with wait() and with
+  // admission-control drops — it never throws for a request someone else
+  // claimed, and never hangs on one.
   std::vector<InferenceResult> drain();
 
   std::size_t submitted() const;
@@ -102,7 +109,9 @@ class BatchScheduler {
 
  private:
   struct Request {
-    std::unique_ptr<OnlineEngine::RequestState> state;
+    // The request's whole execution as a resumable token: each stage thread
+    // advances it one step (the reactor front end shares this representation).
+    std::optional<OnlineEngine::Continuation> cont;
     InferenceResult result;
     std::exception_ptr error;
     std::size_t replays = 0;  // end-to-end restarts consumed (max_replays)

@@ -140,8 +140,13 @@ std::unique_ptr<OnlineEngine::RequestState> make_state(
   } catch (const rpc::ChannelDied& died) {
     // A worker killed between requests surfaces here, on the first kBegin to
     // touch it. With the channel re-established and kBegin idempotent, a
-    // second open is exactly a fresh start.
-    if (!retry_open || !died.channel_restored()) throw;
+    // second open is exactly a fresh start. A tile shard that cannot come
+    // back is pruned instead — the survivors absorb its tiles and the retried
+    // broadcast skips it (mirroring recover()'s mid-request tile branch).
+    if (!retry_open) throw;
+    if (!died.channel_restored() &&
+        (transport->prune_tile_workers() == 0 || !transport->has_tile_workers()))
+      throw;
     state->rpc_request = transport->open_request();
   }
   state->rpc_guard =
@@ -638,6 +643,30 @@ InferenceResult OnlineEngine::finish(std::unique_ptr<RequestState> state) const 
   InferenceResult result = std::move(state->result);
   result.output = std::move(state->outputs.back());
   return result;
+}
+
+OnlineEngine::Continuation OnlineEngine::start(const dnn::Tensor& input) const {
+  Continuation c;
+  c.state_ = begin(input);
+  return c;
+}
+
+bool OnlineEngine::step(Continuation& c) const {
+  if (c.done()) throw std::logic_error("OnlineEngine: step() on a finished continuation");
+  if (c.next_ < 3) {
+    run_tier(*c.state_, c.next_tier());
+  } else {
+    c.result_ = finish(std::move(c.state_));
+  }
+  // Past the throw: a failed stage leaves the cursor (and for tier stages the
+  // state) untouched, so the caller decides between retrying and replaying.
+  ++c.next_;
+  return c.done();
+}
+
+InferenceResult OnlineEngine::take(Continuation&& c) const {
+  if (!c.done()) throw std::logic_error("OnlineEngine: take() on an unfinished continuation");
+  return std::move(c.result_);
 }
 
 InferenceResult OnlineEngine::infer(const dnn::Tensor& input) const {

@@ -228,6 +228,47 @@ class OnlineEngine {
   void run_tier(RequestState& state, core::Tier tier) const;
   InferenceResult finish(std::unique_ptr<RequestState> state) const;
 
+  // Resumable continuation form of the staged API, for event-driven front
+  // ends (runtime::ServingReactor): one movable token bundling the request
+  // state, a progress cursor, and the finished result, advanced one stage at
+  // a time by step(). The stages are the three tiers in order plus a final
+  // collect stage (the finish() call), so a single thread can interleave
+  // thousands of requests by round-robining step() across their
+  // continuations. Each step runs the same code as run_tier/finish —
+  // outputs and transcripts are bitwise-identical to the staged API and to
+  // infer() regardless of how steps of different requests interleave.
+  class Continuation {
+   public:
+    static constexpr int kStageCount = 4;  // device, edge, cloud, collect
+    Continuation(Continuation&&) noexcept = default;
+    Continuation& operator=(Continuation&&) noexcept = default;
+
+    int next_stage() const { return next_; }
+    bool done() const { return next_ == kStageCount; }
+    // The tier the next step() executes; only valid before the collect stage.
+    core::Tier next_tier() const { return static_cast<core::Tier>(next_); }
+    // The request input (the copy taken by start()); valid until the collect
+    // stage consumes the state — callers that may replay end-to-end keep
+    // their own copy.
+    const dnn::Tensor& input() const { return state_->owned_input; }
+
+   private:
+    friend class OnlineEngine;
+    Continuation() = default;
+    std::unique_ptr<RequestState> state_;
+    InferenceResult result_;
+    int next_ = 0;
+  };
+
+  // begin() in continuation form: copies `input` into the state.
+  Continuation start(const dnn::Tensor& input) const;
+  // Runs the continuation's next stage; returns done() afterwards. A stage
+  // that throws (transport death past the recovery budget) leaves the cursor
+  // where it was — the caller replays from a fresh start() or propagates.
+  bool step(Continuation& c) const;
+  // Extracts the result of a done() continuation.
+  InferenceResult take(Continuation&& c) const;
+
   // Width of the VSM tile stage: the number of emulated edge worker nodes
   // tiles may occupy concurrently (0 = sequential tile loop). The shared pool
   // may be larger when intra_op_workers exceeds this; tile execution is still

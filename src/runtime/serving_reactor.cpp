@@ -1,0 +1,341 @@
+#include "runtime/serving_reactor.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "rpc/transport.h"
+
+namespace d3::runtime {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+ServingReactor::ServingReactor(const OnlineEngine& engine)
+    : ServingReactor(engine, Options{}) {}
+
+ServingReactor::ServingReactor(const OnlineEngine& engine, Options options)
+    : engine_(engine), options_(std::move(options)), paused_(options_.start_paused) {
+  // The eventfd is the loop's only standing registration; submissions and
+  // shutdown signal it to interrupt an idle epoll wait.
+  poller_.add(wake_.fd(), static_cast<std::uint64_t>(wake_.fd()));
+  reactor_ = std::thread([this] { reactor_loop(); });
+}
+
+ServingReactor::~ServingReactor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;  // a paused reactor still owes every queued request
+  }
+  wake_.signal();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return finished_ == tickets_.size(); });
+    stopping_ = true;
+  }
+  wake_.signal();
+  reactor_.join();
+}
+
+std::size_t ServingReactor::submit(const dnn::Tensor& input) { return submit(input, {}); }
+
+std::size_t ServingReactor::submit(const dnn::Tensor& input, const SubmitOptions& so) {
+  if (!(input.shape() == engine_.network().input_shape()))
+    throw std::invalid_argument("ServingReactor: input shape mismatch");
+  const Clock::time_point now = Clock::now();
+  auto ticket = std::make_unique<Ticket>();
+  ticket->input = input;
+  ticket->priority = so.priority;
+  ticket->deadline_seconds =
+      so.deadline_seconds < 0 ? options_.default_deadline_seconds : so.deadline_seconds;
+  ticket->submitted_at = now;
+  if (ticket->deadline_seconds > 0)
+    ticket->deadline_at = now + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(ticket->deadline_seconds));
+
+  std::size_t id = 0;
+  bool refused_someone = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::logic_error("ServingReactor: submit after shutdown began");
+    id = tickets_.size();
+
+    // Latency-aware shedding: if the pipeline model already predicts this
+    // request finishes past its deadline from its queue position, refuse it
+    // now — it would only burn capacity on a worthless result. Never begun,
+    // so no transport state to tear down.
+    if (ticket->deadline_seconds > 0 && options_.pipeline) {
+      const std::size_t queued = inflight_ + waiting_.size();
+      const double predicted =
+          sim::predicted_completion_seconds(*options_.pipeline, queued);
+      if (predicted > ticket->deadline_seconds) {
+        ticket->error = std::make_exception_ptr(RequestShed(
+            id, "predicted completion " + std::to_string(predicted) + "s > deadline " +
+                    std::to_string(ticket->deadline_seconds) + "s"));
+        ticket->done = true;
+        tickets_.push_back(std::move(ticket));
+        ++finished_;
+        ++counters_.shed;
+        refused_someone = true;
+      }
+    }
+
+    if (!refused_someone) {
+      // Drop-oldest admission on the waiting queue, exactly like
+      // BatchScheduler: the new request displaces the stalest waiting one.
+      if (options_.admission_capacity > 0 &&
+          waiting_.size() >= options_.admission_capacity) {
+        const std::size_t victim = waiting_.front();
+        waiting_.pop_front();
+        Ticket& old = *tickets_[victim];
+        old.error = std::make_exception_ptr(RequestDropped(victim));
+        old.done = true;
+        ++finished_;
+        ++counters_.dropped;
+        refused_someone = true;
+      }
+      tickets_.push_back(std::move(ticket));
+      waiting_.push_back(id);
+    }
+  }
+  if (refused_someone) done_cv_.notify_all();
+  wake_.signal();
+  return id;
+}
+
+void ServingReactor::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  wake_.signal();
+}
+
+void ServingReactor::expire_waiting_locked(Clock::time_point now) {
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    Ticket& ticket = *tickets_[*it];
+    if (ticket.deadline_at && now >= *ticket.deadline_at) {
+      ticket.error = std::make_exception_ptr(
+          RequestShed(*it, "deadline expired before admission"));
+      ticket.done = true;
+      ++finished_;
+      ++counters_.expired;
+      it = waiting_.erase(it);
+      done_cv_.notify_all();
+    } else {
+      ++it;
+    }
+  }
+}
+
+int ServingReactor::idle_timeout_ms_locked(Clock::time_point now) const {
+  std::optional<Clock::time_point> earliest;
+  for (const std::size_t id : waiting_) {
+    const Ticket& ticket = *tickets_[id];
+    if (ticket.deadline_at && (!earliest || *ticket.deadline_at < *earliest))
+      earliest = *ticket.deadline_at;
+  }
+  if (!earliest) return -1;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(*earliest - now).count();
+  return ms < 0 ? 0 : static_cast<int>(ms) + 1;  // +1: land past the deadline, not on it
+}
+
+void ServingReactor::finish_locked(std::size_t id, Ticket& ticket, Clock::time_point now) {
+  ticket.done = true;
+  ++finished_;
+  --inflight_;
+  if (!ticket.error) {
+    ++counters_.completed;
+    latencies_.push_back(seconds_between(ticket.submitted_at, now));
+    completion_order_.push_back(id);
+  }
+}
+
+void ServingReactor::reactor_loop() {
+  enum class Act { kIdle, kAdmit, kStep };
+  for (;;) {
+    std::size_t id = 0;
+    Ticket* claimed = nullptr;
+    Act act = Act::kIdle;
+    int timeout_ms = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;  // set only once every ticket is finished
+      expire_waiting_locked(Clock::now());
+      if (!paused_ && inflight_ < options_.max_inflight && !waiting_.empty()) {
+        // Admission outranks progress: a burst is begun (opening its
+        // transport state) before existing work advances, up to max_inflight
+        // — that is what lets one coordinator hold thousands of requests
+        // open at once.
+        id = waiting_.front();
+        waiting_.pop_front();
+        ++inflight_;
+        counters_.max_inflight = std::max(counters_.max_inflight, inflight_);
+        act = Act::kAdmit;
+      } else if (!runnable_.empty()) {
+        auto bucket = runnable_.begin();  // highest priority
+        id = bucket->second.front();
+        bucket->second.pop_front();
+        if (bucket->second.empty()) runnable_.erase(bucket);
+        act = Act::kStep;
+      } else {
+        timeout_ms = idle_timeout_ms_locked(Clock::now());
+      }
+      // The Ticket is heap-stable, but tickets_ itself reallocates under
+      // concurrent submit(): index it only while the lock is held.
+      if (act != Act::kIdle) claimed = tickets_[id].get();
+    }
+
+    if (act == Act::kIdle) {
+      // Sleep on the epoll set until a submission/resume/shutdown signal or
+      // the earliest waiting deadline, whichever first.
+      poller_.wait(timeout_ms);
+      wake_.drain();
+      continue;
+    }
+
+    Ticket& ticket = *claimed;  // only the reactor mutates it until done
+
+    if (act == Act::kAdmit) {
+      // Admission-time expiry: the request may have aged out while queued.
+      if (ticket.deadline_at && Clock::now() >= *ticket.deadline_at) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ticket.error = std::make_exception_ptr(
+            RequestShed(id, "deadline expired before admission"));
+        finish_locked(id, ticket, Clock::now());
+        ++counters_.expired;
+        done_cv_.notify_all();
+        continue;
+      }
+      try {
+        ticket.cont = engine_.start(ticket.input);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ticket.error = std::current_exception();
+        finish_locked(id, ticket, Clock::now());
+        done_cv_.notify_all();
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      runnable_[ticket.priority].push_back(id);
+      continue;
+    }
+
+    // Act::kStep — run exactly one stage outside the lock.
+    // Between-stage expiry: abandon work whose deadline already passed
+    // instead of finishing a worthless result.
+    if (ticket.deadline_at && Clock::now() >= *ticket.deadline_at) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ticket.cont.reset();  // tears down per-request transport state
+      ticket.error =
+          std::make_exception_ptr(RequestShed(id, "deadline expired in flight"));
+      finish_locked(id, ticket, Clock::now());
+      ++counters_.expired;
+      done_cv_.notify_all();
+      continue;
+    }
+
+    bool finished = false;
+    try {
+      const bool done = engine_.step(*ticket.cont);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.steps;
+      }
+      if (done) {
+        ticket.result = engine_.take(std::move(*ticket.cont));
+        finished = true;
+      }
+    } catch (const rpc::ChannelDied&) {
+      // End-to-end replay fallback (transcript purity makes the replayed
+      // result byte-identical), bounded by max_replays.
+      if (ticket.replays < options_.max_replays) {
+        try {
+          ticket.cont = engine_.start(ticket.input);
+          ++ticket.replays;
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++counters_.replayed;
+        } catch (...) {
+          ticket.error = std::current_exception();
+          finished = true;
+        }
+      } else {
+        ticket.error = std::current_exception();
+        finished = true;
+      }
+    } catch (...) {
+      ticket.error = std::current_exception();
+      finished = true;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished) {
+      finish_locked(id, ticket, Clock::now());
+      done_cv_.notify_all();
+    } else {
+      // Re-enter at the back of the priority bucket: same-priority requests
+      // round-robin stage-by-stage.
+      runnable_[ticket.priority].push_back(id);
+    }
+  }
+}
+
+InferenceResult ServingReactor::wait(std::size_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (id >= tickets_.size()) throw std::out_of_range("ServingReactor: unknown request id");
+  done_cv_.wait(lock, [&] { return tickets_[id]->done; });
+  Ticket& ticket = *tickets_[id];
+  if (ticket.collected)
+    throw std::logic_error("ServingReactor: result already collected");
+  ticket.collected = true;
+  if (ticket.error) std::rethrow_exception(ticket.error);
+  return std::move(ticket.result);
+}
+
+std::vector<InferenceResult> ServingReactor::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::size_t count = tickets_.size();
+  std::vector<InferenceResult> results;
+  results.reserve(count);
+  for (std::size_t id = 0; id < count; ++id) {
+    done_cv_.wait(lock, [&] { return tickets_[id]->done; });
+    Ticket& ticket = *tickets_[id];
+    if (ticket.collected) continue;  // a concurrent wait() claimed it
+    ticket.collected = true;
+    if (ticket.error) {
+      try {
+        std::rethrow_exception(ticket.error);
+      } catch (const RequestDropped&) {
+        continue;  // dropped or shed: accounted in stats, not a result
+      }
+    }
+    results.push_back(std::move(ticket.result));
+  }
+  return results;
+}
+
+ServingReactor::Stats ServingReactor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = counters_;
+  s.submitted = tickets_.size();
+  return s;
+}
+
+std::vector<double> ServingReactor::latencies_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latencies_;
+}
+
+std::vector<std::size_t> ServingReactor::completion_order() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completion_order_;
+}
+
+}  // namespace d3::runtime

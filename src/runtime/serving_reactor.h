@@ -1,0 +1,195 @@
+// Event-driven serving front end: one reactor thread multiplexing thousands
+// of in-flight requests over the engine's continuation API.
+//
+// Where runtime::BatchScheduler dedicates one blocking thread per tier (three
+// lanes, each request handed thread-to-thread), the reactor holds every
+// admitted request as an OnlineEngine::Continuation and pumps them from a
+// single event loop: admit waiting requests up to Options::max_inflight, run
+// exactly one stage of the highest-priority runnable request, repeat. The
+// loop sleeps on an rpc::Poller (epoll — the same multiplexer that drives the
+// d3_node worker serve loop) with an rpc::EventFd registered as the wake-up
+// channel, so submissions from any thread interrupt an idle reactor without
+// polling, and the design extends to registering transport channel fds for
+// readiness-driven stage dispatch.
+//
+// Admission control stacks three policies:
+//   * drop-oldest — Options::admission_capacity bounds the waiting queue; a
+//     new arrival at a full queue evicts the stalest waiting request
+//     (RequestDropped), exactly like BatchScheduler.
+//   * latency-aware shedding — with Options::pipeline set, a request whose
+//     deadline is already beaten by sim::predicted_completion_seconds at its
+//     queue position is refused at submit() (RequestShed): a request doomed
+//     by queue depth never consumes capacity.
+//   * deadline expiry — a request whose deadline passes while waiting or
+//     between stages is abandoned (RequestShed, Stats::expired).
+//
+// Determinism: each request's stages still run strictly in order, all on the
+// reactor thread, so per-request outputs are bitwise-identical and
+// transcripts byte-identical to OnlineEngine::infer(), BatchScheduler, and
+// each other — regardless of how stages of different requests interleave.
+// See docs/ARCHITECTURE.md "Serving front end".
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/socket.h"
+#include "runtime/batch_scheduler.h"
+#include "runtime/engine.h"
+#include "sim/pipeline.h"
+
+namespace d3::runtime {
+
+// Thrown by wait() for requests refused or abandoned by the latency-aware
+// shedding policy (predicted or actual deadline miss). Derives from
+// RequestDropped so drain() and callers that already tolerate admission drops
+// absorb sheds the same way.
+class RequestShed : public RequestDropped {
+ public:
+  RequestShed(std::size_t id, const std::string& why)
+      : RequestDropped("ServingReactor: request " + std::to_string(id) + " shed (" + why +
+                       ")") {}
+};
+
+class ServingReactor {
+ public:
+  struct Options {
+    // Concurrently begun (admitted, not yet finished) requests the reactor
+    // holds open at once; arrivals beyond it wait in the admission queue.
+    std::size_t max_inflight = 1024;
+    // Waiting-queue bound with drop-oldest eviction (0 = unbounded).
+    std::size_t admission_capacity = 0;
+    // End-to-end replays after a channel death the engine could not absorb
+    // (same contract as BatchScheduler::Options::max_replays).
+    std::size_t max_replays = 0;
+    // Deadline applied to submissions that do not carry their own
+    // (SubmitOptions::deadline_seconds < 0). 0 = no deadline.
+    double default_deadline_seconds = 0.0;
+    // Enables predictive shedding: a deadline-carrying request whose
+    // sim::predicted_completion_seconds at its queue position already exceeds
+    // the deadline is refused at submit().
+    std::optional<sim::PipelinePlan> pipeline;
+    // true: queue submissions but admit nothing until resume() — lets tests
+    // and benches pile up a burst, then watch the reactor absorb it.
+    bool start_paused = false;
+  };
+
+  struct SubmitOptions {
+    // Seconds from submission until the result is worthless. < 0 = use
+    // Options::default_deadline_seconds; 0 = no deadline.
+    double deadline_seconds = -1.0;
+    // Higher-priority requests are stepped first; equal priorities
+    // round-robin stage-by-stage (FIFO admission order).
+    int priority = 0;
+  };
+
+  struct Stats {
+    std::size_t submitted = 0;     // every id handed out by submit()
+    std::size_t completed = 0;     // produced a result
+    std::size_t dropped = 0;       // evicted by drop-oldest admission
+    std::size_t shed = 0;          // refused up front by predictive shedding
+    std::size_t expired = 0;       // deadline passed while queued or in flight
+    std::size_t replayed = 0;      // end-to-end replays after channel deaths
+    std::size_t max_inflight = 0;  // high-water mark of concurrent open requests
+    std::size_t steps = 0;         // engine stages pumped by the reactor
+  };
+
+  // `engine` must outlive the reactor. Spawns the reactor thread.
+  explicit ServingReactor(const OnlineEngine& engine);
+  ServingReactor(const OnlineEngine& engine, Options options);
+  // Completes every admitted request (resuming a paused reactor first), then
+  // joins the reactor thread. Uncollected results are discarded.
+  ~ServingReactor();
+
+  ServingReactor(const ServingReactor&) = delete;
+  ServingReactor& operator=(const ServingReactor&) = delete;
+
+  // Admits one request; returns its id (0-based, in submission order).
+  // Throws std::invalid_argument immediately on input shape mismatch. Ids are
+  // handed out even to requests refused by shedding — their wait() throws
+  // RequestShed. Thread-safe.
+  std::size_t submit(const dnn::Tensor& input);
+  std::size_t submit(const dnn::Tensor& input, const SubmitOptions& options);
+
+  // Blocks until request `id` is done, then returns its result (exactly once
+  // per id; a second call throws). Rethrows stage failures; RequestDropped /
+  // RequestShed for requests admission control refused.
+  InferenceResult wait(std::size_t id);
+
+  // Waits for every submitted request and returns the results of those that
+  // completed, in submission order. Dropped and shed requests are skipped, as
+  // are results another thread already collected via wait().
+  std::vector<InferenceResult> drain();
+
+  // Starts admission on a reactor constructed with start_paused.
+  void resume();
+
+  Stats stats() const;
+  // End-to-end seconds (submit -> result) of completed requests, completion
+  // order. The serving bench derives its p50/p99 from this.
+  std::vector<double> latencies_seconds() const;
+  // Request ids in completion order (priority tests read this).
+  std::vector<std::size_t> completion_order() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Ticket {
+    dnn::Tensor input;  // retained: replays and late admission both restart from it
+    int priority = 0;
+    double deadline_seconds = 0.0;
+    Clock::time_point submitted_at;
+    std::optional<Clock::time_point> deadline_at;
+    std::optional<OnlineEngine::Continuation> cont;  // set once admitted
+    InferenceResult result;
+    std::exception_ptr error;
+    std::size_t replays = 0;
+    bool done = false;
+    bool collected = false;
+  };
+
+  void reactor_loop();
+  // Sheds every waiting request whose deadline has passed. Lock held.
+  void expire_waiting_locked(Clock::time_point now);
+  // Milliseconds until the earliest waiting deadline (-1 = none: sleep until
+  // signalled). Lock held.
+  int idle_timeout_ms_locked(Clock::time_point now) const;
+  // Marks `ticket` finished and does the completion bookkeeping. Lock held.
+  void finish_locked(std::size_t id, Ticket& ticket, Clock::time_point now);
+
+  const OnlineEngine& engine_;
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::vector<std::unique_ptr<Ticket>> tickets_;
+  std::deque<std::size_t> waiting_;  // submitted, not yet begun
+  // Admitted requests ready for their next stage, highest priority first;
+  // same-priority requests round-robin (a stepped request re-enters at the
+  // back of its bucket).
+  std::map<int, std::deque<std::size_t>, std::greater<int>> runnable_;
+  std::size_t inflight_ = 0;  // begun, not finished
+  std::size_t finished_ = 0;  // done tickets (completed + refused + failed)
+  bool paused_ = false;
+  bool stopping_ = false;
+  Stats counters_;  // submitted/max_inflight tracked inline, rest on completion
+  std::vector<double> latencies_;
+  std::vector<std::size_t> completion_order_;
+
+  rpc::EventFd wake_;
+  rpc::Poller poller_;
+  std::thread reactor_;
+};
+
+}  // namespace d3::runtime

@@ -154,4 +154,8 @@ double pipelining_speedup(const PipelinePlan& plan, std::size_t frames) {
   return pipelined <= 0.0 ? 1.0 : serial / pipelined;
 }
 
+double predicted_completion_seconds(const PipelinePlan& plan, std::size_t queued) {
+  return batch_makespan_seconds(plan, queued + 1);
+}
+
 }  // namespace d3::sim

@@ -102,4 +102,11 @@ double batch_makespan_seconds(const PipelinePlan& plan, std::size_t frames);
 // them strictly one after another (>= 1 when more than one tier does work).
 double pipelining_speedup(const PipelinePlan& plan, std::size_t frames);
 
+// Predicted completion time of a request admitted behind `queued` others: the
+// makespan of a (queued + 1)-frame back-to-back batch — the newcomer finishes
+// last. runtime::ServingReactor's latency-aware shedding compares this
+// against the request's deadline at admission, so a request doomed by queue
+// depth is refused up front instead of timing out after consuming capacity.
+double predicted_completion_seconds(const PipelinePlan& plan, std::size_t queued);
+
 }  // namespace d3::sim

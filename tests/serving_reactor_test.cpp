@@ -1,0 +1,322 @@
+// Reactor-mode equivalence matrix (ISSUE 6): the same plans pushed through
+// the blocking BatchScheduler and the event-driven ServingReactor must
+// produce bitwise-identical outputs and byte-identical transcripts — on the
+// zero-copy in-process transport, over the serializing loopback wire path,
+// with a VSM tile stack, and under mid-request fault injection. Plus the
+// reactor's own serving policies: priority ordering, drop-oldest admission,
+// predictive shedding, and deadline expiry.
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/vsm.h"
+#include "dnn/model_zoo.h"
+#include "exec/executor.h"
+#include "rpc/fault_injection.h"
+#include "rpc/transport.h"
+#include "runtime/batch_scheduler.h"
+#include "runtime/engine.h"
+#include "runtime/serving_reactor.h"
+#include "sim/pipeline.h"
+#include "util/rng.h"
+
+namespace d3::runtime {
+namespace {
+
+struct Fixture {
+  dnn::Network net;
+  exec::WeightStore weights;
+  dnn::Tensor input;
+  dnn::Tensor reference;
+
+  explicit Fixture(dnn::Network n, std::uint64_t seed = 21)
+      : net(std::move(n)), weights(exec::WeightStore::random_for(net, seed)) {
+    util::Rng rng(seed + 1);
+    input = exec::random_tensor(net.input_shape(), rng);
+    reference = exec::Executor(net, weights).run(input);
+  }
+};
+
+void expect_identical(const dnn::Tensor& a, const dnn::Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+void expect_same_transcript(const InferenceResult& a, const InferenceResult& b) {
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i].seq, b.messages[i].seq);
+    EXPECT_EQ(a.messages[i].from_node, b.messages[i].from_node);
+    EXPECT_EQ(a.messages[i].to_node, b.messages[i].to_node);
+    EXPECT_EQ(a.messages[i].payload, b.messages[i].payload);
+    EXPECT_EQ(a.messages[i].bytes, b.messages[i].bytes);
+  }
+  EXPECT_EQ(a.device_edge_bytes, b.device_edge_bytes);
+  EXPECT_EQ(a.edge_cloud_bytes, b.edge_cloud_bytes);
+  EXPECT_EQ(a.device_cloud_bytes, b.device_cloud_bytes);
+  EXPECT_EQ(a.vsm_scatter_bytes, b.vsm_scatter_bytes);
+  EXPECT_EQ(a.vsm_gather_bytes, b.vsm_gather_bytes);
+  EXPECT_EQ(a.layers_executed, b.layers_executed);
+}
+
+core::Assignment three_tier_plan(const dnn::Network& net) {
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  const std::size_t n = net.num_layers();
+  for (std::size_t id = 0; id < n; ++id) {
+    if (id < 2) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+    else if (id < 2 + (n - 2) / 2) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  }
+  return a;
+}
+
+// Runs `count` requests through both front ends of `engine` and checks every
+// result bitwise and transcript-byte identical to `reference`.
+void expect_front_ends_equivalent(const OnlineEngine& engine, const dnn::Tensor& input,
+                                  const InferenceResult& reference, std::size_t count = 4) {
+  {
+    BatchScheduler scheduler(engine);
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < count; ++i) ids.push_back(scheduler.submit(input));
+    for (const std::size_t id : ids) {
+      const InferenceResult result = scheduler.wait(id);
+      expect_identical(result.output, reference.output);
+      expect_same_transcript(result, reference);
+    }
+  }
+  {
+    ServingReactor reactor(engine);
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < count; ++i) ids.push_back(reactor.submit(input));
+    for (const std::size_t id : ids) {
+      const InferenceResult result = reactor.wait(id);
+      expect_identical(result.output, reference.output);
+      expect_same_transcript(result, reference);
+    }
+    EXPECT_EQ(reactor.stats().completed, count);
+  }
+}
+
+// --- Equivalence matrix -----------------------------------------------------
+
+TEST(ServingReactorEquivalence, MatchesSchedulerAndInferAcrossTransports) {
+  for (const char* which : {"chain", "branch"}) {
+    Fixture f(std::string(which) == "chain" ? dnn::zoo::tiny_chain()
+                                            : dnn::zoo::tiny_branch());
+    const core::Assignment plan = three_tier_plan(f.net);
+
+    const OnlineEngine in_process(f.net, f.weights, plan);
+    const InferenceResult reference = in_process.infer(f.input);
+    expect_identical(reference.output, f.reference);
+    expect_front_ends_equivalent(in_process, f.input, reference);
+
+    OnlineEngine::Options options;
+    options.transport = std::make_shared<rpc::SerializingLoopback>();
+    const OnlineEngine wired(f.net, f.weights, plan, std::nullopt, options);
+    // The transcript is a pure function of the plan: the wire path must match
+    // the in-process reference byte for byte, through either front end.
+    expect_front_ends_equivalent(wired, f.input, reference);
+  }
+}
+
+TEST(ServingReactorEquivalence, MatchesSchedulerWithVsmStackOverLoopback) {
+  Fixture f(dnn::zoo::tiny_chain());
+  core::Assignment a;
+  a.tier.assign(f.net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  const std::vector<dnn::LayerId> stack = {0, 1, 2, 3, 4, 5};
+  for (const dnn::LayerId id : stack) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  const auto vsm = core::make_fused_tile_plan(f.net, stack, 2, 2);
+
+  const OnlineEngine plain(f.net, f.weights, a, vsm);
+  const InferenceResult reference = plain.infer(f.input);
+  expect_identical(reference.output, f.reference);
+
+  OnlineEngine::Options options;
+  options.transport = std::make_shared<rpc::SerializingLoopback>();
+  options.vsm_workers = 3;
+  const OnlineEngine wired(f.net, f.weights, a, vsm, options);
+  expect_front_ends_equivalent(wired, f.input, reference);
+}
+
+// Mid-request state loss at assorted protocol points: the engine's
+// tier-granular recovery absorbs each fault inside a reactor step, so outputs
+// stay bitwise-identical and transcripts byte-identical to a fault-free run.
+TEST(ServingReactorEquivalence, MatchesUnderMidRequestStateLoss) {
+  using Op = rpc::FaultInjectionTransport::Op;
+  using Action = rpc::FaultInjectionTransport::Action;
+  struct Point {
+    Op op;
+    const char* node;
+    std::uint64_t nth;
+  };
+  const Point points[] = {
+      {Op::kPut, "edge0", 1},        // boundary tensor lost entering the edge
+      {Op::kRunLayer, "edge0", 2},   // edge dies mid-tier
+      {Op::kPut, "cloud0", 1},       // boundary tensor lost entering the cloud
+      {Op::kRunLayer, "cloud0", 4},  // cloud dies on its final layer
+  };
+
+  Fixture f(dnn::zoo::tiny_branch());
+  const core::Assignment plan = three_tier_plan(f.net);
+  const InferenceResult reference = OnlineEngine(f.net, f.weights, plan).infer(f.input);
+
+  for (const Point& point : points) {
+    auto faults = std::make_shared<rpc::FaultInjectionTransport>(
+        std::make_shared<rpc::SerializingLoopback>());
+    faults->schedule({point.op, point.node, point.nth, Action::kFail, {}, ""});
+
+    OnlineEngine::Options options;
+    options.transport = faults;
+    const OnlineEngine engine(f.net, f.weights, plan, std::nullopt, options);
+
+    ServingReactor reactor(engine);
+    const std::size_t id = reactor.submit(f.input);
+    const InferenceResult result = reactor.wait(id);
+    expect_identical(result.output, f.reference);
+    expect_same_transcript(result, reference);
+    EXPECT_EQ(faults->stats().synthetic_failures, 1u);
+    EXPECT_GE(engine.stats().recoveries, 1u);
+  }
+}
+
+// With the engine's own recovery disabled, a channel death surfaces from the
+// step and the reactor's end-to-end replay produces the identical result.
+TEST(ServingReactorEquivalence, EndToEndReplayAfterUnrecoverableDeath) {
+  using Op = rpc::FaultInjectionTransport::Op;
+  using Action = rpc::FaultInjectionTransport::Action;
+
+  Fixture f(dnn::zoo::tiny_chain());
+  const core::Assignment plan = three_tier_plan(f.net);
+  const InferenceResult reference = OnlineEngine(f.net, f.weights, plan).infer(f.input);
+
+  auto faults = std::make_shared<rpc::FaultInjectionTransport>(
+      std::make_shared<rpc::SerializingLoopback>());
+  faults->schedule({Op::kRunLayer, "edge0", 1, Action::kFail, {}, ""});
+
+  OnlineEngine::Options options;
+  options.transport = faults;
+  options.tier_recovery = false;
+  const OnlineEngine engine(f.net, f.weights, plan, std::nullopt, options);
+
+  ServingReactor::Options serving;
+  serving.max_replays = 1;
+  ServingReactor reactor(engine, serving);
+  const std::size_t id = reactor.submit(f.input);
+  const InferenceResult result = reactor.wait(id);
+  expect_identical(result.output, f.reference);
+  expect_same_transcript(result, reference);
+  EXPECT_EQ(reactor.stats().replayed, 1u);
+}
+
+// --- Serving policies -------------------------------------------------------
+
+TEST(ServingReactorPolicy, HigherPriorityCompletesFirst) {
+  Fixture f(dnn::zoo::tiny_chain());
+  const OnlineEngine engine(f.net, f.weights, three_tier_plan(f.net));
+
+  ServingReactor::Options options;
+  options.start_paused = true;  // pile everything up so admission order is fixed
+  ServingReactor reactor(engine, options);
+
+  std::vector<std::size_t> low, high;
+  for (int i = 0; i < 3; ++i) low.push_back(reactor.submit(f.input, {-1.0, 0}));
+  for (int i = 0; i < 3; ++i) high.push_back(reactor.submit(f.input, {-1.0, 5}));
+  reactor.resume();
+  const std::vector<InferenceResult> results = reactor.drain();
+  ASSERT_EQ(results.size(), 6u);
+  for (const InferenceResult& r : results) expect_identical(r.output, f.reference);
+
+  // Admission is FIFO (low ids first), but stepping drains the priority-5
+  // bucket before the priority-0 one: every high-priority request finishes
+  // before any low-priority one.
+  const std::vector<std::size_t> order = reactor.completion_order();
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_GE(order[i], low.size()) << "low-priority id finished in the first half";
+}
+
+TEST(ServingReactorPolicy, DropOldestAdmissionIsDeterministicWhilePaused) {
+  Fixture f(dnn::zoo::tiny_chain());
+  const OnlineEngine engine(f.net, f.weights, three_tier_plan(f.net));
+
+  ServingReactor::Options options;
+  options.start_paused = true;  // nothing leaves the waiting queue
+  options.admission_capacity = 1;
+  ServingReactor reactor(engine, options);
+
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(reactor.submit(f.input));
+  reactor.resume();
+
+  // Each submission evicted its predecessor from the depth-1 queue: ids 0-2
+  // dropped, id 3 (the newest) survives — deterministically.
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i)
+    EXPECT_THROW(reactor.wait(ids[i]), RequestDropped);
+  expect_identical(reactor.wait(ids.back()).output, f.reference);
+
+  const ServingReactor::Stats stats = reactor.stats();
+  EXPECT_EQ(stats.dropped, 3u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(ServingReactorPolicy, PredictiveSheddingRefusesDoomedRequests) {
+  Fixture f(dnn::zoo::tiny_chain());
+  const OnlineEngine engine(f.net, f.weights, three_tier_plan(f.net));
+
+  // A pipeline model whose single frame already takes 10 s: any request with
+  // a sub-second deadline is doomed at submit() and must be refused before it
+  // opens transport state.
+  sim::PipelinePlan pipeline;
+  pipeline.device_seconds = 10.0;
+
+  ServingReactor::Options options;
+  options.pipeline = pipeline;
+  options.default_deadline_seconds = 0.5;
+  ServingReactor reactor(engine, options);
+
+  const std::size_t doomed = reactor.submit(f.input);
+  EXPECT_THROW(reactor.wait(doomed), RequestShed);
+  // A deadline-free request ignores the model and completes normally.
+  const std::size_t free = reactor.submit(f.input, {0.0, 0});
+  expect_identical(reactor.wait(free).output, f.reference);
+
+  const ServingReactor::Stats stats = reactor.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.steps, 4u);  // only the free request's four stages ran
+}
+
+TEST(ServingReactorPolicy, DeadlineExpiresWhileWaitingPaused) {
+  Fixture f(dnn::zoo::tiny_chain());
+  const OnlineEngine engine(f.net, f.weights, three_tier_plan(f.net));
+
+  ServingReactor::Options options;
+  options.start_paused = true;
+  ServingReactor reactor(engine, options);
+
+  const std::size_t id = reactor.submit(f.input, {0.02, 0});
+  // The reactor expires waiting requests on its own wake-up at the earliest
+  // deadline — no resume() needed for the expiry itself.
+  EXPECT_THROW(reactor.wait(id), RequestShed);
+  EXPECT_EQ(reactor.stats().expired, 1u);
+  reactor.resume();
+}
+
+TEST(ServingReactorPolicy, WaitIsExactlyOncePerId) {
+  Fixture f(dnn::zoo::tiny_chain());
+  const OnlineEngine engine(f.net, f.weights, three_tier_plan(f.net));
+  ServingReactor reactor(engine);
+  const std::size_t id = reactor.submit(f.input);
+  expect_identical(reactor.wait(id).output, f.reference);
+  EXPECT_THROW(reactor.wait(id), std::logic_error);
+  EXPECT_THROW(reactor.wait(id + 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace d3::runtime

@@ -61,17 +61,28 @@ struct Cluster {
     configure(net, weights, plan, vsm_workers);
   }
 
+  // `mutex` guards only `procs`; transport calls happen outside it. Respawn
+  // hooks run under the transport's per-node channel lock, so holding `mutex`
+  // across a transport call would order the two lock families both ways.
   void attach(const std::string& node) {
-    std::lock_guard<std::mutex> lock(mutex);
-    procs[node] = std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY);
-    transport->add_node(node, procs[node]->take_socket());
+    auto proc = std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY);
+    rpc::Socket socket = proc->take_socket();
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      procs[node] = std::move(proc);
+    }
+    transport->add_node(node, std::move(socket));
   }
 
   void attach_tile_worker(std::size_t index) {
     const std::string node = "edge" + std::to_string(index + 1);
-    std::lock_guard<std::mutex> lock(mutex);
-    procs[node] = std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY);
-    transport->add_tile_worker(procs[node]->take_socket());
+    auto proc = std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY);
+    rpc::Socket socket = proc->take_socket();
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      procs[node] = std::move(proc);
+    }
+    transport->add_tile_worker(std::move(socket));
   }
 
   void configure(const dnn::Network& net, const exec::WeightStore& weights,
@@ -536,6 +547,100 @@ TEST(SocketTransport, SchedulerReplaysWhenEngineRecoveryIsOff) {
   EXPECT_GE(cluster.transport->stats().reconnects, 1u);
   EXPECT_GE(scheduler.stats().replayed, 1u);
   EXPECT_EQ(engine.stats().recoveries, 0u);
+}
+
+TEST(SocketTransport, PrunedTileWorkerIsReadmittedByLateReconnectHook) {
+  // The ISSUE-6 re-admission fix. Phase 1: edge2 dies with no reconnect hook,
+  // so recovery prunes it and reshards its tiles onto edge1 — before the fix
+  // the pool stayed degraded forever, even once the operator brought the
+  // worker back. Phase 2: a late set_reconnect() re-admits a fresh edge2
+  // incarnation (dialled, kConfig replayed, shard slot restored in attachment
+  // order), and the next request runs the original two-shard layout with a
+  // transcript byte-identical to the pre-fault run.
+  const ChainVsmCase c;
+  const exec::WeightStore weights = exec::WeightStore::random_for(c.net, 81);
+  util::Rng rng(82);
+  const dnn::Tensor frame = exec::random_tensor(c.net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(c.net, weights).run(frame);
+
+  Cluster cluster;
+  cluster.attach("device0");
+  cluster.attach("cloud0");
+  cluster.attach_tile_worker(0);
+  cluster.attach_tile_worker(1);
+  cluster.configure(c.net, weights, c.plan, /*vsm_workers=*/0);
+
+  OnlineEngine::Options options;
+  options.transport = cluster.transport;
+  options.vsm_workers = 0;
+  const OnlineEngine engine(c.net, weights, c.assignment, c.vsm, options);
+
+  const InferenceResult before = engine.infer(frame);
+  expect_identical(before.output, reference);
+
+  // Phase 1: death without a hook degrades the pool to one shard.
+  cluster.kill_worker("edge2");
+  const InferenceResult degraded = engine.infer(frame);
+  expect_identical(degraded.output, reference);
+  expect_same_transcript(degraded, before);  // virtual tile nodes, not shards
+  EXPECT_EQ(cluster.transport->tile_worker_count(), 1u);
+  EXPECT_EQ(cluster.transport->stats().detached_workers, 1u);
+
+  // Phase 2: the late hook re-admits edge2 immediately (no fault needed).
+  cluster.enable_respawn("edge2");
+  EXPECT_EQ(cluster.transport->tile_worker_count(), 2u);
+  EXPECT_EQ(cluster.transport->stats().readmitted_workers, 1u);
+
+  const InferenceResult restored = engine.infer(frame);
+  expect_identical(restored.output, reference);
+  expect_same_transcript(restored, before);
+}
+
+TEST(SocketTransport, PeerChannelsWorkOnNonLoopbackInterface) {
+  // Regression for the hardcoded-127.0.0.1 peer handshake: when the whole
+  // cluster runs on a real interface, a worker's peer listener binds the
+  // address its coordinator channel uses — not loopback — so a handshake that
+  // advertises 127.0.0.1 dials a port nobody listens on. The fix advertises
+  // the coordinator-observed peer address.
+  const std::string host = rpc::first_non_loopback_address();
+  if (host.empty()) GTEST_SKIP() << "host has no non-loopback IPv4 interface";
+
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 83);
+  util::Rng rng(84);
+  const dnn::Tensor frame = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(frame);
+
+  core::Assignment assignment;
+  assignment.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  assignment.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1})
+    assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {2, 3, 4, 5})
+    assignment.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  const core::SerializablePlan plan{net.name(), assignment, std::nullopt};
+
+  std::map<std::string, std::unique_ptr<rpc::WorkerProcess>> procs;
+  auto transport = std::make_shared<rpc::SocketTransport>();
+  for (const char* node : {"device0", "edge0", "cloud0"}) {
+    procs[node] = std::make_unique<rpc::WorkerProcess>(
+        D3_NODE_BINARY, std::vector<std::string>{}, host);
+    transport->add_node(node, procs[node]->take_socket());
+  }
+  transport->configure(net.name(), net, weights, core::serialize_plan_binary(plan), 0);
+  transport->connect_peers();
+
+  OnlineEngine::Options options;
+  options.transport = transport;
+  const OnlineEngine engine(net, weights, assignment, std::nullopt, options);
+  const InferenceResult distributed = engine.infer(frame);
+  expect_identical(distributed.output, reference);
+  expect_same_transcript(distributed,
+                         OnlineEngine(net, weights, assignment).infer(frame));
+
+  const rpc::SocketTransport::Stats stats = transport->stats();
+  EXPECT_EQ(stats.peer_pushes, 2u);  // device0 -> edge0 -> cloud0, off loopback
+  EXPECT_EQ(stats.relay_bytes, 0u);
 }
 
 TEST(SocketTransport, WorkerRejectsGarbageWithClearError) {
