@@ -23,6 +23,7 @@
 // with measured numbers. Writes BENCH_transport.json.
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -40,6 +41,7 @@
 #include "rpc/socket_transport.h"
 #include "rpc/transport.h"
 #include "runtime/engine.h"
+#include "runtime/request_journal.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -104,12 +106,14 @@ struct Row {
   std::uint64_t peer_bytes = 0;
 };
 
-// What one SIGKILL'd edge worker costs, end to end: the request is interrupted
-// mid-edge-tier (deterministically, via FaultInjectionTransport) and completes
-// either by the old full-replay contract or by tier-granular migration.
+// What one mid-request death costs, end to end. Worker deaths (a SIGKILL'd
+// edge worker, deterministically placed via FaultInjectionTransport) complete
+// either by the old full-replay contract or by tier-granular migration;
+// coordinator deaths (abandon mid-request) complete on a standby restoring the
+// request journal, with or without a buddy replica store to re-deliver from.
 struct RecoveryRow {
-  std::string mode;            // "full-replay" vs "tier-migration"
-  double seconds = 0;          // interrupted-request wall clock, kill -> result
+  std::string mode;            // full-replay | tier-migration | coordinator-failover[+buddy]
+  double seconds = 0;          // interrupted-request wall clock, death -> result
   std::uint64_t bytes = 0;     // tensor bytes re-moved to finish the request
 };
 
@@ -184,6 +188,84 @@ RecoveryRow measure_recovery(bool migrate) {
   row.mode = migrate ? "tier-migration" : "full-replay";
   row.seconds = std::chrono::duration<double>(t1 - t0).count();
   row.bytes = migrate ? engine.stats().recovery_bytes : replay_shipped;
+  return row;
+}
+
+// The coordinator dies instead of a worker: a journalling primary is
+// interrupted mid-edge-tier (scripted kFail, recovery disabled — the request
+// is abandoned exactly as a SIGKILL'd process would leave it, workers keeping
+// their slots and the journal its snapshots) and a standby engine over the
+// surviving workers restores the last snapshot and resumes. At the abandon
+// point the device->edge boundary has shipped — and, in buddy mode, been
+// replicated to the buddy's store — so the standby either re-seeds it from
+// the device (recovery bytes > 0) or re-delivers it worker->worker out of the
+// replica store (recovery bytes == 0).
+RecoveryRow measure_failover(bool buddy) {
+  dnn::Network net = dnn::zoo::tiny_chain();
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1}) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {2, 3, 4, 5})
+    a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 23);
+  util::Rng rng(24);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+
+  std::vector<std::unique_ptr<rpc::WorkerProcess>> workers;
+  auto socket = std::make_shared<rpc::SocketTransport>();
+  for (const char* node : {"device0", "edge0", "cloud0"}) {
+    workers.push_back(std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY));
+    socket->add_node(node, workers.back()->take_socket());
+  }
+  const core::SerializablePlan plan{net.name(), a, std::nullopt};
+  socket->configure(net.name(), net, weights, core::serialize_plan_binary(plan), 0);
+  if (buddy) socket->set_buddy("cloud0");
+
+  const std::string journal_path =
+      buddy ? "BENCH_failover_buddy.d3j" : "BENCH_failover.d3j";
+  std::remove(journal_path.c_str());
+
+  auto faults = std::make_shared<rpc::FaultInjectionTransport>(socket);
+  runtime::OnlineEngine::Options options;
+  options.transport = faults;
+  options.tier_recovery = false;  // the primary dies; it does not recover
+  options.journal = std::make_shared<runtime::RequestJournal>(journal_path);
+  const runtime::OnlineEngine primary(net, weights, a, std::nullopt, options);
+  faults->schedule(rpc::FaultInjectionTransport::Fault{
+      rpc::FaultInjectionTransport::Op::kRunLayer, "edge0", 2,
+      rpc::FaultInjectionTransport::Action::kFail, {}, ""});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::OnlineEngine::Continuation c = primary.start(input);
+  try {
+    while (!primary.step(c)) {
+    }
+    std::abort();  // the scripted fault must interrupt the request
+  } catch (const rpc::ChannelDied&) {
+    primary.abandon(std::move(c));
+  }
+
+  runtime::OnlineEngine::Options standby_options;
+  standby_options.transport = socket;
+  standby_options.journal = std::make_shared<runtime::RequestJournal>(journal_path);
+  const runtime::OnlineEngine standby(net, weights, a, std::nullopt, standby_options);
+  const std::vector<runtime::Snapshot> live = runtime::RequestJournal::load(journal_path);
+  if (live.size() != 1) std::abort();
+  runtime::OnlineEngine::Continuation resumed = standby.restore(live[0]);
+  while (!standby.step(resumed)) {
+  }
+  const runtime::InferenceResult result = standby.take(std::move(resumed));
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    if (result.output[i] != reference[i]) std::abort();
+  std::remove(journal_path.c_str());
+
+  RecoveryRow row;
+  row.mode = buddy ? "coordinator-failover+buddy" : "coordinator-failover";
+  row.seconds = std::chrono::duration<double>(t1 - t0).count();
+  row.bytes = standby.stats().recovery_bytes;
   return row;
 }
 #endif
@@ -298,13 +380,33 @@ int main() {
       std::cerr << "note: recovery mode skipped (" << e.what() << ")\n";
     }
   }
+  // Coordinator failover: same interruption point, but the *coordinator* is
+  // the casualty and a standby resumes from the request journal. The buddy
+  // row must re-move strictly fewer bytes — that saving is the entire point
+  // of ship-time replication.
+  std::optional<std::uint64_t> reseed_bytes;
+  for (const bool buddy : {false, true}) {
+    try {
+      recovery.push_back(measure_failover(buddy));
+      if (!buddy) {
+        reseed_bytes = recovery.back().bytes;
+      } else if (reseed_bytes && recovery.back().bytes >= *reseed_bytes) {
+        std::cerr << "FATAL: buddy failover re-moved " << recovery.back().bytes
+                  << " bytes, not below the " << *reseed_bytes << " re-seed cost\n";
+        std::abort();
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "note: failover mode skipped (" << e.what() << ")\n";
+    }
+  }
   if (!recovery.empty()) {
     util::Table rtable({"recovery mode", "interrupted-request ms", "recovery KB"});
     for (const RecoveryRow& r : recovery)
       rtable.row().cell(r.mode).cell(r.seconds * 1e3).cell(static_cast<double>(r.bytes) /
                                                            1024.0);
     rtable.print(std::cout,
-                 "edge-worker SIGKILL mid-tier (tiny-chain 3-tier, outputs verified)");
+                 "mid-tier death: edge-worker SIGKILL rows vs coordinator-failover "
+                 "rows (tiny-chain 3-tier, outputs verified)");
   }
 #endif
 
@@ -334,7 +436,11 @@ int main() {
       "bytes flow worker -> worker and never cross the coordinator. The recovery "
       "table is the failure story: the same mid-tier SIGKILL finished by an "
       "end-to-end replay vs tier-granular migration (reopen + re-seed + re-run "
-      "one tier) — migration re-moves only the interrupted tier's inputs. "
+      "one tier) — migration re-moves only the interrupted tier's inputs. The "
+      "coordinator-failover rows interrupt the *coordinator* instead: a standby "
+      "replays the request journal and resumes the snapshot, re-seeding the "
+      "interrupted tier's boundary from the producer — or, with a buddy replica "
+      "store, re-delivering it worker -> worker for zero re-moved bytes. "
       "Compare us/MB here with the per-frame boundary traffic of "
       "bench_fig13_comm_overhead and with Options::emulated_tier_service_seconds "
       "when emulating remote tiers on one host.");

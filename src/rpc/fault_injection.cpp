@@ -3,11 +3,37 @@
 #include <stdexcept>
 #include <thread>
 
+#include "rpc/socket_transport.h"
+
 namespace d3::rpc {
 
 FaultInjectionTransport::FaultInjectionTransport(std::shared_ptr<Transport> inner)
     : inner_(std::move(inner)) {
   if (!inner_) throw std::invalid_argument("FaultInjectionTransport: null inner transport");
+  // Socket-internal ops (peer handshake legs, replica pushes) never cross the
+  // Transport interface; the observer routes them into the same fault plan.
+  // The observer throwing (Action::kFail) propagates exactly like the wire
+  // call it precedes failing.
+  if (auto* socket = dynamic_cast<SocketTransport*>(inner_.get())) {
+    socket->set_op_observer([this](MsgKind kind, const std::string& node) {
+      switch (kind) {
+        case MsgKind::kPeerListen:
+          enter(Op::kPeerListen, node);
+          break;
+        case MsgKind::kConnectPeer:
+          enter(Op::kConnectPeer, node);
+          break;
+        case MsgKind::kPeerHello:
+          enter(Op::kPeerHello, node);
+          break;
+        case MsgKind::kPutReplica:
+          enter(Op::kPutReplica, node);
+          break;
+        default:
+          break;  // future observer points count as nothing until mapped
+      }
+    });
+  }
 }
 
 void FaultInjectionTransport::set_kill_handler(std::function<void(const std::string&)> handler) {
@@ -153,6 +179,31 @@ bool FaultInjectionTransport::reopen(std::uint64_t request, const std::string& n
   const bool duplicate = enter(Op::kBegin, node);
   if (duplicate) inner_->reopen(request, node);
   return inner_->reopen(request, node);
+}
+
+void FaultInjectionTransport::open_request_as(std::uint64_t request) {
+  // Failover takeover: counts as a kBegin like open_request (it broadcasts
+  // kBegin frames), and kBegin's idempotence makes a duplicate harmless.
+  const bool duplicate = enter(Op::kBegin, "");
+  inner_->open_request_as(request);
+  if (duplicate) inner_->open_request_as(request);
+}
+
+bool FaultInjectionTransport::replica_push(std::uint64_t request,
+                                           const runtime::MessageRecord& meta,
+                                           std::uint64_t slot) {
+  // The buddy-side kPushPeer round-trip. The inner socket transport reports
+  // the replication *store* via the observer (Op::kPutReplica); this entry
+  // point is its failover-time consumption.
+  const bool duplicate = enter(Op::kPushPeer, meta.from_node);
+  if (duplicate) inner_->replica_push(request, meta, slot);
+  return inner_->replica_push(request, meta, slot);
+}
+
+void FaultInjectionTransport::ping(const std::string& node) {
+  const bool duplicate = enter(Op::kPing, node);
+  inner_->ping(node);
+  if (duplicate) inner_->ping(node);
 }
 
 void FaultInjectionTransport::put_tile(std::uint64_t request,

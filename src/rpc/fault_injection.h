@@ -54,7 +54,16 @@ class FaultInjectionTransport final : public Transport {
     kPutTile,    // put_tile                     -> kPutTile
     kRunTile,    // run_tile                     -> kRunTile
     kGetTile,    // fetch_tile                   -> kGetTile
-    kAny,        // matches every op (script wildcards only)
+    // Ops below are emitted by SocketTransport internals rather than 1:1
+    // Transport entry points; a socket inner transport reports them through
+    // its op observer so kill points can target the handshake and
+    // replication sub-steps of connect_peers()/send().
+    kPeerListen,   // peer-listener open leg of link_peers -> kPeerListen
+    kConnectPeer,  // dialling leg of link_peers           -> kConnectPeer
+    kPeerHello,    // window between the two legs: the worker-side handshake
+    kPing,         // liveness probe round-trip            -> kPing
+    kPutReplica,   // buddy replication push               -> kPutReplica
+    kAny,          // matches every op (script wildcards only)
   };
 
   enum class Action { kKill, kFail, kDelay, kDuplicate };
@@ -80,6 +89,10 @@ class FaultInjectionTransport final : public Transport {
     std::uint64_t duplicates = 0;
   };
 
+  // Wrapping a SocketTransport also installs an op observer on it, so the
+  // socket-internal ops (kPeerListen/kConnectPeer/kPeerHello/kPutReplica) hit
+  // the same fault plan as the Transport entry points — a scripted kKill on
+  // Op::kPutReplica fires right before the replica frame goes out.
   explicit FaultInjectionTransport(std::shared_ptr<Transport> inner);
 
   // Registers the process-killer the kKill action invokes with the target
@@ -108,6 +121,12 @@ class FaultInjectionTransport final : public Transport {
   bool send_peer(std::uint64_t request, const runtime::MessageRecord& meta,
                  std::uint64_t slot) override;
   bool reopen(std::uint64_t request, const std::string& node) override;
+  void open_request_as(std::uint64_t request) override;
+  bool replica_push(std::uint64_t request, const runtime::MessageRecord& meta,
+                    std::uint64_t slot) override;
+  void ping(const std::string& node) override;
+  std::vector<std::string> heartbeat_targets() override { return inner_->heartbeat_targets(); }
+  int heartbeat_due_ms() override { return inner_->heartbeat_due_ms(); }
   std::size_t prune_tile_workers() override { return inner_->prune_tile_workers(); }
   bool has_tile_workers() const override { return inner_->has_tile_workers(); }
   std::size_t tile_worker_count() const override { return inner_->tile_worker_count(); }

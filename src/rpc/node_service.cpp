@@ -41,8 +41,22 @@ class NodeService {
   // The coordinator connection is the loop's first registration; its fd also
   // names the interface the coordinator reached this worker on (peer_listen
   // binds it, so advertised peer addresses stay reachable off-host).
-  explicit NodeService(int coordinator_fd) : coordinator_fd_(coordinator_fd) {
-    poller_.add(coordinator_fd_, static_cast<std::uint64_t>(coordinator_fd_));
+  explicit NodeService(int coordinator_fd) { attach_coordinator(coordinator_fd); }
+  // Listen mode: the service outlives coordinator connections; each accepted
+  // one is attached here (and detached on hang-up) while every other piece of
+  // node state — slots, replicas, peer channels — persists.
+  NodeService() = default;
+
+  void attach_coordinator(int fd) {
+    detach_coordinator();
+    coordinator_fd_ = fd;
+    poller_.add(fd, static_cast<std::uint64_t>(fd));
+  }
+
+  void detach_coordinator() {
+    if (coordinator_fd_ < 0) return;
+    poller_.remove(coordinator_fd_);
+    coordinator_fd_ = -1;
   }
 
   Poller& poller() { return poller_; }
@@ -54,9 +68,11 @@ class NodeService {
   Frame handle(const Frame& request) {
     WireReader r(request.body);
     switch (request.kind) {
-      case MsgKind::kConfig: return config(r);
+      case MsgKind::kConfig: return config(r, request.body);
       case MsgKind::kBegin: return begin(r);
       case MsgKind::kPut: return put(r);
+      case MsgKind::kPutReplica: return put_replica(r);
+      case MsgKind::kPing: return Frame{MsgKind::kPong, {}};
       case MsgKind::kRunLayer: return run_layer(r);
       case MsgKind::kRunStack: return run_stack(r);
       case MsgKind::kGet: return get(r);
@@ -172,7 +188,12 @@ class NodeService {
 
   static Frame ok() { return Frame{MsgKind::kOk, {}}; }
 
-  Frame config(WireReader& r) {
+  Frame config(WireReader& r, const std::vector<std::uint8_t>& raw_body) {
+    // Idempotent on identical bodies: a standby coordinator taking over after
+    // a failover replays the same kConfig, and wiping per-request slots (and
+    // buddy replicas) here would destroy exactly the state the takeover needs.
+    // A *different* body is a genuine reconfiguration and resets everything.
+    if (net_ && raw_body == config_fingerprint_) return ok();
     node_name_ = r.str();
     const std::string model = r.str();
     const std::vector<std::uint8_t> weight_bytes = r.blob();
@@ -194,6 +215,7 @@ class NodeService {
       tile_parallel_ = {};
     }
     requests_.clear();
+    config_fingerprint_ = raw_body;
     return ok();
   }
 
@@ -229,12 +251,16 @@ class NodeService {
   }
 
   // Stores an Envelope-carried tensor into a request slot; shared by the
-  // coordinator's kPut and the peer channel's kPeerPut.
-  void store_envelope(std::uint64_t id, std::uint64_t slot, Envelope env) {
+  // coordinator's kPut, the peer channel's kPeerPut, and — with the addressee
+  // check waived — the buddy-replica kPutReplica, whose envelope deliberately
+  // names the *real* consumer so a failed-over coordinator can re-push it
+  // peer-to-peer verbatim.
+  void store_envelope(std::uint64_t id, std::uint64_t slot, Envelope env,
+                      bool check_addressee = true) {
     RequestSlots& req = request(id);
     if (slot >= req.slots.size())
       throw WireError("node: put slot " + std::to_string(slot) + " out of range");
-    if (!env.meta.to_node.empty() && env.meta.to_node != node_name_)
+    if (check_addressee && !env.meta.to_node.empty() && env.meta.to_node != node_name_)
       throw WireError("node '" + node_name_ + "': envelope addressed to '" +
                       env.meta.to_node + "'");
     req.slots[slot] = decode_tensor(env.payload);
@@ -247,6 +273,16 @@ class NodeService {
     Envelope env = decode_envelope(r);
     r.expect_end("put");
     store_envelope(id, slot, std::move(env));
+    return ok();
+  }
+
+  Frame put_replica(WireReader& r) {
+    require_configured();
+    const std::uint64_t id = r.u64();
+    const std::uint64_t slot = r.u64();
+    Envelope env = decode_envelope(r);
+    r.expect_end("put-replica");
+    store_envelope(id, slot, std::move(env), /*check_addressee=*/false);
     return ok();
   }
 
@@ -473,6 +509,7 @@ class NodeService {
   int coordinator_fd_ = -1;
   Poller poller_;  // coordinator + peer listener + inbound peer channels
   std::string node_name_;
+  std::vector<std::uint8_t> config_fingerprint_;  // raw kConfig body last applied
   std::optional<dnn::Network> net_;
   exec::WeightStore weights_;
   std::optional<core::SerializablePlan> plan_;
@@ -485,11 +522,12 @@ class NodeService {
   std::vector<PeerChannel> peer_in_;        // channels peers push to us on
 };
 
-}  // namespace
+// Why the coordinator connection hung up: a clean EOF / socket failure (listen
+// mode returns to accept) vs an explicit kShutdown (the process exits).
+enum class Hangup { kEof, kShutdown };
 
-void serve_node(int fd, const ServeOptions& options) {
-  NodeService service(fd);
-  std::uint64_t served = 0;
+Hangup serve_until_hangup(NodeService& service, int fd, const ServeOptions& options,
+                          std::uint64_t& served) {
   for (;;) {
     // One ready registration per wait: the Poller is level-triggered, so
     // still-ready channels surface again immediately, and a channel dropped
@@ -500,7 +538,7 @@ void serve_node(int fd, const ServeOptions& options) {
     if (rfd == fd) {
       // Coordinator frame (or hang-up).
       Frame request;
-      if (!read_frame_or_eof(fd, request)) return;
+      if (!read_frame_or_eof(fd, request)) return Hangup::kEof;
       // Scripted crash point: die abruptly on the (N+1)th coordinator frame —
       // read but never answered, exactly what a SIGKILL mid-call looks like
       // from the coordinator, minus the race.
@@ -508,7 +546,7 @@ void serve_node(int fd, const ServeOptions& options) {
       ++served;
       if (request.kind == MsgKind::kShutdown) {
         write_frame(fd, MsgKind::kOk, {});
-        return;
+        return Hangup::kShutdown;
       }
       Frame reply;
       try {
@@ -529,6 +567,40 @@ void serve_node(int fd, const ServeOptions& options) {
     } else {
       service.serve_peer_fd(rfd);
     }
+  }
+}
+
+}  // namespace
+
+void serve_node(int fd, const ServeOptions& options) {
+  NodeService service(fd);
+  std::uint64_t served = 0;
+  serve_until_hangup(service, fd, options, served);
+}
+
+void serve_listen_node(const Socket& listener, const ServeOptions& options) {
+  NodeService service;  // persists across coordinator connections
+  std::uint64_t served = 0;
+  for (;;) {
+    // Block until a coordinator (initial or failed-over standby) dials in.
+    // The generous per-accept timeout only bounds a single poll slice chain;
+    // the outer loop waits indefinitely.
+    Socket coordinator;
+    try {
+      coordinator = tcp_accept(listener, 24 * 60 * 60 * 1000);
+    } catch (const SocketError&) {
+      continue;  // timeout: keep listening
+    }
+    service.attach_coordinator(coordinator.fd());
+    Hangup hangup = Hangup::kEof;
+    try {
+      hangup = serve_until_hangup(service, coordinator.fd(), options, served);
+    } catch (const SocketError&) {
+      // The coordinator died mid-frame (SIGKILL, network fault). Every other
+      // piece of node state survives for its successor.
+    }
+    service.detach_coordinator();
+    if (hangup == Hangup::kShutdown) return;
   }
 }
 

@@ -23,6 +23,8 @@
 
 #include <cstdint>
 
+#include "rpc/socket.h"
+
 namespace d3::rpc {
 
 inline constexpr std::uint64_t kNeverCrash = ~std::uint64_t{0};
@@ -43,5 +45,16 @@ struct ServeOptions {
 // rebuild exactly that state; protocol-level failures (bad frame magic,
 // mid-frame EOF) throw SocketError.
 void serve_node(int fd, const ServeOptions& options = {});
+
+// Listen-mode worker (d3_node --listen): serves coordinator connections
+// accepted from `listener`, one at a time, with ONE persistent node state
+// across them — per-request slots, buddy replicas, and peer channels all
+// survive a coordinator that hangs up or dies mid-conversation. That is what
+// makes coordinator failover work: a standby coordinator dials the same
+// worker, replays kConfig (idempotent — an identical config keeps the state),
+// and resumes journalled requests against the slots the previous coordinator
+// already seeded. Returns on kShutdown; a coordinator EOF or socket failure
+// just returns the loop to accept.
+void serve_listen_node(const Socket& listener, const ServeOptions& options = {});
 
 }  // namespace d3::rpc

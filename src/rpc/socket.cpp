@@ -20,6 +20,16 @@ namespace {
   throw SocketError(what + ": " + std::strerror(errno));
 }
 
+// Like fail_errno, but names the connection's remote end: failover logs must
+// say *which* channel failed, and by the time the error surfaces the socket
+// is often already closed — so the address is captured at the throw site.
+[[noreturn]] void fail_errno_peer(const std::string& what, int fd) {
+  const int saved = errno;
+  const std::string peer = describe_peer(fd);
+  errno = saved;
+  throw SocketError(what + " (peer " + peer + "): " + std::strerror(saved));
+}
+
 // Full-buffer read/write loops (TCP may deliver partial chunks).
 // MSG_NOSIGNAL: a peer that died mid-conversation (worker killed, reconnect
 // path) must surface as SocketError/EPIPE, not as a process-killing SIGPIPE.
@@ -30,7 +40,7 @@ void write_all(int fd, const void* data, std::size_t len) {
     if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p, len);
     if (n < 0) {
       if (errno == EINTR) continue;
-      fail_errno("write");
+      fail_errno_peer("write", fd);
     }
     p += n;
     len -= static_cast<std::size_t>(n);
@@ -46,12 +56,12 @@ std::size_t read_all(int fd, void* data, std::size_t len, bool eof_ok) {
     const ssize_t n = ::read(fd, p + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
-      fail_errno("read");
+      fail_errno_peer("read", fd);
     }
     if (n == 0) {
       if (got == 0 && eof_ok) return 0;
-      throw SocketError("read: peer closed mid-frame (" + std::to_string(got) + "/" +
-                        std::to_string(len) + " bytes)");
+      throw SocketError("read: peer " + describe_peer(fd) + " closed mid-frame (" +
+                        std::to_string(got) + "/" + std::to_string(len) + " bytes)");
     }
     got += static_cast<std::size_t>(n);
   }
@@ -178,7 +188,8 @@ Frame read_frame_impl(int fd, bool eof_ok, bool& eof) {
     eof = true;
     return {};
   }
-  if (load_le32(header) != kFrameMagic) throw SocketError("frame: bad magic");
+  if (load_le32(header) != kFrameMagic)
+    throw SocketError("frame: bad magic from peer " + describe_peer(fd));
   const std::uint8_t kind = header[4];
   const std::uint64_t len = load_le64(header + 5);
   if (len > kMaxFrameBytes)
@@ -221,6 +232,17 @@ std::string peer_address(int fd) {
   if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
     fail_errno("getpeername");
   return dotted_quad(addr);
+}
+
+std::string describe_peer(int fd) noexcept {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (fd < 0 || ::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0 ||
+      addr.sin_family != AF_INET)
+    return "?";
+  char buf[INET_ADDRSTRLEN] = {};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) == nullptr) return "?";
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
 }
 
 std::string local_address(int fd) {

@@ -44,6 +44,11 @@ enum class MsgKind : std::uint8_t {
   kPutTile = 12,     // deliver one VSM tile input (edge fan-out worker)
   kRunTile = 13,     // run the fused stack over one delivered tile
   kGetTile = 14,     // fetch one computed tile output back
+  kPutReplica = 15,  // deliver an Envelope into a slot as a buddy *replica*:
+                     // stored verbatim even though the envelope is addressed
+                     // to the real consumer, so a failed-over coordinator can
+                     // re-deliver it peer-to-peer without re-materialising
+  kPing = 16,        // liveness probe; the node answers kPong immediately
   // Worker -> worker peer-channel frames (never seen by the coordinator).
   kPeerHello = 32,   // first frame on a dialled peer channel: sender's node name
   kPeerPut = 33,     // a pushed slot tensor: request + slot + Envelope
@@ -56,6 +61,7 @@ enum class MsgKind : std::uint8_t {
                      // node has no per-request state for this request (a fresh
                      // worker incarnation after a death); recoverable by
                      // re-begin + re-seed, unlike a generic kError
+  kPong = 69,     // heartbeat reply to kPing (empty body)
 };
 
 // RAII owner of a socket file descriptor.
@@ -98,6 +104,11 @@ std::string local_address(int fd);
 // First non-loopback IPv4 address of this host ("" when the host has none) —
 // lets off-host-shaped tests bind real interfaces and skip cleanly otherwise.
 std::string first_non_loopback_address();
+
+// Best-effort "addr:port" of a connected socket's remote end for error
+// messages; "?" when the socket is closed or was never connected. Never
+// throws — it exists to annotate failures, not to cause new ones.
+std::string describe_peer(int fd) noexcept;
 
 // Accepts one connection, polling up to `timeout_ms`. `abort_check` (optional)
 // is polled between waits; returning true aborts the accept (used to notice a

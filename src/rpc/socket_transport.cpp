@@ -11,11 +11,22 @@
 
 namespace d3::rpc {
 
+namespace {
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 void SocketTransport::add_node(const std::string& node, Socket socket) {
   if (!socket.valid()) throw TransportError("add_node: invalid socket for '" + node + "'");
   auto entry = std::make_unique<Node>();
   entry->name = node;
   entry->socket = std::move(socket);
+  entry->peer = describe_peer(entry->socket.fd());
   if (!nodes_.emplace(node, std::move(entry)).second)
     throw TransportError("add_node: node '" + node + "' already attached");
 }
@@ -65,6 +76,19 @@ Frame SocketTransport::roundtrip_locked(Node& node, MsgKind kind,
                                         std::span<const std::uint8_t> body, MsgKind expected) {
   if (!node.socket.valid())
     throw SocketError("node '" + node.name + "': channel is down");
+  // A missed heartbeat probe leaves its kPong unread on the stream (the worker
+  // was slow, not dead); drain it before interleaving a real call, or the
+  // stale pong would desync the request/response framing. A late pong is also
+  // proof of life.
+  while (node.pending_pongs > 0) {
+    const Frame late = read_frame(node.socket.fd());
+    if (late.kind != MsgKind::kPong)
+      throw SocketError("node '" + node.name + "' (peer " + describe_peer(node.socket.fd()) +
+                        "): expected a late heartbeat kPong, got kind " +
+                        std::to_string(static_cast<int>(late.kind)));
+    --node.pending_pongs;
+    node.misses.store(0, std::memory_order_relaxed);
+  }
   write_frame(node.socket.fd(), kind, body);
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
   Frame reply = read_frame(node.socket.fd());
@@ -94,9 +118,14 @@ Frame SocketTransport::roundtrip_locked(Node& node, MsgKind kind,
 
 void SocketTransport::recover_locked(Node& node, const std::string& error) {
   node.socket.close();
+  // Heartbeat bookkeeping was about the dead socket; a fresh incarnation
+  // starts clean.
+  node.pending_pongs = 0;
+  node.misses.store(0, std::memory_order_relaxed);
   if (!node.reconnect)
     throw ChannelDied(node.name, /*channel_restored=*/false,
-                      "node '" + node.name + "' died mid-request (" + error +
+                      "node '" + node.name + "' (peer " + node.peer +
+                          ") died mid-request (" + error +
                           "); no reconnect hook registered, node stays detached");
   std::chrono::milliseconds backoff = node.retry.initial_backoff;
   std::string last = error;
@@ -106,6 +135,7 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
         static_cast<double>(backoff.count()) * node.retry.backoff_multiplier));
     try {
       node.socket = node.reconnect();
+      node.peer = describe_peer(node.socket.fd());
       // A fresh process knows nothing: replay the cached deployment bundle so
       // the channel is immediately serviceable for recovered requests.
       if (!node.config_body.empty())
@@ -128,8 +158,8 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
     }
   }
   throw ChannelDied(node.name, /*channel_restored=*/false,
-                    "node '" + node.name + "' died mid-request (" + error +
-                        ") and reconnect failed after " +
+                    "node '" + node.name + "' (peer " + node.peer +
+                        ") died mid-request (" + error + ") and reconnect failed after " +
                         std::to_string(node.retry.max_attempts) + " attempts: " + last);
 }
 
@@ -181,6 +211,7 @@ void SocketTransport::readmit(Node& node) {
   {
     std::lock_guard<std::mutex> lock(node.mutex);
     node.socket = node.reconnect();
+    node.peer = describe_peer(node.socket.fd());
     // The fresh incarnation knows nothing: replay the cached deployment
     // bundle before the worker rejoins the shard map, so the first tile call
     // it sees is serviceable.
@@ -220,15 +251,21 @@ std::string SocketTransport::advertised_address(const Node& to) const {
 }
 
 void SocketTransport::link_peers(Node& from, Node& to) {
+  observe(MsgKind::kPeerListen, to.name);
   WireWriter listen;
   const Frame port_reply = call(to, MsgKind::kPeerListen, listen.buffer());
   WireReader pr(port_reply.body);
   const std::uint32_t port = pr.u32();
   pr.expect_end("peer-listen reply");
+  // The receiver is now listening but the dialling leg has not run: the
+  // worker-side kPeerHello handshake this window ends in is the observable
+  // point a fault injector targets to kill `to` between the two legs.
+  observe(MsgKind::kPeerHello, to.name);
   WireWriter w;
   w.str(to.name);
   w.str(advertised_address(to));
   w.u32(port);
+  observe(MsgKind::kConnectPeer, from.name);
   call(from, MsgKind::kConnectPeer, w.buffer());
 }
 
@@ -270,6 +307,23 @@ std::uint64_t SocketTransport::open_request() {
     throw;
   }
   return id;
+}
+
+void SocketTransport::open_request_as(std::uint64_t request) {
+  // A resumed id must never collide with a fresh one: advance the counter
+  // past it before any broadcast can fail.
+  std::uint64_t expected = next_request_.load();
+  while (expected <= request && !next_request_.compare_exchange_weak(expected, request + 1)) {
+  }
+  // No close_request on a partial failure, deliberately: the per-request slots
+  // the workers still hold ARE the takeover state (kBegin is idempotent and
+  // never wipes them); the standby retries or falls back to a full replay.
+  for (auto& [name, node] : nodes_) {
+    if (node->detached.load(std::memory_order_acquire)) continue;
+    WireWriter w;
+    w.u64(request);
+    call(*node, MsgKind::kBegin, w.buffer());
+  }
 }
 
 void SocketTransport::close_request(std::uint64_t request) noexcept {
@@ -354,7 +408,32 @@ std::optional<dnn::Tensor> SocketTransport::send(std::uint64_t request,
   // it neither produced nor consumes: that is the star topology's relay tax.
   if (find(meta.from_node) != nullptr)
     relay_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  replicate(request, meta, slot, tensor);
   return std::nullopt;
+}
+
+void SocketTransport::replicate(std::uint64_t request, const runtime::MessageRecord& meta,
+                                std::uint64_t slot, const dnn::Tensor& tensor) {
+  if (buddy_name_.empty() || meta.to_node == buddy_name_) return;
+  Node* buddy = find(buddy_name_);
+  if (!buddy) return;
+  try {
+    observe(MsgKind::kPutReplica, buddy_name_);
+    WireWriter w;
+    w.u64(request);
+    w.u64(slot);
+    // The envelope names the true consumer, not the buddy: a failed-over
+    // coordinator hands the stored copy straight to push_peer routing.
+    const Envelope env{meta, encode_tensor(tensor)};
+    encode_envelope(w, env);
+    call(*buddy, MsgKind::kPutReplica, w.buffer());
+    replica_pushes_.fetch_add(1, std::memory_order_relaxed);
+    replica_bytes_.fetch_add(env.payload.size(), std::memory_order_relaxed);
+  } catch (...) {
+    // Best-effort by design: losing the buddy only degrades failover back to
+    // re-seeding; it must never fail the request being served.
+    replica_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t SocketTransport::push_peer(Node& from, std::uint64_t request,
@@ -374,6 +453,11 @@ std::uint64_t SocketTransport::push_peer(Node& from, std::uint64_t request,
 bool SocketTransport::send_peer(std::uint64_t request, const runtime::MessageRecord& meta,
                                 std::uint64_t slot) {
   if (!peers_enabled_ || slot == kNoSlot) return false;
+  // Buddy mode pins ship-time payloads to the coordinator (a peer push would
+  // leave it with nothing to replicate), so boundary tensors take the relay
+  // path + kPutReplica instead. The peer fabric is reserved for failover-time
+  // replica_push deliveries.
+  if (!buddy_name_.empty()) return false;
   Node* from = find(meta.from_node);
   Node* to = find(meta.to_node);
   if (!from || !to) return false;  // one endpoint hosted in-process: relay path
@@ -392,6 +476,42 @@ bool SocketTransport::send_peer(std::uint64_t request, const runtime::MessageRec
   }
   peer_pushes_.fetch_add(1, std::memory_order_relaxed);
   peer_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  return true;
+}
+
+bool SocketTransport::replica_push(std::uint64_t request, const runtime::MessageRecord& meta,
+                                   std::uint64_t slot) {
+  if (buddy_name_.empty() || slot == kNoSlot) return false;
+  Node* buddy = find(buddy_name_);
+  Node* to = find(meta.to_node);
+  if (!buddy || !to || buddy == to) return false;
+  // The push is speculative — a standby cannot know which ships the dead
+  // coordinator got replicated before dying. A buddy that never stored the
+  // slot answers kErrorState naming itself (ChannelDied with its name), and
+  // any buddy-side failure means the same thing to the caller: fall back to
+  // materialize + send.
+  const auto buddy_failed = [&](const ChannelDied& e) { return e.node() == buddy_name_; };
+  std::uint64_t bytes = 0;
+  try {
+    try {
+      bytes = push_peer(*buddy, request, meta, slot);
+    } catch (const ChannelDied& e) {
+      if (buddy_failed(e)) return false;
+      throw;  // destination-side state loss: the caller's recovery problem
+    } catch (const TransportError&) {
+      // A fresh standby has no peer channels yet: re-run the handshake once.
+      link_peers(*buddy, *to);
+      bytes = push_peer(*buddy, request, meta, slot);
+    }
+  } catch (const ChannelDied& e) {
+    if (buddy_failed(e)) return false;
+    throw;
+  } catch (const TransportError&) {
+    return false;
+  }
+  peer_pushes_.fetch_add(1, std::memory_order_relaxed);
+  peer_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  replica_restores_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -458,6 +578,88 @@ dnn::Tensor SocketTransport::fetch_tile(std::uint64_t request, std::size_t tile)
   return decode_tensor(std::span<const std::uint8_t>(reply.body));
 }
 
+void SocketTransport::enable_heartbeats(HeartbeatPolicy policy) {
+  heartbeat_policy_ = policy;
+  heartbeats_ = true;
+  const std::int64_t now = now_ms();
+  for (auto& [name, node] : nodes_)
+    node->last_probe_ms.store(now, std::memory_order_relaxed);
+}
+
+std::vector<std::string> SocketTransport::heartbeat_targets() {
+  std::vector<std::string> due;
+  if (!heartbeats_) return due;
+  const std::int64_t now = now_ms();
+  for (auto& [name, node] : nodes_) {
+    if (node->detached.load(std::memory_order_acquire)) continue;
+    if (now - node->last_probe_ms.load(std::memory_order_relaxed) >=
+        heartbeat_policy_.interval.count())
+      due.push_back(name);
+  }
+  return due;
+}
+
+int SocketTransport::heartbeat_due_ms() {
+  if (!heartbeats_) return -1;
+  const std::int64_t now = now_ms();
+  std::int64_t soonest = -1;
+  for (auto& [name, node] : nodes_) {
+    if (node->detached.load(std::memory_order_acquire)) continue;
+    std::int64_t due = node->last_probe_ms.load(std::memory_order_relaxed) +
+                       heartbeat_policy_.interval.count() - now;
+    if (due < 0) due = 0;
+    if (soonest < 0 || due < soonest) soonest = due;
+  }
+  return static_cast<int>(soonest);
+}
+
+void SocketTransport::ping(const std::string& node_name) {
+  if (!heartbeats_) return;
+  Node* node = find(node_name);
+  if (!node) return;
+  node->last_probe_ms.store(now_ms(), std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(node->mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // A real call holds the channel right now: traffic is a stronger liveness
+    // signal than any probe, and blocking here would serialize the prober
+    // behind request latency.
+    node->misses.store(0, std::memory_order_relaxed);
+    return;
+  }
+  pings_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    if (!node->socket.valid())
+      throw SocketError("node '" + node->name + "': channel is down");
+    // At most one kPing is ever outstanding: a missed probe waits for the owed
+    // kPong on later rounds instead of stacking new pings on the stream.
+    if (node->pending_pongs == 0) {
+      write_frame(node->socket.fd(), MsgKind::kPing, {});
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      ++node->pending_pongs;
+    }
+    const int fds[] = {node->socket.fd()};
+    const int timeout = static_cast<int>(heartbeat_policy_.timeout.count());
+    if (poll_readable(fds, timeout) < 0) {
+      const int missed = node->misses.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (missed < heartbeat_policy_.miss_threshold) return;  // suspect, not dead yet
+      heartbeat_deaths_.fetch_add(1, std::memory_order_relaxed);
+      recover_locked(*node, "missed " + std::to_string(missed) + " heartbeat probe(s) (peer " +
+                                node->peer + ")");
+    }
+    const Frame reply = read_frame(node->socket.fd());
+    if (reply.kind != MsgKind::kPong)
+      throw SocketError("node '" + node->name + "': unexpected heartbeat reply kind " +
+                        std::to_string(static_cast<int>(reply.kind)));
+    --node->pending_pongs;
+    node->misses.store(0, std::memory_order_relaxed);
+  } catch (const SocketError& e) {
+    // A closed or half-dead socket (SIGKILLed worker: poll reports readable,
+    // the read sees EOF) is detected on the first probe — no threshold wait.
+    heartbeat_deaths_.fetch_add(1, std::memory_order_relaxed);
+    recover_locked(*node, e.what());  // always throws ChannelDied
+  }
+}
+
 // --- WorkerProcess -----------------------------------------------------------
 
 namespace {
@@ -508,8 +710,17 @@ WorkerProcess::WorkerProcess(const std::string& binary,
   pid_t alive = pid_;  // flipped to -1 by child_exited once reaped
   try {
     socket_ = tcp_accept(listener, 30000, &child_exited, &alive);
-  } catch (...) {
+  } catch (const SocketError& e) {
     if (alive >= 0) {  // child still running (accept timed out rather than child death)
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+    pid_ = -1;
+    // Name the binary: "accept timed out" alone cannot tell a missing worker
+    // executable from a genuine network failure.
+    throw SocketError("worker '" + binary + "' never connected back: " + e.what());
+  } catch (...) {
+    if (alive >= 0) {
       ::kill(pid_, SIGKILL);
       ::waitpid(pid_, nullptr, 0);
     }
@@ -533,6 +744,74 @@ WorkerProcess::~WorkerProcess() {
   }
   ::kill(pid_, SIGKILL);
   ::waitpid(pid_, &status, 0);
+}
+
+// --- ListenWorkerProcess -----------------------------------------------------
+
+ListenWorkerProcess::ListenWorkerProcess(const std::string& binary)
+    : ListenWorkerProcess(binary, {}) {}
+
+ListenWorkerProcess::ListenWorkerProcess(const std::string& binary,
+                                         const std::vector<std::string>& extra_args) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) throw SocketError("pipe failed");
+
+  std::vector<std::string> args = {binary, "--listen", "0"};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  pid_ = ::fork();
+  if (pid_ < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    throw SocketError("fork failed");
+  }
+  if (pid_ == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(127);  // exec failed (missing binary)
+  }
+  ::close(pipe_fds[1]);
+  // The worker prints and flushes "PORT <n>\n" before its first accept, so a
+  // byte-wise blocking read to the newline cannot hang past worker startup
+  // (exec failure closes the pipe and breaks the loop with EOF).
+  std::string line;
+  char ch = 0;
+  while (line.size() < 64) {
+    const ssize_t n = ::read(pipe_fds[0], &ch, 1);
+    if (n <= 0 || ch == '\n') break;
+    line.push_back(ch);
+  }
+  ::close(pipe_fds[0]);
+  unsigned long port = 0;
+  if (line.rfind("PORT ", 0) == 0) {
+    try {
+      port = std::stoul(line.substr(5));
+    } catch (const std::exception&) {
+      port = 0;
+    }
+  }
+  if (port == 0 || port > 65535) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+    throw SocketError("worker '" + binary + "' (--listen) did not report a port (got \"" +
+                      line + "\")");
+  }
+  port_ = static_cast<std::uint16_t>(port);
+}
+
+Socket ListenWorkerProcess::dial() const { return tcp_connect("127.0.0.1", port_); }
+
+ListenWorkerProcess::~ListenWorkerProcess() {
+  if (pid_ < 0) return;
+  ::kill(pid_, SIGKILL);  // works on stopped children too (tests SIGSTOP them)
+  ::waitpid(pid_, nullptr, 0);
 }
 
 }  // namespace d3::rpc

@@ -70,6 +70,20 @@ class SocketTransport final : public Transport {
     // Pruned tile workers returned to the shard map after a late set_reconnect
     // (fresh incarnation dialled, kConfig replayed, shard slot restored).
     std::uint64_t readmitted_workers = 0;
+    // Buddy replication: boundary tensors pushed to the buddy node at ship
+    // time (kPutReplica), their encoded bytes, and pushes that failed and were
+    // swallowed (replication is best-effort — a dead buddy never fails the
+    // request, it only degrades failover back to re-seeding).
+    std::uint64_t replica_pushes = 0;
+    std::uint64_t replica_bytes = 0;
+    std::uint64_t replica_failures = 0;
+    // Failover-time deliveries served out of the buddy's replica store
+    // (replica_push): the re-seed round-trips these saved.
+    std::uint64_t replica_restores = 0;
+    // Liveness probes sent (kPing) and channels declared dead by the
+    // missed-beat threshold before any request send touched them.
+    std::uint64_t pings = 0;
+    std::uint64_t heartbeat_deaths = 0;
   };
 
   // Bounded-backoff policy for re-establishing a dead worker's channel.
@@ -82,6 +96,28 @@ class SocketTransport final : public Transport {
   // Produces a fresh connected socket for a node whose channel died —
   // typically by respawning a WorkerProcess and taking its socket.
   using ReconnectFn = std::function<Socket()>;
+
+  // Proactive liveness detection. Every `interval` per channel the transport
+  // (driven by heartbeat_poll(), typically from the serving reactor's idle
+  // branch) sends a kPing and waits up to `timeout` for the kPong;
+  // `miss_threshold` consecutive unanswered probes declare the channel dead
+  // and raise ChannelDied through the normal recovery path — *before* the
+  // next request send would have tripped over the corpse.
+  struct HeartbeatPolicy {
+    std::chrono::milliseconds interval{100};
+    std::chrono::milliseconds timeout{50};
+    int miss_threshold = 3;
+  };
+
+  // Observes coordinator-side protocol sends that carry no Transport virtual
+  // of their own (peer handshake legs, buddy replica pushes), so a decorator
+  // like FaultInjectionTransport can count and fault them. Invoked with the
+  // message kind and the node the frame is sent to (kConnectPeer: the
+  // dialling node) immediately before the frame goes out; an exception thrown
+  // by the observer propagates exactly like a send failure at that point.
+  // Install before traffic starts — the hook is not guarded by a lock.
+  using OpObserver = std::function<void(MsgKind, const std::string&)>;
+  void set_op_observer(OpObserver observer) { op_observer_ = std::move(observer); }
 
   // Attaches a connected worker as computation node `node` ("device0",
   // "edge0", "cloud0"). Call configure() once after all nodes are attached.
@@ -130,8 +166,28 @@ class SocketTransport final : public Transport {
     set_reconnect(node, std::move(fn), RetryPolicy());
   }
 
+  // Designates an attached node as the buddy replica holder: every boundary
+  // tensor send() additionally pushes the full envelope to the buddy
+  // (kPutReplica, best-effort), and send_peer() declines so the coordinator
+  // keeps holding payloads at ship time. After a coordinator failover the
+  // standby calls replica_push() to have the buddy deliver the stored bytes
+  // peer-to-peer instead of re-materializing and re-shipping them. Call
+  // before traffic; pass "" to disable.
+  void set_buddy(const std::string& node) { buddy_name_ = node; }
+  const std::string& buddy() const { return buddy_name_; }
+
+  // Arms proactive failure detection for every attached channel (tier nodes
+  // and tile workers alike). Probes are driven by the Transport base's
+  // heartbeat_poll(); this just sets the policy and starts the clocks.
+  void enable_heartbeats(HeartbeatPolicy policy);
+
   std::string name() const override { return "socket"; }
   std::uint64_t open_request() override;
+  // Re-opens a journalled request id on every attached node (idempotent
+  // kBegin broadcast) and advances the id counter past it, so a standby
+  // coordinator resuming checkpointed requests never collides a fresh id
+  // with a resumed one.
+  void open_request_as(std::uint64_t request) override;
   void close_request(std::uint64_t request) noexcept override;
   void seed(std::uint64_t request, const std::string& node, std::uint64_t slot,
             const dnn::Tensor& tensor) override;
@@ -144,6 +200,22 @@ class SocketTransport final : public Transport {
 
   bool send_peer(std::uint64_t request, const runtime::MessageRecord& meta,
                  std::uint64_t slot) override;
+  // Failover-time delivery out of the buddy's replica store: asks the buddy
+  // to push its stored copy of `slot` peer-to-peer to meta.to_node. Returns
+  // false (caller falls back to materialize + send) when no buddy is set,
+  // the buddy never stored the slot (it answers kErrorState naming itself),
+  // or the buddy's own channel is down.
+  bool replica_push(std::uint64_t request, const runtime::MessageRecord& meta,
+                    std::uint64_t slot) override;
+
+  // One liveness probe of `node`'s channel, per the HeartbeatPolicy. A busy
+  // channel mutex counts as liveness (a real call is in flight); a timeout
+  // counts a miss; reaching the miss threshold closes the socket and raises
+  // ChannelDied through recover_locked — identical to how a mid-request death
+  // surfaces, so callers need no second recovery path.
+  void ping(const std::string& node) override;
+  std::vector<std::string> heartbeat_targets() override;
+  int heartbeat_due_ms() override;
 
   // Re-begins `request` on the (re-established) node so the engine can re-seed
   // the slots the dead incarnation held. Returns false for unknown/detached
@@ -165,13 +237,19 @@ class SocketTransport final : public Transport {
     return {frames_sent_.load(),   payload_bytes_sent_.load(), relay_bytes_.load(),
             payload_bytes_fetched_.load(), peer_pushes_.load(), peer_bytes_.load(),
             reconnects_.load(),    reopens_.load(),            detached_workers_.load(),
-            readmitted_workers_.load()};
+            readmitted_workers_.load(),    replica_pushes_.load(),
+            replica_bytes_.load(), replica_failures_.load(),   replica_restores_.load(),
+            pings_.load(),         heartbeat_deaths_.load()};
   }
 
  private:
   struct Node {
     std::string name;
     Socket socket;
+    // Peer endpoint of the current socket, cached while the channel is healthy:
+    // once the peer dies, getpeername() fails (ECONNRESET tears the association
+    // down), and death messages are exactly where the address matters.
+    std::string peer;
     // One in-flight request/response per connection: stages of different
     // pipelined requests may address the same node from different scheduler
     // threads.
@@ -184,6 +262,14 @@ class SocketTransport final : public Transport {
     // and lifecycle loop, but the object stays allocated so concurrent
     // requests never chase a dangling pointer.
     std::atomic<bool> detached{false};
+    // Heartbeat clocks. last_probe_ms (steady-clock millis of the last probe
+    // round) and misses are atomics because ping() updates them even when the
+    // channel mutex is busy; pending_pongs (kPings written whose kPong has not
+    // been read yet — a missed probe leaves one on the stream) is only touched
+    // with the channel mutex held.
+    std::atomic<std::int64_t> last_probe_ms{0};
+    std::atomic<int> misses{0};
+    int pending_pongs = 0;
   };
 
   Node* find(const std::string& node) const;
@@ -209,6 +295,12 @@ class SocketTransport final : public Transport {
   void readmit(Node& node);
   std::uint64_t push_peer(Node& from, std::uint64_t request,
                           const runtime::MessageRecord& meta, std::uint64_t slot);
+  // Best-effort kPutReplica of a just-shipped boundary tensor to the buddy.
+  void replicate(std::uint64_t request, const runtime::MessageRecord& meta,
+                 std::uint64_t slot, const dnn::Tensor& tensor);
+  void observe(MsgKind kind, const std::string& node) {
+    if (op_observer_) op_observer_(kind, node);
+  }
 
   std::map<std::string, std::unique_ptr<Node>> nodes_;
   // Shard order; also present in nodes_. Guarded by shard_mutex_: recovery may
@@ -218,6 +310,10 @@ class SocketTransport final : public Transport {
   // Per-node dial-address overrides for the peer handshake (shard_mutex_).
   std::map<std::string, std::string> advertised_addresses_;
   bool peers_enabled_ = false;
+  std::string buddy_name_;
+  OpObserver op_observer_;
+  bool heartbeats_ = false;
+  HeartbeatPolicy heartbeat_policy_;
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> payload_bytes_sent_{0};
@@ -229,6 +325,12 @@ class SocketTransport final : public Transport {
   std::atomic<std::uint64_t> reopens_{0};
   std::atomic<std::uint64_t> detached_workers_{0};
   std::atomic<std::uint64_t> readmitted_workers_{0};
+  std::atomic<std::uint64_t> replica_pushes_{0};
+  std::atomic<std::uint64_t> replica_bytes_{0};
+  std::atomic<std::uint64_t> replica_failures_{0};
+  std::atomic<std::uint64_t> replica_restores_{0};
+  std::atomic<std::uint64_t> pings_{0};
+  std::atomic<std::uint64_t> heartbeat_deaths_{0};
 };
 
 // Forks and execs a d3_node worker binary connected back to this process over
@@ -259,6 +361,34 @@ class WorkerProcess {
  private:
   pid_t pid_ = -1;
   Socket socket_;
+};
+
+// Forks and execs a d3_node worker in --listen mode: the worker binds its own
+// (ephemeral) port, prints "PORT <n>" on a pipe back to this process, and then
+// outlives any one coordinator connection. That inversion — worker listens,
+// coordinators dial — is what coordinator failover needs: a standby can dial
+// the same worker the dead coordinator used and find its per-request state
+// intact. dial() hands out a fresh connected socket per coordinator
+// incarnation.
+class ListenWorkerProcess {
+ public:
+  explicit ListenWorkerProcess(const std::string& binary);
+  ListenWorkerProcess(const std::string& binary, const std::vector<std::string>& extra_args);
+  // The worker has no coordinator socket to see EOF on, so teardown is
+  // SIGKILL + reap (tests also SIGSTOP/SIGKILL it mid-run on purpose).
+  ~ListenWorkerProcess();
+  ListenWorkerProcess(const ListenWorkerProcess&) = delete;
+  ListenWorkerProcess& operator=(const ListenWorkerProcess&) = delete;
+
+  // Dials a fresh coordinator connection to the worker (any number of times;
+  // the worker serves them one at a time with persistent node state).
+  Socket dial() const;
+  std::uint16_t port() const { return port_; }
+  pid_t pid() const { return pid_; }
+
+ private:
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
 };
 
 }  // namespace d3::rpc

@@ -21,6 +21,27 @@ bool Transport::send_peer(std::uint64_t, const runtime::MessageRecord&, std::uin
 
 bool Transport::reopen(std::uint64_t, const std::string&) { return false; }
 
+void Transport::open_request_as(std::uint64_t) {
+  throw TransportError("open_request_as: transport '" + name() +
+                       "' holds no per-node request state to resume");
+}
+
+bool Transport::replica_push(std::uint64_t, const runtime::MessageRecord&, std::uint64_t) {
+  return false;
+}
+
+void Transport::ping(const std::string&) {}
+
+std::vector<std::string> Transport::heartbeat_targets() { return {}; }
+
+int Transport::heartbeat_due_ms() { return -1; }
+
+void Transport::heartbeat_poll() {
+  // `this` dispatches the virtuals, so a decorator (FaultInjectionTransport)
+  // that overrides ping() observes every probe this driver issues.
+  for (const std::string& node : heartbeat_targets()) ping(node);
+}
+
 std::string Transport::tile_node(std::size_t) const { return {}; }
 
 void Transport::put_tile(std::uint64_t, const runtime::MessageRecord&, std::size_t,

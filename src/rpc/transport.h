@@ -29,6 +29,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "dnn/network.h"
 #include "dnn/tensor.h"
@@ -83,6 +84,15 @@ class Transport {
   virtual std::uint64_t open_request() = 0;
   virtual void close_request(std::uint64_t request) noexcept = 0;
 
+  // Re-opens a *specific* request id after a coordinator failover: the standby
+  // replays the journalled id so the workers' surviving per-request state
+  // (idempotent kBegin never wipes slots) lines up with the restored engine
+  // state. Transports that allocate ids must also advance their counter past
+  // `request` so fresh requests never collide with restored ones. The base
+  // implementation throws — only transports with per-node request state can
+  // meaningfully resume one.
+  virtual void open_request_as(std::uint64_t request);
+
   // Places a coordinator-held tensor at `node` under `slot` with no message
   // semantics — used for the raw input on the device node, which never crosses
   // a tier boundary. No-op for address-space-sharing transports.
@@ -136,6 +146,37 @@ class Transport {
   // implementation (and every address-space-sharing transport) returns false.
   virtual bool send_peer(std::uint64_t request, const runtime::MessageRecord& meta,
                          std::uint64_t slot);
+
+  // --- Buddy replication (coordinator failover) -----------------------------
+  //
+  // Attempts to deliver meta's tensor to meta.to_node out of the *buddy*
+  // node's replica store (boundary tensors pushed there at ship time via
+  // kPutReplica) over a peer channel — the failed-over coordinator never
+  // re-materialises the payload. Returns true when the buddy held the slot
+  // and pushed it; false when no buddy is configured or the buddy never saw
+  // this slot (replication is best-effort), in which case the caller falls
+  // back to the relay path. The base implementation returns false.
+  virtual bool replica_push(std::uint64_t request, const runtime::MessageRecord& meta,
+                            std::uint64_t slot);
+
+  // --- Proactive failure detection (heartbeats) -----------------------------
+  //
+  // A transport with live channels may support liveness probing: ping() runs
+  // one kPing/kPong round-trip against `node`, throwing ChannelDied once the
+  // configured missed-beat threshold is crossed (after attempting reconnect
+  // under the node's RetryPolicy, exactly like a failed send). The base
+  // implementation is a no-op — in-process nodes cannot silently die.
+  virtual void ping(const std::string& node);
+  // Nodes whose heartbeat is due now (interval elapsed since the last
+  // confirmed liveness signal). Empty when heartbeats are disabled.
+  virtual std::vector<std::string> heartbeat_targets();
+  // Milliseconds until the next heartbeat anywhere falls due; -1 when
+  // heartbeats are disabled (event loops fold this into their idle timeout).
+  virtual int heartbeat_due_ms();
+  // Convenience driver for event loops: pings every due node. ChannelDied
+  // propagates per node — the caller decides whether detection-before-send is
+  // fatal or merely recorded. Non-virtual: decorators intercept via ping().
+  void heartbeat_poll();
 
   // --- Edge fan-out (multi-worker VSM tile sharding) ------------------------
   //

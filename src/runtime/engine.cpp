@@ -9,6 +9,8 @@
 #include "core/vsm_executor.h"
 #include "exec/executor.h"
 #include "rpc/transport.h"
+#include "rpc/wire.h"
+#include "runtime/request_journal.h"
 
 namespace d3::runtime {
 
@@ -111,6 +113,10 @@ OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& wei
       }
     }
   }
+  // The plan fingerprint snapshots carry (model name is not part of engine
+  // identity — the weights are — so it is hashed as empty; both coordinator
+  // incarnations construct from the same assignment + VSM plan).
+  plan_hash_ = plan_hash(core::SerializablePlan{"", assignment_, vsm_});
   const std::size_t pool_threads =
       std::max(options_.vsm_workers, options_.intra_op_workers);
   if (pool_threads > 0) pool_ = std::make_unique<ThreadPool>(pool_threads);
@@ -163,7 +169,30 @@ std::unique_ptr<OnlineEngine::RequestState> OnlineEngine::begin(const dnn::Tenso
   state->owned_input = input;
   state->input = &state->owned_input;
   seed_input(*state);
+  checkpoint(*state, 0);
   return state;
+}
+
+void OnlineEngine::checkpoint(RequestState& state, int next_stage) const {
+  if (!options_.journal) return;
+  Snapshot s;
+  s.rpc_request = state.rpc_request;
+  s.plan_hash = plan_hash_;
+  s.next_stage = next_stage;
+  s.input = rpc::encode_tensor(*state.input);
+  s.messages = state.result.messages;
+  s.device_edge_bytes = state.result.device_edge_bytes;
+  s.edge_cloud_bytes = state.result.edge_cloud_bytes;
+  s.device_cloud_bytes = state.result.device_cloud_bytes;
+  for (std::size_t t = 0; t < 3; ++t)
+    s.layers_executed[t] = static_cast<std::uint64_t>(state.result.layers_executed[t]);
+  s.vsm_scatter_bytes = state.result.vsm_scatter_bytes;
+  s.vsm_gather_bytes = state.result.vsm_gather_bytes;
+  s.computed = state.computed;
+  s.sent = state.sent;
+  s.shipped = state.shipped;
+  s.vsm_recorded = state.vsm_recorded;
+  options_.journal->record(s);
 }
 
 bool OnlineEngine::try_recover(RequestState& state, const rpc::ChannelDied& died) const {
@@ -387,6 +416,15 @@ void OnlineEngine::run_tier_pass(RequestState& state, core::Tier tier) const {
     }
     if (state.shipped[slot][to_idx]) return;
 
+    // A restored request re-delivering its interrupted tier: the buddy's
+    // replica store is the cheapest source — the buddy pushes its stored copy
+    // peer-to-peer and the standby coordinator never touches the payload.
+    // (Speculative: the dead primary may not have replicated this slot, in
+    // which case the fall-through paths below pay the re-ship.)
+    if (state.restored && transport_->replica_push(state.rpc_request, meta, slot)) {
+      state.shipped[slot][to_idx] = true;
+      return;
+    }
     // Cheapest path first: a peer channel moves the bytes producer -> consumer
     // directly and the coordinator never materialises the tensor at all (the
     // raw input is peer-pushable too — it was seeded into the device node).
@@ -399,6 +437,11 @@ void OnlineEngine::run_tier_pass(RequestState& state, core::Tier tier) const {
     const dnn::Tensor& source = is_input ? *state.input : materialize(state, producer);
     auto wired = transport_->send(state.rpc_request, meta, slot, source);
     state.shipped[slot][to_idx] = true;
+    // Failover accounting: what a restored request re-ships through the
+    // coordinator is the cost buddy replication exists to avoid.
+    if (state.restored)
+      recovery_bytes_.fetch_add(static_cast<std::uint64_t>(source.shape().bytes()),
+                                std::memory_order_relaxed);
     if (wired) {
       if (state.delivered.empty()) state.delivered.resize(net_.num_layers() + 1);
       state.delivered[slot][to_idx] = std::move(*wired);
@@ -478,11 +521,15 @@ void OnlineEngine::run_tier(RequestState& state, core::Tier tier) const {
   for (;;) {
     try {
       run_tier_pass(state, tier);
-      return;
+      break;
     } catch (const rpc::ChannelDied& died) {
       if (!try_recover(state, died)) throw;
     }
   }
+  // A restored request's first completed tier IS the interrupted one (resume
+  // starts there): past it, deliveries are ordinary again.
+  state.restored = false;
+  checkpoint(state, core::index(tier) + 1);
 }
 
 bool OnlineEngine::recover(RequestState& state, const rpc::ChannelDied& died) const {
@@ -640,6 +687,7 @@ InferenceResult OnlineEngine::finish(std::unique_ptr<RequestState> state) const 
       rerun = true;
     }
   }
+  if (options_.journal) options_.journal->finish(state->rpc_request);
   InferenceResult result = std::move(state->result);
   result.output = std::move(state->outputs.back());
   return result;
@@ -649,6 +697,53 @@ OnlineEngine::Continuation OnlineEngine::start(const dnn::Tensor& input) const {
   Continuation c;
   c.state_ = begin(input);
   return c;
+}
+
+OnlineEngine::Continuation OnlineEngine::restore(const Snapshot& snapshot) const {
+  if (snapshot.plan_hash != plan_hash_)
+    throw std::invalid_argument(
+        "OnlineEngine: snapshot was journalled under a different deployment plan");
+  if (snapshot.computed.size() != net_.num_layers() ||
+      snapshot.sent.size() != net_.num_layers() + 1 ||
+      snapshot.shipped.size() != net_.num_layers() + 1)
+    throw std::invalid_argument("OnlineEngine: snapshot does not match the network");
+  auto state = std::make_unique<RequestState>();
+  state->owned_input = rpc::decode_tensor(std::span<const std::uint8_t>(snapshot.input));
+  if (!(state->owned_input.shape() == net_.input_shape()))
+    throw std::invalid_argument("OnlineEngine: snapshot input shape mismatch");
+  state->input = &state->owned_input;
+  state->outputs.resize(net_.num_layers());
+  state->computed = snapshot.computed;
+  state->sent = snapshot.sent;
+  state->shipped = snapshot.shipped;
+  state->vsm_recorded = snapshot.vsm_recorded;
+  state->result.messages = snapshot.messages;
+  state->result.device_edge_bytes = snapshot.device_edge_bytes;
+  state->result.edge_cloud_bytes = snapshot.edge_cloud_bytes;
+  state->result.device_cloud_bytes = snapshot.device_cloud_bytes;
+  for (std::size_t t = 0; t < 3; ++t)
+    state->result.layers_executed[t] = static_cast<std::size_t>(snapshot.layers_executed[t]);
+  state->result.vsm_scatter_bytes = snapshot.vsm_scatter_bytes;
+  state->result.vsm_gather_bytes = snapshot.vsm_gather_bytes;
+  // Re-open the journalled id: kBegin is idempotent, so the slots the workers
+  // kept across the primary's death are untouched, and fresh ids are advanced
+  // past the resumed one.
+  state->rpc_request = snapshot.rpc_request;
+  transport_->open_request_as(snapshot.rpc_request);
+  state->rpc_guard = std::make_unique<RpcRequestGuard>(transport_, snapshot.rpc_request);
+  state->restored = true;
+  Continuation c;
+  c.state_ = std::move(state);
+  c.next_ = snapshot.next_stage;
+  return c;
+}
+
+void OnlineEngine::abandon(Continuation&& c) const {
+  // Disarm the guard: no kEnd, so the workers keep the request's slots and
+  // the journal keeps its snapshots — the exact state a SIGKILLed coordinator
+  // leaves behind, minus the corpse.
+  if (c.state_ && c.state_->rpc_guard) c.state_->rpc_guard->transport = nullptr;
+  c.state_.reset();
 }
 
 bool OnlineEngine::step(Continuation& c) const {
@@ -677,6 +772,7 @@ InferenceResult OnlineEngine::infer(const dnn::Tensor& input) const {
   auto state = make_state(net_, transport_, options_.tier_recovery);
   state->input = &input;
   seed_input(*state);
+  checkpoint(*state, 0);
   run_tier(*state, core::Tier::kDevice);
   run_tier(*state, core::Tier::kEdge);
   run_tier(*state, core::Tier::kCloud);

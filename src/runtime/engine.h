@@ -82,6 +82,9 @@ class ChannelDied;
 
 namespace d3::runtime {
 
+class RequestJournal;
+struct Snapshot;
+
 struct InferenceResult {
   dnn::Tensor output;
   std::vector<MessageRecord> messages;
@@ -138,6 +141,12 @@ class OnlineEngine {
     bool tier_recovery = true;
     // Faults survived per request before the ChannelDied propagates.
     std::size_t max_recovery_attempts = 3;
+    // Write-ahead request journal for coordinator failover: non-null makes the
+    // engine checkpoint every request after seeding and after each completed
+    // tier, and mark it finished on finish(). A standby coordinator (same
+    // plan, workers surviving in listen mode) then restore()s the unfinished
+    // snapshots and resumes them, re-running only the interrupted tier.
+    std::shared_ptr<RequestJournal> journal = nullptr;
   };
 
   // Cumulative recovery counters (atomic; the engine is shared and const).
@@ -190,6 +199,11 @@ class OnlineEngine {
     std::vector<std::array<bool, 2>> vsm_recorded;
     // Faults survived so far (bounds Options::max_recovery_attempts).
     std::size_t recovery_attempts = 0;
+    // True while a restore()d request re-runs its interrupted tier: unshipped
+    // boundaries first try the buddy's replica store (Transport::replica_push)
+    // and re-delivered payload bytes count into Stats::recovery_bytes. Cleared
+    // when a tier completes.
+    bool restored = false;
     // Transport-materialised copies of delivered tensors, [slot][tier]: what a
     // consumer reads when the transport round-trips payloads through the wire
     // (SerializingLoopback). Left empty by zero-copy transports.
@@ -262,6 +276,22 @@ class OnlineEngine {
 
   // begin() in continuation form: copies `input` into the state.
   Continuation start(const dnn::Tensor& input) const;
+  // Rebuilds an in-flight request from a journal snapshot, for a standby
+  // coordinator taking over after the primary died. Re-opens the journalled
+  // request id on the transport (the workers' per-request slots survive the
+  // primary in listen mode; kBegin is idempotent) and returns a continuation
+  // positioned at the interrupted stage — step() it to completion exactly like
+  // a fresh start(). Requires every tier node to be remote on the transport
+  // (lost coordinator-local outputs are only re-fetchable from workers) and
+  // the same deployment plan: a plan-hash mismatch throws
+  // std::invalid_argument.
+  Continuation restore(const Snapshot& snapshot) const;
+  // Drops a continuation WITHOUT closing the transport-side request (no kEnd):
+  // the workers keep their slots and the journal keeps its snapshots, exactly
+  // the state a dead coordinator leaves behind. This is the in-process way to
+  // exercise (and benchmark) the failover path: abandon mid-request, then
+  // restore() from the journal.
+  void abandon(Continuation&& c) const;
   // Runs the continuation's next stage; returns done() afterwards. A stage
   // that throws (transport death past the recovery budget) leaves the cursor
   // where it was — the caller replays from a fresh start() or propagates.
@@ -298,6 +328,9 @@ class OnlineEngine {
   // Seeds the raw input into the device node, recovering in place if the node
   // dies on the spot (shared by begin() and infer()).
   void seed_input(RequestState& state) const;
+  // Appends a journal snapshot of `state` at continuation cursor `next_stage`
+  // (no-op without Options::journal).
+  void checkpoint(RequestState& state, int next_stage) const;
   void run_vsm_stack(RequestState& state) const;
   // Edge fan-out: scatter tile crops to the transport's worker shards, run
   // them concurrently (one lane per physical worker), gather in tile order.
@@ -328,6 +361,9 @@ class OnlineEngine {
   std::optional<core::FusedTilePlan> vsm_;
   Options options_;
   std::shared_ptr<rpc::Transport> transport_;
+  // FNV-1a over the plan's binary form: stamped into every snapshot and
+  // checked by restore() so a standby with a different plan fails loudly.
+  std::uint64_t plan_hash_ = 0;
   std::unique_ptr<ThreadPool> pool_;  // null in sequential mode
   exec::ParallelFor op_parallel_;     // intra-op hook over pool_; empty if disabled
   // Recovery counters (see Stats). Mutable: infer() is const and thread-safe.

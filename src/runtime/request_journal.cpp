@@ -1,0 +1,195 @@
+#include "runtime/request_journal.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "rpc/wire.h"
+
+namespace d3::runtime {
+
+namespace {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void encode_message(rpc::WireWriter& w, const MessageRecord& m) {
+  w.u64(m.seq);
+  w.str(m.from_node);
+  w.str(m.to_node);
+  w.str(m.payload);
+  w.u8(static_cast<std::uint8_t>(core::index(m.from_tier)));
+  w.u8(static_cast<std::uint8_t>(core::index(m.to_tier)));
+  w.i64(m.bytes);
+}
+
+MessageRecord decode_message(rpc::WireReader& r) {
+  MessageRecord m;
+  m.seq = r.u64();
+  m.from_node = r.str();
+  m.to_node = r.str();
+  m.payload = r.str();
+  const std::uint8_t from = r.u8();
+  const std::uint8_t to = r.u8();
+  if (from > 2 || to > 2) throw std::runtime_error("journal: message tier out of range");
+  m.from_tier = static_cast<core::Tier>(from);
+  m.to_tier = static_cast<core::Tier>(to);
+  m.bytes = r.i64();
+  return m;
+}
+
+}  // namespace
+
+std::uint64_t plan_hash(const core::SerializablePlan& plan) {
+  const std::vector<std::uint8_t> bytes = core::serialize_plan_binary(plan);
+  return fnv1a(bytes);
+}
+
+std::vector<std::uint8_t> Snapshot::encode() const {
+  rpc::WireWriter w;
+  w.u64(rpc_request);
+  w.u64(plan_hash);
+  w.u32(static_cast<std::uint32_t>(next_stage));
+  w.blob(input);
+  w.u32(static_cast<std::uint32_t>(messages.size()));
+  for (const MessageRecord& m : messages) encode_message(w, m);
+  w.i64(device_edge_bytes);
+  w.i64(edge_cloud_bytes);
+  w.i64(device_cloud_bytes);
+  for (const std::uint64_t n : layers_executed) w.u64(n);
+  w.i64(vsm_scatter_bytes);
+  w.i64(vsm_gather_bytes);
+  w.u32(static_cast<std::uint32_t>(computed.size()));
+  for (const bool b : computed) w.u8(b ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(sent.size()));
+  for (const auto& tiers : sent)
+    for (const bool b : tiers) w.u8(b ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(shipped.size()));
+  for (const auto& tiers : shipped)
+    for (const bool b : tiers) w.u8(b ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(vsm_recorded.size()));
+  for (const auto& dirs : vsm_recorded)
+    for (const bool b : dirs) w.u8(b ? 1 : 0);
+  return w.take();
+}
+
+Snapshot Snapshot::decode(std::span<const std::uint8_t> body) {
+  rpc::WireReader r(body);
+  Snapshot s;
+  s.rpc_request = r.u64();
+  s.plan_hash = r.u64();
+  s.next_stage = static_cast<int>(r.u32());
+  if (s.next_stage < 0 || s.next_stage > 3)
+    throw std::runtime_error("journal: snapshot stage out of range");
+  s.input = r.blob();
+  const std::uint32_t messages = r.u32();
+  s.messages.reserve(messages);
+  for (std::uint32_t i = 0; i < messages; ++i) s.messages.push_back(decode_message(r));
+  s.device_edge_bytes = r.i64();
+  s.edge_cloud_bytes = r.i64();
+  s.device_cloud_bytes = r.i64();
+  for (std::uint64_t& n : s.layers_executed) n = r.u64();
+  s.vsm_scatter_bytes = r.i64();
+  s.vsm_gather_bytes = r.i64();
+  const std::uint32_t computed = r.u32();
+  s.computed.reserve(computed);
+  for (std::uint32_t i = 0; i < computed; ++i) s.computed.push_back(r.u8() != 0);
+  const std::uint32_t sent = r.u32();
+  s.sent.reserve(sent);
+  for (std::uint32_t i = 0; i < sent; ++i)
+    s.sent.push_back({r.u8() != 0, r.u8() != 0, r.u8() != 0});
+  const std::uint32_t shipped = r.u32();
+  s.shipped.reserve(shipped);
+  for (std::uint32_t i = 0; i < shipped; ++i)
+    s.shipped.push_back({r.u8() != 0, r.u8() != 0, r.u8() != 0});
+  const std::uint32_t vsm = r.u32();
+  s.vsm_recorded.reserve(vsm);
+  for (std::uint32_t i = 0; i < vsm; ++i) s.vsm_recorded.push_back({r.u8() != 0, r.u8() != 0});
+  r.expect_end("journal snapshot");
+  return s;
+}
+
+RequestJournal::RequestJournal(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_) throw std::runtime_error("RequestJournal: cannot open '" + path_ + "'");
+}
+
+RequestJournal::~RequestJournal() {
+  if (file_) std::fclose(file_);
+}
+
+void RequestJournal::append(std::uint8_t type, std::span<const std::uint8_t> body) {
+  // One frame per record: magic | type | len | body, flushed as a unit. A
+  // SIGKILL between records loses nothing; one mid-append leaves a torn tail
+  // that load() skips.
+  rpc::WireWriter w;
+  w.u32(kJournalMagic);
+  w.u8(type);
+  w.u64(body.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto& header = w.buffer();
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      (!body.empty() && std::fwrite(body.data(), 1, body.size(), file_) != body.size()) ||
+      std::fflush(file_) != 0)
+    throw std::runtime_error("RequestJournal: write to '" + path_ + "' failed");
+}
+
+void RequestJournal::record(const Snapshot& snapshot) { append(1, snapshot.encode()); }
+
+void RequestJournal::finish(std::uint64_t rpc_request) {
+  rpc::WireWriter w;
+  w.u64(rpc_request);
+  append(2, w.buffer());
+}
+
+std::vector<Snapshot> RequestJournal::load(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char chunk[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+      bytes.insert(bytes.end(), chunk, chunk + n);
+    std::fclose(f);
+  }
+
+  std::map<std::uint64_t, Snapshot> live;
+  std::size_t off = 0;
+  constexpr std::size_t kHeader = 4 + 1 + 8;
+  while (off + kHeader <= bytes.size()) {
+    rpc::WireReader header(std::span<const std::uint8_t>(bytes.data() + off, kHeader));
+    const std::uint32_t magic = header.u32();
+    const std::uint8_t type = header.u8();
+    const std::uint64_t len = header.u64();
+    if (magic != kJournalMagic || off + kHeader + len > bytes.size()) break;  // torn tail
+    const std::span<const std::uint8_t> body(bytes.data() + off + kHeader,
+                                             static_cast<std::size_t>(len));
+    try {
+      if (type == 1) {
+        Snapshot s = Snapshot::decode(body);
+        live[s.rpc_request] = std::move(s);
+      } else if (type == 2) {
+        rpc::WireReader r(body);
+        const std::uint64_t id = r.u64();
+        r.expect_end("journal finish");
+        live.erase(id);
+      } else {
+        break;  // unknown record type: treat like a torn tail
+      }
+    } catch (const std::exception&) {
+      break;  // half-written body that happened to pass the length check
+    }
+    off += kHeader + len;
+  }
+
+  std::vector<Snapshot> unfinished;
+  unfinished.reserve(live.size());
+  for (auto& [id, snapshot] : live) unfinished.push_back(std::move(snapshot));
+  return unfinished;
+}
+
+}  // namespace d3::runtime

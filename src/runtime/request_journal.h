@@ -1,0 +1,115 @@
+// Request-state checkpointing for coordinator failover (the survivability leg
+// of the runtime: docs/ARCHITECTURE.md "Coordinator failover").
+//
+// The coordinator is the only stateful singleton in the deployment — workers
+// already survive coordinator death (d3_node --listen keeps per-request slots
+// across coordinator connections), so what a standby needs to take over is
+// exactly the *engine-side* request state: which tiers completed, which
+// transcript messages were recorded, which boundary payloads reached which
+// nodes, and the raw input. A RequestJournal persists precisely that, as one
+// self-contained Snapshot per request per tier boundary, appended to a
+// write-ahead file. After a SIGKILL the standby load()s the journal, calls
+// OnlineEngine::restore() on each unfinished snapshot, and resumes — re-running
+// only the interrupted tier. Outputs stay bitwise-identical and the transcript
+// byte-identical to a no-failure run, because the snapshot's `sent` flags make
+// the re-run record only the messages the dead coordinator never got to.
+//
+// File format: append-only framed records,
+//
+//   u32 magic 0xD3A00005 | u8 type | u64 len | body (len bytes)
+//
+// type 1 = snapshot (full request state, self-contained — later snapshots of
+// the same request supersede earlier ones), type 2 = finish (the request
+// completed; its snapshots are dead). A torn tail — the coordinator died
+// mid-append — parses as "stop at the last complete record", never as an
+// error: the previous snapshot of that request is still live and resuming
+// from it only re-runs one extra tier.
+//
+// Snapshots deliberately exclude coordinator-held output tensors: they are
+// re-fetchable from the workers that computed them (materialize() pulls
+// lazily), so journal bytes stay proportional to input + metadata, not to
+// activation volume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/plan_io.h"
+#include "runtime/message.h"
+
+namespace d3::runtime {
+
+inline constexpr std::uint32_t kJournalMagic = 0xD3A00005u;
+
+// FNV-1a over the plan's binary wire form: the guard that a standby restores
+// snapshots against the same deployment plan that produced them (a different
+// plan would mis-route slots and silently corrupt the resume).
+std::uint64_t plan_hash(const core::SerializablePlan& plan);
+
+// One journalled request at one tier boundary. Field-for-field the durable
+// subset of OnlineEngine::RequestState plus the continuation cursor.
+struct Snapshot {
+  std::uint64_t rpc_request = 0;
+  std::uint64_t plan_hash = 0;
+  // Continuation cursor: 0..2 = the tier the next step runs, 3 = collect.
+  int next_stage = 0;
+  // The raw request input, in tensor wire encoding (rpc::encode_tensor).
+  std::vector<std::uint8_t> input;
+  // The transcript prefix recorded so far, with the traffic accounting that
+  // accompanies it (all pure functions of the plan up to next_stage).
+  std::vector<MessageRecord> messages;
+  std::int64_t device_edge_bytes = 0;
+  std::int64_t edge_cloud_bytes = 0;
+  std::int64_t device_cloud_bytes = 0;
+  std::array<std::uint64_t, 3> layers_executed{0, 0, 0};
+  std::int64_t vsm_scatter_bytes = 0;
+  std::int64_t vsm_gather_bytes = 0;
+  // Progress flags, exactly as RequestState tracks them (slot 0 = raw input,
+  // slot i+1 = layer i; [slot][tier] for sent/shipped).
+  std::vector<bool> computed;
+  std::vector<std::array<bool, 3>> sent;
+  std::vector<std::array<bool, 3>> shipped;
+  std::vector<std::array<bool, 2>> vsm_recorded;
+
+  std::vector<std::uint8_t> encode() const;
+  // Throws rpc::WireError / std::runtime_error on malformed input.
+  static Snapshot decode(std::span<const std::uint8_t> body);
+};
+
+class RequestJournal {
+ public:
+  // Opens `path` for appending (created if missing). Throws std::runtime_error
+  // when the file cannot be opened.
+  explicit RequestJournal(std::string path);
+  ~RequestJournal();
+  RequestJournal(const RequestJournal&) = delete;
+  RequestJournal& operator=(const RequestJournal&) = delete;
+
+  // Appends a snapshot record and flushes it to the OS, so a coordinator
+  // SIGKILL any instant later still finds it on load(). Thread-safe.
+  void record(const Snapshot& snapshot);
+  // Appends a finish record: the request completed, its snapshots are dead.
+  void finish(std::uint64_t rpc_request);
+
+  const std::string& path() const { return path_; }
+
+  // Replays `path` and returns the last snapshot of every request that never
+  // finished, in ascending request-id order. A missing file is an empty
+  // journal; a torn or corrupt tail ends the replay at the last complete
+  // record instead of throwing.
+  static std::vector<Snapshot> load(const std::string& path);
+
+ private:
+  void append(std::uint8_t type, std::span<const std::uint8_t> body);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+};
+
+}  // namespace d3::runtime

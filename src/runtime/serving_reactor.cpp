@@ -63,7 +63,8 @@ std::size_t ServingReactor::submit(const dnn::Tensor& input, const SubmitOptions
   bool refused_someone = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) throw std::logic_error("ServingReactor: submit after shutdown began");
+    if (stopping_ || shed_all_)
+      throw std::logic_error("ServingReactor: submit after shutdown began");
     id = tickets_.size();
 
     // Latency-aware shedding: if the pipeline model already predicts this
@@ -117,6 +118,42 @@ void ServingReactor::resume() {
   wake_.signal();
 }
 
+void ServingReactor::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shed_all_ = true;
+    paused_ = false;  // a paused reactor must still run the shed pass
+  }
+  wake_.signal();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return finished_ == tickets_.size(); });
+}
+
+void ServingReactor::shed_all_locked() {
+  const Clock::time_point now = Clock::now();
+  const auto shed = [&](std::size_t id) {
+    Ticket& ticket = *tickets_[id];
+    ticket.error = std::make_exception_ptr(RequestShed(id, "reactor shutdown"));
+    if (ticket.cont) {
+      // Admitted mid-flight: tear down the continuation (closing its
+      // transport-side request) and retire it through the normal completion
+      // bookkeeping.
+      ticket.cont.reset();
+      finish_locked(id, ticket, now);
+    } else {
+      ticket.done = true;
+      ++finished_;
+    }
+    ++counters_.shutdown_shed;
+  };
+  for (const std::size_t id : waiting_) shed(id);
+  waiting_.clear();
+  for (auto& [priority, bucket] : runnable_)
+    for (const std::size_t id : bucket) shed(id);
+  runnable_.clear();
+  done_cv_.notify_all();
+}
+
 void ServingReactor::expire_waiting_locked(Clock::time_point now) {
   for (auto it = waiting_.begin(); it != waiting_.end();) {
     Ticket& ticket = *tickets_[*it];
@@ -168,6 +205,7 @@ void ServingReactor::reactor_loop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) return;  // set only once every ticket is finished
+      if (shed_all_) shed_all_locked();
       expire_waiting_locked(Clock::now());
       if (!paused_ && inflight_ < options_.max_inflight && !waiting_.empty()) {
         // Admission outranks progress: a burst is begun (opening its
@@ -194,10 +232,24 @@ void ServingReactor::reactor_loop() {
     }
 
     if (act == Act::kIdle) {
-      // Sleep on the epoll set until a submission/resume/shutdown signal or
-      // the earliest waiting deadline, whichever first.
+      // Sleep on the epoll set until a submission/resume/shutdown signal, the
+      // earliest waiting deadline, or the next liveness probe — whichever
+      // first. Heartbeats ride the idle branch so failure detection costs no
+      // dedicated thread: a busy reactor IS observing channel health through
+      // its request traffic.
+      const int heartbeat_ms = engine_.transport()->heartbeat_due_ms();
+      if (heartbeat_ms >= 0 && (timeout_ms < 0 || heartbeat_ms < timeout_ms))
+        timeout_ms = heartbeat_ms;
       poller_.wait(timeout_ms);
       wake_.drain();
+      try {
+        engine_.transport()->heartbeat_poll();
+      } catch (const rpc::ChannelDied&) {
+        // The channel was reopened by recovery; in-flight requests touching it
+        // will replay under max_replays. Record the proactive detection.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.heartbeat_deaths;
+      }
       continue;
     }
 

@@ -103,6 +103,8 @@ class ServingReactor {
     std::size_t replayed = 0;      // end-to-end replays after channel deaths
     std::size_t max_inflight = 0;  // high-water mark of concurrent open requests
     std::size_t steps = 0;         // engine stages pumped by the reactor
+    std::size_t shutdown_shed = 0;    // requests expired deterministically by shutdown()
+    std::size_t heartbeat_deaths = 0;  // ChannelDied raised by idle liveness probes
   };
 
   // `engine` must outlive the reactor. Spawns the reactor thread.
@@ -135,6 +137,16 @@ class ServingReactor {
   // Starts admission on a reactor constructed with start_paused.
   void resume();
 
+  // Deterministic teardown: every request not yet finished — waiting or
+  // admitted mid-flight — is shed with a distinct "reactor shutdown" reason
+  // (its wait() throws RequestShed immediately instead of blocking until the
+  // result or a deadline). In-flight continuations are torn down on the
+  // reactor thread (single-mutator preserved: a stage already executing
+  // completes first, then the shed pass claims the request). Blocks until
+  // every ticket is finished; submit() afterwards throws std::logic_error.
+  // Idempotent. The destructor does NOT shed — it completes admitted work.
+  void shutdown();
+
   Stats stats() const;
   // End-to-end seconds (submit -> result) of completed requests, completion
   // order. The serving bench derives its p50/p99 from this.
@@ -160,6 +172,9 @@ class ServingReactor {
   };
 
   void reactor_loop();
+  // The shutdown() shed pass: runs on the reactor thread at the loop top so
+  // the single-mutator invariant holds. Lock held.
+  void shed_all_locked();
   // Sheds every waiting request whose deadline has passed. Lock held.
   void expire_waiting_locked(Clock::time_point now);
   // Milliseconds until the earliest waiting deadline (-1 = none: sleep until
@@ -183,6 +198,7 @@ class ServingReactor {
   std::size_t finished_ = 0;  // done tickets (completed + refused + failed)
   bool paused_ = false;
   bool stopping_ = false;
+  bool shed_all_ = false;  // set by shutdown(); acted on by the reactor thread
   Stats counters_;  // submitted/max_inflight tracked inline, rest on completion
   std::vector<double> latencies_;
   std::vector<std::size_t> completion_order_;

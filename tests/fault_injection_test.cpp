@@ -643,5 +643,142 @@ TEST(FaultInjection, ConfigReplayFailingOnceStillRecovers) {
   EXPECT_GE(engine.stats().recoveries, 1u);
 }
 
+// --- Peer-handshake kill points, heartbeat probes, buddy replication ---------
+
+struct HandshakeKillPoint {
+  const char* label;
+  Op op;
+  const char* node;
+};
+
+class PeerHandshakeKillSweep : public ::testing::TestWithParam<HandshakeKillPoint> {};
+
+TEST_P(PeerHandshakeKillSweep, MeshRebuildsAndInferenceStaysBitwise) {
+  // A node dies inside connect_peers() itself — before the listener opens,
+  // between the listen and dial legs, or before the dialling worker is told
+  // where to connect. Re-running connect_peers() after the respawn must
+  // rebuild the full mesh (workers replace stale peer channels by name), and
+  // the request then rides worker->worker pushes with identical bits.
+  const HandshakeKillPoint point = GetParam();
+  const ThreeTierCase c;
+  const exec::WeightStore weights = exec::WeightStore::random_for(c.net, 105);
+  util::Rng rng(106);
+  const dnn::Tensor frame = exec::random_tensor(c.net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(c.net, weights).run(frame);
+
+  FaultCluster cluster;
+  for (const char* node : {"device0", "edge0", "cloud0"}) {
+    cluster.attach(node);
+    cluster.enable_respawn(node);
+  }
+  cluster.configure(c.net, weights, c.plan, 0);
+  cluster.faults->schedule(Fault{point.op, point.node, 1, Action::kKill, {}, ""});
+
+  // The first attempt dies at the scripted handshake point (the kPeerHello
+  // window needs one extra round: the dial leg fails against the dead
+  // listener first, the *next* attempt touches the dead channel and
+  // respawns). The linking loop is the caller-visible retry surface.
+  int failed_attempts = 0;
+  for (;; ++failed_attempts) {
+    ASSERT_LT(failed_attempts, 4) << point.label;
+    try {
+      cluster.socket->connect_peers();
+      break;
+    } catch (const rpc::TransportError&) {
+    }
+  }
+  EXPECT_GE(failed_attempts, 1) << point.label;
+
+  OnlineEngine::Options options;
+  options.transport = cluster.faults;
+  const OnlineEngine engine(c.net, weights, c.assignment, std::nullopt, options);
+
+  const InferenceResult result = engine.infer(frame);
+  expect_identical(result.output, reference);
+  expect_same_transcript(result, OnlineEngine(c.net, weights, c.assignment).infer(frame));
+  EXPECT_EQ(cluster.faults->stats().kills, 1u) << point.label;
+  EXPECT_GE(cluster.socket->stats().reconnects, 1u) << point.label;
+  // Both tier boundaries travelled worker->worker on the rebuilt mesh.
+  EXPECT_EQ(cluster.socket->stats().peer_pushes, 2u) << point.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ListenHelloDial, PeerHandshakeKillSweep,
+    ::testing::Values(
+        HandshakeKillPoint{"receiver_dies_before_listen", Op::kPeerListen, "edge0"},
+        HandshakeKillPoint{"receiver_dies_between_legs", Op::kPeerHello, "edge0"},
+        HandshakeKillPoint{"dialler_dies_before_connect", Op::kConnectPeer, "device0"}));
+
+TEST(FaultInjection, HeartbeatKillIsDetectedOnFirstProbeWithNoSendInFlight) {
+  // SIGKILL a worker right before a liveness probe touches it, with *no*
+  // request anywhere: the probe — not a send — must raise ChannelDied, and
+  // its recovery (respawn + kConfig replay) must leave the cluster ready to
+  // serve the next request without a send-time surprise.
+  const ThreeTierCase c;
+  const exec::WeightStore weights = exec::WeightStore::random_for(c.net, 107);
+  util::Rng rng(108);
+  const dnn::Tensor frame = exec::random_tensor(c.net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(c.net, weights).run(frame);
+
+  FaultCluster cluster;
+  for (const char* node : {"device0", "edge0", "cloud0"}) {
+    cluster.attach(node);
+    cluster.enable_respawn(node);
+  }
+  cluster.configure(c.net, weights, c.plan, 0);
+  cluster.socket->enable_heartbeats(rpc::SocketTransport::HeartbeatPolicy{
+      std::chrono::milliseconds(10), std::chrono::milliseconds(100), 3});
+  cluster.faults->schedule(Fault{Op::kPing, "edge0", 1, Action::kKill, {}, ""});
+
+  EXPECT_THROW(cluster.faults->ping("edge0"), rpc::ChannelDied);
+  EXPECT_EQ(cluster.faults->stats().kills, 1u);
+  EXPECT_EQ(cluster.socket->stats().pings, 1u);
+  // A dead socket is terminal on the very first probe: no miss-threshold wait.
+  EXPECT_EQ(cluster.socket->stats().heartbeat_deaths, 1u);
+  EXPECT_EQ(cluster.socket->stats().reconnects, 1u);
+
+  OnlineEngine::Options options;
+  options.transport = cluster.faults;
+  const OnlineEngine engine(c.net, weights, c.assignment, std::nullopt, options);
+  const InferenceResult result = engine.infer(frame);
+  expect_identical(result.output, reference);
+  expect_same_transcript(result, OnlineEngine(c.net, weights, c.assignment).infer(frame));
+  EXPECT_EQ(engine.stats().recoveries, 0u);  // the probe already paid for it
+}
+
+TEST(FaultInjection, BuddyDeathMakesReplicationBestEffort) {
+  // The buddy dies right before the first kPutReplica: replication is
+  // best-effort by contract, so the request in flight must complete bitwise
+  // identical anyway — the only trace is a replica_failures tick (and the
+  // recovery the cloud tier later needs, since the buddy is also cloud0).
+  const ThreeTierCase c;
+  const exec::WeightStore weights = exec::WeightStore::random_for(c.net, 109);
+  util::Rng rng(110);
+  const dnn::Tensor frame = exec::random_tensor(c.net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(c.net, weights).run(frame);
+
+  FaultCluster cluster;
+  for (const char* node : {"device0", "edge0", "cloud0"}) {
+    cluster.attach(node);
+    cluster.enable_respawn(node);
+  }
+  cluster.configure(c.net, weights, c.plan, 0);
+  cluster.socket->set_buddy("cloud0");
+  cluster.faults->schedule(Fault{Op::kPutReplica, "cloud0", 1, Action::kKill, {}, ""});
+
+  OnlineEngine::Options options;
+  options.transport = cluster.faults;
+  const OnlineEngine engine(c.net, weights, c.assignment, std::nullopt, options);
+
+  const InferenceResult result = engine.infer(frame);
+  expect_identical(result.output, reference);
+  expect_same_transcript(result, OnlineEngine(c.net, weights, c.assignment).infer(frame));
+  EXPECT_EQ(cluster.faults->stats().kills, 1u);
+  EXPECT_GE(cluster.faults->op_count(Op::kPutReplica), 1u);
+  EXPECT_EQ(cluster.socket->stats().replica_failures, 1u);
+  EXPECT_EQ(cluster.socket->stats().replica_pushes, 0u);
+  EXPECT_GE(cluster.socket->stats().reconnects, 1u);
+}
+
 }  // namespace
 }  // namespace d3::runtime

@@ -1,0 +1,207 @@
+// Unit coverage for the request journal (ISSUE 7): snapshot wire round-trips,
+// write-ahead replay semantics (last snapshot wins, finish kills, ascending
+// order), torn-tail tolerance after a mid-append death, plan-hash guarding,
+// and the engine-side journal lifecycle on a completed request.
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/plan_io.h"
+#include "dnn/model_zoo.h"
+#include "exec/executor.h"
+#include "runtime/engine.h"
+#include "runtime/request_journal.h"
+#include "util/rng.h"
+
+namespace d3::runtime {
+namespace {
+
+std::string temp_journal(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+core::Assignment three_tier_plan(const dnn::Network& net) {
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  const std::size_t n = net.num_layers();
+  for (std::size_t id = 0; id < n; ++id) {
+    if (id < 2) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+    else if (id < 2 + (n - 2) / 2) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  }
+  return a;
+}
+
+Snapshot sample_snapshot(std::uint64_t request, int next_stage) {
+  Snapshot s;
+  s.rpc_request = request;
+  s.plan_hash = 0x1234abcd5678ef00ull;
+  s.next_stage = next_stage;
+  s.input = {0x01, 0x02, 0xff, 0x00, 0x7f};
+  MessageRecord m;
+  m.seq = 0;
+  m.from_node = "device0";
+  m.to_node = "edge0";
+  m.payload = "layer1";
+  m.from_tier = core::Tier::kDevice;
+  m.to_tier = core::Tier::kEdge;
+  m.bytes = 4096;
+  s.messages.push_back(m);
+  m.seq = 1;
+  m.from_node = "edge0";
+  m.to_node = "cloud0";
+  m.payload = "layer3";
+  m.from_tier = core::Tier::kEdge;
+  m.to_tier = core::Tier::kCloud;
+  m.bytes = 1024;
+  s.messages.push_back(m);
+  s.device_edge_bytes = 4096;
+  s.edge_cloud_bytes = 1024;
+  s.device_cloud_bytes = 0;
+  s.layers_executed = {2, 3, 0};
+  s.vsm_scatter_bytes = 17;
+  s.vsm_gather_bytes = 23;
+  s.computed = {true, true, false, true};
+  s.sent = {{{true, true, false}}, {{false, true, false}}};
+  s.shipped = {{{true, false, false}}, {{false, true, true}}};
+  s.vsm_recorded = {{{true, false}}, {{true, true}}};
+  return s;
+}
+
+void expect_snapshot_eq(const Snapshot& a, const Snapshot& b) {
+  EXPECT_EQ(a.rpc_request, b.rpc_request);
+  EXPECT_EQ(a.plan_hash, b.plan_hash);
+  EXPECT_EQ(a.next_stage, b.next_stage);
+  EXPECT_EQ(a.input, b.input);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i].seq, b.messages[i].seq);
+    EXPECT_EQ(a.messages[i].from_node, b.messages[i].from_node);
+    EXPECT_EQ(a.messages[i].to_node, b.messages[i].to_node);
+    EXPECT_EQ(a.messages[i].payload, b.messages[i].payload);
+    EXPECT_EQ(a.messages[i].from_tier, b.messages[i].from_tier);
+    EXPECT_EQ(a.messages[i].to_tier, b.messages[i].to_tier);
+    EXPECT_EQ(a.messages[i].bytes, b.messages[i].bytes);
+  }
+  EXPECT_EQ(a.device_edge_bytes, b.device_edge_bytes);
+  EXPECT_EQ(a.edge_cloud_bytes, b.edge_cloud_bytes);
+  EXPECT_EQ(a.device_cloud_bytes, b.device_cloud_bytes);
+  EXPECT_EQ(a.layers_executed, b.layers_executed);
+  EXPECT_EQ(a.vsm_scatter_bytes, b.vsm_scatter_bytes);
+  EXPECT_EQ(a.vsm_gather_bytes, b.vsm_gather_bytes);
+  EXPECT_EQ(a.computed, b.computed);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.shipped, b.shipped);
+  EXPECT_EQ(a.vsm_recorded, b.vsm_recorded);
+}
+
+TEST(Snapshot, EncodeDecodeRoundTripsEveryField) {
+  const Snapshot original = sample_snapshot(42, 2);
+  const std::vector<std::uint8_t> bytes = original.encode();
+  const Snapshot decoded = Snapshot::decode(bytes);
+  expect_snapshot_eq(decoded, original);
+}
+
+TEST(Snapshot, DecodeRejectsTruncatedBody) {
+  const std::vector<std::uint8_t> bytes = sample_snapshot(7, 1).encode();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{4}, bytes.size() - 1})
+    EXPECT_THROW(Snapshot::decode(std::span(bytes.data(), keep)), std::runtime_error);
+}
+
+TEST(RequestJournal, MissingFileLoadsEmpty) {
+  EXPECT_TRUE(RequestJournal::load(temp_journal("journal_never_written.d3j")).empty());
+}
+
+TEST(RequestJournal, LastSnapshotWinsFinishKillsOrderAscending) {
+  const std::string path = temp_journal("journal_replay.d3j");
+  std::filesystem::remove(path);
+  {
+    RequestJournal journal(path);
+    journal.record(sample_snapshot(3, 0));
+    journal.record(sample_snapshot(1, 1));
+    journal.record(sample_snapshot(3, 2));  // supersedes the next_stage=0 record
+    journal.record(sample_snapshot(2, 1));
+    journal.finish(2);  // request 2 completed: its snapshot is dead
+  }
+  const std::vector<Snapshot> live = RequestJournal::load(path);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].rpc_request, 1u);
+  EXPECT_EQ(live[0].next_stage, 1);
+  EXPECT_EQ(live[1].rpc_request, 3u);
+  EXPECT_EQ(live[1].next_stage, 2);
+}
+
+TEST(RequestJournal, TornTailStopsAtLastCompleteRecord) {
+  const std::string path = temp_journal("journal_torn.d3j");
+  std::filesystem::remove(path);
+  {
+    RequestJournal journal(path);
+    journal.record(sample_snapshot(1, 1));
+    journal.record(sample_snapshot(2, 2));
+  }
+  // A coordinator SIGKILLed mid-append leaves a partial record; every torn
+  // length must replay as "stop at the last complete record", never throw.
+  const std::uintmax_t full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 3);
+  std::vector<Snapshot> live = RequestJournal::load(path);
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].rpc_request, 1u);
+
+  // Tearing into the first record leaves an empty journal, not an error.
+  std::filesystem::resize_file(path, 5);
+  EXPECT_TRUE(RequestJournal::load(path).empty());
+}
+
+TEST(RequestJournal, PlanHashIsDeterministicAndPlanSensitive) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  core::Assignment plan = three_tier_plan(net);
+  const std::uint64_t h1 = plan_hash(core::SerializablePlan{"", plan, std::nullopt});
+  const std::uint64_t h2 = plan_hash(core::SerializablePlan{"", plan, std::nullopt});
+  EXPECT_EQ(h1, h2);
+
+  core::Assignment other = plan;  // move one edge layer to the cloud
+  other.tier[dnn::Network::vertex_of(2)] = core::Tier::kCloud;
+  EXPECT_NE(h1, plan_hash(core::SerializablePlan{"", other, std::nullopt}));
+}
+
+TEST(RequestJournal, RestoreRejectsPlanHashMismatch) {
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 21);
+  const core::Assignment plan = three_tier_plan(net);
+  const OnlineEngine engine(net, weights, plan);
+
+  Snapshot snapshot = sample_snapshot(1, 1);
+  snapshot.plan_hash = plan_hash(core::SerializablePlan{"", plan, std::nullopt}) + 1;
+  // The hash guard fires before any size or transport validation: a snapshot
+  // from a different deployment plan must never start mis-routing slots.
+  EXPECT_THROW(engine.restore(snapshot), std::invalid_argument);
+}
+
+TEST(RequestJournal, CompletedRequestsLeaveNoLiveSnapshots) {
+  const std::string path = temp_journal("journal_lifecycle.d3j");
+  std::filesystem::remove(path);
+
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 21);
+  util::Rng rng(22);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+
+  OnlineEngine::Options options;
+  options.journal = std::make_shared<RequestJournal>(path);
+  const OnlineEngine engine(net, weights, three_tier_plan(net), std::nullopt, options);
+  engine.infer(input);
+  engine.infer(input);
+
+  // Snapshots were appended at every tier boundary (the file is non-trivial),
+  // but both requests finished, so a standby replaying the journal has
+  // nothing to take over.
+  EXPECT_GT(std::filesystem::file_size(path), 0u);
+  EXPECT_TRUE(RequestJournal::load(path).empty());
+}
+
+}  // namespace
+}  // namespace d3::runtime

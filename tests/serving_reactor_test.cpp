@@ -308,6 +308,74 @@ TEST(ServingReactorPolicy, DeadlineExpiresWhileWaitingPaused) {
   reactor.resume();
 }
 
+// --- Deterministic shutdown ---------------------------------------------------
+
+TEST(ServingReactorShutdown, ShedsWaitingRequestsWithDistinctReasonExactlyOnce) {
+  Fixture f(dnn::zoo::tiny_chain());
+  const OnlineEngine engine(f.net, f.weights, three_tier_plan(f.net));
+
+  ServingReactor::Options options;
+  options.start_paused = true;  // all four requests sit in the waiting queue
+  ServingReactor reactor(engine, options);
+
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(reactor.submit(f.input));
+  reactor.shutdown();
+
+  // Each request observes the shutdown exactly once: the first wait() throws
+  // RequestShed naming the distinct reason, a second wait() throws logic_error
+  // — identical to the already-collected contract of a completed result.
+  for (const std::size_t id : ids) {
+    try {
+      reactor.wait(id);
+      FAIL() << "request " << id << " was not shed";
+    } catch (const RequestShed& e) {
+      EXPECT_NE(std::string(e.what()).find("reactor shutdown"), std::string::npos);
+    }
+    EXPECT_THROW(reactor.wait(id), std::logic_error);
+  }
+
+  const ServingReactor::Stats stats = reactor.stats();
+  EXPECT_EQ(stats.shutdown_shed, 4u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.expired, 0u);  // shutdown sheds are not deadline expiries
+  EXPECT_THROW(reactor.submit(f.input), std::logic_error);
+  reactor.shutdown();  // idempotent: every ticket is already finished
+}
+
+TEST(ServingReactorShutdown, InflightRequestsAreShedOrCompletedNeverLost) {
+  Fixture f(dnn::zoo::tiny_chain());
+  // A slow edge stage keeps the burst genuinely in flight when shutdown lands:
+  // admitted continuations must be torn down on the reactor thread, not leak.
+  OnlineEngine::Options engine_options;
+  engine_options.emulated_tier_service_seconds = {0.0, 0.01, 0.0};
+  const OnlineEngine engine(f.net, f.weights, three_tier_plan(f.net), std::nullopt,
+                            engine_options);
+
+  ServingReactor reactor(engine);
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(reactor.submit(f.input));
+  reactor.shutdown();  // returns only once every ticket is finished
+
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  for (const std::size_t id : ids) {
+    try {
+      expect_identical(reactor.wait(id).output, f.reference);
+      ++completed;
+    } catch (const RequestShed& e) {
+      EXPECT_NE(std::string(e.what()).find("reactor shutdown"), std::string::npos);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(completed + shed, ids.size());
+
+  const ServingReactor::Stats stats = reactor.stats();
+  EXPECT_EQ(stats.completed, completed);
+  EXPECT_EQ(stats.shutdown_shed, shed);
+  EXPECT_GE(stats.shutdown_shed, 1u);  // shutdown beat the 10 ms edge stages
+}
+
 TEST(ServingReactorPolicy, WaitIsExactlyOncePerId) {
   Fixture f(dnn::zoo::tiny_chain());
   const OnlineEngine engine(f.net, f.weights, three_tier_plan(f.net));

@@ -1,17 +1,28 @@
 // d3_node: one computation node of the distributed online engine as its own OS
 // process (the per-tier machines of paper Fig. 2).
 //
-// Spawned by the coordinator (rpc::WorkerProcess) as
+// Two modes:
 //
 //   d3_node --connect <host> <port> [--crash-after <frames>]
 //
-// it dials back over localhost TCP and serves the node protocol (rpc/
-// node_service.h) until the coordinator hangs up: receive the model name +
-// weights + plan, hold per-request tensor slots, run layers and VSM stacks on
-// demand. --crash-after N makes the process exit abruptly (no reply) on the
-// (N+1)th coordinator frame — a deterministic, scriptable stand-in for a
-// SIGKILL at an exact protocol point, used by the fault-injection tests.
-// Exit code 0 on clean shutdown, 1 on any protocol or socket failure.
+// spawned by the coordinator (rpc::WorkerProcess), dials back over TCP and
+// serves the node protocol (rpc/node_service.h) until the coordinator hangs
+// up: receive the model name + weights + plan, hold per-request tensor slots,
+// run layers and VSM stacks on demand.
+//
+//   d3_node --listen <port> [--crash-after <frames>]
+//
+// binds <port> (0 = ephemeral), prints "PORT <port>" on stdout, and serves
+// coordinator connections accepted from it — one at a time, with one
+// persistent node state across them. A coordinator that dies is survived: its
+// successor dials the same port, replays kConfig (idempotent) and finds the
+// per-request slots and buddy replicas intact. This is the worker side of
+// coordinator failover (rpc::ListenWorkerProcess spawns it in tests).
+//
+// --crash-after N makes the process exit abruptly (no reply) on the (N+1)th
+// coordinator frame — a deterministic, scriptable stand-in for a SIGKILL at an
+// exact protocol point, used by the fault-injection tests. Exit code 0 on
+// clean shutdown, 1 on any protocol or socket failure.
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -21,17 +32,18 @@
 
 int main(int argc, char** argv) {
   const auto usage = [&] {
-    std::fprintf(stderr, "usage: %s --connect <host> <port> [--crash-after <frames>]\n",
-                 argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s --connect <host> <port> [--crash-after <frames>]\n"
+                 "       %s --listen <port> [--crash-after <frames>]\n",
+                 argv[0], argv[0]);
     return 2;
   };
-  if (argc < 4 || std::string(argv[1]) != "--connect") return usage();
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
   try {
-    const std::string host = argv[2];
-    const unsigned long port = std::stoul(argv[3]);
-    if (port == 0 || port > 65535) throw d3::rpc::SocketError("port out of range");
     d3::rpc::ServeOptions options;
-    int arg = 4;
+    int arg = mode == "--connect" ? 4 : 3;
+    if (mode == "--connect" && argc < 4) return usage();
     while (arg < argc) {
       if (std::string(argv[arg]) == "--crash-after" && arg + 1 < argc) {
         options.crash_after_frames = std::stoull(argv[arg + 1]);
@@ -40,10 +52,28 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    d3::rpc::Socket socket =
-        d3::rpc::tcp_connect(host, static_cast<std::uint16_t>(port));
-    d3::rpc::serve_node(socket.fd(), options);
-    return 0;
+    if (mode == "--connect") {
+      const std::string host = argv[2];
+      const unsigned long port = std::stoul(argv[3]);
+      if (port == 0 || port > 65535) throw d3::rpc::SocketError("port out of range");
+      d3::rpc::Socket socket =
+          d3::rpc::tcp_connect(host, static_cast<std::uint16_t>(port));
+      d3::rpc::serve_node(socket.fd(), options);
+      return 0;
+    }
+    if (mode == "--listen") {
+      const unsigned long requested = std::stoul(argv[2]);
+      if (requested > 65535) throw d3::rpc::SocketError("port out of range");
+      std::uint16_t port = static_cast<std::uint16_t>(requested);
+      d3::rpc::Socket listener = d3::rpc::tcp_listen(port);
+      // The bound (possibly ephemeral) port is the spawner's handle to this
+      // worker; flushed so a pipe reader sees it before the first accept.
+      std::printf("PORT %u\n", static_cast<unsigned>(port));
+      std::fflush(stdout);
+      d3::rpc::serve_listen_node(listener, options);
+      return 0;
+    }
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "d3_node: %s\n", e.what());
     return 1;
