@@ -1,9 +1,11 @@
 #include "rpc/node_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -545,9 +547,17 @@ Hangup serve_until_hangup(NodeService& service, int fd, const ServeOptions& opti
       if (served == options.crash_after_frames) ::_exit(137);
       ++served;
       if (request.kind == MsgKind::kShutdown) {
-        write_frame(fd, MsgKind::kOk, {});
+        write_frame(fd, MsgKind::kOk, {}, request.corr);
         return Hangup::kShutdown;
       }
+      // Emulated service latency concentrates on the compute verbs: the sleep
+      // happens before the reply, so a coordinator pipelining several
+      // outstanding frames sees the replies spaced by the service time —
+      // exactly what the overlap bench must hide behind other channels.
+      if (options.service_seconds > 0 && (request.kind == MsgKind::kRunLayer ||
+                                          request.kind == MsgKind::kRunStack))
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.service_seconds));
       Frame reply;
       try {
         reply = service.handle(request);
@@ -561,7 +571,9 @@ Hangup serve_until_hangup(NodeService& service, int fd, const ServeOptions& opti
         w.str(e.what());
         reply = Frame{MsgKind::kError, w.take()};
       }
-      write_frame(fd, reply.kind, reply.body);
+      // Echo the request's correlation id: the transport matches this reply to
+      // its per-channel pending-op queue.
+      write_frame(fd, reply.kind, reply.body, request.corr);
     } else if (service.is_peer_listener(rfd)) {
       service.accept_peer();
     } else {

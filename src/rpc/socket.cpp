@@ -167,22 +167,49 @@ Socket tcp_connect(const std::string& host, std::uint16_t port) {
   return sock;
 }
 
-void write_frame(int fd, MsgKind kind, std::span<const std::uint8_t> body) {
-  if (body.size() > kMaxFrameBytes)
-    throw SocketError("frame body of " + std::to_string(body.size()) + " bytes exceeds limit");
-  std::uint8_t header[13];
+namespace {
+
+// 21-byte header: u32 magic | u8 kind | u64 correlation id | u64 body length.
+constexpr std::size_t kFrameHeaderBytes = 21;
+
+void encode_header(std::uint8_t* header, MsgKind kind, std::uint64_t corr,
+                   std::uint64_t len) {
   for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(kFrameMagic >> (8 * i));
   header[4] = static_cast<std::uint8_t>(kind);
-  const std::uint64_t len = body.size();
-  for (int i = 0; i < 8; ++i) header[5 + i] = static_cast<std::uint8_t>(len >> (8 * i));
+  for (int i = 0; i < 8; ++i) header[5 + i] = static_cast<std::uint8_t>(corr >> (8 * i));
+  for (int i = 0; i < 8; ++i) header[13 + i] = static_cast<std::uint8_t>(len >> (8 * i));
+}
+
+}  // namespace
+
+void write_frame(int fd, MsgKind kind, std::span<const std::uint8_t> body,
+                 std::uint64_t corr) {
+  if (body.size() > kMaxFrameBytes)
+    throw SocketError("frame body of " + std::to_string(body.size()) + " bytes exceeds limit");
+  std::uint8_t header[kFrameHeaderBytes];
+  encode_header(header, kind, corr, body.size());
   write_all(fd, header, sizeof(header));
   if (!body.empty()) write_all(fd, body.data(), body.size());
+}
+
+void encode_frame(std::vector<std::uint8_t>& out, MsgKind kind,
+                  std::span<const std::uint8_t> body, std::uint64_t corr) {
+  if (body.size() > kMaxFrameBytes)
+    throw SocketError("frame body of " + std::to_string(body.size()) + " bytes exceeds limit");
+  std::uint8_t header[kFrameHeaderBytes];
+  encode_header(header, kind, corr, body.size());
+  out.insert(out.end(), header, header + sizeof(header));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+void write_bytes(int fd, std::span<const std::uint8_t> bytes) {
+  if (!bytes.empty()) write_all(fd, bytes.data(), bytes.size());
 }
 
 namespace {
 
 Frame read_frame_impl(int fd, bool eof_ok, bool& eof) {
-  std::uint8_t header[13];
+  std::uint8_t header[kFrameHeaderBytes];
   eof = false;
   if (read_all(fd, header, sizeof(header), eof_ok) == 0) {
     eof = true;
@@ -191,11 +218,13 @@ Frame read_frame_impl(int fd, bool eof_ok, bool& eof) {
   if (load_le32(header) != kFrameMagic)
     throw SocketError("frame: bad magic from peer " + describe_peer(fd));
   const std::uint8_t kind = header[4];
-  const std::uint64_t len = load_le64(header + 5);
+  const std::uint64_t corr = load_le64(header + 5);
+  const std::uint64_t len = load_le64(header + 13);
   if (len > kMaxFrameBytes)
     throw SocketError("frame: body length " + std::to_string(len) + " exceeds limit");
   Frame frame;
   frame.kind = static_cast<MsgKind>(kind);
+  frame.corr = corr;
   frame.body.resize(static_cast<std::size_t>(len));
   if (len > 0) read_all(fd, frame.body.data(), frame.body.size(), false);
   return frame;

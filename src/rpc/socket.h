@@ -3,11 +3,16 @@
 //
 // A frame is the unit of the coordinator <-> worker protocol:
 //
-//   u32 magic | u8 kind | u64 body length | body bytes
+//   u32 magic | u8 kind | u64 correlation id | u64 body length | body bytes
 //
-// read_frame() is strict — EOF mid-frame, a bad magic or an oversized length
-// raise SocketError, so a desynchronised stream can never be misparsed as a
-// valid message.
+// The correlation id lets one channel carry several outstanding request
+// frames: the coordinator stamps each request with a fresh id, the worker
+// echoes it verbatim in the reply, and the transport matches replies to its
+// per-channel pending-op queue (replies arrive in request order — TCP plus the
+// worker's serial serve loop — so the echo is a cross-check, not a reorder
+// mechanism). read_frame() is strict — EOF mid-frame, a bad magic or an
+// oversized length raise SocketError, so a desynchronised stream can never be
+// misparsed as a valid message.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +28,10 @@ class SocketError : public std::runtime_error {
   explicit SocketError(const std::string& what) : std::runtime_error("rpc: " + what) {}
 };
 
-inline constexpr std::uint32_t kFrameMagic = 0xD3A0000F;
+// Bumped (…0F -> …1F) when the correlation-id field was added to the header:
+// a stale binary on either end fails loudly on the first frame instead of
+// misparsing the stream.
+inline constexpr std::uint32_t kFrameMagic = 0xD3A0001F;
 inline constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 31;
 
 // Coordinator -> worker requests, worker -> coordinator replies, and the
@@ -123,10 +131,25 @@ Socket tcp_connect(const std::string& host, std::uint16_t port);
 struct Frame {
   MsgKind kind = MsgKind::kOk;
   std::vector<std::uint8_t> body;
+  // Correlation id echoed from request to reply (0 on channels that never
+  // pipeline: peer channels, handshakes). Declared last so the pre-existing
+  // Frame{kind, body} aggregate initializers stay valid.
+  std::uint64_t corr = 0;
 };
 
 // Writes one frame, looping over partial writes. Throws SocketError.
-void write_frame(int fd, MsgKind kind, std::span<const std::uint8_t> body);
+void write_frame(int fd, MsgKind kind, std::span<const std::uint8_t> body,
+                 std::uint64_t corr = 0);
+
+// Appends one encoded frame (header + body) to `out` without writing it — the
+// transport's per-channel outbox batches a burst of independent requests into
+// one write_bytes() flush (a writev-style pipelined send).
+void encode_frame(std::vector<std::uint8_t>& out, MsgKind kind,
+                  std::span<const std::uint8_t> body, std::uint64_t corr);
+
+// Writes a raw byte run (an outbox of encoded frames), looping over partial
+// writes. Throws SocketError.
+void write_bytes(int fd, std::span<const std::uint8_t> bytes);
 
 // Reads one frame. Throws SocketError on any malformation, including EOF
 // mid-frame.

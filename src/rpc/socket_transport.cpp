@@ -72,26 +72,43 @@ std::string SocketTransport::tile_node(std::size_t tile) const {
   return tile_workers_[tile % tile_workers_.size()]->name;
 }
 
-Frame SocketTransport::roundtrip_locked(Node& node, MsgKind kind,
-                                        std::span<const std::uint8_t> body, MsgKind expected) {
+std::shared_ptr<SocketTransport::PendingOp> SocketTransport::submit_op(
+    Node& node, MsgKind kind, std::span<const std::uint8_t> body, MsgKind expected) {
   if (!node.socket.valid())
     throw SocketError("node '" + node.name + "': channel is down");
-  // A missed heartbeat probe leaves its kPong unread on the stream (the worker
-  // was slow, not dead); drain it before interleaving a real call, or the
-  // stale pong would desync the request/response framing. A late pong is also
-  // proof of life.
-  while (node.pending_pongs > 0) {
-    const Frame late = read_frame(node.socket.fd());
-    if (late.kind != MsgKind::kPong)
-      throw SocketError("node '" + node.name + "' (peer " + describe_peer(node.socket.fd()) +
-                        "): expected a late heartbeat kPong, got kind " +
-                        std::to_string(static_cast<int>(late.kind)));
-    --node.pending_pongs;
-    node.misses.store(0, std::memory_order_relaxed);
-  }
-  write_frame(node.socket.fd(), kind, body);
-  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  auto op = std::make_shared<PendingOp>();
+  op->corr = node.next_corr++;
+  op->sent = kind;
+  op->expected = expected;
+  encode_frame(node.outbox, kind, body, op->corr);
+  ++node.outbox_frames;
+  node.pending.push_back(op);
+  return op;
+}
+
+void SocketTransport::flush_locked(Node& node) {
+  if (node.outbox.empty()) return;
+  if (node.outbox_frames > 1) pipelined_sends_.fetch_add(1, std::memory_order_relaxed);
+  frames_sent_.fetch_add(node.outbox_frames, std::memory_order_relaxed);
+  // Moved out before the write: a mid-write failure must not leave half-sent
+  // bytes queued for a retry on the (recovered) channel.
+  const std::vector<std::uint8_t> bytes = std::move(node.outbox);
+  node.outbox.clear();
+  node.outbox_frames = 0;
+  write_bytes(node.socket.fd(), bytes);
+}
+
+void SocketTransport::drain_one_locked(Node& node) {
+  if (node.pending.empty())
+    throw SocketError("node '" + node.name + "': reply arrived with no frame outstanding");
   Frame reply = read_frame(node.socket.fd());
+  const std::shared_ptr<PendingOp> op = node.pending.front();
+  if (reply.corr != op->corr)
+    throw SocketError("node '" + node.name + "': correlation desync — expected id " +
+                      std::to_string(op->corr) + ", got id " + std::to_string(reply.corr) +
+                      " (reply kind " + std::to_string(static_cast<int>(reply.kind)) + ")");
+  node.pending.pop_front();
+  if (node.ping_op == op) node.ping_op.reset();
   if (reply.kind == MsgKind::kErrorState) {
     // A fresh worker incarnation (respawned after a death that some *other*
     // call already paid for) has no per-request state for this request. The
@@ -101,26 +118,79 @@ Frame SocketTransport::roundtrip_locked(Node& node, MsgKind kind,
     WireReader r(reply.body);
     const std::string lost = r.str();
     const std::string message = r.str();
-    throw ChannelDied(lost, /*channel_restored=*/true,
-                      "node '" + lost + "' lost its per-request state (" + message +
-                          "); reopen + re-seed to recover");
-  }
-  if (reply.kind == MsgKind::kError) {
+    op->error = std::make_exception_ptr(
+        ChannelDied(lost, /*channel_restored=*/true,
+                    "node '" + lost + "' lost its per-request state (" + message +
+                        "); reopen + re-seed to recover"));
+  } else if (reply.kind == MsgKind::kError) {
     WireReader r(reply.body);
-    throw TransportError("node '" + node.name + "': " + r.str());
+    op->error =
+        std::make_exception_ptr(TransportError("node '" + node.name + "': " + r.str()));
+  } else if (reply.kind != op->expected) {
+    op->error = std::make_exception_ptr(TransportError(
+        "node '" + node.name + "': unexpected reply kind " +
+        std::to_string(static_cast<int>(reply.kind)) + " to request kind " +
+        std::to_string(static_cast<int>(op->sent))));
+  } else {
+    // A drained kPong is proof of life no matter which caller drained it.
+    if (op->sent == MsgKind::kPing) node.misses.store(0, std::memory_order_relaxed);
+    if (op->is_fetch) {
+      payload_bytes_fetched_.fetch_add(reply.body.size(), std::memory_order_relaxed);
+      try {
+        op->tensor = decode_tensor(std::span<const std::uint8_t>(reply.body));
+      } catch (const std::exception&) {
+        op->error = std::current_exception();
+      }
+    }
+    op->reply = std::move(reply);
   }
-  if (reply.kind != expected)
-    throw TransportError("node '" + node.name + "': unexpected reply kind " +
-                         std::to_string(static_cast<int>(reply.kind)) + " to request kind " +
-                         std::to_string(static_cast<int>(kind)));
-  return reply;
+  op->completed.store(true, std::memory_order_release);
+}
+
+void SocketTransport::fail_pending_and_recover_locked(Node& node, const std::string& error) {
+  std::deque<std::shared_ptr<PendingOp>> failed;
+  failed.swap(node.pending);
+  node.outbox.clear();
+  node.outbox_frames = 0;
+  node.ping_op.reset();
+  try {
+    recover_locked(node, error);  // always throws
+  } catch (...) {
+    // Every op queued on the dead socket shares the recovery outcome: a parked
+    // waiter learns of the death (and whether the channel was restored) from
+    // its own handle, exactly like a blocking caller would from the throw.
+    const std::exception_ptr outcome = std::current_exception();
+    for (const std::shared_ptr<PendingOp>& op : failed) {
+      if (op->completed.load(std::memory_order_acquire)) continue;
+      op->error = outcome;
+      op->completed.store(true, std::memory_order_release);
+    }
+    throw;
+  }
+}
+
+Frame SocketTransport::roundtrip_locked(Node& node, MsgKind kind,
+                                        std::span<const std::uint8_t> body, MsgKind expected) {
+  const std::shared_ptr<PendingOp> op = submit_op(node, kind, body, expected);
+  flush_locked(node);
+  // Replies are strictly FIFO per channel: earlier issued-but-unanswered
+  // frames (pipelined async ops, an outstanding heartbeat ping) complete
+  // first, then this one.
+  while (!op->completed.load(std::memory_order_acquire)) drain_one_locked(node);
+  if (op->error) std::rethrow_exception(op->error);
+  return std::move(op->reply);
 }
 
 void SocketTransport::recover_locked(Node& node, const std::string& error) {
   node.socket.close();
-  // Heartbeat bookkeeping was about the dead socket; a fresh incarnation
-  // starts clean.
-  node.pending_pongs = 0;
+  // Heartbeat and correlation bookkeeping was about the dead socket; a fresh
+  // incarnation starts clean. (Callers with queued ops move them out first —
+  // fail_pending_and_recover_locked completes them with this recovery's
+  // outcome; anything still here belonged to no live waiter.)
+  node.pending.clear();
+  node.outbox.clear();
+  node.outbox_frames = 0;
+  node.ping_op.reset();
   node.misses.store(0, std::memory_order_relaxed);
   if (!node.reconnect)
     throw ChannelDied(node.name, /*channel_restored=*/false,
@@ -137,9 +207,25 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
       node.socket = node.reconnect();
       node.peer = describe_peer(node.socket.fd());
       // A fresh process knows nothing: replay the cached deployment bundle so
-      // the channel is immediately serviceable for recovered requests.
-      if (!node.config_body.empty())
-        roundtrip_locked(node, MsgKind::kConfig, node.config_body, MsgKind::kOk);
+      // the channel is immediately serviceable for recovered requests. Direct
+      // frame I/O, not the pending queue — the queue was torn down with the
+      // dead socket, and exactly one frame is outstanding here.
+      if (!node.config_body.empty()) {
+        const std::uint64_t corr = node.next_corr++;
+        write_frame(node.socket.fd(), MsgKind::kConfig, node.config_body, corr);
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
+        const Frame reply = read_frame(node.socket.fd());
+        if (reply.corr != corr)
+          throw SocketError("node '" + node.name + "': kConfig replay correlation desync");
+        if (reply.kind != MsgKind::kOk) {
+          std::string message = "reply kind " + std::to_string(static_cast<int>(reply.kind));
+          if (reply.kind == MsgKind::kError) {
+            WireReader r(reply.body);
+            message = r.str();
+          }
+          throw SocketError("node '" + node.name + "': kConfig replay rejected: " + message);
+        }
+      }
       reconnects_.fetch_add(1, std::memory_order_relaxed);
       // The channel is healthy again, but this worker incarnation never saw
       // the in-flight request's kBegin/kPut history — the engine must reopen
@@ -163,13 +249,110 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
                         std::to_string(node.retry.max_attempts) + " attempts: " + last);
 }
 
+// AsyncOp over one queued frame. poll()/wait() flush the node's outbox (the
+// frame may still be sitting there unsent) and drain replies — in FIFO order,
+// so they may complete *earlier* ops first; completion failures (including a
+// channel death, which runs full recovery) land in `error` instead of being
+// thrown, so a parked caller can always settle every handle it holds before
+// acting on any of them.
+class SocketTransport::SocketOp final : public Transport::AsyncOp {
+ public:
+  SocketOp(SocketTransport& transport, Node& node, std::shared_ptr<PendingOp> op,
+           std::uint64_t issue_bytes)
+      : transport_(&transport), node_(&node), op_(std::move(op)) {
+    bytes = issue_bytes;
+  }
+
+  bool poll() override { return advance(/*block=*/false); }
+  void wait() override { advance(/*block=*/true); }
+  bool settled() const override {
+    return done_ || op_->completed.load(std::memory_order_acquire);
+  }
+  int fd() override {
+    if (settled()) return -1;
+    std::lock_guard<std::mutex> lock(node_->mutex);
+    // The frame must actually be on the wire before readiness of this fd can
+    // mean anything to a reactor.
+    try {
+      transport_->flush_locked(*node_);
+    } catch (const SocketError& e) {
+      fail_locked(e);
+      return -1;
+    }
+    return node_->socket.valid() ? node_->socket.fd() : -1;
+  }
+
+ private:
+  bool advance(bool block) {
+    if (done_) return true;
+    std::lock_guard<std::mutex> lock(node_->mutex);
+    try {
+      if (!op_->completed.load(std::memory_order_acquire)) {
+        transport_->flush_locked(*node_);
+        while (!op_->completed.load(std::memory_order_acquire)) {
+          if (!block) {
+            const int fds[] = {node_->socket.fd()};
+            if (poll_readable(fds, 0) < 0) return false;  // no reply bytes yet
+          }
+          transport_->drain_one_locked(*node_);
+        }
+      }
+    } catch (const SocketError& e) {
+      fail_locked(e);
+      return true;
+    }
+    return finish_locked();
+  }
+
+  // Socket-level failure: run channel recovery and surface its outcome
+  // (ChannelDied) through `error` — poll()/wait()/fd() never throw.
+  void fail_locked(const SocketError& e) {
+    try {
+      transport_->fail_pending_and_recover_locked(*node_, e.what());
+    } catch (...) {
+      if (!op_->completed.load(std::memory_order_acquire)) {
+        op_->error = std::current_exception();
+        op_->completed.store(true, std::memory_order_release);
+      }
+    }
+    finish_locked();
+  }
+
+  bool finish_locked() {
+    error = op_->error;
+    if (!error && op_->tensor) tensor = std::move(op_->tensor);
+    if (!error && op_->is_fetch) bytes = op_->reply.body.size();
+    done_ = true;
+    return true;
+  }
+
+  SocketTransport* transport_;
+  Node* node_;
+  std::shared_ptr<PendingOp> op_;
+  bool done_ = false;
+};
+
+Transport::OpHandle SocketTransport::issue_call(Node& node, MsgKind kind,
+                                                std::span<const std::uint8_t> body,
+                                                MsgKind expected, bool is_fetch,
+                                                std::uint64_t issue_bytes) {
+  std::lock_guard<std::mutex> lock(node.mutex);
+  try {
+    std::shared_ptr<PendingOp> op = submit_op(node, kind, body, expected);
+    op->is_fetch = is_fetch;
+    return OpHandle(std::make_shared<SocketOp>(*this, node, std::move(op), issue_bytes));
+  } catch (const SocketError& e) {
+    fail_pending_and_recover_locked(node, e.what());  // issue-time failures throw
+  }
+}
+
 Frame SocketTransport::call(Node& node, MsgKind kind, std::span<const std::uint8_t> body,
                             MsgKind expected) {
   std::lock_guard<std::mutex> lock(node.mutex);
   try {
     return roundtrip_locked(node, kind, body, expected);
   } catch (const SocketError& e) {
-    recover_locked(node, e.what());  // always throws
+    fail_pending_and_recover_locked(node, e.what());  // always throws
   }
 }
 
@@ -210,6 +393,11 @@ void SocketTransport::set_reconnect(const std::string& node_name, ReconnectFn fn
 void SocketTransport::readmit(Node& node) {
   {
     std::lock_guard<std::mutex> lock(node.mutex);
+    // Any leftover correlation state belonged to the dead incarnation.
+    node.pending.clear();
+    node.outbox.clear();
+    node.outbox_frames = 0;
+    node.ping_op.reset();
     node.socket = node.reconnect();
     node.peer = describe_peer(node.socket.fd());
     // The fresh incarnation knows nothing: replay the cached deployment
@@ -309,6 +497,24 @@ std::uint64_t SocketTransport::open_request() {
   return id;
 }
 
+std::uint64_t SocketTransport::issue_open_request(std::vector<OpHandle>& ops) {
+  const std::uint64_t id = next_request_.fetch_add(1);
+  try {
+    for (auto& [name, node] : nodes_) {
+      if (node->detached.load(std::memory_order_acquire)) continue;
+      WireWriter w;
+      w.u64(id);
+      ops.push_back(issue_call(*node, MsgKind::kBegin, w.buffer()));
+    }
+  } catch (...) {
+    // Same leak guard as the blocking form. Outstanding kBegin handles the
+    // caller already holds settle ahead of the kEnd (per-channel FIFO).
+    close_request(id);
+    throw;
+  }
+  return id;
+}
+
 void SocketTransport::open_request_as(std::uint64_t request) {
   // A resumed id must never collide with a fresh one: advance the counter
   // past it before any broadcast can fail.
@@ -332,7 +538,13 @@ void SocketTransport::close_request(std::uint64_t request) noexcept {
     try {
       WireWriter w;
       w.u64(request);
-      call(*node, MsgKind::kEnd, w.buffer());
+      // Fire-and-forget: kEnd's kOk carries no information, and awaiting it
+      // would stall teardown behind every queued verb still cooking on the
+      // worker. Issue the frame, flush it (fd() writes the outbox), and drop
+      // the handle — per-channel FIFO retires the reply under whatever
+      // touches the channel next, and a reply still unread at channel close
+      // dies with the socket.
+      issue_call(*node, MsgKind::kEnd, w.buffer()).fd();
     } catch (...) {
       // Teardown path: a dead worker must not mask the original failure.
     }
@@ -548,6 +760,79 @@ dnn::Tensor SocketTransport::fetch(std::uint64_t request, const std::string& nod
   return decode_tensor(std::span<const std::uint8_t>(reply.body));
 }
 
+Transport::OpHandle SocketTransport::issue_seed(std::uint64_t request,
+                                                const std::string& node_name,
+                                                std::uint64_t slot, const dnn::Tensor& tensor) {
+  Node* node = find(node_name);
+  // In-process node: the base default (a completed no-op) keeps semantics.
+  if (!node) return Transport::issue_seed(request, node_name, slot, tensor);
+  runtime::MessageRecord meta;
+  meta.from_node = node_name;
+  meta.to_node = node_name;
+  meta.payload = "seed";
+  WireWriter w;
+  w.u64(request);
+  w.u64(slot);
+  const Envelope env{meta, encode_tensor(tensor)};
+  payload_bytes_sent_.fetch_add(env.payload.size(), std::memory_order_relaxed);
+  encode_envelope(w, env);
+  return issue_call(*node, MsgKind::kPut, w.buffer(), MsgKind::kOk, /*is_fetch=*/false,
+                    env.payload.size());
+}
+
+Transport::OpHandle SocketTransport::issue_send(std::uint64_t request,
+                                                const runtime::MessageRecord& meta,
+                                                std::uint64_t slot, const dnn::Tensor& tensor) {
+  Node* node = find(meta.to_node);
+  if (!node || slot == kNoSlot) return Transport::issue_send(request, meta, slot, tensor);
+  WireWriter w;
+  w.u64(request);
+  w.u64(slot);
+  const Envelope env{meta, encode_tensor(tensor)};
+  payload_bytes_sent_.fetch_add(env.payload.size(), std::memory_order_relaxed);
+  encode_envelope(w, env);
+  OpHandle handle = issue_call(*node, MsgKind::kPut, w.buffer(), MsgKind::kOk,
+                               /*is_fetch=*/false, env.payload.size());
+  if (find(meta.from_node) != nullptr)
+    relay_bytes_.fetch_add(env.payload.size(), std::memory_order_relaxed);
+  // Buddy replication stays synchronous and best-effort: it rides the buddy's
+  // own channel, so it cannot serialize behind this node's pending queue.
+  replicate(request, meta, slot, tensor);
+  return handle;
+}
+
+Transport::OpHandle SocketTransport::issue_run_layer(std::uint64_t request,
+                                                     const std::string& node_name,
+                                                     dnn::LayerId layer) {
+  Node* node = find(node_name);
+  if (!node) return OpHandle{};  // not remote: invalid handle = run it locally
+  WireWriter w;
+  w.u64(request);
+  w.u64(layer);
+  return issue_call(*node, MsgKind::kRunLayer, w.buffer());
+}
+
+Transport::OpHandle SocketTransport::issue_run_stack(std::uint64_t request,
+                                                     const std::string& node_name) {
+  Node* node = find(node_name);
+  if (!node) return OpHandle{};
+  WireWriter w;
+  w.u64(request);
+  return issue_call(*node, MsgKind::kRunStack, w.buffer());
+}
+
+Transport::OpHandle SocketTransport::issue_fetch(std::uint64_t request,
+                                                 const std::string& node_name,
+                                                 std::uint64_t slot) {
+  Node* node = find(node_name);
+  if (!node)
+    throw TransportError("fetch: node '" + node_name + "' is not attached");
+  WireWriter w;
+  w.u64(request);
+  w.u64(slot);
+  return issue_call(*node, MsgKind::kGet, w.buffer(), MsgKind::kTensor, /*is_fetch=*/true);
+}
+
 void SocketTransport::put_tile(std::uint64_t request, const runtime::MessageRecord& meta,
                                std::size_t tile, const dnn::Tensor& input) {
   Node& worker = tile_worker(tile);
@@ -632,31 +917,44 @@ void SocketTransport::ping(const std::string& node_name) {
       throw SocketError("node '" + node->name + "': channel is down");
     // At most one kPing is ever outstanding: a missed probe waits for the owed
     // kPong on later rounds instead of stacking new pings on the stream.
-    if (node->pending_pongs == 0) {
-      write_frame(node->socket.fd(), MsgKind::kPing, {});
-      frames_sent_.fetch_add(1, std::memory_order_relaxed);
-      ++node->pending_pongs;
+    if (!node->ping_op) {
+      node->ping_op = submit_op(*node, MsgKind::kPing, {}, MsgKind::kPong);
+      flush_locked(*node);
     }
-    const int fds[] = {node->socket.fd()};
+    const std::shared_ptr<PendingOp> probe = node->ping_op;
     const int timeout = static_cast<int>(heartbeat_policy_.timeout.count());
-    if (poll_readable(fds, timeout) < 0) {
-      const int missed = node->misses.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (missed < heartbeat_policy_.miss_threshold) return;  // suspect, not dead yet
-      heartbeat_deaths_.fetch_add(1, std::memory_order_relaxed);
-      recover_locked(*node, "missed " + std::to_string(missed) + " heartbeat probe(s) (peer " +
-                                node->peer + ")");
+    while (!probe->completed.load(std::memory_order_acquire)) {
+      const int fds[] = {node->socket.fd()};
+      if (poll_readable(fds, timeout) < 0) {
+        const int missed = node->misses.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (missed < heartbeat_policy_.miss_threshold) return;  // suspect, not dead yet
+        heartbeat_deaths_.fetch_add(1, std::memory_order_relaxed);
+        fail_pending_and_recover_locked(
+            *node, "missed " + std::to_string(missed) + " heartbeat probe(s) (peer " +
+                       node->peer + ")");
+      }
+      // Whatever is readable first may be an earlier op's reply (the queue is
+      // FIFO): drain in order until the probe's own kPong lands. Any async op
+      // this completes is picked up by its holder's settled() sweep.
+      drain_one_locked(*node);
     }
-    const Frame reply = read_frame(node->socket.fd());
-    if (reply.kind != MsgKind::kPong)
-      throw SocketError("node '" + node->name + "': unexpected heartbeat reply kind " +
-                        std::to_string(static_cast<int>(reply.kind)));
-    --node->pending_pongs;
+    if (probe->error) {
+      // A kPong answered with an error/mismatched kind is a desync, which is
+      // channel-fatal exactly like a socket failure on the probe.
+      try {
+        std::rethrow_exception(probe->error);
+      } catch (const ChannelDied&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw SocketError(e.what());
+      }
+    }
     node->misses.store(0, std::memory_order_relaxed);
   } catch (const SocketError& e) {
     // A closed or half-dead socket (SIGKILLed worker: poll reports readable,
     // the read sees EOF) is detected on the first probe — no threshold wait.
     heartbeat_deaths_.fetch_add(1, std::memory_order_relaxed);
-    recover_locked(*node, e.what());  // always throws ChannelDied
+    fail_pending_and_recover_locked(*node, e.what());  // always throws ChannelDied
   }
 }
 

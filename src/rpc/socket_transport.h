@@ -27,10 +27,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <sys/types.h>
@@ -84,6 +86,10 @@ class SocketTransport final : public Transport {
     // missed-beat threshold before any request send touched them.
     std::uint64_t pings = 0;
     std::uint64_t heartbeat_deaths = 0;
+    // Flushes that pushed more than one queued frame in a single write: the
+    // issue_* facade batches a tier's independent sends into one outbox and
+    // this counts how often the wire actually saw them coalesced.
+    std::uint64_t pipelined_sends = 0;
   };
 
   // Bounded-backoff policy for re-establishing a dead worker's channel.
@@ -198,6 +204,25 @@ class SocketTransport final : public Transport {
   dnn::Tensor fetch(std::uint64_t request, const std::string& node,
                     std::uint64_t slot) override;
 
+  // Asynchronous facade: each issued verb is queued on the node's outbox as a
+  // correlation-id-stamped frame and NOT flushed — consecutive issues against
+  // one channel coalesce into a single write (Stats::pipelined_sends). The
+  // frame goes out at the latest when the handle is first polled / waited on /
+  // asked for its fd. Replies complete strictly in issue order per channel
+  // (the worker serve loop is serial; correlation ids are verified on drain).
+  OpHandle issue_seed(std::uint64_t request, const std::string& node, std::uint64_t slot,
+                      const dnn::Tensor& tensor) override;
+  OpHandle issue_send(std::uint64_t request, const runtime::MessageRecord& meta,
+                      std::uint64_t slot, const dnn::Tensor& tensor) override;
+  OpHandle issue_run_layer(std::uint64_t request, const std::string& node,
+                           dnn::LayerId layer) override;
+  OpHandle issue_run_stack(std::uint64_t request, const std::string& node) override;
+  OpHandle issue_fetch(std::uint64_t request, const std::string& node,
+                       std::uint64_t slot) override;
+  // Async admission: one pipelined kBegin per attached node; handles appended
+  // to `ops`. Issue-time failure closes the request on every node and throws.
+  std::uint64_t issue_open_request(std::vector<OpHandle>& ops) override;
+
   bool send_peer(std::uint64_t request, const runtime::MessageRecord& meta,
                  std::uint64_t slot) override;
   // Failover-time delivery out of the buddy's replica store: asks the buddy
@@ -239,10 +264,27 @@ class SocketTransport final : public Transport {
             reconnects_.load(),    reopens_.load(),            detached_workers_.load(),
             readmitted_workers_.load(),    replica_pushes_.load(),
             replica_bytes_.load(), replica_failures_.load(),   replica_restores_.load(),
-            pings_.load(),         heartbeat_deaths_.load()};
+            pings_.load(),         heartbeat_deaths_.load(),   pipelined_sends_.load()};
   }
 
  private:
+  // One queued-but-unanswered frame on a channel: written (or still sitting in
+  // the node's outbox) with `corr` stamped in its header, completed when the
+  // matching reply is drained. The completion fields (error / tensor / reply)
+  // are written once, under the node mutex, before `completed` is flipped;
+  // issuers only read them after observing completed == true.
+  struct PendingOp {
+    std::uint64_t corr = 0;
+    MsgKind sent = MsgKind::kOk;      // request kind, for desync diagnostics
+    MsgKind expected = MsgKind::kOk;  // reply kind that means success
+    bool is_fetch = false;            // decode the reply body as a tensor
+    std::atomic<bool> completed{false};
+    Frame reply;
+    std::exception_ptr error;
+    std::optional<dnn::Tensor> tensor;
+  };
+  class SocketOp;  // AsyncOp over one PendingOp (defined in the .cpp)
+
   struct Node {
     std::string name;
     Socket socket;
@@ -264,12 +306,19 @@ class SocketTransport final : public Transport {
     std::atomic<bool> detached{false};
     // Heartbeat clocks. last_probe_ms (steady-clock millis of the last probe
     // round) and misses are atomics because ping() updates them even when the
-    // channel mutex is busy; pending_pongs (kPings written whose kPong has not
-    // been read yet — a missed probe leaves one on the stream) is only touched
-    // with the channel mutex held.
+    // channel mutex is busy. The outstanding kPing (a missed probe leaves its
+    // kPong owed on the stream) rides the same pending queue as every other
+    // frame; ping_op keeps a handle on it so at most one is ever in flight.
     std::atomic<std::int64_t> last_probe_ms{0};
     std::atomic<int> misses{0};
-    int pending_pongs = 0;
+    // Correlation machinery (all guarded by `mutex`): next id to stamp, the
+    // FIFO of unanswered frames, and the write-coalescing outbox of encoded
+    // frames not yet pushed to the socket.
+    std::uint64_t next_corr = 1;
+    std::deque<std::shared_ptr<PendingOp>> pending;
+    std::vector<std::uint8_t> outbox;
+    std::size_t outbox_frames = 0;
+    std::shared_ptr<PendingOp> ping_op;
   };
 
   Node* find(const std::string& node) const;
@@ -281,6 +330,26 @@ class SocketTransport final : public Transport {
              MsgKind expected = MsgKind::kOk);
   Frame roundtrip_locked(Node& node, MsgKind kind, std::span<const std::uint8_t> body,
                          MsgKind expected);
+  // Stamps a correlation id, encodes the frame into the node's outbox (no
+  // write yet) and queues its PendingOp. flush_locked pushes the whole outbox
+  // in one write; drain_one_locked reads one reply, matches it against
+  // pending.front() and completes that op (protocol errors are *stored* in the
+  // op, the channel stays in sync).
+  std::shared_ptr<PendingOp> submit_op(Node& node, MsgKind kind,
+                                       std::span<const std::uint8_t> body,
+                                       MsgKind expected = MsgKind::kOk);
+  void flush_locked(Node& node);
+  void drain_one_locked(Node& node);
+  // submit_op wrapped as an OpHandle for the issue_* facade (no flush: batching
+  // happens across consecutive issues; issue-time socket failures recover and
+  // throw exactly like the blocking verbs).
+  OpHandle issue_call(Node& node, MsgKind kind, std::span<const std::uint8_t> body,
+                      MsgKind expected = MsgKind::kOk, bool is_fetch = false,
+                      std::uint64_t issue_bytes = 0);
+  // Socket-level failure with ops in flight: every queued op is completed with
+  // the recovery outcome (ChannelDied) so parked waiters see the death too,
+  // then the same exception propagates to the caller that hit the failure.
+  [[noreturn]] void fail_pending_and_recover_locked(Node& node, const std::string& error);
   // Channel-death recovery: re-establish under bounded backoff (reconnect fn +
   // kConfig replay), then throw TransportError for the interrupted call.
   [[noreturn]] void recover_locked(Node& node, const std::string& error);
@@ -331,6 +400,7 @@ class SocketTransport final : public Transport {
   std::atomic<std::uint64_t> replica_restores_{0};
   std::atomic<std::uint64_t> pings_{0};
   std::atomic<std::uint64_t> heartbeat_deaths_{0};
+  std::atomic<std::uint64_t> pipelined_sends_{0};
 };
 
 // Forks and execs a d3_node worker binary connected back to this process over

@@ -15,6 +15,61 @@ dnn::Tensor Transport::fetch(std::uint64_t, const std::string& node, std::uint64
                        "'");
 }
 
+namespace {
+
+// An op that was completed synchronously at issue time (the base-class
+// issue_* forms, which just run the blocking verb).
+class ReadyOp final : public Transport::AsyncOp {
+ public:
+  bool poll() override { return true; }
+  void wait() override {}
+};
+
+Transport::OpHandle ready_op() {
+  return Transport::OpHandle(std::make_shared<ReadyOp>());
+}
+
+}  // namespace
+
+// The issue_* defaults dispatch the blocking verb through `this`, so a
+// decorator (FaultInjectionTransport) that overrides only the blocking verbs
+// still observes — and may fault — every issued op.
+Transport::OpHandle Transport::issue_seed(std::uint64_t request, const std::string& node,
+                                          std::uint64_t slot, const dnn::Tensor& tensor) {
+  seed(request, node, slot, tensor);
+  return ready_op();
+}
+
+Transport::OpHandle Transport::issue_send(std::uint64_t request,
+                                          const runtime::MessageRecord& meta,
+                                          std::uint64_t slot, const dnn::Tensor& tensor) {
+  OpHandle handle = ready_op();
+  handle.tensor() = send(request, meta, slot, tensor);
+  return handle;
+}
+
+Transport::OpHandle Transport::issue_run_layer(std::uint64_t request, const std::string& node,
+                                               dnn::LayerId layer) {
+  return run_layer(request, node, layer) ? ready_op() : OpHandle{};
+}
+
+Transport::OpHandle Transport::issue_run_stack(std::uint64_t request,
+                                               const std::string& node) {
+  return run_stack(request, node) ? ready_op() : OpHandle{};
+}
+
+Transport::OpHandle Transport::issue_fetch(std::uint64_t request, const std::string& node,
+                                           std::uint64_t slot) {
+  OpHandle handle = ready_op();
+  handle.tensor() = fetch(request, node, slot);
+  return handle;
+}
+
+std::uint64_t Transport::issue_open_request(std::vector<OpHandle>& ops) {
+  (void)ops;
+  return open_request();
+}
+
 bool Transport::send_peer(std::uint64_t, const runtime::MessageRecord&, std::uint64_t) {
   return false;
 }

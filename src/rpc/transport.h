@@ -26,9 +26,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dnn/network.h"
@@ -119,6 +121,105 @@ class Transport {
   // transports hosting `node` remotely; the base implementation throws.
   virtual dnn::Tensor fetch(std::uint64_t request, const std::string& node,
                             std::uint64_t slot);
+
+  // --- Asynchronous facade (issue/complete pairs) ---------------------------
+  //
+  // The blocking verbs above are round-trips: the caller's thread idles for
+  // the full wire wait. The issue_* forms split each verb into an *issue*
+  // (request written — or queued for a pipelined flush — and an OpHandle
+  // returned) and a *completion* (the handle polled or waited on), so an
+  // event-driven caller (OnlineEngine::step_async under ServingReactor
+  // readiness dispatch) can park a request on its outstanding handles and
+  // keep every other channel busy meanwhile.
+  //
+  // Contract:
+  //   * An *invalid* (default-constructed) handle means the verb was not
+  //     handled remotely — the same signal as run_layer() returning false —
+  //     and the caller proceeds locally. issue_seed/issue_send on a non-remote
+  //     node return a completed no-op handle instead (their blocking forms are
+  //     no-ops there, not local-fallback signals).
+  //   * Issue-time failures (dead channel detected while writing) throw
+  //     exactly like the blocking verb. *Completion* failures are stored in
+  //     the handle — poll() still returns true and error() carries the
+  //     exception (ChannelDied for a died channel, TransportError for a
+  //     worker-reported failure) — so one died channel fails its ops without
+  //     unwinding the caller mid-settle.
+  //   * Per channel, replies complete strictly in issue order (the worker
+  //     serve loop is serial); any thread draining a channel completes
+  //     whatever op is at the front of its queue, so blocking and issued
+  //     calls interleave safely on one channel.
+  //
+  // The base implementations run the blocking verb immediately and return an
+  // already-completed handle, so InProcessTransport, SerializingLoopback and
+  // decorators (FaultInjectionTransport) keep their exact semantics — the
+  // engine's async walk degenerates to the blocking walk on them.
+
+  // One outstanding issued operation. Completion state is owned by the
+  // transport; the handle is a shared view.
+  class AsyncOp {
+   public:
+    virtual ~AsyncOp() = default;
+    // Non-blocking: flushes any queued request bytes, drains whatever replies
+    // are ready, and returns true when this op has completed (possibly with a
+    // stored error).
+    virtual bool poll() = 0;
+    // Blocks until completed (never throws; errors land in `error`).
+    virtual void wait() = 0;
+    // True when the op has already been observed complete — no syscalls, so
+    // event loops may sweep many handles cheaply (a reply may be drained by
+    // any thread servicing the channel, not just this op's waiter).
+    virtual bool settled() const { return true; }
+    // The fd whose readability signals progress (-1 when completion is
+    // immediate). Calling fd() flushes queued request bytes first: a caller
+    // about to sleep on readability must have the request on the wire.
+    virtual int fd() { return -1; }
+
+    // Valid once completed:
+    std::exception_ptr error;            // null = success
+    std::optional<dnn::Tensor> tensor;   // issue_fetch result / issue_send wire copy
+    std::uint64_t bytes = 0;             // payload bytes the op moved
+  };
+
+  // Value-semantic wrapper: invalid (default) = "not handled remotely".
+  class OpHandle {
+   public:
+    OpHandle() = default;
+    explicit OpHandle(std::shared_ptr<AsyncOp> op) : op_(std::move(op)) {}
+    bool valid() const { return op_ != nullptr; }
+    explicit operator bool() const { return valid(); }
+    bool poll() { return op_->poll(); }
+    void wait() { op_->wait(); }
+    bool settled() const { return op_->settled(); }
+    int fd() { return op_->fd(); }
+    const std::exception_ptr& error() const { return op_->error; }
+    void rethrow() const {
+      if (op_->error) std::rethrow_exception(op_->error);
+    }
+    std::optional<dnn::Tensor>& tensor() { return op_->tensor; }
+    std::uint64_t bytes() const { return op_->bytes; }
+
+   private:
+    std::shared_ptr<AsyncOp> op_;
+  };
+
+  virtual OpHandle issue_seed(std::uint64_t request, const std::string& node,
+                              std::uint64_t slot, const dnn::Tensor& tensor);
+  virtual OpHandle issue_send(std::uint64_t request, const runtime::MessageRecord& meta,
+                              std::uint64_t slot, const dnn::Tensor& tensor);
+  virtual OpHandle issue_run_layer(std::uint64_t request, const std::string& node,
+                                   dnn::LayerId layer);
+  virtual OpHandle issue_run_stack(std::uint64_t request, const std::string& node);
+  virtual OpHandle issue_fetch(std::uint64_t request, const std::string& node,
+                               std::uint64_t slot);
+
+  // Async admission: allocates a request id and *issues* the per-node kBegin
+  // round-trips, appending one handle per remote node to `ops`. The request id
+  // is usable immediately — per-channel FIFO ordering guarantees any verb
+  // issued afterwards lands behind its node's kBegin — but the caller must
+  // settle every handle (and check errors) before trusting the request is
+  // open everywhere. The base implementation is the blocking open_request()
+  // and appends nothing.
+  virtual std::uint64_t issue_open_request(std::vector<OpHandle>& ops);
 
   // --- Mid-request recovery -------------------------------------------------
   //

@@ -132,17 +132,23 @@ OnlineEngine::OnlineEngine(const dnn::Network& net, const exec::WeightStore& wei
 namespace {
 
 // Shared by begin() (which owns a copy of the input) and infer() (which
-// borrows the caller's tensor for its synchronous run).
+// borrows the caller's tensor for its synchronous run). With `admission`,
+// the per-node kBegin broadcast is issued as pipelined sends instead of
+// awaited (start_async parks on the handles); without, it blocks.
 std::unique_ptr<OnlineEngine::RequestState> make_state(
     const dnn::Network& net, const std::shared_ptr<rpc::Transport>& transport,
-    bool retry_open) {
+    bool retry_open, std::vector<rpc::Transport::OpHandle>* admission = nullptr) {
   auto state = std::make_unique<OnlineEngine::RequestState>();
   state->outputs.resize(net.num_layers());
   state->computed.assign(net.num_layers(), false);
   state->sent.assign(net.num_layers() + 1, {false, false, false});
   state->shipped.assign(net.num_layers() + 1, {false, false, false});
+  const auto open = [&] {
+    return admission ? transport->issue_open_request(*admission)
+                     : transport->open_request();
+  };
   try {
-    state->rpc_request = transport->open_request();
+    state->rpc_request = open();
   } catch (const rpc::ChannelDied& died) {
     // A worker killed between requests surfaces here, on the first kBegin to
     // touch it. With the channel re-established and kBegin idempotent, a
@@ -153,7 +159,10 @@ std::unique_ptr<OnlineEngine::RequestState> make_state(
     if (!died.channel_restored() &&
         (transport->prune_tile_workers() == 0 || !transport->has_tile_workers()))
       throw;
-    state->rpc_request = transport->open_request();
+    // Handles from the failed issue are dropped: the aborted id got its kEnd,
+    // and per-channel FIFO retires the orphaned replies under later traffic.
+    if (admission) admission->clear();
+    state->rpc_request = open();
   }
   state->rpc_guard =
       std::make_unique<OnlineEngine::RpcRequestGuard>(transport, state->rpc_request);
@@ -699,6 +708,31 @@ OnlineEngine::Continuation OnlineEngine::start(const dnn::Tensor& input) const {
   return c;
 }
 
+OnlineEngine::Continuation OnlineEngine::start_async(const dnn::Tensor& input) const {
+  if (!(input.shape() == net_.input_shape()))
+    throw std::invalid_argument("OnlineEngine: input shape mismatch");
+  Continuation c;
+  std::vector<rpc::Transport::OpHandle> admission;
+  c.state_ = make_state(net_, transport_, options_.tier_recovery, &admission);
+  RequestState& state = *c.state_;
+  state.owned_input = input;
+  state.input = &state.owned_input;
+  try {
+    // Queued behind the device node's kBegin (per-channel FIFO), so the seed
+    // lands on an open request even though neither has settled yet.
+    admission.push_back(transport_->issue_seed(
+        state.rpc_request, node_of(core::Tier::kDevice), 0, *state.input));
+  } catch (const rpc::ChannelDied& died) {
+    // recover() re-begins the request and re-seeds slot 0 on the fresh
+    // incarnation, so a successful recovery needs no re-issue here.
+    if (!try_recover(state, died)) throw;
+  }
+  checkpoint(state, 0);
+  c.ops_ = std::move(admission);
+  c.phase_ = Continuation::Phase::kAdmitting;
+  return c;
+}
+
 OnlineEngine::Continuation OnlineEngine::restore(const Snapshot& snapshot) const {
   if (snapshot.plan_hash != plan_hash_)
     throw std::invalid_argument(
@@ -757,6 +791,353 @@ bool OnlineEngine::step(Continuation& c) const {
   // state) untouched, so the caller decides between retrying and replaying.
   ++c.next_;
   return c.done();
+}
+
+std::vector<dnn::LayerId> OnlineEngine::prefetch_targets(const RequestState& state,
+                                                         core::Tier tier) const {
+  std::vector<dnn::LayerId> targets;
+  std::vector<bool> queued(net_.num_layers(), false);
+  // Dry-run of run_tier_pass's eligibility walk (nothing recorded, nothing
+  // run): `sim` evolves exactly like state.computed would, so the predicted
+  // materialise set matches the walk's.
+  std::vector<bool> sim = state.computed;
+  const auto ready = [&](dnn::LayerId id) {
+    for (const dnn::LayerId in : net_.layer(id).inputs)
+      if (in != dnn::kNetworkInput && !sim[in]) return false;
+    return true;
+  };
+  const auto need = [&](dnn::LayerId in, core::Tier to) {
+    if (in == dnn::kNetworkInput) return;
+    // Only producers already computed on a remote node and never materialised
+    // at the coordinator; a producer running in this very pass has no output
+    // to fetch yet (the walk's blocking fallback covers that rarity).
+    if (!state.computed[in] || state.outputs[in].size() != 0) return;
+    const core::Tier from = assignment_.tier[dnn::Network::vertex_of(in)];
+    if (from == to) return;  // same node: nothing crosses the coordinator
+    if (state.shipped[in + 1][static_cast<std::size_t>(core::index(to))]) return;
+    if (!queued[in]) {
+      queued[in] = true;
+      targets.push_back(in);
+    }
+  };
+  for (dnn::LayerId id = 0; id < net_.num_layers(); ++id) {
+    if (sim[id]) continue;
+    const core::Tier assigned = assignment_.tier[dnn::Network::vertex_of(id)];
+    if (core::before(tier, assigned)) continue;
+    if (!ready(id)) continue;
+    if (vsm_ && id == vsm_->stack.front()) {
+      need(net_.layer(id).inputs[0], core::Tier::kEdge);
+      for (const dnn::LayerId sid : vsm_->stack) sim[sid] = true;
+      continue;
+    }
+    for (const dnn::LayerId in : net_.layer(id).inputs) need(in, assigned);
+    sim[id] = true;
+  }
+  return targets;
+}
+
+void OnlineEngine::run_tier_walk_async(
+    RequestState& state, core::Tier tier, std::vector<rpc::Transport::OpHandle>& ops,
+    std::vector<std::function<void(rpc::Transport::OpHandle&)>>& effects) const {
+  // Queues `op` with its success `effect` for the kSettling phase. An op a
+  // synchronous transport completed at issue time is finished on the spot —
+  // effect applied, error thrown — so the walk degenerates to the blocking
+  // run_tier_pass there (identical state evolution, identical throw points).
+  const auto queue = [&](rpc::Transport::OpHandle op,
+                         std::function<void(rpc::Transport::OpHandle&)> effect) {
+    if (op.settled()) {
+      op.poll();
+      op.rethrow();
+      if (effect) effect(op);
+      return;
+    }
+    ops.push_back(std::move(op));
+    effects.push_back(std::move(effect));
+  };
+
+  // Issue-mode twin of run_tier_pass's deliver: record order and per-channel
+  // frame order are byte-for-byte the blocking walk's; only the waiting moved.
+  const auto deliver = [&](dnn::LayerId producer, core::Tier to) {
+    const bool is_input = producer == dnn::kNetworkInput;
+    const core::Tier from = is_input ? core::Tier::kDevice
+                                     : assignment_.tier[dnn::Network::vertex_of(producer)];
+    if (from == to) return;
+    const std::size_t slot = is_input ? 0 : producer + 1;
+    const std::size_t to_idx = static_cast<std::size_t>(core::index(to));
+
+    MessageRecord meta;
+    meta.seq = static_cast<std::uint64_t>(state.result.messages.size());
+    meta.from_node = node_of(from);
+    meta.to_node = node_of(to);
+    meta.payload = is_input ? "raw input" : net_.layer(producer).spec.name;
+    meta.from_tier = from;
+    meta.to_tier = to;
+    meta.bytes = is_input ? net_.input_shape().bytes() : net_.lambda_out_bytes(producer);
+    if (!state.sent[slot][to_idx]) {
+      state.sent[slot][to_idx] = true;
+      record(state.result, meta);
+    }
+    if (state.shipped[slot][to_idx]) return;
+
+    // The replica and peer paths are synchronous round-trips on *other*
+    // channels (the buddy's, the producer's) and stay blocking: they never
+    // ride this tier's pipelined queue.
+    if (state.restored && transport_->replica_push(state.rpc_request, meta, slot)) {
+      state.shipped[slot][to_idx] = true;
+      return;
+    }
+    if (transport_->send_peer(state.rpc_request, meta, slot)) {
+      state.shipped[slot][to_idx] = true;
+      return;
+    }
+    const dnn::Tensor& source = is_input ? *state.input : materialize(state, producer);
+    const bool restored = state.restored;
+    const std::uint64_t source_bytes = static_cast<std::uint64_t>(source.shape().bytes());
+    queue(transport_->issue_send(state.rpc_request, meta, slot, source),
+          [this, &state, slot, to_idx, restored,
+           source_bytes](rpc::Transport::OpHandle& op) {
+            // Shipped only once the put's reply landed: a death in between
+            // leaves it false and the recovery re-walk re-ships (without
+            // re-recording), exactly like a blocking mid-send death.
+            state.shipped[slot][to_idx] = true;
+            if (restored)
+              recovery_bytes_.fetch_add(source_bytes, std::memory_order_relaxed);
+            if (op.tensor()) {
+              if (state.delivered.empty()) state.delivered.resize(net_.num_layers() + 1);
+              state.delivered[slot][to_idx] = std::move(*op.tensor());
+            }
+          });
+  };
+
+  const auto ready = [&](dnn::LayerId id) {
+    for (const dnn::LayerId in : net_.layer(id).inputs)
+      if (in != dnn::kNetworkInput && !state.computed[in]) return false;
+    return true;
+  };
+
+  for (dnn::LayerId id = 0; id < net_.num_layers(); ++id) {
+    if (state.computed[id]) continue;
+    const core::Tier assigned = assignment_.tier[dnn::Network::vertex_of(id)];
+    if (core::before(tier, assigned)) continue;
+    if (!ready(id)) continue;
+
+    if (vsm_ && id == vsm_->stack.front()) {
+      deliver(net_.layer(id).inputs[0], core::Tier::kEdge);
+      rpc::Transport::OpHandle op =
+          transport_->issue_run_stack(state.rpc_request, node_of(core::Tier::kEdge));
+      if (op.valid()) {
+        for (std::size_t t = 0; t < vsm_->num_tiles(); ++t)
+          record_vsm_message(state, t, /*gather=*/false, nullptr);
+        for (std::size_t t = 0; t < vsm_->num_tiles(); ++t)
+          record_vsm_message(state, t, /*gather=*/true, nullptr);
+        for (const dnn::LayerId sid : vsm_->stack) {
+          state.computed[sid] = true;
+          ++state.result
+                .layers_executed[static_cast<std::size_t>(core::index(core::Tier::kEdge))];
+        }
+        queue(std::move(op), nullptr);
+      } else {
+        run_vsm_stack(state);
+      }
+      continue;
+    }
+
+    for (const dnn::LayerId in : net_.layer(id).inputs) deliver(in, assigned);
+    rpc::Transport::OpHandle op =
+        transport_->issue_run_layer(state.rpc_request, node_of(assigned), id);
+    if (op.valid()) {
+      // Optimistically computed at issue: per-channel replies are FIFO, so any
+      // later verb reading this layer's slot on the node executes after it; a
+      // death before completion is un-marked by recover() (the coordinator's
+      // copy is still empty, same signature as a blocking mid-walk death).
+      queue(std::move(op), nullptr);
+    } else {
+      std::vector<const dnn::Tensor*> ins;
+      ins.reserve(net_.layer(id).inputs.size());
+      for (const dnn::LayerId in : net_.layer(id).inputs)
+        ins.push_back(resolve_input(state, in, assigned));
+      state.outputs[id] = exec::run_layer(net_, weights_, id, ins, op_context());
+    }
+    state.computed[id] = true;
+    ++state.result.layers_executed[static_cast<std::size_t>(core::index(assigned))];
+  }
+}
+
+OnlineEngine::StepStatus OnlineEngine::step_async(Continuation& c) const {
+  if (c.done())
+    throw std::logic_error("OnlineEngine: step_async() on a finished continuation");
+  if (c.next_ >= 3) {
+    // Collect stage: the one remaining round-trip is the final-output fetch,
+    // so issue it and park rather than stall the caller's thread on it.
+    // Completion errors are deliberately left unhandled here: the output slot
+    // stays empty and blocking finish() re-fetches it under its recovery
+    // loop, keeping collect-time recovery in one place.
+    RequestState& state = *c.state_;
+    const auto last = static_cast<dnn::LayerId>(net_.num_layers() - 1);
+    if (c.phase_ == Continuation::Phase::kCollecting) {
+      bool all = true;
+      for (auto& op : c.ops_)
+        if (!op.poll()) all = false;
+      if (!all) return StepStatus::kParked;
+      for (auto& op : c.ops_)
+        if (!op.error() && op.tensor() && state.outputs[last].size() == 0)
+          state.outputs[last] = std::move(*op.tensor());
+      c.ops_.clear();
+    } else if (state.outputs[last].size() == 0) {
+      try {
+        rpc::Transport::OpHandle op = transport_->issue_fetch(
+            state.rpc_request, node_of(assignment_.tier[dnn::Network::vertex_of(last)]),
+            last + 1);
+        if (op.valid() && !op.settled()) {
+          c.ops_.push_back(std::move(op));
+          c.phase_ = Continuation::Phase::kCollecting;
+          return StepStatus::kParked;
+        }
+        if (op.valid() && !op.error() && op.tensor())
+          state.outputs[last] = std::move(*op.tensor());
+      } catch (const rpc::ChannelDied&) {
+        // finish() owns collect-time recovery; re-entering it re-fetches.
+      }
+    }
+    c.result_ = finish(std::move(c.state_));
+    ++c.next_;
+    return StepStatus::kDone;
+  }
+  RequestState& state = *c.state_;
+  const core::Tier tier = c.next_tier();
+
+  switch (c.phase_) {
+    case Continuation::Phase::kAdmitting: {
+      bool all = true;
+      for (auto& op : c.ops_)
+        if (!op.poll()) all = false;
+      if (!all) return StepStatus::kParked;
+      std::exception_ptr first_error;
+      for (auto& op : c.ops_)
+        if (op.error() && !first_error) first_error = op.error();
+      c.ops_.clear();
+      if (first_error) {
+        try {
+          std::rethrow_exception(first_error);
+        } catch (const rpc::ChannelDied& died) {
+          // recover() re-begins the request on the restored channel and
+          // re-seeds the input, so admission is complete after it succeeds.
+          if (!try_recover(state, died)) throw;
+        }
+      }
+      c.phase_ = Continuation::Phase::kStart;
+      return StepStatus::kReady;
+    }
+
+    case Continuation::Phase::kCollecting:
+      throw std::logic_error("OnlineEngine: kCollecting before the collect stage");
+
+    case Continuation::Phase::kStart: {
+      // Emulated tier latency is paid once per stage, like run_tier's: a
+      // recovery re-entry must not re-sleep.
+      if (c.slept_stage_ != c.next_) {
+        c.slept_stage_ = c.next_;
+        const double service =
+            options_
+                .emulated_tier_service_seconds[static_cast<std::size_t>(core::index(tier))];
+        if (service > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(service));
+      }
+      c.ops_.clear();
+      c.fetch_ids_.clear();
+      c.effects_.clear();
+      try {
+        for (const dnn::LayerId id : prefetch_targets(state, tier)) {
+          c.ops_.push_back(transport_->issue_fetch(
+              state.rpc_request,
+              node_of(assignment_.tier[dnn::Network::vertex_of(id)]), id + 1));
+          c.fetch_ids_.push_back(id);
+        }
+      } catch (const rpc::ChannelDied& died) {
+        c.ops_.clear();
+        c.fetch_ids_.clear();
+        if (!try_recover(state, died)) throw;
+        return StepStatus::kReady;  // re-enter kStart on the recovered channel
+      }
+      c.phase_ = Continuation::Phase::kFetching;
+      return StepStatus::kReady;
+    }
+
+    case Continuation::Phase::kFetching: {
+      bool all = true;
+      for (auto& op : c.ops_)
+        if (!op.poll()) all = false;
+      if (!all) return StepStatus::kParked;
+      std::exception_ptr first_error;
+      for (std::size_t i = 0; i < c.ops_.size(); ++i) {
+        rpc::Transport::OpHandle& op = c.ops_[i];
+        if (op.error()) {
+          if (!first_error) first_error = op.error();
+          continue;
+        }
+        dnn::Tensor& out = state.outputs[c.fetch_ids_[i]];
+        if (out.size() == 0 && op.tensor()) out = std::move(*op.tensor());
+      }
+      c.ops_.clear();
+      c.fetch_ids_.clear();
+      if (first_error) {
+        try {
+          std::rethrow_exception(first_error);
+        } catch (const rpc::ChannelDied& died) {
+          if (!try_recover(state, died)) throw;
+          c.phase_ = Continuation::Phase::kStart;
+          return StepStatus::kReady;
+        }
+      }
+      try {
+        run_tier_walk_async(state, tier, c.ops_, c.effects_);
+      } catch (const rpc::ChannelDied& died) {
+        // Ops already issued stay queued on their (healthy) channels; FIFO
+        // drains retire them under whoever touches those channels next, and
+        // the re-entered walk re-issues only what recover() un-marked.
+        c.ops_.clear();
+        c.effects_.clear();
+        if (!try_recover(state, died)) throw;
+        c.phase_ = Continuation::Phase::kStart;
+        return StepStatus::kReady;
+      }
+      c.phase_ = Continuation::Phase::kSettling;
+      return StepStatus::kReady;
+    }
+
+    case Continuation::Phase::kSettling: {
+      bool all = true;
+      for (auto& op : c.ops_)
+        if (!op.poll()) all = false;
+      if (!all) return StepStatus::kParked;
+      std::exception_ptr first_error;
+      for (std::size_t i = 0; i < c.ops_.size(); ++i) {
+        rpc::Transport::OpHandle& op = c.ops_[i];
+        if (op.error()) {
+          if (!first_error) first_error = op.error();
+          continue;
+        }
+        if (c.effects_[i]) c.effects_[i](op);
+      }
+      c.ops_.clear();
+      c.effects_.clear();
+      if (first_error) {
+        try {
+          std::rethrow_exception(first_error);
+        } catch (const rpc::ChannelDied& died) {
+          if (!try_recover(state, died)) throw;
+          c.phase_ = Continuation::Phase::kStart;
+          return StepStatus::kReady;
+        }
+      }
+      state.restored = false;
+      checkpoint(state, core::index(tier) + 1);
+      c.phase_ = Continuation::Phase::kStart;
+      ++c.next_;
+      return StepStatus::kReady;
+    }
+  }
+  return StepStatus::kReady;  // unreachable: all phases return above
 }
 
 InferenceResult OnlineEngine::take(Continuation&& c) const {

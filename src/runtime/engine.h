@@ -58,9 +58,11 @@
 // requests across the tiers.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -72,11 +74,11 @@
 #include "dnn/tensor.h"
 #include "exec/ops.h"
 #include "exec/weights.h"
+#include "rpc/transport.h"
 #include "runtime/message.h"
 #include "runtime/thread_pool.h"
 
 namespace d3::rpc {
-class Transport;
 class ChannelDied;
 }
 
@@ -266,16 +268,70 @@ class OnlineEngine {
     // their own copy.
     const dnn::Tensor& input() const { return state_->owned_input; }
 
+    // Async-walk introspection for readiness-driven schedulers (step_async).
+    // True when every outstanding async op has its reply drained (no
+    // syscalls); a parked continuation whose ops are all settled can be
+    // resumed without waiting for fd readability.
+    bool ops_settled() const {
+      for (const auto& op : ops_)
+        if (!op.settled()) return false;
+      return true;
+    }
+    // Unsettled async ops (reply still on the wire) — the reactor's
+    // outstanding-ops gauge.
+    std::size_t ops_outstanding() const {
+      std::size_t n = 0;
+      for (const auto& op : ops_)
+        if (!op.settled()) ++n;
+      return n;
+    }
+    // Socket fds the outstanding ops wait on, deduplicated. May flush frames
+    // still sitting in a channel outbox — a parked stage's requests must be on
+    // the wire before readiness of these fds means anything.
+    std::vector<int> pending_fds() {
+      std::vector<int> fds;
+      for (auto& op : ops_) {
+        if (op.settled()) continue;
+        const int fd = op.fd();
+        if (fd < 0) continue;
+        if (std::find(fds.begin(), fds.end(), fd) == fds.end()) fds.push_back(fd);
+      }
+      return fds;
+    }
+
    private:
     friend class OnlineEngine;
     Continuation() = default;
     std::unique_ptr<RequestState> state_;
     InferenceResult result_;
     int next_ = 0;
+    // step_async per-tier phase machine: park until start_async's pipelined
+    // admission (kBegin broadcast + input seed) settles (kAdmitting), issue
+    // prefetch fetches (kStart), park until they land then issue the tier's
+    // walk (kFetching), park until every issued op settles then apply effects
+    // and advance (kSettling). kCollecting parks the collect stage on its
+    // issued final-output fetch so even the last round-trip overlaps other
+    // requests' compute.
+    enum class Phase { kAdmitting, kStart, kFetching, kSettling, kCollecting };
+    Phase phase_ = Phase::kStart;
+    int slept_stage_ = -1;  // emulated tier latency paid once per stage
+    std::vector<rpc::Transport::OpHandle> ops_;
+    std::vector<dnn::LayerId> fetch_ids_;  // parallel to ops_ in kFetching
+    // Parallel to ops_ in kSettling: success-side state mutation for each op
+    // (mark shipped, store a wired copy), applied only after the op completes.
+    std::vector<std::function<void(rpc::Transport::OpHandle&)>> effects_;
   };
 
   // begin() in continuation form: copies `input` into the state.
   Continuation start(const dnn::Tensor& input) const;
+  // start() for readiness-driven schedulers: admission round-trips (the
+  // per-node kBegin broadcast and the device input seed) are *issued* as
+  // pipelined sends instead of awaited, and the returned continuation parks
+  // on them in its first step_async (Phase::kAdmitting). On transports
+  // without an async facade this degenerates to start(). Blocking step()
+  // must not drive a continuation made here until its admission has settled
+  // (step_async once); the reactor's readiness mode is the intended caller.
+  Continuation start_async(const dnn::Tensor& input) const;
   // Rebuilds an in-flight request from a journal snapshot, for a standby
   // coordinator taking over after the primary died. Re-opens the journalled
   // request id on the transport (the workers' per-request slots survive the
@@ -296,6 +352,34 @@ class OnlineEngine {
   // that throws (transport death past the recovery budget) leaves the cursor
   // where it was — the caller replays from a fresh start() or propagates.
   bool step(Continuation& c) const;
+
+  // Non-blocking variant of step() for readiness-driven schedulers. Instead of
+  // blocking on the wire, a tier stage advances through a three-phase walk:
+  //
+  //   kStart    issue prefetch fetches for every remote producer output the
+  //             tier walk will materialise at the coordinator;
+  //   kFetching once the fetches land, run the tier walk in *issue* mode —
+  //             boundary puts and run-layer/run-stack verbs are queued on
+  //             their channels (coalesced into pipelined writes) instead of
+  //             awaited one by one;
+  //   kSettling once every issued op's reply lands, apply the success effects
+  //             (shipped flags, wired copies), recover from any channel death,
+  //             checkpoint, and advance to the next tier.
+  //
+  // kParked means outstanding ops are unsettled: the caller should wait for
+  // readability on Continuation::pending_fds() (or sweep ops_settled()) and
+  // call step_async again — the reactor keeps serving other requests
+  // meanwhile, which is what overlaps wire wait with compute. kReady means
+  // call again now. Record order is fixed at issue time in walk order, and
+  // per-channel frames are issued in exactly the blocking walk's order, so
+  // outputs stay bitwise-identical and transcripts byte-identical to step()
+  // and infer() on every transport. On transports whose issue_* verbs
+  // complete synchronously (in-process, loopback, fault-injection decorators)
+  // the effects apply inline and the walk degenerates to the blocking one.
+  // Throws like step(); the cursor semantics on throw are identical.
+  enum class StepStatus { kDone, kReady, kParked };
+  StepStatus step_async(Continuation& c) const;
+
   // Extracts the result of a done() continuation.
   InferenceResult take(Continuation&& c) const;
 
@@ -314,6 +398,20 @@ class OnlineEngine {
   // One walk of the plan at `tier` (the pre-recovery run_tier body); the
   // public run_tier wraps it in the ChannelDied recovery loop.
   void run_tier_pass(RequestState& state, core::Tier tier) const;
+  // run_tier_pass in issue mode (step_async's kFetching phase): identical walk
+  // and record order, but remote verbs are issued, not awaited — each op lands
+  // in `ops` with its success effect in `effects`. Ops already settled at
+  // issue time (synchronous transports) have their effects applied inline.
+  void run_tier_walk_async(
+      RequestState& state, core::Tier tier, std::vector<rpc::Transport::OpHandle>& ops,
+      std::vector<std::function<void(rpc::Transport::OpHandle&)>>& effects) const;
+  // The producers whose outputs the next run_tier_pass at `tier` would
+  // materialise at the coordinator (computed on a remote node, never fetched,
+  // needed by an unshipped boundary): what kStart prefetches concurrently.
+  // Over- and under-approximation are both safe — a spare fetch only moves
+  // bytes, a missed one falls back to the walk's blocking materialise.
+  std::vector<dnn::LayerId> prefetch_targets(const RequestState& state,
+                                             core::Tier tier) const;
   // Tier-granular recovery after `died`: reopen the request on the lost node,
   // re-seed the slots it held from coordinator-held (or survivor-fetched)
   // tensors, and un-mark lost layers so the re-entered walk re-runs exactly

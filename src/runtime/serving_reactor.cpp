@@ -72,9 +72,11 @@ std::size_t ServingReactor::submit(const dnn::Tensor& input, const SubmitOptions
     // now — it would only burn capacity on a worthless result. Never begun,
     // so no transport state to tear down.
     if (ticket->deadline_seconds > 0 && options_.pipeline) {
-      const std::size_t queued = inflight_ + waiting_.size();
-      const double predicted =
-          sim::predicted_completion_seconds(*options_.pipeline, queued);
+      // Waiting requests queue behind the newcomer's batch position; admitted
+      // ones already occupy pipeline stages, which the occupancy-aware
+      // prediction prices at their full residual frame latency.
+      const double predicted = sim::predicted_completion_seconds(
+          *options_.pipeline, waiting_.size(), inflight_);
       if (predicted > ticket->deadline_seconds) {
         ticket->error = std::make_exception_ptr(RequestShed(
             id, "predicted completion " + std::to_string(predicted) + "s > deadline " +
@@ -148,10 +150,56 @@ void ServingReactor::shed_all_locked() {
   };
   for (const std::size_t id : waiting_) shed(id);
   waiting_.clear();
+  // Parked stages are shed too: unpark first so fd registrations and the
+  // wire-wait accounting unwind through the one bookkeeping path.
+  const std::vector<std::size_t> parked = parked_;
+  for (const std::size_t id : parked) unpark_locked(id, now);
   for (auto& [priority, bucket] : runnable_)
     for (const std::size_t id : bucket) shed(id);
   runnable_.clear();
   done_cv_.notify_all();
+}
+
+void ServingReactor::unpark_locked(std::size_t id, Clock::time_point now) {
+  Ticket& ticket = *tickets_[id];
+  for (const int fd : ticket.parked_fds) {
+    auto ref = fd_refs_.find(fd);
+    if (ref != fd_refs_.end() && --ref->second == 0) {
+      fd_refs_.erase(ref);
+      try {
+        poller_.remove(fd);
+      } catch (const rpc::SocketError&) {
+        // Channel death closed the fd out from under us; the kernel already
+        // dropped the registration.
+      }
+    }
+    auto by = parked_by_fd_.find(fd);
+    if (by != parked_by_fd_.end()) {
+      auto& ids = by->second;
+      ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+      if (ids.empty()) parked_by_fd_.erase(by);
+    }
+  }
+  ticket.parked_fds.clear();
+  if (ticket.parked_since) {
+    counters_.wire_wait_ms +=
+        std::chrono::duration<double, std::milli>(now - *ticket.parked_since).count();
+    ticket.parked_since.reset();
+  }
+  outstanding_ops_ -= ticket.parked_ops;
+  ticket.parked_ops = 0;
+  parked_.erase(std::remove(parked_.begin(), parked_.end(), id), parked_.end());
+  runnable_[ticket.priority].push_back(id);
+}
+
+void ServingReactor::sweep_parked_locked(Clock::time_point now) {
+  std::vector<std::size_t> ready;
+  for (const std::size_t id : parked_) {
+    const Ticket& ticket = *tickets_[id];
+    if (ticket.cont->ops_settled() || (ticket.deadline_at && now >= *ticket.deadline_at))
+      ready.push_back(id);
+  }
+  for (const std::size_t id : ready) unpark_locked(id, now);
 }
 
 void ServingReactor::expire_waiting_locked(Clock::time_point now) {
@@ -178,6 +226,13 @@ int ServingReactor::idle_timeout_ms_locked(Clock::time_point now) const {
     if (ticket.deadline_at && (!earliest || *ticket.deadline_at < *earliest))
       earliest = *ticket.deadline_at;
   }
+  // A parked stage's deadline must bound the epoll sleep too: its fd may
+  // never turn readable (dead worker), and expiry is how it gets shed.
+  for (const std::size_t id : parked_) {
+    const Ticket& ticket = *tickets_[id];
+    if (ticket.deadline_at && (!earliest || *ticket.deadline_at < *earliest))
+      earliest = *ticket.deadline_at;
+  }
   if (!earliest) return -1;
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(*earliest - now).count();
@@ -198,6 +253,22 @@ void ServingReactor::finish_locked(std::size_t id, Ticket& ticket, Clock::time_p
 void ServingReactor::reactor_loop() {
   enum class Act { kIdle, kAdmit, kStep };
   for (;;) {
+    // Heartbeat starvation fix: the probe deadline is honoured on EVERY loop
+    // iteration, not just the idle branch — a reactor saturated with runnable
+    // stages would otherwise never observe a silent worker (one that stopped
+    // answering without closing its socket) until the traffic happened to
+    // touch its channel.
+    if (engine_.transport()->heartbeat_due_ms() == 0) {
+      try {
+        engine_.transport()->heartbeat_poll();
+      } catch (const rpc::ChannelDied&) {
+        // The channel was reopened by recovery; in-flight requests touching
+        // it will replay under max_replays. Record the proactive detection.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.heartbeat_deaths;
+      }
+    }
+
     std::size_t id = 0;
     Ticket* claimed = nullptr;
     Act act = Act::kIdle;
@@ -207,6 +278,7 @@ void ServingReactor::reactor_loop() {
       if (stopping_) return;  // set only once every ticket is finished
       if (shed_all_) shed_all_locked();
       expire_waiting_locked(Clock::now());
+      if (!parked_.empty()) sweep_parked_locked(Clock::now());
       if (!paused_ && inflight_ < options_.max_inflight && !waiting_.empty()) {
         // Admission outranks progress: a burst is begun (opening its
         // transport state) before existing work advances, up to max_inflight
@@ -232,23 +304,34 @@ void ServingReactor::reactor_loop() {
     }
 
     if (act == Act::kIdle) {
-      // Sleep on the epoll set until a submission/resume/shutdown signal, the
-      // earliest waiting deadline, or the next liveness probe — whichever
-      // first. Heartbeats ride the idle branch so failure detection costs no
-      // dedicated thread: a busy reactor IS observing channel health through
-      // its request traffic.
+      // Sleep on the epoll set until a submission/resume/shutdown signal, a
+      // parked stage's channel turning readable, the earliest deadline, or
+      // the next liveness probe — whichever first. The loop-top heartbeat
+      // check fires the probe after the wake.
       const int heartbeat_ms = engine_.transport()->heartbeat_due_ms();
       if (heartbeat_ms >= 0 && (timeout_ms < 0 || heartbeat_ms < timeout_ms))
         timeout_ms = heartbeat_ms;
-      poller_.wait(timeout_ms);
+      const std::vector<std::uint64_t> tags = poller_.wait(timeout_ms);
       wake_.drain();
-      try {
-        engine_.transport()->heartbeat_poll();
-      } catch (const rpc::ChannelDied&) {
-        // The channel was reopened by recovery; in-flight requests touching it
-        // will replay under max_replays. Record the proactive detection.
+      bool channel_ready = false;
+      for (const std::uint64_t tag : tags)
+        if (tag != static_cast<std::uint64_t>(wake_.fd())) channel_ready = true;
+      if (channel_ready) {
+        // A parked stage's reply landed. Replies complete in FIFO issue order
+        // per channel, so only the OLDEST parked ticket on a readable fd can
+        // make progress — unparking everyone would poll-and-repark the whole
+        // herd on every reply. The head ticket's poll drains the channel; ops
+        // that settles for the others are picked up syscall-free by the sweep,
+        // and level-triggered epoll re-fires while data remains unread.
+        const Clock::time_point now = Clock::now();
         std::lock_guard<std::mutex> lock(mutex_);
-        ++counters_.heartbeat_deaths;
+        for (const std::uint64_t tag : tags) {
+          const int fd = static_cast<int>(tag);
+          if (fd == wake_.fd()) continue;
+          const auto by = parked_by_fd_.find(fd);
+          if (by == parked_by_fd_.end()) continue;
+          unpark_locked(by->second.front(), now);
+        }
       }
       continue;
     }
@@ -267,7 +350,10 @@ void ServingReactor::reactor_loop() {
         continue;
       }
       try {
-        ticket.cont = engine_.start(ticket.input);
+        // Readiness mode issues the admission round-trips (kBegin broadcast +
+        // input seed) as pipelined sends; the first kStep parks on them.
+        ticket.cont = options_.readiness_dispatch ? engine_.start_async(ticket.input)
+                                                  : engine_.start(ticket.input);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         ticket.error = std::current_exception();
@@ -295,8 +381,16 @@ void ServingReactor::reactor_loop() {
     }
 
     bool finished = false;
+    bool parked = false;
     try {
-      const bool done = engine_.step(*ticket.cont);
+      bool done = false;
+      if (options_.readiness_dispatch) {
+        const OnlineEngine::StepStatus status = engine_.step_async(*ticket.cont);
+        done = status == OnlineEngine::StepStatus::kDone;
+        parked = status == OnlineEngine::StepStatus::kParked;
+      } else {
+        done = engine_.step(*ticket.cont);
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.steps;
@@ -310,7 +404,8 @@ void ServingReactor::reactor_loop() {
       // result byte-identical), bounded by max_replays.
       if (ticket.replays < options_.max_replays) {
         try {
-          ticket.cont = engine_.start(ticket.input);
+          ticket.cont = options_.readiness_dispatch ? engine_.start_async(ticket.input)
+                                                    : engine_.start(ticket.input);
           ++ticket.replays;
           std::lock_guard<std::mutex> lock(mutex_);
           ++counters_.replayed;
@@ -325,6 +420,41 @@ void ServingReactor::reactor_loop() {
     } catch (...) {
       ticket.error = std::current_exception();
       finished = true;
+    }
+
+    if (parked && !finished) {
+      // Collect the fds outside the lock: fd() flushes the channel outbox
+      // (the stage's requests must be on the wire before readiness of these
+      // fds means anything).
+      std::vector<int> fds = ticket.cont->pending_fds();
+      const Clock::time_point now = Clock::now();
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (fds.empty() || ticket.cont->ops_settled()) {
+        // Replies landed between the park decision and here (flushing can
+        // drain), or no fd to wait on — just keep the ticket runnable.
+        runnable_[ticket.priority].push_back(id);
+      } else {
+        ticket.parked_fds = std::move(fds);
+        ticket.parked_since = now;
+        ticket.parked_ops = ticket.cont->ops_outstanding();
+        outstanding_ops_ += ticket.parked_ops;
+        counters_.outstanding_ops_high_water =
+            std::max(counters_.outstanding_ops_high_water, outstanding_ops_);
+        ++counters_.parked_stages;
+        parked_.push_back(id);
+        for (const int fd : ticket.parked_fds) {
+          parked_by_fd_[fd].push_back(id);
+          if (++fd_refs_[fd] == 1) {
+            try {
+              poller_.add(fd, static_cast<std::uint64_t>(fd));
+            } catch (const rpc::SocketError&) {
+              // Raced a channel close/reopen; the settled sweep still
+              // resumes the ticket, this registration was only a fast path.
+            }
+          }
+        }
+      }
+      continue;
     }
 
     std::lock_guard<std::mutex> lock(mutex_);

@@ -9,8 +9,11 @@
 // loop sleeps on an rpc::Poller (epoll — the same multiplexer that drives the
 // d3_node worker serve loop) with an rpc::EventFd registered as the wake-up
 // channel, so submissions from any thread interrupt an idle reactor without
-// polling, and the design extends to registering transport channel fds for
-// readiness-driven stage dispatch.
+// polling. With Options::readiness_dispatch the loop pumps stages through
+// OnlineEngine::step_async instead of step(): a stage whose wire ops are
+// still in flight parks, its channel fds join the same epoll set, and the
+// reactor serves other requests until readability resumes it — wire wait
+// overlaps compute and every worker channel stays busy from one thread.
 //
 // Admission control stacks three policies:
 //   * drop-oldest — Options::admission_capacity bounds the waiting queue; a
@@ -83,6 +86,13 @@ class ServingReactor {
     // true: queue submissions but admit nothing until resume() — lets tests
     // and benches pile up a burst, then watch the reactor absorb it.
     bool start_paused = false;
+    // true: pump stages through OnlineEngine::step_async and PARK a
+    // continuation whose wire ops are still in flight instead of blocking on
+    // the reply — its channel fds join the epoll set and the stage resumes on
+    // readability. N requests over M worker channels then keep all M channels
+    // busy from this one thread: wire wait overlaps other requests' compute.
+    // false (default): blocking step(), one wire round-trip at a time.
+    bool readiness_dispatch = false;
   };
 
   struct SubmitOptions {
@@ -104,7 +114,13 @@ class ServingReactor {
     std::size_t max_inflight = 0;  // high-water mark of concurrent open requests
     std::size_t steps = 0;         // engine stages pumped by the reactor
     std::size_t shutdown_shed = 0;    // requests expired deterministically by shutdown()
-    std::size_t heartbeat_deaths = 0;  // ChannelDied raised by idle liveness probes
+    std::size_t heartbeat_deaths = 0;  // ChannelDied raised by reactor liveness probes
+    // Readiness dispatch only:
+    std::size_t parked_stages = 0;  // stages parked on in-flight wire ops
+    double wire_wait_ms = 0.0;      // total parked time — wire wait the reactor
+                                    // overlapped with other requests' stages
+    std::size_t outstanding_ops_high_water = 0;  // peak unsettled wire ops
+                                                 // across parked stages
   };
 
   // `engine` must outlive the reactor. Spawns the reactor thread.
@@ -169,6 +185,11 @@ class ServingReactor {
     std::size_t replays = 0;
     bool done = false;
     bool collected = false;
+    // Readiness dispatch: channel fds this parked stage waits on, when it
+    // parked, and how many ops it held (all maintained under the mutex).
+    std::vector<int> parked_fds;
+    std::optional<Clock::time_point> parked_since;
+    std::size_t parked_ops = 0;
   };
 
   void reactor_loop();
@@ -182,6 +203,16 @@ class ServingReactor {
   int idle_timeout_ms_locked(Clock::time_point now) const;
   // Marks `ticket` finished and does the completion bookkeeping. Lock held.
   void finish_locked(std::size_t id, Ticket& ticket, Clock::time_point now);
+  // Moves a parked ticket back into its priority bucket, dropping its fd
+  // registrations (refcounted — an fd leaves the epoll set only when its last
+  // parked ticket does). Lock held.
+  void unpark_locked(std::size_t id, Clock::time_point now);
+  // No-syscall pass over parked stages: replies drained on this thread by
+  // another ticket's stage or a heartbeat probe settle ops without the fd
+  // ever reading as readable again, so epoll wake-ups alone would strand
+  // them. Also unparks expired deadlines (the step path sheds those). Lock
+  // held.
+  void sweep_parked_locked(Clock::time_point now);
 
   const OnlineEngine& engine_;
   const Options options_;
@@ -196,6 +227,12 @@ class ServingReactor {
   std::map<int, std::deque<std::size_t>, std::greater<int>> runnable_;
   std::size_t inflight_ = 0;  // begun, not finished
   std::size_t finished_ = 0;  // done tickets (completed + refused + failed)
+  // Readiness dispatch: tickets parked on in-flight wire ops, the fds they
+  // wait on, and per-fd registration refcounts for the poller.
+  std::vector<std::size_t> parked_;
+  std::map<int, std::vector<std::size_t>> parked_by_fd_;
+  std::map<int, std::size_t> fd_refs_;
+  std::size_t outstanding_ops_ = 0;  // unsettled ops across parked tickets
   bool paused_ = false;
   bool stopping_ = false;
   bool shed_all_ = false;  // set by shutdown(); acted on by the reactor thread

@@ -158,4 +158,15 @@ double predicted_completion_seconds(const PipelinePlan& plan, std::size_t queued
   return batch_makespan_seconds(plan, queued + 1);
 }
 
+double predicted_completion_seconds(const PipelinePlan& plan, std::size_t queued,
+                                    std::size_t inflight) {
+  // An in-flight frame occupies pipeline stages for up to its full remaining
+  // frame latency — not just one bottleneck period, which is all the 2-arg
+  // form charged it as a mere queue entry. Single-stage pipelines (frame
+  // latency == bottleneck) degenerate to the 2-arg form with
+  // queued + inflight, since holding the only stage IS the queue wait.
+  return static_cast<double>(inflight) * plan.frame_latency_seconds() +
+         batch_makespan_seconds(plan, queued + 1);
+}
+
 }  // namespace d3::sim

@@ -109,4 +109,14 @@ double pipelining_speedup(const PipelinePlan& plan, std::size_t frames);
 // depth is refused up front instead of timing out after consuming capacity.
 double predicted_completion_seconds(const PipelinePlan& plan, std::size_t queued);
 
+// Occupancy-aware variant: `queued` requests wait ahead of the newcomer and
+// `inflight` more are already moving through the pipeline's stages. Each
+// in-flight frame holds a stage for up to one full frame latency before the
+// pipe drains, so the newcomer pays that residual occupancy on top of its own
+// batch makespan. With inflight = 0 this is exactly the two-argument form —
+// the 2-arg overload under-predicted under load by pricing an in-flight frame
+// the same as an unadmitted one.
+double predicted_completion_seconds(const PipelinePlan& plan, std::size_t queued,
+                                    std::size_t inflight);
+
 }  // namespace d3::sim

@@ -117,6 +117,35 @@ TEST(Stream, PipeliningOverlapsStages) {
   EXPECT_NEAR(r.avg_latency_seconds, p.frame_latency_seconds(), 1e-6);
 }
 
+TEST(Pipeline, PredictedCompletionChargesInflightOccupancy) {
+  const PipelinePlan p = three_tier_plan();
+  const double frame = p.frame_latency_seconds();
+  const double bottleneck = p.bottleneck_stage_seconds();
+
+  // Empty pipe: both forms agree, and a lone request costs one frame latency.
+  EXPECT_NEAR(predicted_completion_seconds(p, 0, 0), frame, 1e-12);
+  EXPECT_NEAR(predicted_completion_seconds(p, 0, 0), predicted_completion_seconds(p, 0),
+              1e-12);
+
+  // Multi-stage pipe under load: each in-flight frame holds its stages for a
+  // full frame latency, so the occupancy-aware prediction exceeds the 2-arg
+  // form, which priced an in-flight frame like a mere queue entry.
+  const std::size_t queued = 3, inflight = 4;
+  const double corrected = predicted_completion_seconds(p, queued, inflight);
+  EXPECT_NEAR(corrected,
+              static_cast<double>(inflight) * frame + frame +
+                  static_cast<double>(queued) * bottleneck,
+              1e-12);
+  EXPECT_GT(corrected, predicted_completion_seconds(p, queued + inflight));
+
+  // Single-stage pipe: occupancy IS the queue wait, so the forms coincide.
+  PipelinePlan solo;
+  solo.device_seconds = 0.5;
+  solo.condition = net::wifi();
+  EXPECT_NEAR(predicted_completion_seconds(solo, queued, inflight),
+              predicted_completion_seconds(solo, queued + inflight), 1e-12);
+}
+
 TEST(Stream, BackboneBytesReported) {
   PipelinePlan p = three_tier_plan();
   p.dc_bytes = 100'000;

@@ -33,8 +33,8 @@
 int main(int argc, char** argv) {
   const auto usage = [&] {
     std::fprintf(stderr,
-                 "usage: %s --connect <host> <port> [--crash-after <frames>]\n"
-                 "       %s --listen <port> [--crash-after <frames>]\n",
+                 "usage: %s --connect <host> <port> [--crash-after <frames>] [--service-ms <ms>]\n"
+                 "       %s --listen <port> [--crash-after <frames>] [--service-ms <ms>]\n",
                  argv[0], argv[0]);
     return 2;
   };
@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
     while (arg < argc) {
       if (std::string(argv[arg]) == "--crash-after" && arg + 1 < argc) {
         options.crash_after_frames = std::stoull(argv[arg + 1]);
+        arg += 2;
+      } else if (std::string(argv[arg]) == "--service-ms" && arg + 1 < argc) {
+        // Emulated per-kRunLayer/kRunStack service latency (overlap benches).
+        options.service_seconds = std::stod(argv[arg + 1]) / 1e3;
         arg += 2;
       } else {
         return usage();
