@@ -40,7 +40,9 @@
 #include "rpc/fault_injection.h"
 #include "rpc/socket_transport.h"
 #include "rpc/transport.h"
+#include "runtime/address_book.h"
 #include "runtime/engine.h"
+#include "runtime/failover.h"
 #include "runtime/request_journal.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -112,7 +114,8 @@ struct Row {
 // coordinator deaths (abandon mid-request) complete on a standby restoring the
 // request journal, with or without a buddy replica store to re-deliver from.
 struct RecoveryRow {
-  std::string mode;            // full-replay | tier-migration | coordinator-failover[+buddy]
+  // full-replay | tier-migration | coordinator-failover[+buddy] | promotion
+  std::string mode;
   double seconds = 0;          // interrupted-request wall clock, death -> result
   std::uint64_t bytes = 0;     // tensor bytes re-moved to finish the request
 };
@@ -268,6 +271,99 @@ RecoveryRow measure_failover(bool buddy) {
   row.bytes = standby.stats().recovery_bytes;
   return row;
 }
+
+// Unattended promotion (PR 9): the failover row above hands the journal to a
+// standby by hand; here nothing does. The active coordinator (a journalling
+// engine plus its CoordinatorBeacon) is interrupted mid-edge-tier and the
+// beacon goes dark; a StandbyCoordinator watching it over the address book
+// misses its beats, promotes itself at a higher fencing epoch, redials the
+// listen-mode workers, and resumes the snapshot. Seconds run from beacon
+// death to the bitwise-correct resumed result, so the row prices the whole
+// pipeline: the detection window (miss_threshold x probe_interval), the
+// epoch-stamped redial + kConfig replay, the journal restore, and the
+// re-run of the interrupted tier.
+RecoveryRow measure_promotion() {
+  dnn::Network net = dnn::zoo::tiny_chain();
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1}) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {2, 3, 4, 5})
+    a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 25);
+  util::Rng rng(26);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+
+  // Listen-mode workers: they outlive the coordinator, and the standby dials
+  // them back by the addresses the book advertises.
+  std::map<std::string, std::unique_ptr<rpc::ListenWorkerProcess>> workers;
+  for (const char* node : {"device0", "edge0", "cloud0"})
+    workers[node] = std::make_unique<rpc::ListenWorkerProcess>(D3_NODE_BINARY);
+
+  const std::string journal_path = "BENCH_promotion.d3j";
+  std::remove(journal_path.c_str());
+  auto beacon = std::make_unique<runtime::CoordinatorBeacon>(/*epoch=*/1, journal_path);
+
+  std::string book_text = "[coordinator]\nactive 127.0.0.1:" + std::to_string(beacon->port()) +
+                          "\n[workers]\n";
+  for (const auto& [node, proc] : workers)
+    book_text += node + std::string(" 127.0.0.1:") + std::to_string(proc->port()) + "\n";
+  book_text += "[standbys]\nstandby0 127.0.0.1:65000\n";
+  const runtime::AddressBook book = runtime::AddressBook::parse(book_text);
+
+  auto socket = std::make_shared<rpc::SocketTransport>();
+  socket->set_epoch(1);
+  for (const auto& [node, proc] : workers) socket->add_node(node, proc->dial());
+  const core::SerializablePlan plan{net.name(), a, std::nullopt};
+  socket->configure(net.name(), net, weights, core::serialize_plan_binary(plan), 0);
+
+  auto faults = std::make_shared<rpc::FaultInjectionTransport>(socket);
+  runtime::OnlineEngine::Options options;
+  options.transport = faults;
+  options.tier_recovery = false;
+  options.journal = std::make_shared<runtime::RequestJournal>(journal_path);
+  const runtime::OnlineEngine primary(net, weights, a, std::nullopt, options);
+  faults->schedule(rpc::FaultInjectionTransport::Fault{
+      rpc::FaultInjectionTransport::Op::kRunLayer, "edge0", 2,
+      rpc::FaultInjectionTransport::Action::kFail, {}, ""});
+
+  runtime::StandbyCoordinator::Options standby_options;
+  standby_options.book = book;
+  standby_options.journal_path = journal_path;
+  standby_options.probe_interval = std::chrono::milliseconds(20);
+  standby_options.probe_timeout = std::chrono::milliseconds(200);
+  standby_options.miss_threshold = 2;
+  standby_options.epoch_hint = 1;
+  runtime::StandbyCoordinator standby(net, weights, a, std::nullopt,
+                                      std::move(standby_options));
+  standby.start();
+
+  runtime::OnlineEngine::Continuation c = primary.start(input);
+  try {
+    while (!primary.step(c)) {
+    }
+    std::abort();  // the scripted fault must interrupt the request
+  } catch (const rpc::ChannelDied&) {
+    primary.abandon(std::move(c));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  beacon.reset();  // the active coordinator goes dark
+  if (!standby.wait_promoted(std::chrono::seconds(30))) std::abort();
+  if (standby.resumed().size() != 1) std::abort();
+  const auto t1 = std::chrono::steady_clock::now();
+  const runtime::InferenceResult& result = standby.resumed().front().result;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    if (result.output[i] != reference[i]) std::abort();
+  std::remove(journal_path.c_str());
+
+  RecoveryRow row;
+  row.mode = "promotion";
+  row.seconds = std::chrono::duration<double>(t1 - t0).count();
+  row.bytes = standby.engine().stats().recovery_bytes;
+  return row;
+}
 #endif
 
 }  // namespace
@@ -399,6 +495,15 @@ int main() {
       std::cerr << "note: failover mode skipped (" << e.what() << ")\n";
     }
   }
+  // Unattended promotion: the same restore, but nothing hands the journal
+  // over — the standby detects the dead beacon itself and takes the workers
+  // at a higher fencing epoch. The delta vs the coordinator-failover row is
+  // the price of automation: the miss window plus the epoch-fenced redial.
+  try {
+    recovery.push_back(measure_promotion());
+  } catch (const std::exception& e) {
+    std::cerr << "note: promotion mode skipped (" << e.what() << ")\n";
+  }
   if (!recovery.empty()) {
     util::Table rtable({"recovery mode", "interrupted-request ms", "recovery KB"});
     for (const RecoveryRow& r : recovery)
@@ -440,7 +545,11 @@ int main() {
       "coordinator-failover rows interrupt the *coordinator* instead: a standby "
       "replays the request journal and resumes the snapshot, re-seeding the "
       "interrupted tier's boundary from the producer — or, with a buddy replica "
-      "store, re-delivering it worker -> worker for zero re-moved bytes. "
+      "store, re-delivering it worker -> worker for zero re-moved bytes. The "
+      "promotion row automates the whole takeover: a StandbyCoordinator misses "
+      "the dead beacon's heartbeats, redials the workers at a higher fencing "
+      "epoch and resumes unattended, so its latency includes the detection "
+      "window itself. "
       "Compare us/MB here with the per-frame boundary traffic of "
       "bench_fig13_comm_overhead and with Options::emulated_tier_service_seconds "
       "when emulating remote tiers on one host.");

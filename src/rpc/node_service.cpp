@@ -40,25 +40,50 @@ class StateError : public WireError {
 
 class NodeService {
  public:
-  // The coordinator connection is the loop's first registration; its fd also
-  // names the interface the coordinator reached this worker on (peer_listen
-  // binds it, so advertised peer addresses stay reachable off-host).
-  explicit NodeService(int coordinator_fd) { attach_coordinator(coordinator_fd); }
   // Listen mode: the service outlives coordinator connections; each accepted
   // one is attached here (and detached on hang-up) while every other piece of
-  // node state — slots, replicas, peer channels — persists.
+  // node state — slots, replicas, peer channels, the fencing high-water mark —
+  // persists. Several coordinator connections may be attached at once (an
+  // active and a deposed one during a failover): each carries its own fencing
+  // epoch, set by the kConfig it sent, and every verb on a connection whose
+  // epoch is below the worker-wide maximum is answered kFenced before any
+  // state mutation.
   NodeService() = default;
 
+  // Borrowed connection (--connect mode): the caller owns the fd.
   void attach_coordinator(int fd) {
-    detach_coordinator();
-    coordinator_fd_ = fd;
+    coordinators_.emplace(fd, CoordinatorConn{});
     poller_.add(fd, static_cast<std::uint64_t>(fd));
   }
 
-  void detach_coordinator() {
-    if (coordinator_fd_ < 0) return;
-    poller_.remove(coordinator_fd_);
-    coordinator_fd_ = -1;
+  // Accepted connection (--listen mode): the service owns the socket.
+  void attach_coordinator(Socket socket) {
+    const int fd = socket.fd();
+    CoordinatorConn conn;
+    conn.owned = std::move(socket);
+    coordinators_.emplace(fd, std::move(conn));
+    poller_.add(fd, static_cast<std::uint64_t>(fd));
+  }
+
+  void detach_coordinator(int fd) {
+    const auto it = coordinators_.find(fd);
+    if (it == coordinators_.end()) return;
+    poller_.remove(fd);
+    coordinators_.erase(it);  // closes an owned socket via RAII
+  }
+
+  bool is_coordinator(int fd) const { return coordinators_.count(fd) > 0; }
+  std::size_t coordinator_count() const { return coordinators_.size(); }
+
+  // True when `fd`'s coordinator has been deposed: a successor configured this
+  // worker under a higher fencing epoch, so every frame from `fd` — kShutdown
+  // included — must be rejected with kFenced.
+  bool stale(int fd) const { return coordinators_.at(fd).epoch < max_epoch_; }
+
+  Frame fenced_reply() const {
+    WireWriter w;
+    w.u64(max_epoch_);
+    return Frame{MsgKind::kFenced, w.take()};
   }
 
   Poller& poller() { return poller_; }
@@ -66,11 +91,23 @@ class NodeService {
     return peer_listener_.valid() && peer_listener_.fd() == fd;
   }
 
-  // Handles one coordinator frame. Returns the reply to write back.
-  Frame handle(const Frame& request) {
+  // Handles one coordinator frame from connection `fd`. Returns the reply to
+  // write back. The fencing gate runs before any handler: kConfig carries the
+  // sender's epoch as its first field (a lower-than-max epoch is fenced, a
+  // higher one deposes every other connection), and every other verb is
+  // checked against the connection's last-configured epoch.
+  Frame handle(const Frame& request, int fd) {
+    CoordinatorConn& conn = coordinators_.at(fd);
     WireReader r(request.body);
+    if (request.kind == MsgKind::kConfig) {
+      const std::uint64_t epoch = r.u64();
+      if (epoch < max_epoch_) return fenced_reply();
+      conn.epoch = epoch;
+      max_epoch_ = std::max(max_epoch_, epoch);
+      return config(r, request.body);
+    }
+    if (conn.epoch < max_epoch_) return fenced_reply();
     switch (request.kind) {
-      case MsgKind::kConfig: return config(r, request.body);
       case MsgKind::kBegin: return begin(r);
       case MsgKind::kPut: return put(r);
       case MsgKind::kPutReplica: return put_replica(r);
@@ -79,8 +116,8 @@ class NodeService {
       case MsgKind::kRunStack: return run_stack(r);
       case MsgKind::kGet: return get(r);
       case MsgKind::kEnd: return end(r);
-      case MsgKind::kPeerListen: return peer_listen(r);
-      case MsgKind::kConnectPeer: return connect_peer(r);
+      case MsgKind::kPeerListen: return peer_listen(r, fd);
+      case MsgKind::kConnectPeer: return connect_peer(r, conn.epoch);
       case MsgKind::kPushPeer: return push_peer(r);
       case MsgKind::kPutTile: return put_tile(r);
       case MsgKind::kRunTile: return run_tile(r);
@@ -106,7 +143,18 @@ class NodeService {
       if (hello.kind != MsgKind::kPeerHello) return;  // not a peer: drop it
       WireReader r(hello.body);
       const std::string peer = r.str();
+      const std::uint64_t epoch = r.u64();
       r.expect_end("peer-hello");
+      // Fencing propagates worker -> worker: a hello carrying a deposed
+      // coordinator's epoch is rejected (the dialler relays the kFenced to its
+      // own coordinator), and a higher one raises this worker's high-water
+      // mark so the deposed coordinator's direct connection fences too.
+      if (epoch < max_epoch_) {
+        const Frame fenced = fenced_reply();
+        write_frame(channel.fd(), fenced.kind, fenced.body);
+        return;  // drop the channel
+      }
+      max_epoch_ = std::max(max_epoch_, epoch);
       for (auto it = peer_in_.begin(); it != peer_in_.end();) {
         if (it->name == peer) {
           poller_.remove(it->socket.fd());
@@ -195,7 +243,11 @@ class NodeService {
     // a failover replays the same kConfig, and wiping per-request slots (and
     // buddy replicas) here would destroy exactly the state the takeover needs.
     // A *different* body is a genuine reconfiguration and resets everything.
-    if (net_ && raw_body == config_fingerprint_) return ok();
+    // The fingerprint deliberately excludes the leading fencing epoch (already
+    // consumed by handle()): the successor's bundle differs only there, and it
+    // must find the per-request state intact.
+    const std::vector<std::uint8_t> fingerprint(raw_body.begin() + 8, raw_body.end());
+    if (net_ && fingerprint == config_fingerprint_) return ok();
     node_name_ = r.str();
     const std::string model = r.str();
     const std::vector<std::uint8_t> weight_bytes = r.blob();
@@ -217,7 +269,7 @@ class NodeService {
       tile_parallel_ = {};
     }
     requests_.clear();
-    config_fingerprint_ = raw_body;
+    config_fingerprint_ = fingerprint;
     return ok();
   }
 
@@ -348,7 +400,7 @@ class NodeService {
 
   // --- Peer channels ---------------------------------------------------------
 
-  Frame peer_listen(WireReader& r) {
+  Frame peer_listen(WireReader& r, int coordinator_fd) {
     r.expect_end("peer-listen");
     // Idempotent: a coordinator re-establishing links after a sibling worker
     // died just gets the existing port back.
@@ -357,7 +409,7 @@ class NodeService {
       // Bind the interface the coordinator reached this worker on: peers are
       // told to dial an address observed on that same network, so the listener
       // must be reachable by that route (loopback only works single-host).
-      peer_listener_ = tcp_listen_on(local_address(coordinator_fd_), peer_port_);
+      peer_listener_ = tcp_listen_on(local_address(coordinator_fd), peer_port_);
       poller_.add(peer_listener_.fd(), static_cast<std::uint64_t>(peer_listener_.fd()));
     }
     WireWriter w;
@@ -365,7 +417,7 @@ class NodeService {
     return Frame{MsgKind::kOk, w.take()};
   }
 
-  Frame connect_peer(WireReader& r) {
+  Frame connect_peer(WireReader& r, std::uint64_t epoch) {
     require_configured();
     const std::string peer = r.str();
     const std::string host = r.str();
@@ -378,8 +430,19 @@ class NodeService {
     Socket channel = tcp_connect(host, static_cast<std::uint16_t>(port));
     WireWriter hello;
     hello.str(node_name_);
+    // The hello carries the issuing coordinator's epoch: a peer that a
+    // successor already configured rejects the stale handshake with kFenced.
+    hello.u64(epoch);
     write_frame(channel.fd(), MsgKind::kPeerHello, hello.buffer());
     const Frame ack = read_frame(channel.fd());
+    if (ack.kind == MsgKind::kFenced) {
+      // The peer fenced this coordinator's epoch: raise our own high-water
+      // mark (so the deposed coordinator's direct verbs fence here too) and
+      // relay the rejection verbatim.
+      WireReader fr(ack.body);
+      max_epoch_ = std::max(max_epoch_, fr.u64());
+      return Frame{MsgKind::kFenced, ack.body};
+    }
     if (ack.kind != MsgKind::kPeerOk)
       throw WireError("node: peer '" + peer + "' rejected the channel handshake");
     peer_out_.emplace(peer, std::move(channel));
@@ -508,8 +571,19 @@ class NodeService {
     return Frame{MsgKind::kTensor, encode_tensor(it->second)};
   }
 
-  int coordinator_fd_ = -1;
-  Poller poller_;  // coordinator + peer listener + inbound peer channels
+  // One attached coordinator connection: the socket (owned in listen mode,
+  // borrowed in --connect mode) and the fencing epoch its kConfig carried.
+  struct CoordinatorConn {
+    Socket owned;
+    std::uint64_t epoch = 0;
+  };
+
+  std::map<int, CoordinatorConn> coordinators_;
+  // Highest fencing epoch any kConfig or kPeerHello has carried: the fencing
+  // high-water mark every verb is checked against. Persists across coordinator
+  // connections (listen mode), exactly like the request slots it protects.
+  std::uint64_t max_epoch_ = 0;
+  Poller poller_;  // coordinators + listener + peer listener + inbound peers
   std::string node_name_;
   std::vector<std::uint8_t> config_fingerprint_;  // raw kConfig body last applied
   std::optional<dnn::Network> net_;
@@ -524,12 +598,74 @@ class NodeService {
   std::vector<PeerChannel> peer_in_;        // channels peers push to us on
 };
 
-// Why the coordinator connection hung up: a clean EOF / socket failure (listen
-// mode returns to accept) vs an explicit kShutdown (the process exits).
+// Why the serve loop ended: the last coordinator connection hung up (only
+// terminal in --connect mode) vs an explicit, un-fenced kShutdown.
 enum class Hangup { kEof, kShutdown };
 
-Hangup serve_until_hangup(NodeService& service, int fd, const ServeOptions& options,
-                          std::uint64_t& served) {
+// Serves one ready coordinator frame on `fd`. Returns the hang-up kind when
+// that connection ended (EOF, socket failure, or an honoured kShutdown);
+// nullopt while it stays up. Throws nothing — a mid-frame socket failure is a
+// connection death, not a service death.
+std::optional<Hangup> serve_coordinator_frame(NodeService& service, int fd,
+                                              const ServeOptions& options,
+                                              std::uint64_t& served) {
+  try {
+    Frame request;
+    if (!read_frame_or_eof(fd, request)) return Hangup::kEof;
+    // Scripted crash point: die abruptly on the (N+1)th coordinator frame —
+    // read but never answered, exactly what a SIGKILL mid-call looks like
+    // from the coordinator, minus the race.
+    if (served == options.crash_after_frames) ::_exit(137);
+    ++served;
+    if (request.kind == MsgKind::kShutdown) {
+      // A deposed coordinator cannot take the worker down with it: its
+      // kShutdown is fenced like every other verb.
+      if (service.stale(fd)) {
+        const Frame fenced = service.fenced_reply();
+        write_frame(fd, fenced.kind, fenced.body, request.corr);
+        return std::nullopt;
+      }
+      write_frame(fd, MsgKind::kOk, {}, request.corr);
+      return Hangup::kShutdown;
+    }
+    // Emulated service latency concentrates on the compute verbs: the sleep
+    // happens before the reply, so a coordinator pipelining several
+    // outstanding frames sees the replies spaced by the service time —
+    // exactly what the overlap bench must hide behind other channels.
+    if (options.service_seconds > 0 && (request.kind == MsgKind::kRunLayer ||
+                                        request.kind == MsgKind::kRunStack))
+      std::this_thread::sleep_for(std::chrono::duration<double>(options.service_seconds));
+    Frame reply;
+    try {
+      reply = service.handle(request, fd);
+    } catch (const StateError& e) {
+      WireWriter w;
+      w.str(e.node());
+      w.str(e.what());
+      reply = Frame{MsgKind::kErrorState, w.take()};
+    } catch (const std::exception& e) {
+      WireWriter w;
+      w.str(e.what());
+      reply = Frame{MsgKind::kError, w.take()};
+    }
+    // Echo the request's correlation id: the transport matches this reply to
+    // its per-channel pending-op queue.
+    write_frame(fd, reply.kind, reply.body, request.corr);
+  } catch (const SocketError&) {
+    // The coordinator died mid-frame (SIGKILL, network fault). Every other
+    // piece of node state survives for its successor.
+    return Hangup::kEof;
+  }
+  return std::nullopt;
+}
+
+// The shared serve loop. With a `listener`, new coordinator connections are
+// accepted from it and served concurrently with existing ones (an active and
+// a deposed coordinator during a failover each hold a live connection); the
+// loop only returns on an honoured kShutdown. Without one (--connect mode)
+// the loop ends when the single coordinator connection does.
+Hangup serve_until_hangup(NodeService& service, const Socket* listener,
+                          const ServeOptions& options, std::uint64_t& served) {
   for (;;) {
     // One ready registration per wait: the Poller is level-triggered, so
     // still-ready channels surface again immediately, and a channel dropped
@@ -537,43 +673,19 @@ Hangup serve_until_hangup(NodeService& service, int fd, const ServeOptions& opti
     const std::vector<std::uint64_t> ready = service.poller().wait(-1);
     if (ready.empty()) continue;
     const int rfd = static_cast<int>(ready.front());
-    if (rfd == fd) {
-      // Coordinator frame (or hang-up).
-      Frame request;
-      if (!read_frame_or_eof(fd, request)) return Hangup::kEof;
-      // Scripted crash point: die abruptly on the (N+1)th coordinator frame —
-      // read but never answered, exactly what a SIGKILL mid-call looks like
-      // from the coordinator, minus the race.
-      if (served == options.crash_after_frames) ::_exit(137);
-      ++served;
-      if (request.kind == MsgKind::kShutdown) {
-        write_frame(fd, MsgKind::kOk, {}, request.corr);
-        return Hangup::kShutdown;
-      }
-      // Emulated service latency concentrates on the compute verbs: the sleep
-      // happens before the reply, so a coordinator pipelining several
-      // outstanding frames sees the replies spaced by the service time —
-      // exactly what the overlap bench must hide behind other channels.
-      if (options.service_seconds > 0 && (request.kind == MsgKind::kRunLayer ||
-                                          request.kind == MsgKind::kRunStack))
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(options.service_seconds));
-      Frame reply;
+    if (listener && rfd == listener->fd()) {
       try {
-        reply = service.handle(request);
-      } catch (const StateError& e) {
-        WireWriter w;
-        w.str(e.node());
-        w.str(e.what());
-        reply = Frame{MsgKind::kErrorState, w.take()};
-      } catch (const std::exception& e) {
-        WireWriter w;
-        w.str(e.what());
-        reply = Frame{MsgKind::kError, w.take()};
+        service.attach_coordinator(tcp_accept(*listener, 1000));
+      } catch (const SocketError&) {
+        // A dialler that vanished between readiness and accept costs nothing.
       }
-      // Echo the request's correlation id: the transport matches this reply to
-      // its per-channel pending-op queue.
-      write_frame(fd, reply.kind, reply.body, request.corr);
+    } else if (service.is_coordinator(rfd)) {
+      const std::optional<Hangup> hangup =
+          serve_coordinator_frame(service, rfd, options, served);
+      if (!hangup) continue;
+      service.detach_coordinator(rfd);
+      if (*hangup == Hangup::kShutdown) return Hangup::kShutdown;
+      if (!listener && service.coordinator_count() == 0) return Hangup::kEof;
     } else if (service.is_peer_listener(rfd)) {
       service.accept_peer();
     } else {
@@ -585,35 +697,17 @@ Hangup serve_until_hangup(NodeService& service, int fd, const ServeOptions& opti
 }  // namespace
 
 void serve_node(int fd, const ServeOptions& options) {
-  NodeService service(fd);
+  NodeService service;
+  service.attach_coordinator(fd);
   std::uint64_t served = 0;
-  serve_until_hangup(service, fd, options, served);
+  serve_until_hangup(service, /*listener=*/nullptr, options, served);
 }
 
 void serve_listen_node(const Socket& listener, const ServeOptions& options) {
   NodeService service;  // persists across coordinator connections
+  service.poller().add(listener.fd(), static_cast<std::uint64_t>(listener.fd()));
   std::uint64_t served = 0;
-  for (;;) {
-    // Block until a coordinator (initial or failed-over standby) dials in.
-    // The generous per-accept timeout only bounds a single poll slice chain;
-    // the outer loop waits indefinitely.
-    Socket coordinator;
-    try {
-      coordinator = tcp_accept(listener, 24 * 60 * 60 * 1000);
-    } catch (const SocketError&) {
-      continue;  // timeout: keep listening
-    }
-    service.attach_coordinator(coordinator.fd());
-    Hangup hangup = Hangup::kEof;
-    try {
-      hangup = serve_until_hangup(service, coordinator.fd(), options, served);
-    } catch (const SocketError&) {
-      // The coordinator died mid-frame (SIGKILL, network fault). Every other
-      // piece of node state survives for its successor.
-    }
-    service.detach_coordinator();
-    if (hangup == Hangup::kShutdown) return;
-  }
+  serve_until_hangup(service, &listener, options, served);
 }
 
 }  // namespace d3::rpc

@@ -52,15 +52,20 @@ struct ServeOptions {
 // mid-frame EOF) throw SocketError.
 void serve_node(int fd, const ServeOptions& options = {});
 
-// Listen-mode worker (d3_node --listen): serves coordinator connections
-// accepted from `listener`, one at a time, with ONE persistent node state
-// across them — per-request slots, buddy replicas, and peer channels all
-// survive a coordinator that hangs up or dies mid-conversation. That is what
-// makes coordinator failover work: a standby coordinator dials the same
+// Listen-mode worker (d3_node --listen): serves any number of concurrent
+// coordinator connections accepted from `listener`, with ONE persistent node
+// state across them — per-request slots, buddy replicas, and peer channels
+// all survive a coordinator that hangs up or dies mid-conversation. That is
+// what makes coordinator failover work: a standby coordinator dials the same
 // worker, replays kConfig (idempotent — an identical config keeps the state),
 // and resumes journalled requests against the slots the previous coordinator
-// already seeded. Returns on kShutdown; a coordinator EOF or socket failure
-// just returns the loop to accept.
+// already seeded. Concurrent coordinators are disambiguated by the fencing
+// epoch their kConfig carried: every verb from a connection whose epoch is
+// below the worker-wide maximum is answered kFenced before any state
+// mutation, so a deposed coordinator can never race its successor
+// (PROTOCOL.md, "Fencing epochs"). Returns on kShutdown from a live-epoch
+// coordinator; a coordinator EOF or socket failure just returns the
+// connection to the poll set.
 void serve_listen_node(const Socket& listener, const ServeOptions& options = {});
 
 }  // namespace d3::rpc

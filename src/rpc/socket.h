@@ -57,6 +57,8 @@ enum class MsgKind : std::uint8_t {
                      // to the real consumer, so a failed-over coordinator can
                      // re-deliver it peer-to-peer without re-materialising
   kPing = 16,        // liveness probe; the node answers kPong immediately
+  kJournalSync = 17, // standby -> active beacon: pull the request journal;
+                     // kOk body = u64 fencing epoch + blob journal file bytes
   // Worker -> worker peer-channel frames (never seen by the coordinator).
   kPeerHello = 32,   // first frame on a dialled peer channel: sender's node name
   kPeerPut = 33,     // a pushed slot tensor: request + slot + Envelope
@@ -69,7 +71,11 @@ enum class MsgKind : std::uint8_t {
                      // node has no per-request state for this request (a fresh
                      // worker incarnation after a death); recoverable by
                      // re-begin + re-seed, unlike a generic kError
-  kPong = 69,     // heartbeat reply to kPing (empty body)
+  kPong = 69,     // heartbeat reply to kPing (empty body from a worker; the
+                  // coordinator beacon answers with a u64 fencing-epoch body)
+  kFenced = 70,   // body: u64 current max epoch — the requesting coordinator's
+                  // fencing epoch is stale (a successor already configured this
+                  // worker); the verb was rejected before any state mutation
 };
 
 // RAII owner of a socket file descriptor.

@@ -122,6 +122,14 @@ void SocketTransport::drain_one_locked(Node& node) {
         ChannelDied(lost, /*channel_restored=*/true,
                     "node '" + lost + "' lost its per-request state (" + message +
                         "); reopen + re-seed to recover"));
+  } else if (reply.kind == MsgKind::kFenced) {
+    // A successor coordinator (higher fencing epoch) owns this worker: the
+    // verb was rejected before any state mutation. The channel is healthy and
+    // the worker state intact — deliberately NO recovery here; the error
+    // surfaces to the deposed coordinator's caller, which must stop driving
+    // these workers.
+    WireReader r(reply.body);
+    op->error = std::make_exception_ptr(Fenced(node.name, r.u64()));
   } else if (reply.kind == MsgKind::kError) {
     WireReader r(reply.body);
     op->error =
@@ -217,6 +225,13 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
         const Frame reply = read_frame(node.socket.fd());
         if (reply.corr != corr)
           throw SocketError("node '" + node.name + "': kConfig replay correlation desync");
+        if (reply.kind == MsgKind::kFenced) {
+          // The fresh incarnation was already configured by a successor
+          // coordinator: this one is deposed, not disconnected. Not a replay
+          // failure — retrying cannot help.
+          WireReader r(reply.body);
+          throw Fenced(node.name, r.u64());
+        }
         if (reply.kind != MsgKind::kOk) {
           std::string message = "reply kind " + std::to_string(static_cast<int>(reply.kind));
           if (reply.kind == MsgKind::kError) {
@@ -238,6 +253,8 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
                             " attempt(s) — reopen + re-seed, or replay the request");
     } catch (const ChannelDied&) {
       throw;  // recovery outcome, not a retryable failure
+    } catch (const Fenced&) {
+      throw;  // deposed, not disconnected: no amount of retrying helps
     } catch (const std::exception& e) {
       node.socket.close();
       last = e.what();
@@ -364,6 +381,10 @@ void SocketTransport::configure(const std::string& model_name, const dnn::Networ
   for (auto& [name, node] : nodes_) {
     if (node->detached.load(std::memory_order_acquire)) continue;
     WireWriter w;
+    // The fencing epoch leads the body so workers can gate before parsing the
+    // bundle; it rides the cached body too, so the kConfig replay after a
+    // reconnect carries this coordinator's incarnation automatically.
+    w.u64(epoch_);
     w.str(name);
     w.str(model_name);
     w.blob(weight_bytes);
@@ -678,6 +699,8 @@ bool SocketTransport::send_peer(std::uint64_t request, const runtime::MessageRec
     bytes = push_peer(*from, request, meta, slot);
   } catch (const ChannelDied&) {
     throw;  // coordinator<->worker channel death: replay, don't re-link
+  } catch (const Fenced&) {
+    throw;  // deposed: a handshake retry cannot regain ownership
   } catch (const TransportError&) {
     // The worker->worker channel may have died with a reconnected peer
     // incarnation (stale listener port, broken pipe, "no peer channel" on a
@@ -710,6 +733,8 @@ bool SocketTransport::replica_push(std::uint64_t request, const runtime::Message
     } catch (const ChannelDied& e) {
       if (buddy_failed(e)) return false;
       throw;  // destination-side state loss: the caller's recovery problem
+    } catch (const Fenced&) {
+      throw;  // deposed: a handshake retry cannot regain ownership
     } catch (const TransportError&) {
       // A fresh standby has no peer channels yet: re-run the handshake once.
       link_peers(*buddy, *to);
@@ -717,6 +742,8 @@ bool SocketTransport::replica_push(std::uint64_t request, const runtime::Message
     }
   } catch (const ChannelDied& e) {
     if (buddy_failed(e)) return false;
+    throw;
+  } catch (const Fenced&) {
     throw;
   } catch (const TransportError&) {
     return false;
@@ -945,6 +972,8 @@ void SocketTransport::ping(const std::string& node_name) {
         std::rethrow_exception(probe->error);
       } catch (const ChannelDied&) {
         throw;
+      } catch (const Fenced&) {
+        throw;  // deposed coordinator pinging a taken-over worker: not a death
       } catch (const std::exception& e) {
         throw SocketError(e.what());
       }

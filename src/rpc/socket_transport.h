@@ -187,6 +187,16 @@ class SocketTransport final : public Transport {
   // heartbeat_poll(); this just sets the policy and starts the clocks.
   void enable_heartbeats(HeartbeatPolicy policy);
 
+  // Fencing epoch (coordinator incarnation number) stamped as the first field
+  // of every kConfig body this transport sends — including the automatic
+  // replay on reconnect. Workers remember the highest epoch they have seen
+  // and answer every verb from a lower one with kFenced (surfaced here as
+  // rpc::Fenced), so a deposed coordinator can never drive a worker a
+  // successor already owns. Call before configure(); the default 0 keeps
+  // single-coordinator deployments unfenced.
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+  std::uint64_t epoch() const { return epoch_; }
+
   std::string name() const override { return "socket"; }
   std::uint64_t open_request() override;
   // Re-opens a journalled request id on every attached node (idempotent
@@ -380,6 +390,7 @@ class SocketTransport final : public Transport {
   std::map<std::string, std::string> advertised_addresses_;
   bool peers_enabled_ = false;
   std::string buddy_name_;
+  std::uint64_t epoch_ = 0;
   OpObserver op_observer_;
   bool heartbeats_ = false;
   HeartbeatPolicy heartbeat_policy_;

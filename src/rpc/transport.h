@@ -71,6 +71,31 @@ class ChannelDied : public TransportError {
   bool restored_ = false;
 };
 
+// A worker rejected a verb because this coordinator's fencing epoch is stale:
+// a successor coordinator (higher incarnation number in its kConfig) already
+// owns the worker, and every frame from the deposed incarnation is answered
+// kFenced before any state mutation. Deliberately NOT a ChannelDied — the
+// channel is healthy and the worker state intact; there is nothing to recover
+// here. The deposed coordinator must stop driving these workers, so the error
+// propagates out of the engine's recovery machinery to its caller.
+class Fenced : public TransportError {
+ public:
+  Fenced(std::string node, std::uint64_t epoch)
+      : TransportError("coordinator fenced by node " + node + ": a successor holds epoch " +
+                       std::to_string(epoch)),
+        node_(std::move(node)),
+        epoch_(epoch) {}
+
+  // The worker that rejected the frame.
+  const std::string& node() const { return node_; }
+  // The highest incarnation number the worker has seen (the successor's).
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::string node_;
+  std::uint64_t epoch_ = 0;
+};
+
 // Tile scatter/gather messages are intra-edge and not slot-addressed; they
 // carry this sentinel so a transport never files them in a node's slot table.
 inline constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
@@ -307,6 +332,14 @@ class InProcessTransport final : public Transport {
  public:
   std::string name() const override { return "in-process"; }
   std::uint64_t open_request() override { return next_.fetch_add(1); }
+  // Failover resume: in-process transports keep no per-request slot state
+  // (the engine holds the tensors), so re-claiming a dead coordinator's id
+  // only has to keep the counter strictly above it for fresh requests.
+  void open_request_as(std::uint64_t request) override {
+    std::uint64_t next = next_.load();
+    while (next <= request && !next_.compare_exchange_weak(next, request + 1)) {
+    }
+  }
   void close_request(std::uint64_t) noexcept override {}
   std::optional<dnn::Tensor> send(std::uint64_t, const runtime::MessageRecord&, std::uint64_t,
                                   const dnn::Tensor&) override {
@@ -332,6 +365,13 @@ class SerializingLoopback final : public Transport {
 
   std::string name() const override { return "serializing-loopback"; }
   std::uint64_t open_request() override { return next_.fetch_add(1); }
+  // Same resume contract as InProcessTransport: nothing to re-open beyond
+  // advancing the id counter past the resumed request.
+  void open_request_as(std::uint64_t request) override {
+    std::uint64_t next = next_.load();
+    while (next <= request && !next_.compare_exchange_weak(next, request + 1)) {
+    }
+  }
   void close_request(std::uint64_t) noexcept override {}
   std::optional<dnn::Tensor> send(std::uint64_t request, const runtime::MessageRecord& meta,
                                   std::uint64_t slot, const dnn::Tensor& tensor) override;

@@ -1,0 +1,132 @@
+#include "runtime/address_book.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace d3::runtime {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& line, const std::string& why) {
+  throw std::invalid_argument("address book line " + std::to_string(line_no) + ": \"" + line +
+                              "\" — " + why);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+// Parses "host:port" with a strictly numeric, in-range port. The full raw
+// line rides along for error messages.
+Endpoint parse_endpoint(const std::string& name, const std::string& addr, std::size_t line_no,
+                        const std::string& line) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size())
+    fail(line_no, line, "expected host:port");
+  const std::string host = addr.substr(0, colon);
+  const std::string port_text = addr.substr(colon + 1);
+  for (const char c : port_text)
+    if (!std::isdigit(static_cast<unsigned char>(c))) fail(line_no, line, "invalid port");
+  unsigned long port = 0;
+  try {
+    port = std::stoul(port_text);
+  } catch (const std::exception&) {
+    fail(line_no, line, "invalid port");
+  }
+  if (port == 0 || port > 65535) fail(line_no, line, "port out of range (1..65535)");
+  return Endpoint{name, host, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace
+
+AddressBook AddressBook::parse(const std::string& text) {
+  enum class Section { kNone, kCoordinator, kWorkers, kStandbys };
+  AddressBook book;
+  Section section = Section::kNone;
+  bool saw_workers = false;
+  bool saw_standbys = false;
+
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    std::string line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, trim(raw), "unterminated section header");
+      const std::string name = line.substr(1, line.size() - 2);
+      if (name == "coordinator") {
+        section = Section::kCoordinator;
+      } else if (name == "workers") {
+        section = Section::kWorkers;
+        saw_workers = true;
+      } else if (name == "standbys") {
+        section = Section::kStandbys;
+        saw_standbys = true;
+      } else {
+        fail(line_no, trim(raw), "unknown section [" + name + "]");
+      }
+      continue;
+    }
+
+    std::istringstream fields(line);
+    std::string name;
+    std::string addr;
+    std::string extra;
+    fields >> name >> addr;
+    if (name.empty() || addr.empty()) fail(line_no, trim(raw), "expected \"name host:port\"");
+    if (fields >> extra) fail(line_no, trim(raw), "trailing garbage after host:port");
+    if (book.find(name) != nullptr) fail(line_no, trim(raw), "duplicate name \"" + name + "\"");
+    const Endpoint endpoint = parse_endpoint(name, addr, line_no, trim(raw));
+    switch (section) {
+      case Section::kNone:
+        fail(line_no, trim(raw), "entry before any section header");
+      case Section::kCoordinator:
+        if (book.coordinator_.has_value())
+          fail(line_no, trim(raw), "second entry in [coordinator]");
+        book.coordinator_ = endpoint;
+        break;
+      case Section::kWorkers:
+        book.workers_.push_back(endpoint);
+        break;
+      case Section::kStandbys:
+        book.standbys_.push_back(endpoint);
+        break;
+    }
+  }
+
+  if (!saw_workers || book.workers_.empty())
+    throw std::invalid_argument("address book: missing or empty [workers] section");
+  if (!saw_standbys)
+    throw std::invalid_argument("address book: missing [standbys] section");
+  return book;
+}
+
+AddressBook AddressBook::load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::invalid_argument("address book: cannot read \"" + path + "\"");
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse(text.str());
+}
+
+const Endpoint* AddressBook::find(const std::string& name) const {
+  if (coordinator_ && coordinator_->name == name) return &*coordinator_;
+  for (const Endpoint& e : workers_)
+    if (e.name == name) return &e;
+  for (const Endpoint& e : standbys_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+}  // namespace d3::runtime

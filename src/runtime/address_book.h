@@ -1,0 +1,77 @@
+// Static deployment roster for the zero-human failover setup: who listens
+// where, so discovery is a config file instead of fork/exec plumbing.
+//
+// The format is a strict INI-like text file:
+//
+//   # comments run to end of line; blank lines are ignored
+//   [coordinator]            # optional: the active coordinator's beacon
+//   beacon 127.0.0.1:7000
+//
+//   [workers]                # required, at least one entry
+//   device0 127.0.0.1:7001
+//   edge0   127.0.0.1:7002
+//   cloud0  127.0.0.1:7003
+//   edge1   127.0.0.1:7004   # extra edgeN entries are VSM tile workers
+//
+//   [standbys]               # required section (entries optional)
+//   standby0 127.0.0.1:7100
+//
+// Every consumer loads the same file: `d3_node --book` finds its own listen
+// endpoint in [workers], the active coordinator dials every worker and binds
+// its beacon from [coordinator], and `d3_coordinator --standby` monitors the
+// beacon and dials the workers at promotion time.
+//
+// Parsing is deliberately unforgiving — a typo in the roster must fail the
+// process at startup, not strand a standby dialling the wrong port during a
+// real outage. Duplicate names, malformed ports, trailing tokens, unknown
+// sections and a missing [standbys] section all raise std::invalid_argument
+// quoting the offending line.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace d3::runtime {
+
+struct Endpoint {
+  std::string name;
+  std::string host;
+  std::uint16_t port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+class AddressBook {
+ public:
+  // Parses the text of an address book. Throws std::invalid_argument on any
+  // malformation, quoting the offending line and its 1-based number.
+  static AddressBook parse(const std::string& text);
+
+  // Reads and parses the file at `path`. Throws std::invalid_argument on an
+  // unreadable file or malformed content.
+  static AddressBook load(const std::string& path);
+
+  // The active coordinator's beacon endpoint, when the [coordinator] section
+  // has one.
+  const std::optional<Endpoint>& coordinator() const { return coordinator_; }
+
+  // Listen-mode workers in file order. The three tier names device0 / edge0 /
+  // cloud0 are the inference tiers; any further entries are VSM tile workers
+  // attached in file order.
+  const std::vector<Endpoint>& workers() const { return workers_; }
+
+  // Standby coordinators in file order.
+  const std::vector<Endpoint>& standbys() const { return standbys_; }
+
+  // Looks a name up across every section; nullptr when absent.
+  const Endpoint* find(const std::string& name) const;
+
+ private:
+  std::optional<Endpoint> coordinator_;
+  std::vector<Endpoint> workers_;
+  std::vector<Endpoint> standbys_;
+};
+
+}  // namespace d3::runtime

@@ -238,9 +238,28 @@ const dnn::Tensor& OnlineEngine::materialize(RequestState& state, dnn::LayerId i
   dnn::Tensor& out = state.outputs[id];
   // Empty = computed on a remote node and never needed at the coordinator
   // until now: pull it from the node hosting the layer's tier.
-  if (out.size() == 0)
-    out = transport_->fetch(state.rpc_request,
-                            node_of(assignment_.tier[dnn::Network::vertex_of(id)]), id + 1);
+  if (out.size() == 0) {
+    const core::Tier at = assignment_.tier[dnn::Network::vertex_of(id)];
+    try {
+      out = transport_->fetch(state.rpc_request, node_of(at), id + 1);
+    } catch (const rpc::ChannelDied&) {
+      throw;  // a dead worker slot is a recovery problem, not a cache miss
+    } catch (const rpc::Fenced&) {
+      throw;
+    } catch (const rpc::TransportError&) {
+      // In-process transports hold no per-node slots: a restored request's
+      // pre-crash outputs died with the old engine and cannot be fetched.
+      // Recompute deterministically from what the snapshot preserved — the
+      // recursion through resolve_input() bottoms out at state.input, and no
+      // message is recorded, so the transcript stays a pure function of the
+      // plan.
+      std::vector<const dnn::Tensor*> ins;
+      ins.reserve(net_.layer(id).inputs.size());
+      for (const dnn::LayerId in : net_.layer(id).inputs)
+        ins.push_back(resolve_input(state, in, at));
+      out = exec::run_layer(net_, weights_, id, ins, op_context());
+    }
+  }
   return out;
 }
 

@@ -1,0 +1,144 @@
+// The deployment roster must be strict: a typo'd address book has to fail the
+// process at startup, not strand a standby dialling a wrong port during a
+// real outage. Every negative case pins both the exception type and that the
+// message quotes the offending line.
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "runtime/address_book.h"
+
+namespace d3::runtime {
+namespace {
+
+constexpr const char* kGoodBook = R"(# three-tier drill deployment
+[coordinator]
+beacon 127.0.0.1:7000
+
+[workers]
+device0 127.0.0.1:7001
+edge0   127.0.0.1:7002   # inline comments are fine
+cloud0  127.0.0.1:7003
+edge1   10.0.0.4:7004
+
+[standbys]
+standby0 127.0.0.1:7100
+standby1 127.0.0.1:7101
+)";
+
+TEST(AddressBook, ParsesSectionsNamesAndPorts) {
+  const AddressBook book = AddressBook::parse(kGoodBook);
+
+  ASSERT_TRUE(book.coordinator().has_value());
+  EXPECT_EQ(book.coordinator()->name, "beacon");
+  EXPECT_EQ(book.coordinator()->host, "127.0.0.1");
+  EXPECT_EQ(book.coordinator()->port, 7000);
+
+  ASSERT_EQ(book.workers().size(), 4u);
+  EXPECT_EQ(book.workers()[0], (Endpoint{"device0", "127.0.0.1", 7001}));
+  EXPECT_EQ(book.workers()[1], (Endpoint{"edge0", "127.0.0.1", 7002}));
+  EXPECT_EQ(book.workers()[2], (Endpoint{"cloud0", "127.0.0.1", 7003}));
+  EXPECT_EQ(book.workers()[3], (Endpoint{"edge1", "10.0.0.4", 7004}));
+
+  ASSERT_EQ(book.standbys().size(), 2u);
+  EXPECT_EQ(book.standbys()[0].name, "standby0");
+  EXPECT_EQ(book.standbys()[1].port, 7101);
+}
+
+TEST(AddressBook, FindLooksUpEverySectionAndMissesReturnNull) {
+  const AddressBook book = AddressBook::parse(kGoodBook);
+  ASSERT_NE(book.find("beacon"), nullptr);
+  ASSERT_NE(book.find("edge1"), nullptr);
+  EXPECT_EQ(book.find("edge1")->port, 7004);
+  ASSERT_NE(book.find("standby1"), nullptr);
+  EXPECT_EQ(book.find("edge7"), nullptr);
+}
+
+TEST(AddressBook, EmptyStandbySectionIsExplicitlyAllowed) {
+  const AddressBook book = AddressBook::parse(
+      "[workers]\ndevice0 127.0.0.1:1\nedge0 127.0.0.1:2\ncloud0 127.0.0.1:3\n[standbys]\n");
+  EXPECT_TRUE(book.standbys().empty());
+  EXPECT_FALSE(book.coordinator().has_value());
+}
+
+// --- Negative cases: invalid_argument quoting the offending line -------------
+
+void expect_rejects(const std::string& text, const std::string& quoted_line) {
+  try {
+    AddressBook::parse(text);
+    FAIL() << "parse accepted malformed book; expected a line quoting: " << quoted_line;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(quoted_line), std::string::npos)
+        << "error message \"" << e.what() << "\" does not quote \"" << quoted_line << "\"";
+  }
+}
+
+TEST(AddressBook, RejectsDuplicateNamesAcrossSections) {
+  expect_rejects(
+      "[workers]\ndevice0 127.0.0.1:1\ndevice0 127.0.0.1:2\n[standbys]\n",
+      "device0 127.0.0.1:2");
+  // A standby reusing a worker name is the same startup-fatal typo.
+  expect_rejects(
+      "[workers]\ndevice0 127.0.0.1:1\n[standbys]\ndevice0 127.0.0.1:9\n",
+      "device0 127.0.0.1:9");
+}
+
+TEST(AddressBook, RejectsBadPorts) {
+  expect_rejects("[workers]\nedge0 127.0.0.1:bad\n[standbys]\n", "edge0 127.0.0.1:bad");
+  expect_rejects("[workers]\nedge0 127.0.0.1:0\n[standbys]\n", "edge0 127.0.0.1:0");
+  expect_rejects("[workers]\nedge0 127.0.0.1:70000\n[standbys]\n", "edge0 127.0.0.1:70000");
+  expect_rejects("[workers]\nedge0 127.0.0.1\n[standbys]\n", "edge0 127.0.0.1");
+}
+
+TEST(AddressBook, RejectsTrailingGarbage) {
+  expect_rejects("[workers]\nedge0 127.0.0.1:2 surprise\n[standbys]\n",
+                 "edge0 127.0.0.1:2 surprise");
+}
+
+TEST(AddressBook, RejectsEntriesOutsideAnySection) {
+  expect_rejects("edge0 127.0.0.1:2\n[workers]\nedge0 127.0.0.1:2\n[standbys]\n",
+                 "edge0 127.0.0.1:2");
+}
+
+TEST(AddressBook, RejectsUnknownSections) {
+  expect_rejects("[workers]\nedge0 127.0.0.1:2\n[observers]\n[standbys]\n", "[observers]");
+}
+
+TEST(AddressBook, RejectsMissingStandbySection) {
+  EXPECT_THROW(AddressBook::parse("[workers]\nedge0 127.0.0.1:2\n"), std::invalid_argument);
+  try {
+    AddressBook::parse("[workers]\nedge0 127.0.0.1:2\n");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("standbys"), std::string::npos);
+  }
+}
+
+TEST(AddressBook, RejectsMissingOrEmptyWorkersSection) {
+  EXPECT_THROW(AddressBook::parse("[standbys]\nstandby0 127.0.0.1:2\n"), std::invalid_argument);
+  EXPECT_THROW(AddressBook::parse("[workers]\n[standbys]\nstandby0 127.0.0.1:2\n"),
+               std::invalid_argument);
+}
+
+TEST(AddressBook, RejectsSecondCoordinatorEntry) {
+  expect_rejects(
+      "[coordinator]\nbeacon 127.0.0.1:1\nbeacon2 127.0.0.1:2\n"
+      "[workers]\nedge0 127.0.0.1:3\n[standbys]\n",
+      "beacon2 127.0.0.1:2");
+}
+
+TEST(AddressBook, ErrorsCarryTheLineNumber) {
+  try {
+    AddressBook::parse("[workers]\ndevice0 127.0.0.1:1\nedge0 127.0.0.1:bad\n[standbys]\n");
+    FAIL() << "parse accepted a bad port";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(AddressBook, LoadRejectsMissingFile) {
+  EXPECT_THROW(AddressBook::load("/nonexistent/address.book"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace d3::runtime

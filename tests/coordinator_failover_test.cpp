@@ -29,7 +29,9 @@
 #include "exec/executor.h"
 #include "rpc/fault_injection.h"
 #include "rpc/socket_transport.h"
+#include "runtime/address_book.h"
 #include "runtime/engine.h"
+#include "runtime/failover.h"
 #include "runtime/request_journal.h"
 #include "runtime/serving_reactor.h"
 #include "util/rng.h"
@@ -357,6 +359,86 @@ TEST(CoordinatorFailover, FlappingTileWorkerIsReadmittedWithoutDoubleAttachment)
   const InferenceResult after = engine.infer(frame);
   expect_identical(after.output, reference);
   expect_same_transcript(after, before);
+}
+
+// --- Split-brain drill (ISSUE 9 satellite) -----------------------------------
+
+TEST(CoordinatorFailover, SplitBrainDeposedCoordinatorIsFencedOutOfEveryVerb) {
+  // The nightmare failover race: the "dead" coordinator was only slow, and
+  // wakes up mid-request after a standby has already taken over. The fencing
+  // epoch must turn every one of its verbs into rpc::Fenced — before any
+  // worker state is touched — while the promoted coordinator's runs stay
+  // bitwise- and transcript-identical.
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 161);
+  util::Rng rng(162);
+  const dnn::Tensor frame = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(frame);
+  const core::Assignment assignment = three_tier_plan(net);
+  const core::SerializablePlan plan{net.name(), assignment, std::nullopt};
+  const std::string journal_path = temp_journal("split_brain.d3j");
+
+  const rpc::ListenWorkerProcess device(D3_NODE_BINARY);
+  const rpc::ListenWorkerProcess edge(D3_NODE_BINARY);
+  const rpc::ListenWorkerProcess cloud(D3_NODE_BINARY);
+
+  // Coordinator A: epoch 1, one request run exactly one stage deep — the
+  // device tier is durable in the journal, the edge tier is next.
+  auto a = std::make_shared<rpc::SocketTransport>();
+  a->set_epoch(1);
+  a->add_node("device0", device.dial());
+  a->add_node("edge0", edge.dial());
+  a->add_node("cloud0", cloud.dial());
+  a->configure(net.name(), net, weights, core::serialize_plan_binary(plan), 0);
+  OnlineEngine::Options a_options;
+  a_options.transport = a;
+  a_options.journal = std::make_shared<RequestJournal>(journal_path);
+  const OnlineEngine stalled(net, weights, assignment, std::nullopt, a_options);
+  OnlineEngine::Continuation c = stalled.start(frame);
+  ASSERT_FALSE(stalled.step(c));
+  ASSERT_EQ(RequestJournal::load(journal_path).size(), 1u);
+
+  // Coordinator B: a standby force-promoted (the deterministic drill form of
+  // the heartbeat path). Its epoch-2 kConfig fences A out of all three
+  // workers and its promote() resumes A's request to completion.
+  const auto entry = [](const char* name, std::uint16_t port) {
+    return std::string(name) + " 127.0.0.1:" + std::to_string(port) + "\n";
+  };
+  StandbyCoordinator::Options options;
+  options.book = AddressBook::parse("[coordinator]\n" + entry("beacon", 65001) + "[workers]\n" +
+                                    entry("device0", device.port()) +
+                                    entry("edge0", edge.port()) + entry("cloud0", cloud.port()) +
+                                    "[standbys]\n" + entry("standby0", 65000));
+  options.journal_path = journal_path;
+  options.epoch_hint = 1;
+  StandbyCoordinator standby(net, weights, assignment, std::nullopt, std::move(options));
+  standby.promote();
+  EXPECT_TRUE(standby.promoted());
+  EXPECT_EQ(standby.epoch(), 2u);
+
+  ASSERT_EQ(standby.resumed().size(), 1u);
+  expect_identical(standby.resumed()[0].result.output, reference);
+  const InferenceResult no_failure = OnlineEngine(net, weights, assignment).infer(frame);
+  expect_same_transcript(standby.resumed()[0].result, no_failure);
+  EXPECT_TRUE(RequestJournal::load(journal_path).empty());
+
+  // A wakes up and keeps driving: every verb — resuming its continuation
+  // (kPut + kRunLayer against the edge), opening a new request (kBegin),
+  // a whole fresh inference, even replaying its own kConfig — is rejected
+  // with rpc::Fenced. The channels stay healthy; only the epoch is dead.
+  EXPECT_THROW(stalled.step(c), rpc::Fenced);
+  EXPECT_THROW(a->open_request(), rpc::Fenced);
+  EXPECT_THROW(stalled.infer(frame), rpc::Fenced);
+  EXPECT_THROW(a->configure(net.name(), net, weights, core::serialize_plan_binary(plan), 0),
+               rpc::Fenced);
+  stalled.abandon(std::move(c));  // disarm: no kEnd from the deposed side
+
+  // None of those attempts touched worker state: B's fresh run over the same
+  // workers is still bitwise- and transcript-identical.
+  const InferenceResult fresh = standby.engine().infer(frame);
+  expect_identical(fresh.output, reference);
+  expect_same_transcript(fresh, no_failure);
+  EXPECT_TRUE(RequestJournal::load(journal_path).empty());
 }
 
 // --- Channel error context (ISSUE 7 satellite) -------------------------------

@@ -4,6 +4,8 @@
 // and the engine-side journal lifecycle on a completed request.
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -154,6 +156,68 @@ TEST(RequestJournal, TornTailStopsAtLastCompleteRecord) {
   // Tearing into the first record leaves an empty journal, not an error.
   std::filesystem::resize_file(path, 5);
   EXPECT_TRUE(RequestJournal::load(path).empty());
+}
+
+TEST(RequestJournal, TornTailSweepEveryByteOffsetYieldsLastDurablePrefix) {
+  // The property the failover story rests on, exhaustively: truncate a
+  // multi-request, multi-snapshot journal (with a finish in the mix) at EVERY
+  // byte offset. load() must never throw, and must always replay exactly the
+  // operations whose records are fully contained in the prefix.
+  const std::string path = temp_journal("journal_torn_sweep.d3j");
+  std::filesystem::remove(path);
+  std::vector<std::uintmax_t> boundaries;  // file size after each append
+  {
+    RequestJournal journal(path);
+    journal.record(sample_snapshot(7, 1));
+    boundaries.push_back(std::filesystem::file_size(path));
+    journal.record(sample_snapshot(9, 1));
+    boundaries.push_back(std::filesystem::file_size(path));
+    journal.record(sample_snapshot(7, 2));  // supersedes 7's first snapshot
+    boundaries.push_back(std::filesystem::file_size(path));
+    journal.finish(9);  // kills 9 entirely
+    boundaries.push_back(std::filesystem::file_size(path));
+  }
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream file(path, std::ios::binary);
+    ASSERT_TRUE(file.good());
+    bytes.assign(std::istreambuf_iterator<char>(file), std::istreambuf_iterator<char>());
+  }
+  ASSERT_EQ(bytes.size(), boundaries.back());
+
+  // Replay state after k complete operations, ascending by rpc_request (the
+  // load order the engine restores in).
+  const auto expected_after = [](std::size_t k) {
+    std::vector<Snapshot> live;
+    switch (k) {
+      case 0: break;
+      case 1: live = {sample_snapshot(7, 1)}; break;
+      case 2: live = {sample_snapshot(7, 1), sample_snapshot(9, 1)}; break;
+      case 3: live = {sample_snapshot(7, 2), sample_snapshot(9, 1)}; break;
+      case 4: live = {sample_snapshot(7, 2)}; break;
+    }
+    return live;
+  };
+
+  const std::string torn = temp_journal("journal_torn_sweep_prefix.d3j");
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    {
+      std::ofstream file(torn, std::ios::binary | std::ios::trunc);
+      file.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(len));
+    }
+    std::size_t complete = 0;
+    while (complete < boundaries.size() && boundaries[complete] <= len) ++complete;
+
+    std::vector<Snapshot> live;
+    ASSERT_NO_THROW(live = RequestJournal::load(torn)) << "torn at byte " << len;
+    const std::vector<Snapshot> want = expected_after(complete);
+    ASSERT_EQ(live.size(), want.size()) << "torn at byte " << len;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      SCOPED_TRACE("torn at byte " + std::to_string(len) + ", snapshot " + std::to_string(i));
+      expect_snapshot_eq(live[i], want[i]);
+    }
+  }
 }
 
 TEST(RequestJournal, PlanHashIsDeterministicAndPlanSensitive) {

@@ -3,8 +3,11 @@
 // single-node reference bitwise in every case, and the transcript's boundary
 // bytes must match the analytical accounting. Plus failure-injection scenarios
 // for the adaptive path (link outage -> repartition -> recovery).
+#include <filesystem>
 #include <memory>
 #include <numeric>
+#include <optional>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -17,6 +20,7 @@
 #include "profile/profiler.h"
 #include "rpc/fault_injection.h"
 #include "runtime/engine.h"
+#include "runtime/request_journal.h"
 #include "util/rng.h"
 
 namespace d3::runtime {
@@ -300,6 +304,120 @@ TEST_P(RecoveryFuzz, ScriptedStateLossKeepsLosslessnessAndBoundsRecoveryCost) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryFuzz, ::testing::Range(1, 25));
+
+// --- Randomized failover fuzz (ISSUE 9) --------------------------------------
+
+// The in-process stand-in for a SIGKILLed coordinator: the kill handler
+// throws this through the engine, the continuation is abandon()ed (no kEnd,
+// so worker slots survive exactly as they would a real coordinator death),
+// and a standby engine over the same worker fabric must converge from the
+// journal alone.
+struct CoordinatorKilled {};
+
+class FailoverFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailoverFuzz, StandbyPromotionConvergesFromRandomKillPoints) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17477);
+  const dnn::Network net = random_network(rng);
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, GetParam() + 900);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+  const core::Assignment plan = random_feasible_plan(net, rng);
+  const std::string journal_path =
+      (std::filesystem::path(::testing::TempDir()) /
+       ("failover_fuzz_" + std::to_string(GetParam()) + ".d3j"))
+          .string();
+  std::filesystem::remove(journal_path);
+
+  // Random nets can't ride the socket transport (kConfig resolves models by
+  // zoo name), so the worker fabric is a SerializingLoopback shared by both
+  // coordinator incarnations — its per-node state survives the "death" the
+  // same way listen-mode worker processes survive a real SIGKILL.
+  using rpc::FaultInjectionTransport;
+  auto workers = std::make_shared<rpc::SerializingLoopback>();
+  auto faults = std::make_shared<FaultInjectionTransport>(workers);
+  faults->set_kill_handler([](const std::string&) { throw CoordinatorKilled{}; });
+  FaultInjectionTransport::Fault fault;
+  fault.op = FaultInjectionTransport::Op::kAny;
+  fault.node = "";
+  fault.nth = rng.uniform_int(1, 30);  // may exceed the op count: then no kill
+  fault.action = FaultInjectionTransport::Action::kKill;
+  faults->schedule(fault);
+
+  OnlineEngine::Options active_options;
+  active_options.transport = faults;
+  active_options.journal = std::make_shared<RequestJournal>(journal_path);
+  const OnlineEngine active(net, weights, plan, std::nullopt, active_options);
+
+  std::optional<OnlineEngine::Continuation> c;
+  bool killed = false;
+  try {
+    c.emplace(active.start(input));
+    while (!active.step(*c)) {
+    }
+  } catch (const CoordinatorKilled&) {
+    killed = true;
+  }
+  if (!killed) {
+    // The random kill point fell past this plan's op count: a plain lossless
+    // run, and nothing for any standby to do.
+    const InferenceResult done = active.take(std::move(*c));
+    ASSERT_EQ(done.output.shape(), reference.shape());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      ASSERT_EQ(done.output[i], reference[i]);
+    EXPECT_TRUE(RequestJournal::load(journal_path).empty());
+    return;
+  }
+  if (c.has_value()) active.abandon(std::move(*c));
+
+  // The standby: same surviving workers, the dead incarnation's journal.
+  OnlineEngine::Options standby_options;
+  standby_options.transport = workers;
+  standby_options.journal = std::make_shared<RequestJournal>(journal_path);
+  const OnlineEngine standby(net, weights, plan, std::nullopt, standby_options);
+
+  const std::vector<Snapshot> live = RequestJournal::load(journal_path);
+  ASSERT_LE(live.size(), 1u);
+  InferenceResult result;
+  if (live.empty()) {
+    // Killed before the first durable stage: promotion has nothing to resume
+    // and the request is simply re-run from its (re-submitted) input.
+    result = standby.infer(input);
+  } else {
+    OnlineEngine::Continuation rc = standby.restore(live[0]);
+    while (!standby.step(rc)) {
+    }
+    result = standby.take(std::move(rc));
+  }
+
+  // Convergence is lossless: bitwise output, transcript identical to an
+  // engine that never saw the failover.
+  ASSERT_EQ(result.output.shape(), reference.shape());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_EQ(result.output[i], reference[i]);
+  const InferenceResult expected = OnlineEngine(net, weights, plan).infer(input);
+  ASSERT_EQ(result.messages.size(), expected.messages.size());
+  for (std::size_t i = 0; i < result.messages.size(); ++i) {
+    EXPECT_EQ(result.messages[i].seq, expected.messages[i].seq);
+    EXPECT_EQ(result.messages[i].from_node, expected.messages[i].from_node);
+    EXPECT_EQ(result.messages[i].to_node, expected.messages[i].to_node);
+    EXPECT_EQ(result.messages[i].payload, expected.messages[i].payload);
+    EXPECT_EQ(result.messages[i].bytes, expected.messages[i].bytes);
+  }
+  EXPECT_EQ(result.layers_executed, expected.layers_executed);
+  EXPECT_TRUE(RequestJournal::load(journal_path).empty());
+
+  // Recovery-cost pin: with the already-delivered boundary tensors still
+  // live on the workers (the in-process analogue of buddy replicas), the
+  // promotion moves strictly fewer bytes than a full replay would — raw
+  // input plus every boundary message re-shipped.
+  std::uint64_t full_replay_bytes = static_cast<std::uint64_t>(net.input_shape().bytes());
+  for (const MessageRecord& m : expected.messages)
+    full_replay_bytes += static_cast<std::uint64_t>(m.bytes);
+  EXPECT_LT(standby.stats().recovery_bytes, full_replay_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailoverFuzz, ::testing::Range(1, 21));
 
 TEST(FailureInjection, BackhaulOutageAndRecovery) {
   // The backbone collapses to near-zero, then recovers: the adaptive

@@ -13,11 +13,22 @@
 //   d3_node --listen <port> [--crash-after <frames>]
 //
 // binds <port> (0 = ephemeral), prints "PORT <port>" on stdout, and serves
-// coordinator connections accepted from it — one at a time, with one
+// coordinator connections accepted from it — concurrently, with one
 // persistent node state across them. A coordinator that dies is survived: its
 // successor dials the same port, replays kConfig (idempotent) and finds the
-// per-request slots and buddy replicas intact. This is the worker side of
-// coordinator failover (rpc::ListenWorkerProcess spawns it in tests).
+// per-request slots and buddy replicas intact. When two coordinators are
+// connected at once (a failover race), the fencing epoch in kConfig decides:
+// the higher incarnation owns the node and every frame from the lower one is
+// answered kFenced. This is the worker side of coordinator failover
+// (rpc::ListenWorkerProcess spawns it in tests).
+//
+//   d3_node --book <file> <name> [--crash-after <frames>]
+//
+// the zero-human deployment form of --listen: looks `name` up in the
+// [workers] section of the address book (runtime/address_book.h), binds that
+// entry's host:port, and serves exactly like --listen. The whole deployment —
+// workers, the active coordinator's beacon, and the standbys — boots from the
+// one shared file with no spawn-time port plumbing.
 //
 // --crash-after N makes the process exit abruptly (no reply) on the (N+1)th
 // coordinator frame — a deterministic, scriptable stand-in for a SIGKILL at an
@@ -25,25 +36,28 @@
 // clean shutdown, 1 on any protocol or socket failure.
 #include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "rpc/node_service.h"
 #include "rpc/socket.h"
+#include "runtime/address_book.h"
 
 int main(int argc, char** argv) {
   const auto usage = [&] {
     std::fprintf(stderr,
                  "usage: %s --connect <host> <port> [--crash-after <frames>] [--service-ms <ms>]\n"
-                 "       %s --listen <port> [--crash-after <frames>] [--service-ms <ms>]\n",
-                 argv[0], argv[0]);
+                 "       %s --listen <port> [--crash-after <frames>] [--service-ms <ms>]\n"
+                 "       %s --book <file> <name> [--crash-after <frames>] [--service-ms <ms>]\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   };
   if (argc < 3) return usage();
   const std::string mode = argv[1];
   try {
     d3::rpc::ServeOptions options;
-    int arg = mode == "--connect" ? 4 : 3;
-    if (mode == "--connect" && argc < 4) return usage();
+    int arg = mode == "--listen" ? 3 : 4;
+    if (mode != "--listen" && argc < 4) return usage();
     while (arg < argc) {
       if (std::string(argv[arg]) == "--crash-after" && arg + 1 < argc) {
         options.crash_after_frames = std::stoull(argv[arg + 1]);
@@ -72,6 +86,21 @@ int main(int argc, char** argv) {
       d3::rpc::Socket listener = d3::rpc::tcp_listen(port);
       // The bound (possibly ephemeral) port is the spawner's handle to this
       // worker; flushed so a pipe reader sees it before the first accept.
+      std::printf("PORT %u\n", static_cast<unsigned>(port));
+      std::fflush(stdout);
+      d3::rpc::serve_listen_node(listener, options);
+      return 0;
+    }
+    if (mode == "--book") {
+      const d3::runtime::AddressBook book = d3::runtime::AddressBook::load(argv[2]);
+      const std::string name = argv[3];
+      const d3::runtime::Endpoint* self = nullptr;
+      for (const d3::runtime::Endpoint& worker : book.workers())
+        if (worker.name == name) self = &worker;
+      if (self == nullptr)
+        throw std::invalid_argument("\"" + name + "\" is not in the [workers] section");
+      std::uint16_t port = self->port;
+      d3::rpc::Socket listener = d3::rpc::tcp_listen_on(self->host, port);
       std::printf("PORT %u\n", static_cast<unsigned>(port));
       std::fflush(stdout);
       d3::rpc::serve_listen_node(listener, options);
