@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common.h"
+#include "core/bundle.h"
 #include "core/plan_io.h"
 #include "core/vsm.h"
 #include "dnn/model_zoo.h"
@@ -40,6 +41,7 @@
 #include "rpc/fault_injection.h"
 #include "rpc/socket_transport.h"
 #include "rpc/transport.h"
+#include "rpc/wire.h"
 #include "runtime/address_book.h"
 #include "runtime/engine.h"
 #include "runtime/failover.h"
@@ -118,6 +120,17 @@ struct RecoveryRow {
   std::string mode;
   double seconds = 0;          // interrupted-request wall clock, death -> result
   std::uint64_t bytes = 0;     // tensor bytes re-moved to finish the request
+};
+
+// Boot-time configuration traffic (ISSUE 10): the classic kConfig ships the
+// full weights blob to every node — O(model) per worker — while a cluster
+// booted from d3c bundles takes the weights-elided form, plan + weights hash
+// only. Both forms are run against real worker processes on the same plan
+// (outputs verified bitwise-identical) and the bytes are the measured kConfig
+// bodies, not an estimate.
+struct ConfigRow {
+  std::string form;
+  std::uint64_t config_bytes = 0;
 };
 
 #ifdef D3_NODE_BINARY
@@ -364,6 +377,82 @@ RecoveryRow measure_promotion() {
   row.bytes = standby.engine().stats().recovery_bytes;
   return row;
 }
+
+std::vector<ConfigRow> measure_config_bytes() {
+  dnn::Network net = dnn::zoo::tiny_chain();
+  core::Assignment a;
+  a.tier.assign(net.num_layers() + 1, core::Tier::kCloud);
+  a.tier[0] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {0, 1}) a.tier[dnn::Network::vertex_of(id)] = core::Tier::kDevice;
+  for (const dnn::LayerId id : {2, 3, 4, 5})
+    a.tier[dnn::Network::vertex_of(id)] = core::Tier::kEdge;
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 27);
+  const core::SerializablePlan plan{net.name(), a, std::nullopt};
+  const std::vector<std::uint8_t> plan_bytes = core::serialize_plan_binary(plan);
+  util::Rng rng(28);
+  const dnn::Tensor input = exec::random_tensor(net.input_shape(), rng);
+  const dnn::Tensor reference = exec::Executor(net, weights).run(input);
+
+  std::vector<ConfigRow> rows;
+
+  // Full form: the weights blob rides every node's kConfig.
+  {
+    std::vector<std::unique_ptr<rpc::WorkerProcess>> workers;
+    auto transport = std::make_shared<rpc::SocketTransport>();
+    for (const char* node : {"device0", "edge0", "cloud0"}) {
+      workers.push_back(std::make_unique<rpc::WorkerProcess>(D3_NODE_BINARY));
+      transport->add_node(node, workers.back()->take_socket());
+    }
+    transport->configure(net.name(), net, weights, plan_bytes, 0);
+    rows.push_back({"full kConfig", transport->stats().config_bytes_sent});
+    runtime::OnlineEngine::Options options;
+    options.transport = transport;
+    const runtime::InferenceResult r =
+        runtime::OnlineEngine(net, weights, a, std::nullopt, options).infer(input);
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      if (r.output[i] != reference[i]) std::abort();
+  }
+
+  // Elided form: workers boot from d3c bundles; kConfig carries the hash.
+  {
+    const std::uint64_t weights_hash = rpc::fnv1a(rpc::encode_weights(weights, net));
+    std::map<std::string, std::unique_ptr<rpc::ListenWorkerProcess>> workers;
+    auto transport = std::make_shared<rpc::SocketTransport>();
+    for (const char* node : {"device0", "edge0", "cloud0"}) {
+      core::DeploymentBundle bundle;
+      bundle.node_name = node;
+      bundle.model_name = net.name();
+      bundle.weights_hash = weights_hash;
+      bundle.plan_bytes = plan_bytes;
+      bundle.shard_bytes = rpc::encode_weight_shard(
+          weights, net, exec::WeightStore::layers_for_node(plan, node));
+      bundle.book_text = "[workers]\n";
+      const std::string path = std::string("BENCH_") + node + ".d3b";
+      core::write_bundle_file(path, bundle);
+      workers[node] = std::make_unique<rpc::ListenWorkerProcess>(
+          D3_NODE_BINARY, std::vector<std::string>{"--bundle", path, node});
+      transport->add_node(node, workers[node]->dial());
+    }
+    transport->set_elide_weights(true);
+    transport->configure(net.name(), net, weights, plan_bytes, 0);
+    rows.push_back({"elided kConfig (bundle boot)", transport->stats().config_bytes_sent});
+    runtime::OnlineEngine::Options options;
+    options.transport = transport;
+    const runtime::InferenceResult r =
+        runtime::OnlineEngine(net, weights, a, std::nullopt, options).infer(input);
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      if (r.output[i] != reference[i]) std::abort();
+    for (const char* node : {"device0", "edge0", "cloud0"})
+      std::remove((std::string("BENCH_") + node + ".d3b").c_str());
+  }
+
+  if (rows[1].config_bytes >= rows[0].config_bytes) {
+    std::cerr << "FATAL: elided kConfig sent " << rows[1].config_bytes
+              << " bytes, not below the full form's " << rows[0].config_bytes << "\n";
+    std::abort();
+  }
+  return rows;
+}
 #endif
 
 }  // namespace
@@ -515,6 +604,23 @@ int main() {
   }
 #endif
 
+  // Boot-time configuration traffic: full kConfig (weights blob per node) vs
+  // the weights-elided form against bundle-booted workers.
+  std::vector<ConfigRow> config_rows;
+#ifdef D3_NODE_BINARY
+  try {
+    config_rows = measure_config_bytes();
+    util::Table ctable({"kConfig form", "config KB (3 nodes)"});
+    for (const ConfigRow& r : config_rows)
+      ctable.row().cell(r.form).cell(static_cast<double>(r.config_bytes) / 1024.0);
+    ctable.print(std::cout,
+                 "boot-time configuration traffic: O(model) weights blob vs the "
+                 "O(1) elided form on d3c-bundle-booted workers (outputs verified)");
+  } catch (const std::exception& e) {
+    std::cerr << "note: config-bytes mode skipped (" << e.what() << ")\n";
+  }
+#endif
+
   std::ofstream json("BENCH_transport.json");
   json << "{\n  \"bench\": \"transport_overhead\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -532,6 +638,12 @@ int main() {
     json << "    {\"mode\": \"" << r.mode << "\", \"interrupted_request_ms\": " << r.seconds * 1e3
          << ", \"recovery_bytes\": " << r.bytes << "}" << (i + 1 < recovery.size() ? "," : "")
          << "\n";
+  }
+  json << "  ],\n  \"config\": [\n";
+  for (std::size_t i = 0; i < config_rows.size(); ++i) {
+    const ConfigRow& r = config_rows[i];
+    json << "    {\"form\": \"" << r.form << "\", \"config_bytes\": " << r.config_bytes << "}"
+         << (i + 1 < config_rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
 

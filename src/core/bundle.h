@@ -1,0 +1,58 @@
+// Deployment bundles: the AOT artefact `d3c` compiles per tier node and
+// `d3_node --bundle` boots from, with no coordinator round-trip.
+//
+// One bundle is everything a single node needs to come up live:
+//
+//   u32 bundle magic | u16 wire version
+//   str node_name            the worker this bundle was compiled for
+//   str model_name           resolved against the shared model zoo at boot
+//   u32 vsm_workers          pool width the node serves tiles with
+//   u64 weights_hash         FNV-1a over the FULL model's encode_weights
+//                            bytes — identical across every tier's bundle,
+//                            the O(1) identity the weights-elided kConfig
+//                            form checks against (PROTOCOL.md)
+//   blob plan_bytes          serialize_plan_binary output, verbatim
+//   blob shard_bytes         encode_weight_shard output: only the layers
+//                            this node executes carry parameters
+//   blob book_text           the address-book file, so the node finds its
+//                            own listen endpoint without any flag plumbing
+//   u64 content_hash         FNV-1a over every preceding byte of the bundle
+//
+// Decoding is exactly as strict as plan_io: truncation at any boundary, a bad
+// magic or version, trailing bytes, and a content-hash mismatch all raise
+// rpc::WireError instead of yielding a partially-populated bundle. Plan and
+// shard validation against the model happen one level up (the consumer
+// resolves model_name against the zoo first); shard/plan agreement is
+// enforced by the boot path via WeightStore::layers_for_node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace d3::core {
+
+struct DeploymentBundle {
+  std::string node_name;
+  std::string model_name;
+  std::uint32_t vsm_workers = 0;
+  std::uint64_t weights_hash = 0;
+  std::vector<std::uint8_t> plan_bytes;
+  std::vector<std::uint8_t> shard_bytes;
+  std::string book_text;
+};
+
+std::vector<std::uint8_t> encode_bundle(const DeploymentBundle& bundle);
+DeploymentBundle decode_bundle(std::span<const std::uint8_t> bytes);
+
+// Atomic on-disk form: writes `path + ".tmp"` then renames, so a half-written
+// bundle can never be booted from. Throws std::runtime_error on I/O failure.
+void write_bundle_file(const std::string& path, const DeploymentBundle& bundle);
+
+// mmap-loads and decodes the file at `path` (read-only; the copy into the
+// returned bundle is the only pass over the bytes). Throws std::runtime_error
+// on I/O failure and rpc::WireError on malformed content.
+DeploymentBundle load_bundle_file(const std::string& path);
+
+}  // namespace d3::core

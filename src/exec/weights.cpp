@@ -1,6 +1,10 @@
 #include "exec/weights.h"
 
 #include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "core/plan_io.h"
 
 namespace d3::exec {
 
@@ -50,6 +54,45 @@ WeightStore WeightStore::from_layers(std::vector<LayerWeights> layers) {
   WeightStore store;
   store.per_layer_ = std::move(layers);
   return store;
+}
+
+std::vector<bool> WeightStore::layers_for_node(const core::SerializablePlan& plan,
+                                               const std::string& node) {
+  if (plan.assignment.tier.empty())
+    throw std::invalid_argument("layers_for_node: plan has an empty assignment");
+  const std::size_t num_layers = plan.assignment.tier.size() - 1;
+  std::vector<bool> mask(num_layers, false);
+  std::optional<core::Tier> tier;
+  if (node == "device0") tier = core::Tier::kDevice;
+  else if (node == "edge0") tier = core::Tier::kEdge;
+  else if (node == "cloud0") tier = core::Tier::kCloud;
+  if (tier) {
+    // Vertex 0 is the virtual input; layer i sits at tier[i + 1].
+    for (std::size_t id = 0; id < num_layers; ++id)
+      if (plan.assignment.tier[id + 1] == *tier) mask[id] = true;
+    return mask;
+  }
+  // Any other edgeN name is a VSM tile-worker shard: it runs every fused
+  // stack layer (on its tiles), and nothing else.
+  if (node.size() > 4 && node.compare(0, 4, "edge") == 0 && plan.vsm) {
+    for (const dnn::LayerId id : plan.vsm->stack) mask.at(id) = true;
+    return mask;
+  }
+  throw std::invalid_argument("layers_for_node: plan assigns no layers to node '" + node + "'");
+}
+
+WeightStore WeightStore::shard_for_plan(const core::SerializablePlan& plan,
+                                        const std::string& node) const {
+  const std::vector<bool> keep = layers_for_node(plan, node);
+  if (keep.size() != per_layer_.size())
+    throw std::invalid_argument("shard_for_plan: store holds " +
+                                std::to_string(per_layer_.size()) + " layers, plan covers " +
+                                std::to_string(keep.size()));
+  WeightStore shard;
+  shard.per_layer_.resize(per_layer_.size());
+  for (std::size_t id = 0; id < per_layer_.size(); ++id)
+    if (keep[id]) shard.per_layer_[id] = per_layer_[id];
+  return shard;
 }
 
 dnn::Tensor random_tensor(const dnn::Shape& shape, util::Rng& rng) {

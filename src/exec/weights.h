@@ -7,11 +7,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dnn/network.h"
 #include "dnn/tensor.h"
 #include "util/rng.h"
+
+namespace d3::core {
+struct SerializablePlan;
+}
 
 namespace d3::exec {
 
@@ -39,6 +44,20 @@ class WeightStore {
   // remote node rebuilds the store it received over the wire (rpc::decode_weights
   // validates the sizes against the network before calling this).
   static WeightStore from_layers(std::vector<LayerWeights> layers);
+
+  // The layers node `node` executes under `plan`, as a per-layer mask: the
+  // tier nodes device0 / edge0 / cloud0 own their tier's layers, and any other
+  // edgeN name is a VSM tile worker owning exactly the fused stack (every
+  // shard runs every stack layer on its tiles). Throws std::invalid_argument
+  // for a node name the plan gives no work to.
+  static std::vector<bool> layers_for_node(const core::SerializablePlan& plan,
+                                           const std::string& node);
+
+  // The per-tier slice of this store that `node` needs at boot: layers outside
+  // layers_for_node(plan, node) come back empty. This is what a d3c deployment
+  // bundle embeds — O(tier) parameter bytes instead of the full model.
+  WeightStore shard_for_plan(const core::SerializablePlan& plan,
+                             const std::string& node) const;
 
  private:
   std::vector<LayerWeights> per_layer_;

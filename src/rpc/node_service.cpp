@@ -9,6 +9,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "core/bundle.h"
 #include "core/plan_io.h"
 #include "core/vsm_executor.h"
 #include "dnn/model_zoo.h"
@@ -104,7 +105,7 @@ class NodeService {
       if (epoch < max_epoch_) return fenced_reply();
       conn.epoch = epoch;
       max_epoch_ = std::max(max_epoch_, epoch);
-      return config(r, request.body);
+      return config(r);
     }
     if (conn.epoch < max_epoch_) return fenced_reply();
     switch (request.kind) {
@@ -126,6 +127,33 @@ class NodeService {
         throw WireError("node: unexpected message kind " +
                         std::to_string(static_cast<int>(request.kind)));
     }
+  }
+
+  // AOT boot from a d3c deployment bundle: the node becomes live — model
+  // resolved against the zoo, weight shard decoded and validated, plan parsed
+  // — before any coordinator dials in, so the first kConfig it sees may be
+  // the weights-elided form. Throws on any malformation (a bundle that fails
+  // to load must kill the boot, not limp into serving), including a shard
+  // that does not cover every layer the plan assigns this node.
+  void preload(const core::DeploymentBundle& bundle) {
+    net_ = dnn::zoo::by_name(bundle.model_name);
+    WeightShard shard = decode_weight_shard(bundle.shard_bytes, *net_);
+    core::SerializablePlan plan = core::parse_plan_binary(bundle.plan_bytes, *net_);
+    const std::vector<bool> need =
+        exec::WeightStore::layers_for_node(plan, bundle.node_name);
+    for (std::size_t id = 0; id < need.size(); ++id)
+      if (need[id] && !shard.present[id])
+        throw WireError("bundle: plan assigns layer " + std::to_string(id) + " to '" +
+                        bundle.node_name + "' but the weight shard elides it");
+    weights_ = std::move(shard.weights);
+    weight_mask_ = std::move(shard.present);
+    plan_ = std::move(plan);
+    node_name_ = bundle.node_name;
+    model_name_ = bundle.model_name;
+    plan_hash_ = fnv1a(bundle.plan_bytes);
+    weights_hash_ = bundle.weights_hash;
+    vsm_workers_ = bundle.vsm_workers;
+    make_pool(bundle.vsm_workers);
   }
 
   // Accepts one dialled peer channel: the first frame must be kPeerHello with
@@ -238,26 +266,80 @@ class NodeService {
 
   static Frame ok() { return Frame{MsgKind::kOk, {}}; }
 
-  Frame config(WireReader& r, const std::vector<std::uint8_t>& raw_body) {
-    // Idempotent on identical bodies: a standby coordinator taking over after
-    // a failover replays the same kConfig, and wiping per-request slots (and
-    // buddy replicas) here would destroy exactly the state the takeover needs.
-    // A *different* body is a genuine reconfiguration and resets everything.
-    // The fingerprint deliberately excludes the leading fencing epoch (already
-    // consumed by handle()): the successor's bundle differs only there, and it
-    // must find the per-request state intact.
-    const std::vector<std::uint8_t> fingerprint(raw_body.begin() + 8, raw_body.end());
-    if (net_ && fingerprint == config_fingerprint_) return ok();
-    node_name_ = r.str();
+  Frame config(WireReader& r) {
+    const std::uint8_t form = r.u8();
+    if (form > 1)
+      throw WireError("config: unknown form " + std::to_string(form));
+    const std::string node = r.str();
     const std::string model = r.str();
-    const std::vector<std::uint8_t> weight_bytes = r.blob();
+    std::vector<std::uint8_t> weight_bytes;
+    std::uint64_t weights_hash = 0;
+    if (form == 0) {
+      // Full form: the O(model) weights blob rides along; its hash is the
+      // content identity every later config is compared against.
+      weight_bytes = r.blob();
+      weights_hash = fnv1a(weight_bytes);
+    } else {
+      // Weights-elided form: O(1) — the coordinator names the hash of the
+      // full-model weights bytes it would have sent and relies on this node
+      // already holding them (boot bundle, or an earlier full kConfig).
+      weights_hash = r.u64();
+    }
     const std::vector<std::uint8_t> plan_bytes = r.blob();
     const std::uint32_t vsm_workers = r.u32();
     r.expect_end("config");
+    const std::uint64_t plan_hash = fnv1a(plan_bytes);
 
-    net_ = dnn::zoo::by_name(model);
-    weights_ = decode_weights(weight_bytes, *net_);
-    plan_ = core::parse_plan_binary(plan_bytes, *net_);
+    // Idempotent on content identity — (node, model, plan hash, weights hash,
+    // pool width) — NOT on raw body bytes: a standby coordinator taking over
+    // replays the same config (possibly in the other form, e.g. the elided
+    // one to a bundle-booted worker), and wiping per-request slots (and buddy
+    // replicas) here would destroy exactly the state the takeover needs. A
+    // different identity is a genuine reconfiguration and resets everything.
+    if (net_ && node == node_name_ && model == model_name_ && plan_hash == plan_hash_ &&
+        weights_hash == weights_hash_ && vsm_workers == vsm_workers_)
+      return ok();
+
+    std::optional<core::SerializablePlan> plan;
+    if (form == 1) {
+      // The elided form can never *install* weights, so disagreement is
+      // answered kBundleMismatch — naming the hash this node actually holds
+      // (0 = none) — before any state mutation, and the coordinator fails
+      // loudly instead of running a version-skewed model.
+      if (!net_ || weights_hash != weights_hash_) {
+        WireWriter w;
+        w.u64(net_ ? weights_hash_ : 0);
+        return Frame{MsgKind::kBundleMismatch, w.take()};
+      }
+      if (model != model_name_)
+        throw WireError("config: model '" + model + "' does not match loaded '" +
+                        model_name_ + "' despite equal weights hash");
+      // Same weights, new plan (a genuine re-plan over the same deployment):
+      // a sharded store must still cover every layer the new plan gives us.
+      plan = core::parse_plan_binary(plan_bytes, *net_);
+      const std::vector<bool> need = exec::WeightStore::layers_for_node(*plan, node);
+      for (std::size_t id = 0; id < need.size(); ++id)
+        if (need[id] && id < weight_mask_.size() && !weight_mask_[id])
+          throw WireError("config: new plan assigns layer " + std::to_string(id) +
+                          " to '" + node + "' but its weight shard elides it");
+    } else {
+      net_ = dnn::zoo::by_name(model);
+      weights_ = decode_weights(weight_bytes, *net_);
+      weight_mask_.assign(net_->num_layers(), true);
+      plan = core::parse_plan_binary(plan_bytes, *net_);
+    }
+    node_name_ = node;
+    model_name_ = model;
+    plan_ = std::move(plan);
+    plan_hash_ = plan_hash;
+    weights_hash_ = weights_hash;
+    vsm_workers_ = vsm_workers;
+    make_pool(vsm_workers);
+    requests_.clear();
+    return ok();
+  }
+
+  void make_pool(std::uint32_t vsm_workers) {
     if (vsm_workers > 0) {
       pool_ = std::make_unique<runtime::ThreadPool>(vsm_workers);
       tile_parallel_ = [pool = pool_.get()](std::size_t n,
@@ -268,9 +350,6 @@ class NodeService {
       pool_.reset();
       tile_parallel_ = {};
     }
-    requests_.clear();
-    config_fingerprint_ = fingerprint;
-    return ok();
   }
 
   void require_configured() const {
@@ -585,7 +664,17 @@ class NodeService {
   std::uint64_t max_epoch_ = 0;
   Poller poller_;  // coordinators + listener + peer listener + inbound peers
   std::string node_name_;
-  std::vector<std::uint8_t> config_fingerprint_;  // raw kConfig body last applied
+  std::string model_name_;
+  // Content identity of the applied configuration — what kConfig idempotence
+  // is keyed on, and what the weights-elided form is checked against.
+  // weights_hash_ is always the FULL model's encode_weights hash, even when
+  // this node holds only a bundle shard (the bundle carries it verbatim).
+  std::uint64_t plan_hash_ = 0;
+  std::uint64_t weights_hash_ = 0;
+  std::uint32_t vsm_workers_ = 0;
+  // Per-layer presence in weights_: all-true after a full kConfig, the shard
+  // mask after a bundle boot — checked when a new plan arrives weights-elided.
+  std::vector<bool> weight_mask_;
   std::optional<dnn::Network> net_;
   exec::WeightStore weights_;
   std::optional<core::SerializablePlan> plan_;
@@ -698,6 +787,7 @@ Hangup serve_until_hangup(NodeService& service, const Socket* listener,
 
 void serve_node(int fd, const ServeOptions& options) {
   NodeService service;
+  if (options.bundle) service.preload(*options.bundle);
   service.attach_coordinator(fd);
   std::uint64_t served = 0;
   serve_until_hangup(service, /*listener=*/nullptr, options, served);
@@ -705,6 +795,7 @@ void serve_node(int fd, const ServeOptions& options) {
 
 void serve_listen_node(const Socket& listener, const ServeOptions& options) {
   NodeService service;  // persists across coordinator connections
+  if (options.bundle) service.preload(*options.bundle);
   service.poller().add(listener.fd(), static_cast<std::uint64_t>(listener.fd()));
   std::uint64_t served = 0;
   serve_until_hangup(service, &listener, options, served);

@@ -25,6 +25,10 @@
 
 #include "rpc/socket.h"
 
+namespace d3::core {
+struct DeploymentBundle;
+}
+
 namespace d3::rpc {
 
 inline constexpr std::uint64_t kNeverCrash = ~std::uint64_t{0};
@@ -41,6 +45,12 @@ struct ServeOptions {
   // fast to matter. Cheap verbs (kPut/kGet/...) stay fast, mirroring how real
   // service time concentrates in the compute calls. d3_node: --service-ms.
   double service_seconds = 0.0;
+  // AOT boot (d3_node --bundle): the node comes up already configured from
+  // this d3c deployment bundle — model resolved, weight shard decoded, plan
+  // parsed — before the first coordinator frame, so a coordinator may skip
+  // the O(model) weights blob entirely (the weights-elided kConfig form).
+  // Must outlive the serve call. nullptr = classic kConfig-only boot.
+  const core::DeploymentBundle* bundle = nullptr;
 };
 
 // Serves one coordinator connection on `fd` until clean EOF or kShutdown.

@@ -76,6 +76,11 @@ enum class MsgKind : std::uint8_t {
   kFenced = 70,   // body: u64 current max epoch — the requesting coordinator's
                   // fencing epoch is stale (a successor already configured this
                   // worker); the verb was rejected before any state mutation
+  kBundleMismatch = 71,  // body: u64 the weights hash this worker holds (0 =
+                         // not configured) — a weights-elided kConfig named a
+                         // different hash, so coordinator and worker disagree
+                         // about the deployed model version; rejected before
+                         // any state mutation
 };
 
 // RAII owner of a socket file descriptor.

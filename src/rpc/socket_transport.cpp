@@ -130,6 +130,13 @@ void SocketTransport::drain_one_locked(Node& node) {
     // these workers.
     WireReader r(reply.body);
     op->error = std::make_exception_ptr(Fenced(node.name, r.u64()));
+  } else if (reply.kind == MsgKind::kBundleMismatch) {
+    // The worker holds different weights than the elided kConfig named (a
+    // stale boot bundle, or none at all): version skew, rejected before any
+    // state mutation. Like Fenced, the channel is healthy and there is
+    // nothing to recover — the operator must redistribute matching bundles.
+    WireReader r(reply.body);
+    op->error = std::make_exception_ptr(BundleMismatch(node.name, r.u64(), weights_hash_));
   } else if (reply.kind == MsgKind::kError) {
     WireReader r(reply.body);
     op->error =
@@ -232,6 +239,14 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
           WireReader r(reply.body);
           throw Fenced(node.name, r.u64());
         }
+        if (reply.kind == MsgKind::kBundleMismatch) {
+          // The fresh incarnation holds different weights than the elided
+          // config replay named (it lost its bundle-loaded state with the old
+          // process, or booted from a stale bundle): version skew, not a
+          // transient failure — retrying cannot help.
+          WireReader r(reply.body);
+          throw BundleMismatch(node.name, r.u64(), weights_hash_);
+        }
         if (reply.kind != MsgKind::kOk) {
           std::string message = "reply kind " + std::to_string(static_cast<int>(reply.kind));
           if (reply.kind == MsgKind::kError) {
@@ -255,6 +270,8 @@ void SocketTransport::recover_locked(Node& node, const std::string& error) {
       throw;  // recovery outcome, not a retryable failure
     } catch (const Fenced&) {
       throw;  // deposed, not disconnected: no amount of retrying helps
+    } catch (const BundleMismatch&) {
+      throw;  // version skew, not a transient failure: retrying cannot help
     } catch (const std::exception& e) {
       node.socket.close();
       last = e.what();
@@ -377,7 +394,10 @@ void SocketTransport::configure(const std::string& model_name, const dnn::Networ
                                 const exec::WeightStore& weights,
                                 std::span<const std::uint8_t> plan_binary,
                                 std::size_t vsm_workers) {
+  // The weights bytes are encoded either way: elided mode still names their
+  // hash — the O(1) identity a bundle-booted worker checks its shard against.
   const std::vector<std::uint8_t> weight_bytes = encode_weights(weights, net);
+  weights_hash_ = fnv1a(weight_bytes);
   for (auto& [name, node] : nodes_) {
     if (node->detached.load(std::memory_order_acquire)) continue;
     WireWriter w;
@@ -385,12 +405,17 @@ void SocketTransport::configure(const std::string& model_name, const dnn::Networ
     // bundle; it rides the cached body too, so the kConfig replay after a
     // reconnect carries this coordinator's incarnation automatically.
     w.u64(epoch_);
+    w.u8(elide_weights_ ? 1 : 0);
     w.str(name);
     w.str(model_name);
-    w.blob(weight_bytes);
+    if (elide_weights_)
+      w.u64(weights_hash_);
+    else
+      w.blob(weight_bytes);
     w.blob(plan_binary);
     w.u32(static_cast<std::uint32_t>(vsm_workers));
     node->config_body = w.take();
+    config_bytes_sent_.fetch_add(node->config_body.size(), std::memory_order_relaxed);
     call(*node, MsgKind::kConfig, node->config_body);
   }
 }

@@ -90,6 +90,10 @@ class SocketTransport final : public Transport {
     // issue_* facade batches a tier's independent sends into one outbox and
     // this counts how often the wire actually saw them coalesced.
     std::uint64_t pipelined_sends = 0;
+    // kConfig body bytes sent across all nodes (cumulative over configure()
+    // calls and replays): O(model) per node in the classic form, O(1) per
+    // node in the weights-elided form — the bundle-boot saving, measured.
+    std::uint64_t config_bytes_sent = 0;
   };
 
   // Bounded-backoff policy for re-establishing a dead worker's channel.
@@ -197,6 +201,15 @@ class SocketTransport final : public Transport {
   void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
   std::uint64_t epoch() const { return epoch_; }
 
+  // Weights-elided kConfig: configure() (and its reconnect replay) sends the
+  // FNV-1a hash of the full-model weights bytes instead of the O(model) blob
+  // itself, relying on every worker having booted from a d3c bundle (or been
+  // fully configured once before). A worker holding a different hash — or
+  // none — answers kBundleMismatch, surfaced here as rpc::BundleMismatch
+  // before any state mutation. Call before configure().
+  void set_elide_weights(bool elide) { elide_weights_ = elide; }
+  bool elide_weights() const { return elide_weights_; }
+
   std::string name() const override { return "socket"; }
   std::uint64_t open_request() override;
   // Re-opens a journalled request id on every attached node (idempotent
@@ -274,7 +287,8 @@ class SocketTransport final : public Transport {
             reconnects_.load(),    reopens_.load(),            detached_workers_.load(),
             readmitted_workers_.load(),    replica_pushes_.load(),
             replica_bytes_.load(), replica_failures_.load(),   replica_restores_.load(),
-            pings_.load(),         heartbeat_deaths_.load(),   pipelined_sends_.load()};
+            pings_.load(),         heartbeat_deaths_.load(),   pipelined_sends_.load(),
+            config_bytes_sent_.load()};
   }
 
  private:
@@ -391,6 +405,10 @@ class SocketTransport final : public Transport {
   bool peers_enabled_ = false;
   std::string buddy_name_;
   std::uint64_t epoch_ = 0;
+  bool elide_weights_ = false;
+  // Hash of the full-model weights bytes named by the last configure() — what
+  // a kBundleMismatch reply is reported against.
+  std::uint64_t weights_hash_ = 0;
   OpObserver op_observer_;
   bool heartbeats_ = false;
   HeartbeatPolicy heartbeat_policy_;
@@ -412,6 +430,7 @@ class SocketTransport final : public Transport {
   std::atomic<std::uint64_t> pings_{0};
   std::atomic<std::uint64_t> heartbeat_deaths_{0};
   std::atomic<std::uint64_t> pipelined_sends_{0};
+  std::atomic<std::uint64_t> config_bytes_sent_{0};
 };
 
 // Forks and execs a d3_node worker binary connected back to this process over

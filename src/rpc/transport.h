@@ -96,6 +96,35 @@ class Fenced : public TransportError {
   std::uint64_t epoch_ = 0;
 };
 
+// A worker rejected a weights-elided kConfig because the weights hash it holds
+// (from its boot bundle or an earlier full kConfig) is not the hash the
+// coordinator named: coordinator and worker disagree about the deployed model
+// version. Rejected before any state mutation, and — like Fenced — NOT a
+// ChannelDied: the channel is healthy and there is nothing to recover. Version
+// skew is an operator problem (recompile/redistribute the bundles), so the
+// error propagates out of the engine's recovery machinery to its caller.
+class BundleMismatch : public TransportError {
+ public:
+  BundleMismatch(std::string node, std::uint64_t worker_hash, std::uint64_t wanted_hash)
+      : TransportError("node " + node + " holds weights hash " +
+                       std::to_string(worker_hash) + ", coordinator expected " +
+                       std::to_string(wanted_hash) +
+                       " (stale deployment bundle? recompile with d3c)"),
+        node_(std::move(node)),
+        worker_hash_(worker_hash),
+        wanted_hash_(wanted_hash) {}
+
+  const std::string& node() const { return node_; }
+  // The hash the worker holds (0 = it was never configured at all).
+  std::uint64_t worker_hash() const { return worker_hash_; }
+  std::uint64_t wanted_hash() const { return wanted_hash_; }
+
+ private:
+  std::string node_;
+  std::uint64_t worker_hash_ = 0;
+  std::uint64_t wanted_hash_ = 0;
+};
+
 // Tile scatter/gather messages are intra-edge and not slot-addressed; they
 // carry this sentinel so a transport never files them in a node's slot table.
 inline constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};

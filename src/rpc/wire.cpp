@@ -319,4 +319,66 @@ exec::WeightStore decode_weights(std::span<const std::uint8_t> bytes,
   return exec::WeightStore::from_layers(std::move(layers));
 }
 
+// --- Weight shards -----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_weight_shard(const exec::WeightStore& weights,
+                                              const dnn::Network& net,
+                                              const std::vector<bool>& keep) {
+  if (weights.size() != net.num_layers())
+    throw WireError("weight shard: store holds " + std::to_string(weights.size()) +
+                    " layers, network has " + std::to_string(net.num_layers()));
+  if (keep.size() != net.num_layers())
+    throw WireError("weight shard: keep mask covers " + std::to_string(keep.size()) +
+                    " layers, network has " + std::to_string(net.num_layers()));
+  WireWriter w;
+  w.u32(kWeightShardMagic);
+  w.u16(kWireVersion);
+  w.u32(static_cast<std::uint32_t>(weights.size()));
+  for (dnn::LayerId id = 0; id < weights.size(); ++id) {
+    w.u8(keep[id] ? 1 : 0);
+    if (!keep[id]) continue;
+    const exec::LayerWeights& lw = weights.layer(id);
+    w.f32_array(lw.weights);
+    w.f32_array(lw.bias);
+    w.f32_array(lw.bn_scale);
+    w.f32_array(lw.bn_shift);
+  }
+  return w.take();
+}
+
+WeightShard decode_weight_shard(std::span<const std::uint8_t> bytes,
+                                const dnn::Network& net) {
+  WireReader r(bytes);
+  if (r.u32() != kWeightShardMagic) throw WireError("weight shard: bad magic");
+  check_version(r.u16(), "weight shard");
+  const std::uint32_t count = r.u32();
+  if (count != net.num_layers())
+    throw WireError("weight shard: " + std::to_string(count) +
+                    " layers on the wire, network has " + std::to_string(net.num_layers()));
+  WeightShard shard;
+  shard.present.assign(count, false);
+  std::vector<exec::LayerWeights> layers(count);
+  for (std::uint32_t id = 0; id < count; ++id) {
+    const std::uint8_t flag = r.u8();
+    if (flag > 1)
+      throw WireError("weight shard: layer " + std::to_string(id) + " has presence flag " +
+                      std::to_string(flag));
+    if (flag == 0) continue;
+    shard.present[id] = true;
+    exec::LayerWeights& lw = layers[id];
+    lw.weights = r.f32_array();
+    lw.bias = r.f32_array();
+    lw.bn_scale = r.f32_array();
+    lw.bn_shift = r.f32_array();
+    const ExpectedSizes e = expected_sizes(net, id);
+    if (lw.weights.size() != e.weights || lw.bias.size() != e.bias ||
+        lw.bn_scale.size() != e.bn_scale || lw.bn_shift.size() != e.bn_shift)
+      throw WireError("weight shard: layer '" + net.layer(id).spec.name +
+                      "' parameter sizes do not match the network");
+  }
+  r.expect_end("weight shard");
+  shard.weights = exec::WeightStore::from_layers(std::move(layers));
+  return shard;
+}
+
 }  // namespace d3::rpc

@@ -39,7 +39,22 @@ inline constexpr std::uint32_t kTensorMagic = 0xD3A00001;
 inline constexpr std::uint32_t kEnvelopeMagic = 0xD3A00002;
 inline constexpr std::uint32_t kWeightsMagic = 0xD3A00003;
 inline constexpr std::uint32_t kPlanMagic = 0xD3A00004;  // used by core::plan_io
+inline constexpr std::uint32_t kBundleMagic = 0xD3A00006;  // used by core::bundle
+inline constexpr std::uint32_t kWeightShardMagic = 0xD3A00007;
 inline constexpr std::uint16_t kWireVersion = 1;
+
+// FNV-1a over a byte run: the content-hash primitive shared by the request
+// journal's plan stamp, the deployment-bundle checksum, and the
+// weights-elided kConfig identity. Not cryptographic — it detects version
+// skew and corruption, not tampering.
+inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 // Decoder sanity caps: a corrupted length field fails loudly instead of
 // driving a multi-gigabyte allocation.
@@ -137,5 +152,32 @@ std::vector<std::uint8_t> encode_weights(const exec::WeightStore& weights,
                                          const dnn::Network& net);
 exec::WeightStore decode_weights(std::span<const std::uint8_t> bytes,
                                  const dnn::Network& net);
+
+// --- Weight shards -----------------------------------------------------------
+
+// A per-tier slice of the store: only the layers `keep` marks carry their
+// parameters; the rest are encoded as absent (one flag byte, no arrays). A
+// parameterless layer that `keep` marks is still "present" — presence follows
+// the plan, not the parameter count, so a shard/plan disagreement is always
+// detectable. This is what a d3c deployment bundle embeds: O(tier) bytes
+// instead of the O(model) kConfig weights blob.
+std::vector<std::uint8_t> encode_weight_shard(const exec::WeightStore& weights,
+                                              const dnn::Network& net,
+                                              const std::vector<bool>& keep);
+
+struct WeightShard {
+  // Full-sized store; layers absent from the shard hold empty parameter
+  // vectors (running one would fail loudly in the kernels).
+  exec::WeightStore weights;
+  // Per-layer presence flags, as encoded — checked against the plan's
+  // node-layer set at boot.
+  std::vector<bool> present;
+};
+
+// Strict decode: present layers are validated against `net`'s per-layer
+// parameter sizes exactly like decode_weights; truncation, bad magic and
+// trailing bytes raise WireError.
+WeightShard decode_weight_shard(std::span<const std::uint8_t> bytes,
+                                const dnn::Network& net);
 
 }  // namespace d3::rpc

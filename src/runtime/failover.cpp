@@ -1,5 +1,8 @@
 #include "runtime/failover.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -160,6 +163,20 @@ void StandbyCoordinator::monitor() {
         continue;
       try {
         promote();
+      } catch (const rpc::Fenced& fenced) {
+        // Lost the promotion race: a rival standby already fenced the workers
+        // at a higher epoch, so the very first redial answered kFenced and
+        // promote() aborted before touching any state. The rival IS a live
+        // coordinator — this is not a failure, it is a new active to watch.
+        // Fold the observed epoch in (the next takeover bids above it) and
+        // return to monitoring instead of dying with a promotion error.
+        std::uint64_t seen = observed_epoch_.load(std::memory_order_relaxed);
+        while (fenced.epoch() > seen &&
+               !observed_epoch_.compare_exchange_weak(seen, fenced.epoch(),
+                                                      std::memory_order_relaxed)) {
+        }
+        misses_.store(0, std::memory_order_relaxed);
+        continue;
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         promotion_error_ = std::current_exception();
@@ -200,18 +217,39 @@ void StandbyCoordinator::probe_once(rpc::Socket& beacon) {
 }
 
 void StandbyCoordinator::mirror_journal_bytes(const std::vector<std::uint8_t>& bytes) {
-  // Write-then-rename so a promotion racing a mirror refresh never loads a
-  // torn file — the journal loader tolerates torn *tails*, not torn middles.
-  const std::string tmp = options_.journal_path + ".mirror";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) throw rpc::SocketError("cannot write journal mirror \"" + tmp + "\"");
-    file.write(reinterpret_cast<const char*>(bytes.data()),
-               static_cast<std::streamsize>(bytes.size()));
-    if (!file) throw rpc::SocketError("short write on journal mirror \"" + tmp + "\"");
+  mirror_file_atomically(options_.journal_path, bytes);
+}
+
+// Temp-write + fsync + atomic rename: a standby killed at ANY instant of a
+// refresh leaves either the previous complete mirror or the new complete
+// mirror at `path`, never a torn middle — the journal loader tolerates torn
+// *tails*, not torn middles. The fsync before the rename matters: without it
+// a crash shortly after the rename can surface a renamed-but-empty file.
+void mirror_file_atomically(const std::string& path,
+                            const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".mirror";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw rpc::SocketError("cannot write journal mirror \"" + tmp + "\"");
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw rpc::SocketError("short write on journal mirror \"" + tmp + "\"");
+    }
+    written += static_cast<std::size_t>(n);
   }
-  if (std::rename(tmp.c_str(), options_.journal_path.c_str()) != 0)
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw rpc::SocketError("cannot fsync journal mirror \"" + tmp + "\"");
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
     throw rpc::SocketError("cannot rename journal mirror into place");
+  }
 }
 
 void StandbyCoordinator::promote() {
@@ -226,6 +264,7 @@ void StandbyCoordinator::promote() {
 
   auto transport = std::make_shared<rpc::SocketTransport>();
   transport->set_epoch(new_epoch);
+  transport->set_elide_weights(options_.elide_weights);
   std::size_t tile_workers = 0;
   for (const Endpoint& worker : options_.book.workers()) {
     rpc::Socket channel = rpc::tcp_connect(worker.host, worker.port);

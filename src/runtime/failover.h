@@ -53,6 +53,14 @@
 
 namespace d3::runtime {
 
+// Durable whole-file replace: writes `bytes` to `path + ".mirror"`, fsyncs,
+// then renames over `path`. A process killed at any instant leaves either the
+// old complete file or the new complete file — never a torn middle. This is
+// how the standby's kJournalSync mirror stays promotion-safe; exposed so
+// tests can pin the atomicity contract directly. Throws rpc::SocketError.
+void mirror_file_atomically(const std::string& path,
+                            const std::vector<std::uint8_t>& bytes);
+
 // Liveness + journal endpoint of the active coordinator. Serves concurrently
 // connected standbys from one background thread; the destructor stops it.
 class CoordinatorBeacon {
@@ -104,6 +112,11 @@ class StandbyCoordinator {
     // Buddy replica holder to arm on the promoted transport ("" = none).
     std::string buddy;
     std::size_t vsm_workers = 0;
+    // Send the weights-elided kConfig form on the promotion redials (the
+    // workers were booted from d3c bundles): plan + weights hash instead of
+    // the O(model) weights blob. A hash disagreement makes promote() throw
+    // rpc::BundleMismatch — loud, never half-configured.
+    bool elide_weights = false;
     // Lower bound on the active coordinator's epoch, for the case where the
     // standby never managed a successful probe before the death.
     std::uint64_t epoch_hint = 0;
@@ -139,6 +152,12 @@ class StandbyCoordinator {
   const std::vector<ResumedRequest>& resumed() const { return resumed_; }
   // Consecutive missed beats so far (diagnostics / test pinning).
   int misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Highest coordinator epoch this standby has seen — from beacon kPong
+  // bodies, or from an rpc::Fenced answer to its own promotion attempt (a
+  // lost race folds the winner's epoch in here and monitoring resumes).
+  std::uint64_t observed_epoch() const {
+    return observed_epoch_.load(std::memory_order_relaxed);
+  }
 
  private:
   void monitor();

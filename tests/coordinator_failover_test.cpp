@@ -12,6 +12,7 @@
 #include <chrono>
 #include <csignal>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -467,6 +468,97 @@ TEST(CoordinatorFailover, ChannelErrorsNameNodePeerAddressAndCause) {
     EXPECT_NE(what.find("device0"), std::string::npos) << what;
     EXPECT_NE(what.find("peer 127.0.0.1"), std::string::npos) << what;
     EXPECT_NE(what.find("died mid-request"), std::string::npos) << what;
+  }
+}
+
+TEST(CoordinatorFailover, LostPromotionRaceFoldsEpochAndWinsTheNextTakeover) {
+  // Two standbys race after a dead active: the slower one's promote() hits
+  // rpc::Fenced on its very first redial (a rival already fenced the workers
+  // at a higher epoch). That must NOT kill its monitor thread or surface as a
+  // promotion error — the standby folds the observed epoch in, returns to
+  // monitoring, and when the rival proves dead too (its beacon never answers)
+  // the next takeover bids strictly above the rival's incarnation and wins.
+  const dnn::Network net = dnn::zoo::tiny_chain();
+  const exec::WeightStore weights = exec::WeightStore::random_for(net, 171);
+  const core::Assignment assignment = three_tier_plan(net);
+  const core::SerializablePlan plan{net.name(), assignment, std::nullopt};
+  const std::string journal_path = temp_journal("lost_race.d3j");
+
+  const rpc::ListenWorkerProcess device(D3_NODE_BINARY);
+  const rpc::ListenWorkerProcess edge(D3_NODE_BINARY);
+  const rpc::ListenWorkerProcess cloud(D3_NODE_BINARY);
+
+  // The rival: already promoted at epoch 5, beaconless (it is "active" from
+  // the workers' point of view but undetectable to the standby's probes).
+  auto rival = std::make_shared<rpc::SocketTransport>();
+  rival->set_epoch(5);
+  rival->add_node("device0", device.dial());
+  rival->add_node("edge0", edge.dial());
+  rival->add_node("cloud0", cloud.dial());
+  rival->configure(net.name(), net, weights, core::serialize_plan_binary(plan), 0);
+
+  const auto entry = [](const char* name, std::uint16_t port) {
+    return std::string(name) + " 127.0.0.1:" + std::to_string(port) + "\n";
+  };
+  StandbyCoordinator::Options options;
+  // The beacon entry points at a dead port: every probe misses, so the
+  // monitor trips, promotes (losing to the rival), and trips again.
+  options.book = AddressBook::parse("[coordinator]\n" + entry("beacon", 65001) + "[workers]\n" +
+                                    entry("device0", device.port()) +
+                                    entry("edge0", edge.port()) + entry("cloud0", cloud.port()) +
+                                    "[standbys]\n" + entry("standby0", 65000));
+  options.journal_path = journal_path;
+  options.probe_interval = std::chrono::milliseconds(10);
+  options.miss_threshold = 2;
+  StandbyCoordinator standby(net, weights, assignment, std::nullopt, std::move(options));
+  standby.start();
+
+  // With the pre-fix behaviour this rethrows rpc::Fenced (the first promotion
+  // attempt at epoch 1 stored it as a promotion error and the monitor died).
+  // Fixed: the Fenced epoch is folded into the observation high-water mark
+  // and the second attempt takes over at 6.
+  ASSERT_TRUE(standby.wait_promoted(std::chrono::seconds(30)));
+  EXPECT_GE(standby.observed_epoch(), 5u);
+  EXPECT_EQ(standby.epoch(), 6u);
+
+  // The successful takeover fenced the rival, as any promotion must.
+  EXPECT_THROW(rival->open_request(), rpc::Fenced);
+}
+
+TEST(CoordinatorFailover, KilledMirrorRefreshNeverLeavesATornJournal) {
+  // SIGKILL a child mid-refresh, at an arbitrary instant of the temp-write /
+  // fsync / rename sequence, repeatedly: the journal path must always hold
+  // one of the two complete payloads — a torn middle would feed promotion a
+  // corrupt journal. (The loader tolerates torn tails only; the mirror's
+  // atomic-replace contract is what keeps a *refresh* from tearing the file.)
+  const std::string path = temp_journal("mirror_kill.d3j");
+  const std::vector<std::uint8_t> a(512 * 1024, 0xAA);
+  const std::vector<std::uint8_t> b(768 * 1024, 0xBB);
+  mirror_file_atomically(path, a);
+
+  for (int round = 0; round < 5; ++round) {
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      // The doomed refresher: alternate payloads as fast as possible until
+      // the parent's SIGKILL lands somewhere inside a refresh.
+      for (;;) {
+        mirror_file_atomically(path, a);
+        mirror_file_atomically(path, b);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20 + 7 * round));
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+    std::ifstream file(path, std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    const std::vector<std::uint8_t> seen((std::istreambuf_iterator<char>(file)),
+                                         std::istreambuf_iterator<char>());
+    EXPECT_TRUE(seen == a || seen == b)
+        << "round " << round << ": journal is " << seen.size()
+        << " bytes, neither complete payload";
   }
 }
 

@@ -78,9 +78,11 @@ int main(int argc, char** argv) {
   const auto usage = [&] {
     std::fprintf(stderr,
                  "usage: %s --active  --book <file> --model <zoo-name> --plan <file> --journal "
-                 "<file> [--epoch <n>] [--seed <n>] [--requests <n>] [--buddy <node>]\n"
+                 "<file> [--epoch <n>] [--seed <n>] [--requests <n>] [--buddy <node>] "
+                 "[--elide-weights]\n"
                  "       %s --standby --book <file> --model <zoo-name> --plan <file> --journal "
-                 "<file> [--epoch-hint <n>] [--seed <n>] [--mirror] [--buddy <node>]\n",
+                 "<file> [--epoch-hint <n>] [--seed <n>] [--mirror] [--buddy <node>] "
+                 "[--elide-weights]\n",
                  argv[0], argv[0]);
     return 2;
   };
@@ -90,10 +92,17 @@ int main(int argc, char** argv) {
 
   std::map<std::string, std::string> flags;
   bool mirror = false;
+  bool elide_weights = false;
   for (int arg = 2; arg < argc; ++arg) {
     const std::string flag = argv[arg];
     if (flag == "--mirror") {
       mirror = true;
+    } else if (flag == "--elide-weights") {
+      // Workers booted from d3c bundles already hold their weight shard:
+      // kConfig ships plan + weights hash only (O(1) instead of O(model)).
+      // Version skew fails loudly as rpc::BundleMismatch before any state
+      // mutation — recompile the bundles with d3c, or drop this flag.
+      elide_weights = true;
     } else if (arg + 1 < argc) {
       flags[flag] = argv[++arg];
     } else {
@@ -125,6 +134,7 @@ int main(int argc, char** argv) {
                                                   book.coordinator()->port);
       auto transport = std::make_shared<d3::rpc::SocketTransport>();
       transport->set_epoch(epoch);
+      transport->set_elide_weights(elide_weights);
       std::size_t tile_workers = 0;
       for (const d3::runtime::Endpoint& worker : book.workers()) {
         d3::rpc::Socket channel = d3::rpc::tcp_connect(worker.host, worker.port);
@@ -159,6 +169,7 @@ int main(int argc, char** argv) {
     options.book = book;
     options.journal_path = journal_path;
     options.mirror_journal = mirror;
+    options.elide_weights = elide_weights;
     options.buddy = buddy;
     options.epoch_hint =
         flags.count("--epoch-hint") ? std::stoull(flags["--epoch-hint"]) : 0;

@@ -30,15 +30,29 @@
 // workers, the active coordinator's beacon, and the standbys — boots from the
 // one shared file with no spawn-time port plumbing.
 //
+//   d3_node --bundle <file> <name> [--crash-after <frames>]
+//
+// the AOT boot form: mmap-loads the d3c deployment bundle at <file> — plan,
+// this node's weight shard, and the embedded address book — verifies its
+// checksum, comes up already configured, and listens at <name>'s entry in the
+// bundle's [workers] section. No coordinator round-trip ships the model: a
+// coordinator started with --elide-weights sends plan + weights hash only
+// (O(1) instead of O(model)), and a hash disagreement is answered
+// kBundleMismatch before any state mutation. `--bundle <file> <name>` also
+// composes with --listen/--connect/--book as a trailing flag (the spawn-time
+// port still wins; the bundle supplies the configuration).
+//
 // --crash-after N makes the process exit abruptly (no reply) on the (N+1)th
 // coordinator frame — a deterministic, scriptable stand-in for a SIGKILL at an
 // exact protocol point, used by the fault-injection tests. Exit code 0 on
 // clean shutdown, 1 on any protocol or socket failure.
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "core/bundle.h"
 #include "rpc/node_service.h"
 #include "rpc/socket.h"
 #include "runtime/address_book.h"
@@ -48,14 +62,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --connect <host> <port> [--crash-after <frames>] [--service-ms <ms>]\n"
                  "       %s --listen <port> [--crash-after <frames>] [--service-ms <ms>]\n"
-                 "       %s --book <file> <name> [--crash-after <frames>] [--service-ms <ms>]\n",
-                 argv[0], argv[0], argv[0]);
+                 "       %s --book <file> <name> [--crash-after <frames>] [--service-ms <ms>]\n"
+                 "       %s --bundle <file> <name> [--crash-after <frames>] [--service-ms <ms>]\n"
+                 "       (--bundle <file> <name> also composes with the other modes)\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   };
   if (argc < 3) return usage();
   const std::string mode = argv[1];
   try {
     d3::rpc::ServeOptions options;
+    std::optional<d3::core::DeploymentBundle> bundle;
+    const auto load_bundle = [&](const std::string& file, const std::string& name) {
+      bundle = d3::core::load_bundle_file(file);
+      if (bundle->node_name != name)
+        throw std::invalid_argument("bundle '" + file + "' was compiled for node '" +
+                                    bundle->node_name + "', not '" + name + "'");
+      options.bundle = &*bundle;
+    };
     int arg = mode == "--listen" ? 3 : 4;
     if (mode != "--listen" && argc < 4) return usage();
     while (arg < argc) {
@@ -66,6 +90,11 @@ int main(int argc, char** argv) {
         // Emulated per-kRunLayer/kRunStack service latency (overlap benches).
         options.service_seconds = std::stod(argv[arg + 1]) / 1e3;
         arg += 2;
+      } else if (std::string(argv[arg]) == "--bundle" && arg + 2 < argc) {
+        // AOT boot riding another mode (rpc::ListenWorkerProcess spawns
+        // "--listen 0 --bundle <file> <name>" in the bundle-boot tests).
+        load_bundle(argv[arg + 1], argv[arg + 2]);
+        arg += 3;
       } else {
         return usage();
       }
@@ -86,6 +115,25 @@ int main(int argc, char** argv) {
       d3::rpc::Socket listener = d3::rpc::tcp_listen(port);
       // The bound (possibly ephemeral) port is the spawner's handle to this
       // worker; flushed so a pipe reader sees it before the first accept.
+      std::printf("PORT %u\n", static_cast<unsigned>(port));
+      std::fflush(stdout);
+      d3::rpc::serve_listen_node(listener, options);
+      return 0;
+    }
+    if (mode == "--bundle") {
+      load_bundle(argv[2], argv[3]);
+      // The bundle embeds the deployment's address book: this node's listen
+      // endpoint comes from its own [workers] entry, no flag plumbing.
+      const d3::runtime::AddressBook book =
+          d3::runtime::AddressBook::parse(bundle->book_text);
+      const d3::runtime::Endpoint* self = nullptr;
+      for (const d3::runtime::Endpoint& worker : book.workers())
+        if (worker.name == bundle->node_name) self = &worker;
+      if (self == nullptr)
+        throw std::invalid_argument("\"" + bundle->node_name +
+                                    "\" is not in the bundle's [workers] section");
+      std::uint16_t port = self->port;
+      d3::rpc::Socket listener = d3::rpc::tcp_listen_on(self->host, port);
       std::printf("PORT %u\n", static_cast<unsigned>(port));
       std::fflush(stdout);
       d3::rpc::serve_listen_node(listener, options);
